@@ -1,0 +1,73 @@
+"""Extension benchmarks (paper §8 future work): latency QoE and saccade
+misdetection sensitivity, plus the Eq. 8 FPS table."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.extensions import (
+    format_latency_qoe,
+    format_saccade_sensitivity,
+    run_latency_qoe,
+    run_saccade_sensitivity,
+)
+from repro.experiments.fps_eval import format_fps, run_fps
+from repro.experiments.profiles import paper_reference_errors
+
+
+@pytest.mark.benchmark(group="ext-qoe")
+def test_extension_latency_qoe(benchmark):
+    errors = paper_reference_errors(0.2)
+    result = benchmark.pedantic(run_latency_qoe, args=(errors,), rounds=1, iterations=1)
+    emit(format_latency_qoe(result))
+
+    # POLO stays comfortable (QoE ~1) at 720P/1080P; heavyweight methods
+    # collapse past the 70 ms band.
+    assert result.qoe[("POLO_N", "720P")] > 0.9
+    assert result.qoe[("POLO_N", "1080P")] > 0.75
+    assert result.qoe[("DeepVOG", "1080P")] < 0.2
+    for res in ("720P", "1080P", "1440P"):
+        assert result.best_method(res) == "POLO_N"
+
+
+@pytest.mark.benchmark(group="ext-fps")
+def test_extension_fps(benchmark, measured_event_mix):
+    errors = paper_reference_errors(0.2)
+    result = benchmark.pedantic(
+        run_fps, args=(errors, measured_event_mix), rounds=1, iterations=1
+    )
+    emit(format_fps(result))
+
+    from repro.system import Schedule
+
+    # POLO sustains the highest frame rate everywhere; parallel >= sequential.
+    for res in ("720P", "1080P", "1440P"):
+        polo_par = result.get("POLO", res, Schedule.PARALLEL)
+        assert polo_par >= result.get("POLO", res, Schedule.SEQUENTIAL) - 1e-9
+        for name in ("ResNet-34", "IncResNet", "EdGaze", "DeepVOG"):
+            assert polo_par > result.get(name, res, Schedule.PARALLEL)
+    # 720P parallel POLO exceeds a 30 FPS floor comfortably.
+    assert result.get("POLO", "720P", Schedule.PARALLEL) > 30
+
+
+@pytest.mark.benchmark(group="ext-saccade-sensitivity")
+def test_extension_saccade_sensitivity(benchmark, bench_context, measured_errors_p95):
+    result = benchmark.pedantic(
+        run_saccade_sensitivity,
+        args=(bench_context, measured_errors_p95),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_saccade_sensitivity(result))
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+
+    points = result.points
+    thresholds = sorted(points)
+    # Raising the threshold can only reduce false positives.
+    fprs = [points[t]["fpr"] for t in thresholds]
+    assert all(a >= b - 1e-9 for a, b in zip(fprs, fprs[1:]))
+    # QoE improves (or holds) as false positives drop.
+    qoes = [points[t]["qoe"] for t in thresholds]
+    assert all(a <= b + 1e-9 for a, b in zip(qoes, qoes[1:]))

@@ -1,0 +1,35 @@
+"""Fig. 1 — full-resolution ray-traced rendering latency.
+
+Paper: averages of 80 / 155 / 282 ms at 720P / 1080P / 1440P across the
+scene suite, with per-frame times ranging from ~20 ms to ~700 ms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.rendering import format_fig1, run_fig1
+from repro.render import RESOLUTIONS, SCENES
+
+PAPER_AVERAGES_MS = {"720P": 80.0, "1080P": 155.0, "1440P": 282.0}
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_rendering_latency(benchmark):
+    result = benchmark(run_fig1)
+    emit(format_fig1(result))
+
+    for res, paper_ms in PAPER_AVERAGES_MS.items():
+        measured = result.averages_ms[res]
+        assert measured == pytest.approx(paper_ms, rel=0.25), (
+            f"{res}: measured {measured:.0f}ms vs paper {paper_ms:.0f}ms"
+        )
+    all_ms = list(result.latencies_ms.values())
+    assert min(all_ms) < 40.0
+    assert max(all_ms) > 450.0
+    # Latency grows with both scene complexity and resolution.
+    for res in RESOLUTIONS:
+        per_scene = [result.latency(s.name, res.name) for s in SCENES]
+        assert per_scene == sorted(per_scene)

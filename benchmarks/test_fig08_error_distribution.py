@@ -1,0 +1,33 @@
+"""Fig. 8a — gaze-error distributions of the baseline trackers.
+
+Paper shape: model-based methods (DeepVOG, EdGaze) show moderate means
+but extreme maxima; the appearance CNNs have lower means yet still carry
+long tails relative to their medians.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.gaze_error import format_fig8a
+
+
+@pytest.mark.benchmark(group="fig08a")
+def test_fig08a_error_distributions(benchmark, table1_result):
+    result = benchmark.pedantic(lambda: table1_result, rounds=1, iterations=1)
+    emit(format_fig8a(result))
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+    s = result.summaries
+
+    for name in ("DeepVOG", "EdGaze", "ResNet-34", "IncResNet"):
+        summary = s[name]
+        # The distributions are heavy-tailed: the max dwarfs the p5.
+        assert summary.maximum > 4 * max(summary.p5, 0.2)
+        assert summary.minimum >= 0.0
+        assert summary.p5 <= summary.mean <= summary.maximum
+
+    # Model-based maxima exceed the CNN baselines' (segmentation failures).
+    model_based_max = min(s["DeepVOG"].maximum, s["EdGaze"].maximum)
+    assert model_based_max > 0.5 * max(s["ResNet-34"].maximum, s["IncResNet"].maximum)

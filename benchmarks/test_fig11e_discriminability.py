@@ -1,0 +1,27 @@
+"""Fig. 11e — discriminability / JND vs foveal eccentricity.
+
+Paper: curves for delta-theta of 2/3/5/10 degrees peaking near 30%
+discriminability; at delta = 10 deg the 5% threshold sits near
+theta_f = 15 deg.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.discriminability import format_fig11e, run_fig11e
+
+
+@pytest.mark.benchmark(group="fig11e")
+def test_fig11e_discriminability(benchmark):
+    result = benchmark(run_fig11e)
+    emit(format_fig11e(result))
+
+    assert result.thresholds_5pct[10.0] == pytest.approx(15.0, abs=2.5)
+    # Larger tracking error always needs a larger foveal region.
+    thresholds = [result.thresholds_5pct[d] for d in (2.0, 3.0, 5.0, 10.0)]
+    assert all(a <= b for a, b in zip(thresholds, thresholds[1:]))
+    # Peak discriminability matches the figure's ~30% ceiling.
+    for _, probs, _ in result.curves.values():
+        assert probs.max() <= 0.30 + 1e-9

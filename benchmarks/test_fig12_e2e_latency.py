@@ -1,0 +1,67 @@
+"""Fig. 12 / §7.1 — end-to-end TFR latency across scenes, resolutions,
+and methods, with the event-mix-averaged POLO speedups.
+
+Paper shape: POLO_S < POLO_R < POLO_N everywhere; POLO_N beats every
+baseline and full-resolution rendering; POLO_N speedups of ~2.46/2.06/
+1.85x vs the baseline average at 720/1080/1440P, rising to ~3.42/2.50/
+2.09x once saccade/reuse gating is averaged in; POLO_N average latencies
+of ~26/44/69 ms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.e2e import format_fig12, run_fig12
+from repro.render import RESOLUTIONS, SCENES
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_e2e_latency(
+    benchmark, measured_errors_p95, measured_errors_mean, measured_event_mix
+):
+    result = benchmark.pedantic(
+        run_fig12,
+        args=(measured_errors_p95,),
+        kwargs={
+            "errors_mean": measured_errors_mean,
+            "event_mix": measured_event_mix,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_fig12(result)
+        + f"\nEvent mix: {measured_event_mix}"
+    )
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+
+    # POLO path ordering and dominance on every scene/resolution.
+    for res in RESOLUTIONS:
+        for scene in SCENES:
+            s = result.method_latency[("POLO_S", scene.name, res.name)]
+            r = result.method_latency[("POLO_R", scene.name, res.name)]
+            n = result.method_latency[("POLO_N", scene.name, res.name)]
+            assert s < r < n
+            for name in ("ResNet-34", "IncResNet", "EdGaze", "DeepVOG"):
+                assert n < result.method_latency[(name, scene.name, res.name)]
+
+    summary = result.speedup_summary()
+    paper_n_speedup = {"720P": 2.46, "1080P": 2.06, "1440P": 1.85}
+    paper_avg_speedup = {"720P": 3.42, "1080P": 2.50, "1440P": 2.09}
+    for res, paper in paper_n_speedup.items():
+        measured = summary[res]["polo_n_speedup"]
+        assert 0.5 * paper < measured < 2.0 * paper, (
+            f"{res} POLO_N speedup {measured:.2f} vs paper {paper}"
+        )
+    for res, paper in paper_avg_speedup.items():
+        measured = summary[res]["polo_avg_speedup"]
+        assert 0.5 * paper < measured < 2.0 * paper
+        # Event gating can only help.
+        assert measured >= summary[res]["polo_n_speedup"] - 1e-9
+
+    # POLO_N absolute latencies in the paper's band (26/44/69 ms).
+    for res, paper_ms in {"720P": 26.0, "1080P": 44.0, "1440P": 69.0}.items():
+        assert summary[res]["polo_n_ms"] == pytest.approx(paper_ms, rel=0.5)

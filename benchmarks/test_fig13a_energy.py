@@ -1,0 +1,33 @@
+"""Fig. 13a — per-frame gaze-tracking energy breakdown per algorithm.
+
+Paper shape: POLO consumes ~4.1x less energy than the baseline average;
+buffer (memory) access dominates, followed by the systolic array, then
+the SFU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.energy_eval import format_fig13a, run_fig13a
+from repro.experiments.profiles import SYSTEM_BASELINES
+
+
+@pytest.mark.benchmark(group="fig13a")
+def test_fig13a_energy_breakdown(benchmark):
+    result = benchmark(run_fig13a)
+    emit(format_fig13a(result))
+
+    polo_mj = result.total_mj("POLO")
+    for name in SYSTEM_BASELINES:
+        assert result.total_mj(name) > 1.5 * polo_mj
+
+    reduction = result.polo_reduction()
+    assert 2.0 < reduction < 10.0, f"energy reduction {reduction:.1f}x vs paper 4.1x"
+
+    for name, breakdown in result.breakdowns.items():
+        fr = breakdown.fractions()
+        assert fr["buffer"] > fr["mac"] > fr["sfu"], (
+            f"{name}: expected buffer > MAC > SFU, got {fr}"
+        )

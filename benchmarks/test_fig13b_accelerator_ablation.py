@@ -1,0 +1,43 @@
+"""Fig. 13b — TFR latency with vs without the gaze-tracking accelerator.
+
+Paper shape: moving gaze processing onto the rendering GPU inflates TFR
+latency by 1.68-2.33x per method (POLO_N by ~1.9x on average), and POLO
+remains the fastest option even GPU-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.ablations import format_fig13b, run_fig13b
+
+PAPER_RATIOS = {
+    "POLO_N": 1.68,
+    "ResNet-34": 2.33,
+    "IncResNet": 1.79,
+    "EdGaze": 1.78,
+    "DeepVOG": 1.96,
+}
+
+
+@pytest.mark.benchmark(group="fig13b")
+def test_fig13b_accelerator_ablation(benchmark, measured_errors_p95):
+    result = benchmark.pedantic(
+        run_fig13b, args=(measured_errors_p95,), rounds=1, iterations=1
+    )
+    emit(format_fig13b(result))
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+
+    for name, paper_ratio in PAPER_RATIOS.items():
+        measured = result.ratio(name)
+        assert measured > 1.1, f"{name}: GPU-only must be slower"
+        assert 0.5 * paper_ratio < measured < 2.0 * paper_ratio, (
+            f"{name}: ratio {measured:.2f} vs paper {paper_ratio}"
+        )
+
+    # POLO stays fastest with and without the accelerator.
+    for name in ("ResNet-34", "IncResNet", "EdGaze", "DeepVOG"):
+        assert result.with_accel_ms["POLO_N"] < result.with_accel_ms[name]
+        assert result.gpu_only_ms["POLO_N"] < result.gpu_only_ms[name]

@@ -1,0 +1,43 @@
+"""Fig. 15 — 2IFC user study: POLOViT-driven foveation vs ResNet-34.
+
+Paper: POLOViT preferred 90% +/- 7% overall (93/73/91/100% per video),
+with the high-motion video (video 2) showing the weakest preference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.user_study_exp import format_fig15, run_fig15
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_user_study(benchmark, bench_context):
+    experiment = benchmark.pedantic(
+        run_fig15, kwargs={"context": bench_context, "seed": 42}, rounds=1, iterations=1
+    )
+    emit(format_fig15(experiment))
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+    result = experiment.result
+
+    # POLOViT's lower-error traces are preferred.  The margin is smaller
+    # than the paper's 90% because the compact models' error traces
+    # differ by ~1.1x rather than the published ~4.5x (see
+    # EXPERIMENTS.md); the claim under test is the consistent direction.
+    assert result.mean_selection > 0.52, (
+        f"POLOViT preferred only {result.mean_selection:.0%} (paper: 90%)"
+    )
+    assert result.std_selection < 0.25
+
+    # The high-motion video masks artifacts -> weakest preference there.
+    dynamic = result.per_video["video2-dynamic-outdoor"]
+    others = [v for k, v in result.per_video.items() if k != "video2-dynamic-outdoor"]
+    assert dynamic <= np.mean(others) + 0.05
+
+    # The traces behind the preference really differ in the tail.
+    cand_p95 = np.percentile(experiment.candidate_trace, 95)
+    base_p95 = np.percentile(experiment.baseline_trace, 95)
+    assert cand_p95 < base_p95

@@ -1,0 +1,26 @@
+"""§7 synthesis summary — POLO accelerator area, area split, and power.
+
+Paper: 0.75 mm^2 at 22 nm, split 72% buffers / 24% computational engine /
+4% IPU, with 0.15 W average power at 1 GHz.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.accelerator_pa import format_accelerator_pa, run_accelerator_pa
+
+
+@pytest.mark.benchmark(group="sec7")
+def test_sec7_accelerator_power_area(benchmark):
+    result = benchmark(run_accelerator_pa)
+    emit(format_accelerator_pa(result))
+
+    assert result.total_mm2 == pytest.approx(0.75, rel=0.1)
+    assert result.buffers_fraction == pytest.approx(0.72, abs=0.05)
+    assert result.engine_fraction == pytest.approx(0.24, abs=0.05)
+    assert result.ipu_fraction == pytest.approx(0.04, abs=0.02)
+    assert result.average_power_w < 0.15
+    # POLO_N gaze-processing latency in the paper's ~10 ms band.
+    assert result.predict_latency_ms == pytest.approx(10.5, rel=0.4)

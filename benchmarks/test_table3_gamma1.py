@@ -1,0 +1,35 @@
+"""Table 3 — saccade macro-F1 vs binarization threshold gamma1.
+
+Paper: F1 of 0.93/0.95/0.94/0.94 for gamma1 = 35/40/45/50 — a broad
+plateau with 40 on top.  We verify the plateau shape: every threshold in
+the band works, and the band's spread is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.saccade_eval import format_table3, run_table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_gamma1(benchmark, bench_context):
+    result = benchmark.pedantic(
+        run_table3, args=(bench_context,), rounds=1, iterations=1
+    )
+    emit(format_table3(result))
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+
+    f1s = {g: m["macro_f1"] for g, m in result.metrics.items()}
+    # The plateau claim survives at our scale even though absolute F1
+    # does not (see the Table 2 negative-result note): every threshold
+    # in the band trains to a usable detector rather than collapsing,
+    # and the spread across the band stays small.
+    for gamma1, f1 in f1s.items():
+        assert f1 > 0.3, f"gamma1={gamma1}: macro F1 {f1:.3f}"
+    assert max(f1s.values()) > 0.45
+    values = np.array(list(f1s.values()))
+    assert values.max() - values.min() < 0.3

@@ -1,0 +1,74 @@
+"""Table 5 — average 1080P TFR latency vs token-pruning ratio, plus the
+Vive Pro Eye commercial comparison.
+
+Paper: 47.6/46.6/45.4/46.0/47.9 ms at pruning 0/10/20/30/40% — a shallow
+bowl with its minimum at 20% — and 86.7 ms for the Vive Pro Eye (1.91x
+slower than POLO_N).  The bench sweeps the same ratios using the
+measured POLOViT errors where Table 1 provides them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.experiments.pruning_sweep import (
+    PAPER_ERROR_BY_RATIO,
+    format_table5,
+    run_table5,
+)
+
+
+def _measured_errors_by_ratio(table1_result) -> dict:
+    """Measured P95 at 0/0.2/0.4; 0.1 and 0.3 interpolated (the paper
+    itself reports errors only at the Table 1 ratios)."""
+    s = table1_result.summaries
+    e0 = s["INT8-POLOViT(0.0)"].p95
+    e2 = s["INT8-POLOViT(0.2)"].p95
+    e4 = s["INT8-POLOViT(0.4)"].p95
+    return {0.0: e0, 0.1: (e0 + e2) / 2, 0.2: e2, 0.3: (e2 + e4) / 2, 0.4: e4}
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_pruning_sweep(benchmark, table1_result):
+    errors = _measured_errors_by_ratio(table1_result)
+    result = benchmark.pedantic(
+        run_table5, args=(errors,), rounds=1, iterations=1
+    )
+    emit(format_table5(result))
+    if not STRICT:
+        return  # tiny smoke mode: tables only, no trained-quality checks
+
+    # The gaze/render trade-off: gaze latency falls with pruning while
+    # rendering latency (driven by the measured error) trends upward —
+    # within a small tolerance, since measured errors carry training
+    # noise of a few tenths of a degree between adjacent ratios.
+    gaze = list(result.gaze_ms.values())
+    assert all(a > b for a, b in zip(gaze, gaze[1:]))
+    render = list(result.render_ms.values())
+    assert all(a <= b + 1.0 for a, b in zip(render, render[1:]))
+    assert render[-1] >= render[0] - 1.0
+
+    # The bowl is shallow (paper spread is ~2.5 ms over a ~46 ms base).
+    # With *measured* errors the bowl can flatten toward an edge when the
+    # compact model's pruning-accuracy cost is small; the interior-minimum
+    # crossover itself is asserted on the paper's error points in
+    # test_table5_paper_reference_errors below.
+    latencies = result.latency_ms
+    spread = max(latencies.values()) - min(latencies.values())
+    assert spread < 0.35 * min(latencies.values())
+
+    # Commercial comparison: Vive Pro Eye ~1.9x slower than POLO.
+    vive_ratio = result.vive_ms / latencies[0.2]
+    assert 1.4 < vive_ratio < 2.6, f"Vive ratio {vive_ratio:.2f} vs paper 1.91x"
+    assert result.vive_ms == pytest.approx(86.7, rel=0.2)
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_paper_reference_errors(benchmark):
+    """The same sweep at the paper's exact error points lands the minimum
+    at 20% — the published operating choice."""
+    result = benchmark.pedantic(
+        run_table5, args=(PAPER_ERROR_BY_RATIO,), rounds=1, iterations=1
+    )
+    assert result.best_ratio() == pytest.approx(0.2)

@@ -1,0 +1,76 @@
+"""Accelerator + algorithm design-space exploration.
+
+Sweeps the two co-design knobs the paper settles by experiment — the
+systolic-array geometry (at its area cost) and the token-pruning ratio
+(at its accuracy cost) — and prints the latency/area/energy frontier,
+showing why the published 16x16-INT8 @ 20%-pruning point is where the
+end-to-end latency bottoms out.
+
+Run:  python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.profiles import pruned_vit_workload
+from repro.experiments.pruning_sweep import PAPER_ERROR_BY_RATIO
+from repro.core import GazeViTConfig
+from repro.hw import Accelerator, AcceleratorConfig
+from repro.render import RES_1080P, SCENES, RenderPipeline
+from repro.system import TfrSystem, TrackerSystemProfile, table_to_text
+
+
+def sweep_arrays() -> None:
+    print("Array geometry sweep (POLOViT @ 20% pruning, INT8):\n")
+    ops = pruned_vit_workload(GazeViTConfig.paper(), 0.2)
+    headers = ["Array", "Latency(ms)", "Energy(mJ)", "Area(mm^2)", "Utilization"]
+    rows = []
+    for dim in (8, 12, 16, 24, 32):
+        acc = Accelerator(AcceleratorConfig(rows=dim, cols=dim))
+        report = acc.run(ops)
+        rows.append(
+            [
+                f"{dim}x{dim}",
+                f"{report.latency_s * 1e3:.1f}",
+                f"{report.energy.total_j * 1e3:.2f}",
+                f"{acc.area_mm2:.2f}",
+                f"{report.utilization:.2f}",
+            ]
+        )
+    print(table_to_text(headers, rows))
+    print(
+        "\nBeyond 16x16 the array outruns POLOViT's small matrices "
+        "(utilization collapses) while area keeps growing — the paper's "
+        "geometry sits at the knee.\n"
+    )
+
+
+def sweep_pruning() -> None:
+    print("Pruning-ratio sweep (1080P, scene-averaged end-to-end):\n")
+    system = TfrSystem()
+    headers = ["Ratio", "Gaze Td(ms)", "P95 err(deg)", "TFR latency(ms)"]
+    rows = []
+    for ratio, error in PAPER_ERROR_BY_RATIO.items():
+        ops = pruned_vit_workload(GazeViTConfig.paper(), ratio)
+        acc = Accelerator(AcceleratorConfig())
+        td = acc.run(ops).latency_s
+        profile = TrackerSystemProfile("POLO", td, error)
+        total = sum(
+            system.frame_latency(profile, scene, RES_1080P).total_s for scene in SCENES
+        ) / len(SCENES)
+        rows.append(
+            [f"{ratio:.0%}", f"{td * 1e3:.1f}", f"{error:.2f}", f"{total * 1e3:.1f}"]
+        )
+    print(table_to_text(headers, rows))
+    print(
+        "\nGaze latency falls with pruning while tracking error (and so "
+        "rendering cost) rises; the 20% point balances the two."
+    )
+
+
+def main() -> None:
+    sweep_arrays()
+    sweep_pruning()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Full TFR system simulation: where does each millisecond go?
+
+Builds the complete hardware stack — camera sensor, MIPI link, the POLO
+accelerator (and each baseline's dedicated accelerator), and the
+Jetson-class rendering GPU — and walks one frame through the sequential
+and parallel schedules for every method, printing the Fig. 11/12-style
+latency decomposition plus the maximum sustainable frame rates (Eq. 8).
+
+Run:  python examples/tfr_simulation.py [--scene E] [--resolution 1080P]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.profiles import (
+    SYSTEM_BASELINES,
+    baseline_execution,
+    paper_reference_errors,
+    polo_execution,
+    profile_from_execution,
+)
+from repro.eye.events import EventMix
+from repro.render import resolution_by_name, scene_by_name
+from repro.system import Schedule, TfrSystem, table_to_text, vive_pro_eye_profile
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene", default="E", help="scene A-H")
+    parser.add_argument("--resolution", default="1080P", help="720P/1080P/1440P")
+    args = parser.parse_args()
+
+    scene = scene_by_name(args.scene)
+    resolution = resolution_by_name(args.resolution)
+    system = TfrSystem()
+    errors = paper_reference_errors(0.2)
+
+    profiles = {"POLO": profile_from_execution(polo_execution(0.2), errors["POLO"])}
+    for name in SYSTEM_BASELINES:
+        profiles[name] = profile_from_execution(baseline_execution(name), errors[name])
+    profiles["Vive Pro Eye"] = vive_pro_eye_profile()
+
+    print(f"Scene {scene.name} ({scene.description}) at {resolution.name}\n")
+
+    headers = ["Method", "Ts", "Tc", "Td", "Tr", "Total(seq)", "Total(par)", "FPS"]
+    rows = []
+    mix = EventMix(0.08, 0.72, 0.20)  # a typical measured decision mix
+    for name, profile in profiles.items():
+        seq = system.frame_latency(profile, scene, resolution, "predict", Schedule.SEQUENTIAL)
+        par = system.frame_latency(profile, scene, resolution, "predict", Schedule.PARALLEL)
+        fps = system.fps_max(profile, scene, resolution, mix, Schedule.PARALLEL)
+        rows.append(
+            [
+                name,
+                f"{seq.sensing_s * 1e3:.1f}",
+                f"{seq.communication_s * 1e3:.2f}",
+                f"{seq.gaze_s * 1e3:.1f}",
+                f"{seq.rendering_s * 1e3:.1f}",
+                f"{seq.total_s * 1e3:.1f}",
+                f"{par.total_s * 1e3:.1f}",
+                f"{fps:.0f}",
+            ]
+        )
+    full_ms = system.full_resolution_latency(scene, resolution) * 1e3
+    rows.append(["Full resolution", "-", "-", "-", f"{full_ms:.1f}", f"{full_ms:.1f}", f"{full_ms:.1f}", f"{1e3 / full_ms:.0f}"])
+    print(table_to_text(headers, rows))
+
+    polo = profiles["POLO"]
+    print("\nPOLO per-path frame latency (event gating, ms):")
+    for path in ("saccade", "reuse", "predict"):
+        frame = system.frame_latency(polo, scene, resolution, path)
+        print(f"  {path:8s}: {frame.total_s * 1e3:6.1f}")
+    avg = system.average_latency(polo, scene, resolution, mix)
+    print(f"  averaged over the event mix {mix}: {avg * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+offline machines whose setuptools cannot build PEP 660 editable wheels
+(``python setup.py develop`` is the fallback).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "POLO: Process Only Where You Look — gaze-tracked foveated "
+        "rendering co-design (ISCA 2025) reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,37 @@
+"""POLO reproduction: Process Only Where You Look (ISCA 2025).
+
+A pure-Python implementation of the paper's full stack:
+
+* :mod:`repro.core` — POLONet (saccade detection, gaze reuse, analytical
+  cropping, token-pruned gaze ViT, performance-aware training).
+* :mod:`repro.nn` — the numpy autograd framework everything trains on.
+* :mod:`repro.eye` — synthetic OpenEDS-like near-eye data substrate.
+* :mod:`repro.baselines` — NVGaze / EdGaze / DeepVOG / ResNet /
+  IncResNet gaze trackers and I-VT / I-DT saccade detectors.
+* :mod:`repro.hw` — POLO accelerator, per-baseline accelerators,
+  sensor/MIPI/NoC, and the GPU-inference ablation model.
+* :mod:`repro.render` — foveation geometry, GPU rendering-latency model,
+  and a real mini path tracer.
+* :mod:`repro.perception` — acuity, visible-difference model, synthetic
+  2IFC user study.
+* :mod:`repro.system` — end-to-end TFR latency composition (Eqs. 6-8).
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import PoloNet, PoloViT, SaccadeDetector, build_polonet
+from repro.eye import make_openeds_like, synthesize_dataset
+from repro.system import TfrSystem, TrackerSystemProfile
+
+__all__ = [
+    "__version__",
+    "PoloNet",
+    "PoloViT",
+    "SaccadeDetector",
+    "build_polonet",
+    "make_openeds_like",
+    "synthesize_dataset",
+    "TfrSystem",
+    "TrackerSystemProfile",
+]

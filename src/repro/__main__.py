@@ -1,0 +1,94 @@
+"""Command-line report generator: ``python -m repro <experiment>``.
+
+Regenerates individual paper tables/figures (or the full analytic set)
+without going through pytest.  Training-dependent experiments accept a
+``--scale`` flag; everything prints the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+ANALYTIC = ("fig1", "fig11e", "fig12", "fig13a", "fig13b", "fig13c", "table5", "sec7", "qoe", "fps")
+TRAINED = ("table1", "fig8a", "table2", "table3", "table4", "fig15", "all-trained")
+
+
+def _run_analytic(name: str) -> str:
+    from repro import experiments as ex
+
+    errors = ex.paper_reference_errors(0.2)
+    if name == "fig1":
+        return ex.format_fig1(ex.run_fig1())
+    if name == "fig11e":
+        return ex.format_fig11e(ex.run_fig11e())
+    if name == "fig12":
+        return ex.format_fig12(ex.run_fig12(errors))
+    if name == "fig13a":
+        return ex.format_fig13a(ex.run_fig13a())
+    if name == "fig13b":
+        return ex.format_fig13b(ex.run_fig13b(errors))
+    if name == "fig13c":
+        return ex.format_fig13c(ex.run_fig13c(errors))
+    if name == "table5":
+        return ex.format_table5(ex.run_table5())
+    if name == "sec7":
+        return ex.format_accelerator_pa(ex.run_accelerator_pa())
+    if name == "qoe":
+        return ex.format_latency_qoe(ex.run_latency_qoe(errors))
+    if name == "fps":
+        return ex.format_fps(ex.run_fps(errors))
+    raise KeyError(name)
+
+
+def _run_trained(name: str, scale: str, seed: int) -> str:
+    from repro import experiments as ex
+    from repro.experiments.common import ContextScale
+
+    context = ex.get_context(
+        ContextScale.tiny() if scale == "tiny" else ContextScale.bench(), seed=seed
+    )
+    pieces = []
+    if name in ("table1", "fig8a", "all-trained"):
+        result = ex.run_table1(context)
+        if name in ("table1", "all-trained"):
+            pieces.append(ex.format_table1(result))
+        if name in ("fig8a", "all-trained"):
+            pieces.append(ex.format_fig8a(result))
+    if name in ("table2", "all-trained"):
+        pieces.append(ex.format_table2(ex.run_table2(context)))
+    if name in ("table3", "all-trained"):
+        pieces.append(ex.format_table3(ex.run_table3(context)))
+    if name in ("table4", "all-trained"):
+        pieces.append(ex.format_table4(ex.run_table4(context)))
+    if name in ("fig15", "all-trained"):
+        pieces.append(ex.format_fig15(ex.run_fig15(context)))
+    if not pieces:
+        raise KeyError(name)
+    return "\n\n".join(pieces)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*ANALYTIC, *TRAINED, "all-analytic"),
+        help="which paper table/figure to regenerate",
+    )
+    parser.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all-analytic":
+        print("\n\n".join(_run_analytic(name) for name in ANALYTIC))
+    elif args.experiment in ANALYTIC:
+        print(_run_analytic(args.experiment))
+    else:
+        print(_run_trained(args.experiment, args.scale, args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Comparator algorithms from the paper's evaluation (Table 1, §7).
+
+Gaze trackers: NVGaze, EdGaze, DeepVOG, ResNet-34, Inception-ResNet.
+Saccade detectors: I-VT (velocity threshold) and I-DT (dispersion).
+"""
+
+from repro.baselines.base import (
+    ErrorSummary,
+    GazeTracker,
+    TrainingLog,
+    angular_errors,
+    predict_in_batches,
+    train_regressor,
+)
+from repro.baselines.deepvog import DeepVOGTracker
+from repro.baselines.edgaze import EdGazeTracker
+from repro.baselines.incresnet import IncResNetGazeTracker
+from repro.baselines.nvgaze import NVGazeTracker
+from repro.baselines.pupilfit import (
+    AffineGazeMap,
+    PriorGeometricMap,
+    PupilObservation,
+    segment_batch,
+    segment_pupil,
+)
+from repro.baselines.resnet import ResNetGazeTracker
+from repro.baselines.saccade_idt import DispersionThresholdDetector
+from repro.baselines.saccade_ivt import VelocityThresholdDetector
+
+__all__ = [
+    "ErrorSummary",
+    "GazeTracker",
+    "TrainingLog",
+    "angular_errors",
+    "predict_in_batches",
+    "train_regressor",
+    "DeepVOGTracker",
+    "EdGazeTracker",
+    "IncResNetGazeTracker",
+    "NVGazeTracker",
+    "AffineGazeMap",
+    "PriorGeometricMap",
+    "PupilObservation",
+    "segment_batch",
+    "segment_pupil",
+    "ResNetGazeTracker",
+    "DispersionThresholdDetector",
+    "VelocityThresholdDetector",
+]

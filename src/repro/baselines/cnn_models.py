@@ -1,0 +1,125 @@
+"""CNN building blocks and compact backbones for the learned baselines.
+
+The trainable models are width/depth-reduced versions of the published
+architectures (this substrate trains in pure numpy); each baseline's
+``workload()`` separately reports the *paper-scale* op counts used for
+hardware costing, so statistical behaviour and compute costing are
+decoupled but consistent in structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Conv2d, Linear, Module, Sequential
+from repro.nn.tensor import Tensor, concatenate
+
+
+class ConvReLU(Module):
+    """Conv + ReLU unit (batch norm folded away, as in deployed INT8 nets)."""
+
+    def __init__(self, cin: int, cout: int, kernel: int = 3, stride: int = 1, seed=None):
+        super().__init__()
+        self.conv = Conv2d(cin, cout, kernel, stride=stride, padding=kernel // 2, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(x).relu()
+
+
+class ResidualBlock(Module):
+    """Two 3x3 convs with an identity (or strided 1x1) shortcut."""
+
+    def __init__(self, cin: int, cout: int, stride: int = 1, seed=None):
+        super().__init__()
+        base = 0 if seed is None else seed
+        self.conv1 = Conv2d(cin, cout, 3, stride=stride, padding=1, seed=base)
+        self.conv2 = Conv2d(cout, cout, 3, stride=1, padding=1, seed=base + 1)
+        self.shortcut = (
+            Conv2d(cin, cout, 1, stride=stride, padding=0, seed=base + 2)
+            if stride != 1 or cin != cout
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(x).relu()
+        out = self.conv2(out)
+        identity = self.shortcut(x) if self.shortcut is not None else x
+        return (out + identity).relu()
+
+
+class InceptionResidualBlock(Module):
+    """Parallel 1x1 / 3x3 / 5x5 branches, concatenated, projected, residual."""
+
+    def __init__(self, channels: int, seed=None):
+        super().__init__()
+        base = 0 if seed is None else seed
+        branch = max(channels // 4, 2)
+        self.b1 = Conv2d(channels, branch, 1, padding=0, seed=base)
+        self.b3 = Conv2d(channels, branch, 3, padding=1, seed=base + 1)
+        self.b5 = Conv2d(channels, branch, 5, padding=2, seed=base + 2)
+        self.proj = Conv2d(3 * branch, channels, 1, padding=0, seed=base + 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        branches = [self.b1(x).relu(), self.b3(x).relu(), self.b5(x).relu()]
+        merged = concatenate(branches, axis=1)
+        return (self.proj(merged) + x).relu()
+
+
+class GlobalAvgPool(Module):
+    """Average over spatial dims: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class CnnGazeRegressor(Module):
+    """Backbone + linear head regressing (theta_x, theta_y) in degrees."""
+
+    def __init__(self, backbone: Module, feature_dim: int, seed=None):
+        super().__init__()
+        self.backbone = backbone
+        self.head = Linear(feature_dim, 2, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:  # (N, H, W) -> (N, 1, H, W)
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        return self.head(self.backbone(x))
+
+
+def build_plain_cnn(channels: list[int], seed=None) -> tuple[Module, int]:
+    """Stack of stride-2 ConvReLU units ending in global average pooling."""
+    base = 0 if seed is None else seed
+    layers: list[Module] = []
+    cin = 1
+    for i, cout in enumerate(channels):
+        layers.append(ConvReLU(cin, cout, kernel=3, stride=2, seed=base + i))
+        cin = cout
+    layers.append(GlobalAvgPool())
+    return Sequential(*layers), cin
+
+
+def build_resnet(stage_channels: list[int], blocks_per_stage: int, seed=None) -> tuple[Module, int]:
+    """Compact ResNet: stem conv then strided residual stages."""
+    base = 0 if seed is None else seed
+    layers: list[Module] = [ConvReLU(1, stage_channels[0], kernel=3, stride=2, seed=base)]
+    cin = stage_channels[0]
+    for s, cout in enumerate(stage_channels):
+        for b in range(blocks_per_stage):
+            stride = 2 if (b == 0 and s > 0) else 1
+            layers.append(ResidualBlock(cin, cout, stride=stride, seed=base + 10 * s + b + 1))
+            cin = cout
+    layers.append(GlobalAvgPool())
+    return Sequential(*layers), cin
+
+
+def build_incresnet(channels: int, n_blocks: int, seed=None) -> tuple[Module, int]:
+    """Compact Inception-ResNet: stem, inception-residual blocks, pooling."""
+    base = 0 if seed is None else seed
+    layers: list[Module] = [
+        ConvReLU(1, channels, kernel=3, stride=2, seed=base),
+        ConvReLU(channels, channels, kernel=3, stride=2, seed=base + 1),
+    ]
+    for b in range(n_blocks):
+        layers.append(InceptionResidualBlock(channels, seed=base + 100 + 7 * b))
+    layers.append(GlobalAvgPool())
+    return Sequential(*layers), channels

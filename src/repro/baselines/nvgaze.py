@@ -1,0 +1,53 @@
+"""NVGaze baseline [56]: a deliberately tiny appearance-based CNN.
+
+NVGaze targets sub-millisecond inference with a very small network; in
+the paper's evaluation (Table 1) that capacity limit shows up as the
+largest mean error (6.81°) and unstable tails.  The trainable stand-in
+is a narrow plain CNN; the workload reflects the published network's
+scale (a few tens of millions of MACs at 127x127 input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GazeTracker, TrainingLog, predict_in_batches, train_regressor
+from repro.baselines.cnn_models import CnnGazeRegressor, build_plain_cnn
+from repro.hw.ops import NonlinearKind, NonlinearOp, conv2d_as_matmul
+from repro.utils.image import resize_bilinear
+
+
+class NVGazeTracker(GazeTracker):
+    """Tiny plain-CNN gaze regressor."""
+
+    name = "NVGaze"
+
+    def __init__(self, input_size: int = 32, seed: int = 0):
+        self.input_size = input_size
+        backbone, feat = build_plain_cnn([4, 6, 8], seed=seed)
+        self.model = CnnGazeRegressor(backbone, feat, seed=seed + 99)
+        self._seed = seed
+
+    def _prepare(self, images: np.ndarray) -> np.ndarray:
+        resized = resize_bilinear(images.astype(np.float64), self.input_size, self.input_size)
+        return resized - 0.5
+
+    def fit(self, images: np.ndarray, gaze_deg: np.ndarray, **kwargs) -> TrainingLog:
+        kwargs.setdefault("epochs", 8)
+        kwargs.setdefault("lr", 2e-3)
+        kwargs.setdefault("seed", self._seed)
+        return train_regressor(self.model, self._prepare(images), gaze_deg, **kwargs)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return predict_in_batches(self.model, self._prepare(images))
+
+    def workload(self) -> list:
+        """Published-scale NVGaze: 6 stride-2 convs at 127x127 input."""
+        ops = []
+        size, cin = 128, 1
+        for cout in (16, 24, 36, 54, 81, 122):
+            size //= 2
+            ops.append(conv2d_as_matmul(size, size, cin, cout, kernel=3))
+            ops.append(NonlinearOp(NonlinearKind.RELU, size * size * cout))
+            cin = cout
+        return ops

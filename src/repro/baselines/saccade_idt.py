@@ -1,0 +1,50 @@
+"""I-DT: dispersion-threshold saccade detection [92].
+
+Classifies windows whose gaze-point spatial dispersion stays below a
+threshold as fixations; everything else is saccadic.  Like I-VT it
+requires a continuously running high-precision gaze estimate (§3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class DispersionThresholdDetector:
+    """I-DT saccade detector over sampled gaze positions."""
+
+    def __init__(self, dispersion_deg: float = 1.0, window: int = 8):
+        check_positive("dispersion_deg", dispersion_deg)
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.dispersion_deg = dispersion_deg
+        self.window = window
+
+    @staticmethod
+    def _dispersion(points: np.ndarray) -> float:
+        """Salvucci-Goldberg dispersion: (max-min)_x + (max-min)_y."""
+        spans = points.max(axis=0) - points.min(axis=0)
+        return float(spans.sum())
+
+    def detect(self, gaze_deg: np.ndarray, fps: float = 0.0) -> np.ndarray:
+        """Boolean saccade flags per sample (``fps`` accepted for interface
+        parity with I-VT; dispersion is resolution-independent)."""
+        gaze_deg = np.asarray(gaze_deg, dtype=np.float64)
+        if gaze_deg.ndim != 2 or gaze_deg.shape[1] != 2:
+            raise ValueError(f"gaze must be (T, 2), got {gaze_deg.shape}")
+        n = len(gaze_deg)
+        is_fixation = np.zeros(n, dtype=bool)
+        start = 0
+        while start + self.window <= n:
+            stop = start + self.window
+            if self._dispersion(gaze_deg[start:stop]) <= self.dispersion_deg:
+                # Grow the window while dispersion stays under threshold.
+                while stop < n and self._dispersion(gaze_deg[start : stop + 1]) <= self.dispersion_deg:
+                    stop += 1
+                is_fixation[start:stop] = True
+                start = stop
+            else:
+                start += 1
+        return ~is_fixation

@@ -1,0 +1,41 @@
+"""I-VT: velocity-threshold saccade detection [33, 80, 95].
+
+The classical comparator for POLONet's learned saccade detector: it
+differentiates the gaze-position signal and flags samples whose angular
+velocity exceeds a threshold.  Note the dependence it carries — it needs
+an accurate gaze estimate *first*, which is exactly the computational
+cost POLO's §4.1 detector avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class VelocityThresholdDetector:
+    """I-VT saccade detector over sampled gaze positions."""
+
+    def __init__(self, threshold_deg_s: float = 70.0, smoothing: int = 1):
+        check_positive("threshold_deg_s", threshold_deg_s)
+        if smoothing < 1:
+            raise ValueError(f"smoothing must be >= 1, got {smoothing}")
+        self.threshold_deg_s = threshold_deg_s
+        self.smoothing = smoothing
+
+    def velocities(self, gaze_deg: np.ndarray, fps: float) -> np.ndarray:
+        """Angular speed (deg/s) per sample via central differences."""
+        gaze_deg = np.asarray(gaze_deg, dtype=np.float64)
+        if gaze_deg.ndim != 2 or gaze_deg.shape[1] != 2:
+            raise ValueError(f"gaze must be (T, 2), got {gaze_deg.shape}")
+        deltas = np.gradient(gaze_deg, axis=0) * fps
+        speed = np.linalg.norm(deltas, axis=1)
+        if self.smoothing > 1:
+            kernel = np.ones(self.smoothing) / self.smoothing
+            speed = np.convolve(speed, kernel, mode="same")
+        return speed
+
+    def detect(self, gaze_deg: np.ndarray, fps: float) -> np.ndarray:
+        """Boolean saccade flags per sample."""
+        return self.velocities(gaze_deg, fps) > self.threshold_deg_s

@@ -1,0 +1,217 @@
+"""POLOViT: the token-prunable gaze-tracking ViT (paper §4.3, Fig. 7).
+
+Wraps the generic :class:`repro.nn.ViTEncoder` with a 2-D gaze regression
+head, INT8 post-training quantization, token-filter calibration (mapping
+a target overall pruning ratio to a received-attention threshold), and a
+hardware workload description parameterized by the observed token trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import GazeViTConfig
+from repro.hw.ops import MatMulOp, NonlinearKind, NonlinearOp
+from repro.nn import (
+    ActivationQuantizer,
+    Linear,
+    Module,
+    QuantSpec,
+    Tensor,
+    TokenFilter,
+    ViTEncoder,
+    no_grad,
+    quantize_weights,
+)
+from repro.nn.transformer import TokenTrace
+from repro.utils.image import resize_bilinear
+
+
+def vit_workload(config: GazeViTConfig, tokens_per_block: "list[int] | None" = None) -> list:
+    """Per-frame inference ops of a gaze ViT with the given per-block
+    token counts (defaults to no pruning)."""
+    full_tokens = config.num_patches + 1
+    if tokens_per_block is None:
+        tokens_per_block = [full_tokens] * config.depth
+    if len(tokens_per_block) != config.depth:
+        raise ValueError(
+            f"expected {config.depth} per-block token counts, got {len(tokens_per_block)}"
+        )
+    d = config.dim
+    hidden = int(d * config.mlp_ratio)
+    patch_in = config.patch_size * config.patch_size
+    ops: list = [MatMulOp(m=full_tokens - 1, k=patch_in, n=d)]  # patch embed
+    for t in tokens_per_block:
+        ops.append(MatMulOp(m=t, k=d, n=3 * d))  # QKV projection
+        ops.append(MatMulOp(m=t, k=d, n=t, transposed=True))  # QK^T (all heads)
+        ops.append(NonlinearOp(NonlinearKind.SOFTMAX, config.num_heads * t * t))
+        ops.append(MatMulOp(m=t, k=t, n=d))  # attn @ V
+        ops.append(MatMulOp(m=t, k=d, n=d))  # output projection
+        ops.append(MatMulOp(m=t, k=d, n=hidden))  # MLP up
+        ops.append(NonlinearOp(NonlinearKind.GELU, t * hidden))
+        ops.append(MatMulOp(m=t, k=hidden, n=d))  # MLP down
+        ops.append(NonlinearOp(NonlinearKind.LAYERNORM, 2 * t * d))
+    ops.append(MatMulOp(m=1, k=d, n=2))  # gaze head
+    return ops
+
+
+class PoloViT(Module):
+    """Gaze-regression ViT with inference-time token pruning."""
+
+    name = "POLOViT"
+
+    def __init__(self, config: "GazeViTConfig | None" = None, seed: int = 0):
+        super().__init__()
+        self.config = config or GazeViTConfig.compact()
+        c = self.config
+        self.encoder = ViTEncoder(
+            image_size=c.image_size,
+            patch_size=c.patch_size,
+            dim=c.dim,
+            depth=c.depth,
+            num_heads=c.num_heads,
+            mlp_ratio=c.mlp_ratio,
+            prune_every=c.prune_every,
+            seed=seed,
+        )
+        self.head = Linear(c.dim, 2, seed=seed + 7777)
+        self._int8 = False
+        self._input_quant = ActivationQuantizer(QuantSpec(bits=8))
+        self._prune_threshold: "float | None" = None
+        self.last_trace: "TokenTrace | None" = None
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    def forward(self, images: Tensor, token_filter: "TokenFilter | None" = None) -> Tensor:
+        """(N, H, W) images -> (N, 2) gaze in degrees."""
+        if self._int8:
+            images = self._input_quant(images)
+        emb, trace = self.encoder(images, token_filter=token_filter)
+        self.last_trace = trace
+        return self.head(emb)
+
+    def prepare(self, images: np.ndarray) -> np.ndarray:
+        """Resize arbitrary crops to the ViT input size and center them."""
+        c = self.config
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 2:
+            images = images[None]
+        resized = resize_bilinear(images, c.image_size, c.image_size)
+        return resized - 0.5
+
+    def predict(self, images: np.ndarray, prune: bool = True) -> np.ndarray:
+        """Batch inference (pruning applies per-sample when enabled)."""
+        prepared = self.prepare(images)
+        token_filter = self.token_filter() if prune else None
+        outputs = []
+        with no_grad():
+            if token_filter is None:
+                for start in range(0, len(prepared), 64):
+                    pred = self.forward(Tensor(prepared[start : start + 64]))
+                    outputs.append(pred.data.copy())
+            else:
+                for sample in prepared:  # pruning requires batch size 1
+                    pred = self.forward(Tensor(sample[None]), token_filter=token_filter)
+                    outputs.append(pred.data.copy())
+        return np.concatenate(outputs, axis=0)
+
+    def predict_single(self, image: np.ndarray, prune: bool = True):
+        """One frame -> (gaze (2,), TokenTrace) — the POLONet runtime path."""
+        pred = self.predict(image[None] if image.ndim == 2 else image, prune=prune)
+        return pred[0], self.last_trace
+
+    # ------------------------------------------------------------------
+    # Token pruning
+    # ------------------------------------------------------------------
+    def token_filter(self) -> "TokenFilter | None":
+        if self._prune_threshold is None:
+            return None
+        return TokenFilter(threshold=self._prune_threshold, criterion="max")
+
+    def set_prune_threshold(self, threshold: "float | None") -> None:
+        """Directly set the received-attention pruning threshold sigma."""
+        self._prune_threshold = threshold
+
+    def calibrate_pruning(
+        self, images: np.ndarray, target_ratio: float, tolerance: float = 0.02
+    ) -> float:
+        """Find the threshold sigma whose overall compute-pruning ratio
+        matches ``target_ratio`` on calibration images (§7.3's sweep knob).
+
+        Uses bisection on the threshold; returns the chosen sigma.
+        """
+        if not 0.0 <= target_ratio < 1.0:
+            raise ValueError(f"target_ratio must be in [0, 1), got {target_ratio}")
+        if target_ratio == 0.0:
+            self._prune_threshold = None
+            return 0.0
+        prepared = self.prepare(images)
+
+        def ratio_at(threshold: float) -> float:
+            ratios = []
+            with no_grad():
+                for sample in prepared:
+                    self.forward(
+                        Tensor(sample[None]),
+                        token_filter=TokenFilter(threshold=threshold, criterion="max"),
+                    )
+                    ratios.append(self.last_trace.pruning_ratio)
+            return float(np.mean(ratios))
+
+        lo, hi = 0.0, 1.0
+        threshold = 0.5
+        for _ in range(20):
+            threshold = 0.5 * (lo + hi)
+            achieved = ratio_at(threshold)
+            if abs(achieved - target_ratio) <= tolerance:
+                break
+            if achieved < target_ratio:
+                lo = threshold
+            else:
+                hi = threshold
+        self._prune_threshold = threshold
+        return threshold
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+    def enable_int8(self, calibration_images: "np.ndarray | None" = None) -> None:
+        """Quantize weights to INT8 and calibrate the input quantizer."""
+        quantize_weights(self, QuantSpec(bits=8))
+        if calibration_images is not None:
+            self._input_quant.observe(self.prepare(calibration_images))
+        else:
+            self._input_quant.observe(np.array([0.5]))
+        self._int8 = True
+
+    @property
+    def int8(self) -> bool:
+        return self._int8
+
+    # ------------------------------------------------------------------
+    # Hardware workload
+    # ------------------------------------------------------------------
+    def workload(self, trace: "TokenTrace | None" = None, paper_scale: bool = True) -> list:
+        """Per-frame inference ops.
+
+        With ``paper_scale`` the op shapes use the published configuration
+        (8 blocks, dim 384, 197 tokens) with the *relative* token counts of
+        ``trace`` applied, so pruning measured on the compact model costs
+        the paper-scale model consistently.
+        """
+        cfg = GazeViTConfig.paper() if paper_scale else self.config
+        full_tokens = cfg.num_patches + 1
+        if trace is None:
+            tokens_per_block = [full_tokens] * cfg.depth
+        else:
+            scale = full_tokens / max(trace.initial_tokens, 1)
+            tokens_per_block = [
+                max(2, int(round(t * scale))) for t in trace.tokens_per_block
+            ]
+            # The compact and paper models share the same depth by default;
+            # if they differ, repeat the last observed count.
+            while len(tokens_per_block) < cfg.depth:
+                tokens_per_block.append(tokens_per_block[-1])
+            tokens_per_block = tokens_per_block[: cfg.depth]
+        return vit_workload(cfg, tokens_per_block)

@@ -1,0 +1,70 @@
+"""Performance-aware training objective (paper §4.3, Eqs. 3-5).
+
+Standard gaze losses minimize the *average* angular error and leave a
+long error tail; in foveated rendering the P95 error sets the foveal
+radius (Eq. 1), so the tail is what actually costs rendering time.  The
+paper therefore minimizes a smooth approximation of the per-batch
+*maximum* error:
+
+    max(e_1..e_B) ~= (1/N) * ln( sum_d exp(N * e_d) )
+
+plus a small ``lam``-weighted mean-squared term that keeps the rest of
+the batch contributing gradient.  Errors enter the loss in radians (the
+paper's convention; N = 100 is tuned to that scale).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import PerformanceLossConfig
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, _to_tensor
+
+_DEG_TO_RAD = math.pi / 180.0
+
+
+def angular_error_tensor(pred_deg: Tensor, target_deg: np.ndarray, eps: float = 1e-8) -> Tensor:
+    """Per-sample L2 angular error in radians, differentiable."""
+    pred = _to_tensor(pred_deg)
+    target = np.asarray(target_deg, dtype=np.float64)
+    diff = (pred - Tensor(target)) * _DEG_TO_RAD
+    return ((diff * diff).sum(axis=-1) + eps).sqrt()
+
+
+def performance_aware_loss(
+    pred_deg: Tensor,
+    target_deg: np.ndarray,
+    config: "PerformanceLossConfig | None" = None,
+) -> Tensor:
+    """Eq. 5: smooth-max of batch errors plus lam-weighted mean square."""
+    config = config or PerformanceLossConfig()
+    errors = angular_error_tensor(pred_deg, target_deg)
+    smooth_max = F.logsumexp(errors * config.smooth_n, axis=0) * (1.0 / config.smooth_n)
+    mean_square = (errors * errors).mean()
+    return smooth_max + config.lam * mean_square
+
+
+def hard_max_loss(pred_deg: Tensor, target_deg: np.ndarray) -> Tensor:
+    """Eq. 4's exact per-batch maximum (ablation comparator; §4.3 notes it
+    underuses the batch because only the worst sample receives gradient)."""
+    errors = angular_error_tensor(pred_deg, target_deg)
+    return errors.max()
+
+
+def mse_radians_loss(pred_deg: Tensor, target_deg: np.ndarray) -> Tensor:
+    """Plain mean-squared angular error in radians (the baselines' loss)."""
+    errors = angular_error_tensor(pred_deg, target_deg)
+    return (errors * errors).mean()
+
+
+def make_performance_loss(config: "PerformanceLossConfig | None" = None):
+    """Adapter matching the ``loss_fn(pred, target)`` training-loop shape."""
+    config = config or PerformanceLossConfig()
+
+    def loss_fn(pred: Tensor, target: np.ndarray) -> Tensor:
+        return performance_aware_loss(pred, target, config)
+
+    return loss_fn

@@ -1,0 +1,87 @@
+"""Saving and loading trained POLONet pipelines.
+
+A deployed POLONet is more than two weight files: it carries the
+Algorithm-1 thresholds, the calibrated token-pruning threshold sigma,
+and the INT8 calibration state.  ``save_polonet`` writes all of it to a
+directory; ``load_polonet`` reconstructs a ready-to-run
+:class:`~repro.core.polonet.PoloNet`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GazeViTConfig, PolonetConfig, SaccadeNetConfig
+from repro.core.gaze_vit import PoloViT
+from repro.core.polonet import PoloNet
+from repro.core.saccade import SaccadeDetector
+from repro.nn import load_weights, save_weights
+
+_MANIFEST = "polonet.json"
+_VIT_WEIGHTS = "gaze_vit.npz"
+_DETECTOR_WEIGHTS = "saccade_detector.npz"
+_FORMAT_VERSION = 1
+
+
+def save_polonet(polonet: PoloNet, directory: "str | os.PathLike") -> None:
+    """Serialize a POLONet (weights + configs + calibration) to a dir."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    vit = polonet.gaze_vit
+    detector = polonet.saccade_detector
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "polonet_config": dataclasses.asdict(polonet.config),
+        "vit_config": dataclasses.asdict(vit.config),
+        "saccade_config": dataclasses.asdict(detector.config),
+        "saccade_input_shape": list(detector.input_shape),
+        "saccade_threshold": polonet.saccade_threshold,
+        "prune": polonet.prune,
+        "prune_threshold": vit._prune_threshold,
+        "int8": vit.int8,
+        "input_quant_peak": vit._input_quant._peak,
+    }
+    with open(path / _MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    save_weights(vit, path / _VIT_WEIGHTS)
+    save_weights(detector, path / _DETECTOR_WEIGHTS)
+
+
+def load_polonet(directory: "str | os.PathLike") -> PoloNet:
+    """Reconstruct a POLONet saved by :func:`save_polonet`."""
+    path = Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no POLONet manifest at {manifest_path}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported POLONet format version {version!r}")
+
+    vit = PoloViT(GazeViTConfig(**manifest["vit_config"]))
+    load_weights(vit, path / _VIT_WEIGHTS)
+    vit._prune_threshold = manifest["prune_threshold"]
+    if manifest["int8"]:
+        vit._int8 = True
+        vit._input_quant._peak = float(manifest["input_quant_peak"])
+
+    detector = SaccadeDetector(
+        tuple(manifest["saccade_input_shape"]),
+        SaccadeNetConfig(**manifest["saccade_config"]),
+    )
+    load_weights(detector, path / _DETECTOR_WEIGHTS)
+
+    return PoloNet(
+        detector,
+        vit,
+        PolonetConfig(**manifest["polonet_config"]),
+        saccade_threshold=float(manifest["saccade_threshold"]),
+        prune=bool(manifest["prune"]),
+    )

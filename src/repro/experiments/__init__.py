@@ -1,0 +1,150 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each ``run_*`` function returns a structured result object; each
+``format_*`` renders the same rows/series the paper reports.  Heavy
+shared artifacts (datasets, trained models) live in the cached
+:class:`~repro.experiments.common.ExperimentContext`.
+"""
+
+from repro.experiments.ablations import (
+    AcceleratorAblationResult,
+    ScheduleAblationResult,
+    format_fig13b,
+    format_fig13c,
+    run_fig13b,
+    run_fig13c,
+)
+from repro.experiments.accelerator_pa import (
+    AcceleratorPaResult,
+    format_accelerator_pa,
+    run_accelerator_pa,
+)
+from repro.experiments.common import (
+    PAPER_TABLE1,
+    ContextScale,
+    ExperimentContext,
+    clear_context_cache,
+    get_context,
+    polovit_validation_errors,
+    summarize,
+    tracker_validation_errors,
+)
+from repro.experiments.discriminability import (
+    DiscriminabilityResult,
+    format_fig11e,
+    run_fig11e,
+)
+from repro.experiments.e2e import E2eResult, format_fig12, measure_event_mix, run_fig12
+from repro.experiments.extensions import (
+    LatencyQoeResult,
+    SaccadeSensitivityResult,
+    format_latency_qoe,
+    format_saccade_sensitivity,
+    run_latency_qoe,
+    run_saccade_sensitivity,
+)
+from repro.experiments.fps_eval import FpsResult, format_fps, run_fps
+from repro.experiments.energy_eval import EnergyResult, format_fig13a, run_fig13a
+from repro.experiments.gaze_error import (
+    GazeErrorResult,
+    format_fig8a,
+    format_table1,
+    run_table1,
+)
+from repro.experiments.profiles import (
+    BASELINE_NAMES,
+    SYSTEM_BASELINES,
+    baseline_execution,
+    paper_reference_errors,
+    polo_execution,
+    pruned_vit_workload,
+    system_profiles,
+)
+from repro.experiments.pruning_sweep import (
+    PruningSweepResult,
+    format_table5,
+    run_table5,
+)
+from repro.experiments.rendering import RenderingLatencyResult, format_fig1, run_fig1
+from repro.experiments.reuse_eval import ReuseSweepResult, format_table4, run_table4
+from repro.experiments.saccade_eval import (
+    SaccadeSweepResult,
+    format_table2,
+    format_table3,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.user_study_exp import (
+    UserStudyExperiment,
+    error_traces,
+    format_fig15,
+    run_fig15,
+)
+
+__all__ = [
+    "AcceleratorAblationResult",
+    "ScheduleAblationResult",
+    "format_fig13b",
+    "format_fig13c",
+    "run_fig13b",
+    "run_fig13c",
+    "AcceleratorPaResult",
+    "format_accelerator_pa",
+    "run_accelerator_pa",
+    "PAPER_TABLE1",
+    "ContextScale",
+    "ExperimentContext",
+    "clear_context_cache",
+    "get_context",
+    "polovit_validation_errors",
+    "summarize",
+    "tracker_validation_errors",
+    "DiscriminabilityResult",
+    "format_fig11e",
+    "run_fig11e",
+    "E2eResult",
+    "format_fig12",
+    "measure_event_mix",
+    "run_fig12",
+    "LatencyQoeResult",
+    "SaccadeSensitivityResult",
+    "format_latency_qoe",
+    "format_saccade_sensitivity",
+    "run_latency_qoe",
+    "run_saccade_sensitivity",
+    "FpsResult",
+    "format_fps",
+    "run_fps",
+    "EnergyResult",
+    "format_fig13a",
+    "run_fig13a",
+    "GazeErrorResult",
+    "format_fig8a",
+    "format_table1",
+    "run_table1",
+    "BASELINE_NAMES",
+    "SYSTEM_BASELINES",
+    "baseline_execution",
+    "paper_reference_errors",
+    "polo_execution",
+    "pruned_vit_workload",
+    "system_profiles",
+    "PruningSweepResult",
+    "format_table5",
+    "run_table5",
+    "RenderingLatencyResult",
+    "format_fig1",
+    "run_fig1",
+    "ReuseSweepResult",
+    "format_table4",
+    "run_table4",
+    "SaccadeSweepResult",
+    "format_table2",
+    "format_table3",
+    "run_table2",
+    "run_table3",
+    "UserStudyExperiment",
+    "error_traces",
+    "format_fig15",
+    "run_fig15",
+]

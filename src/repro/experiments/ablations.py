@@ -1,0 +1,169 @@
+"""Figs. 13b and 13c: the accelerator ablation (gaze DNN on the GPU
+instead of the dedicated accelerator) and the computational-pattern
+ablation (sequential vs parallel R1/R2 scheduling), both at 1080P."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import (
+    DeepVOGTracker,
+    EdGazeTracker,
+    IncResNetGazeTracker,
+    ResNetGazeTracker,
+)
+from repro.experiments.profiles import (
+    SYSTEM_BASELINES,
+    baseline_execution,
+    polo_execution,
+    pruned_vit_workload,
+)
+from repro.core import GazeViTConfig
+from repro.hw import GpuComputeModel
+from repro.render import RES_1080P, SCENES
+from repro.system import Schedule, TfrSystem, TrackerSystemProfile
+from repro.system.metrics import table_to_text
+
+_TRACKER_CLASSES = {
+    "ResNet-34": ResNetGazeTracker,
+    "IncResNet": IncResNetGazeTracker,
+    "EdGaze": EdGazeTracker,
+    "DeepVOG": DeepVOGTracker,
+}
+
+
+@dataclass
+class AcceleratorAblationResult:
+    """Fig. 13b: scene-averaged 1080P TFR latency with and without the
+    dedicated gaze accelerator."""
+
+    with_accel_ms: dict[str, float] = field(default_factory=dict)
+    gpu_only_ms: dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, name: str) -> float:
+        return self.gpu_only_ms[name] / self.with_accel_ms[name]
+
+
+def run_fig13b(
+    errors_p95: dict[str, float],
+    pruning_ratio: float = 0.2,
+    gpu: "GpuComputeModel | None" = None,
+    system: "TfrSystem | None" = None,
+) -> AcceleratorAblationResult:
+    gpu = gpu or GpuComputeModel()
+    system = system or TfrSystem()
+    result = AcceleratorAblationResult()
+
+    def averaged(profile: TrackerSystemProfile) -> float:
+        return float(
+            np.mean(
+                [
+                    system.frame_latency(profile, s, RES_1080P).total_s
+                    for s in SCENES
+                ]
+            )
+            * 1e3
+        )
+
+    # POLO: accelerator vs GPU-run POLOViT (INT8 stays INT8 on the GPU).
+    polo = polo_execution(pruning_ratio)
+    accel_profile = TrackerSystemProfile(
+        "POLO_N", polo.td_predict_s, errors_p95["POLO"]
+    )
+    vit_ops = pruned_vit_workload(GazeViTConfig.paper(), pruning_ratio)
+    gpu_td = gpu.latency_s(vit_ops, "int8", token_pruned=pruning_ratio > 0)
+    gpu_profile = TrackerSystemProfile("POLO_N", gpu_td, errors_p95["POLO"])
+    result.with_accel_ms["POLO_N"] = averaged(accel_profile)
+    result.gpu_only_ms["POLO_N"] = averaged(gpu_profile)
+
+    for name in SYSTEM_BASELINES:
+        execution = baseline_execution(name)
+        accel_profile = TrackerSystemProfile(name, execution.td_predict_s, errors_p95[name])
+        ops = _TRACKER_CLASSES[name]().workload()
+        gpu_profile = TrackerSystemProfile(
+            name, gpu.latency_s(ops, "fp16"), errors_p95[name]
+        )
+        result.with_accel_ms[name] = averaged(accel_profile)
+        result.gpu_only_ms[name] = averaged(gpu_profile)
+    return result
+
+
+def format_fig13b(result: AcceleratorAblationResult) -> str:
+    headers = ["Method", "Accelerator(ms)", "GPU only(ms)", "Ratio"]
+    rows = [
+        [
+            name,
+            f"{result.with_accel_ms[name]:.1f}",
+            f"{result.gpu_only_ms[name]:.1f}",
+            f"{result.ratio(name):.2f}x",
+        ]
+        for name in result.with_accel_ms
+    ]
+    return "Fig. 13b — TFR latency with vs without gaze accelerator (1080P)\n" + table_to_text(
+        headers, rows
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleAblationResult:
+    """Fig. 13c: sequential vs parallel scheduling at 1080P."""
+
+    sequential_ms: dict[str, float] = field(default_factory=dict)
+    parallel_ms: dict[str, float] = field(default_factory=dict)
+
+    def reduction(self, name: str) -> float:
+        return 1.0 - self.parallel_ms[name] / self.sequential_ms[name]
+
+    def average_reduction(self) -> float:
+        return float(np.mean([self.reduction(n) for n in self.sequential_ms]))
+
+
+def run_fig13c(
+    errors_p95: dict[str, float],
+    pruning_ratio: float = 0.2,
+    system: "TfrSystem | None" = None,
+) -> ScheduleAblationResult:
+    system = system or TfrSystem()
+    result = ScheduleAblationResult()
+    polo = polo_execution(pruning_ratio)
+    profiles = {
+        "POLO_N": TrackerSystemProfile("POLO_N", polo.td_predict_s, errors_p95["POLO"])
+    }
+    for name in SYSTEM_BASELINES:
+        profiles[name] = TrackerSystemProfile(
+            name, baseline_execution(name).td_predict_s, errors_p95[name]
+        )
+    for name, profile in profiles.items():
+        seq = np.mean(
+            [
+                system.frame_latency(profile, s, RES_1080P, schedule=Schedule.SEQUENTIAL).total_s
+                for s in SCENES
+            ]
+        )
+        par = np.mean(
+            [
+                system.frame_latency(profile, s, RES_1080P, schedule=Schedule.PARALLEL).total_s
+                for s in SCENES
+            ]
+        )
+        result.sequential_ms[name] = float(seq * 1e3)
+        result.parallel_ms[name] = float(par * 1e3)
+    return result
+
+
+def format_fig13c(result: ScheduleAblationResult) -> str:
+    headers = ["Method", "Sequential(ms)", "Parallel(ms)", "Reduction"]
+    rows = [
+        [
+            name,
+            f"{result.sequential_ms[name]:.1f}",
+            f"{result.parallel_ms[name]:.1f}",
+            f"{100 * result.reduction(name):.1f}%",
+        ]
+        for name in result.sequential_ms
+    ]
+    text = "Fig. 13c — computational pattern ablation (1080P)\n" + table_to_text(headers, rows)
+    return text + f"\nAverage reduction: {100 * result.average_reduction():.1f}%"

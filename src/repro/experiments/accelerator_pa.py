@@ -1,0 +1,52 @@
+"""§7 synthesis results: POLO accelerator area, area breakdown, and
+average power (paper: 0.75 mm^2, 72% buffers / 24% engine / 4% IPU,
+0.15 W average)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.profiles import polo_execution
+from repro.hw import polo_accelerator
+from repro.system.metrics import table_to_text
+
+
+@dataclass(frozen=True)
+class AcceleratorPaResult:
+    total_mm2: float
+    buffers_fraction: float
+    engine_fraction: float
+    ipu_fraction: float
+    predict_energy_mj: float
+    predict_latency_ms: float
+    average_power_w: float
+
+
+def run_accelerator_pa(pruning_ratio: float = 0.2) -> AcceleratorPaResult:
+    accelerator = polo_accelerator()
+    fractions = accelerator.area_fractions()
+    execution = polo_execution(pruning_ratio)
+    energy = execution.energy_predict.total_j
+    latency = execution.td_predict_s
+    return AcceleratorPaResult(
+        total_mm2=fractions["total_mm2"],
+        buffers_fraction=fractions["buffers"],
+        engine_fraction=fractions["engine"],
+        ipu_fraction=fractions["ipu"],
+        predict_energy_mj=energy * 1e3,
+        predict_latency_ms=latency * 1e3,
+        average_power_w=energy / latency,
+    )
+
+
+def format_accelerator_pa(result: AcceleratorPaResult) -> str:
+    headers = ["Quantity", "Measured", "Paper"]
+    rows = [
+        ["Area (mm^2)", f"{result.total_mm2:.3f}", "0.75"],
+        ["Buffers share", f"{100 * result.buffers_fraction:.0f}%", "72%"],
+        ["Engine share", f"{100 * result.engine_fraction:.0f}%", "24%"],
+        ["IPU share", f"{100 * result.ipu_fraction:.0f}%", "4%"],
+        ["Predict-path power (W)", f"{result.average_power_w:.3f}", "<= 0.15"],
+        ["Predict-path latency (ms)", f"{result.predict_latency_ms:.2f}", "~9.8-10.7"],
+    ]
+    return "§7 — POLO accelerator synthesis summary\n" + table_to_text(headers, rows)

@@ -1,0 +1,50 @@
+"""Fig. 11e: discriminability and JND score versus foveal eccentricity
+for selected P95 tracking errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perception.vdp import VdpConfig, discriminability, jnd_score, required_theta_f
+from repro.system.metrics import table_to_text
+
+DELTA_THETAS = (2.0, 3.0, 5.0, 10.0)
+THETA_F_GRID = tuple(np.arange(2.5, 15.1, 1.25))
+
+
+@dataclass
+class DiscriminabilityResult:
+    """Curves of Fig. 11e plus the 5% thresholds used in §7.1."""
+
+    curves: dict = field(default_factory=dict)  # delta -> (theta_f, prob, jnd)
+    thresholds_5pct: dict = field(default_factory=dict)  # delta -> theta_f
+
+
+def run_fig11e(config: "VdpConfig | None" = None) -> DiscriminabilityResult:
+    config = config or VdpConfig()
+    result = DiscriminabilityResult()
+    grid = np.array(THETA_F_GRID)
+    for delta in DELTA_THETAS:
+        probs = discriminability(grid, delta, config)
+        jnds = jnd_score(grid, delta, config)
+        result.curves[delta] = (grid.copy(), probs, jnds)
+        result.thresholds_5pct[delta] = required_theta_f(delta, 0.05, config)
+    return result
+
+
+def format_fig11e(result: DiscriminabilityResult) -> str:
+    headers = ["theta_f(deg)"] + [f"d={d:.0f}deg" for d in result.curves]
+    grid = next(iter(result.curves.values()))[0]
+    rows = []
+    for i, tf in enumerate(grid):
+        rows.append(
+            [f"{tf:.2f}"]
+            + [f"{100 * result.curves[d][1][i]:.1f}%" for d in result.curves]
+        )
+    text = "Fig. 11e — discriminability vs foveal eccentricity\n" + table_to_text(headers, rows)
+    text += "\n5% thresholds: " + ", ".join(
+        f"delta={d:.0f}deg -> theta_f={t:.1f}deg" for d, t in result.thresholds_5pct.items()
+    )
+    return text

@@ -1,0 +1,179 @@
+"""Fig. 12 and §7.1: end-to-end TFR latency across scenes, resolutions,
+and methods (POLO_S / POLO_R / POLO_N vs the four baselines vs
+full-resolution rendering), with latency breakdowns, the mean-error and
+JND-tolerance operating points, and the averaged speedup summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import Decision
+from repro.experiments.common import ExperimentContext
+from repro.experiments.profiles import SYSTEM_BASELINES, system_profiles
+from repro.eye.events import EventMix
+from repro.perception.vdp import required_theta_f
+from repro.render import RESOLUTIONS, SCENES
+from repro.system import Schedule, TfrSystem, TrackerSystemProfile
+from repro.system.metrics import table_to_text
+
+POLO_PATHS = ("saccade", "reuse", "predict")
+PATH_LABELS = {"saccade": "POLO_S", "reuse": "POLO_R", "predict": "POLO_N"}
+
+
+@dataclass
+class E2eResult:
+    """All Fig. 12 series, in milliseconds."""
+
+    method_latency: dict = field(default_factory=dict)  # (method, scene, res) -> ms
+    breakdown: dict = field(default_factory=dict)  # (method, scene, res) -> FrameLatency
+    full_latency: dict = field(default_factory=dict)  # (scene, res) -> ms
+    polo_average: dict = field(default_factory=dict)  # (scene, res) -> ms (Eq. 6/7 mix)
+    mean_error_latency: dict = field(default_factory=dict)  # mean-error operating point
+    jnd_latency: dict = field(default_factory=dict)  # tolerance operating point
+    event_mix: "EventMix | None" = None
+    profiles: dict = field(default_factory=dict)
+
+    def scene_average(self, method: str, res: str) -> float:
+        return float(
+            np.mean([self.method_latency[(method, s.name, res)] for s in SCENES])
+        )
+
+    def speedup_summary(self) -> dict[str, dict[str, float]]:
+        """Per-resolution POLO_N and event-averaged speedups vs baselines."""
+        out = {}
+        for res in RESOLUTIONS:
+            base = np.mean([self.scene_average(n, res.name) for n in SYSTEM_BASELINES])
+            polo_n = self.scene_average("POLO_N", res.name)
+            polo_avg = float(
+                np.mean([self.polo_average[(s.name, res.name)] for s in SCENES])
+            )
+            full = float(np.mean([self.full_latency[(s.name, res.name)] for s in SCENES]))
+            out[res.name] = {
+                "polo_n_speedup": base / polo_n,
+                "polo_avg_speedup": base / polo_avg,
+                "vs_full": full / polo_n,
+                "polo_n_ms": polo_n,
+                "polo_avg_ms": polo_avg,
+                "baseline_avg_ms": base,
+                "full_ms": full,
+            }
+        return out
+
+
+def measure_event_mix(context: ExperimentContext, max_frames: int = 200) -> EventMix:
+    """Run the trained POLONet over validation sequences and count the
+    Algorithm-1 path taken per frame (drives Eqs. 6-7)."""
+    polonet = context.bundle.polonet
+    counts = {d: 0 for d in Decision}
+    for seq in context.val.sequences:
+        polonet.reset()
+        n = min(len(seq), max_frames)
+        for i in range(n):
+            res = polonet.process_frame(seq.images[i].astype(np.float64))
+            counts[res.decision] += 1
+    return EventMix.from_counts(
+        counts[Decision.SACCADE], counts[Decision.REUSE], counts[Decision.PREDICT]
+    )
+
+
+def run_fig12(
+    errors_p95: dict[str, float],
+    errors_mean: "dict[str, float] | None" = None,
+    event_mix: "EventMix | None" = None,
+    pruning_ratio: float = 0.2,
+    schedule: Schedule = Schedule.SEQUENTIAL,
+    system: "TfrSystem | None" = None,
+) -> E2eResult:
+    """Compute every Fig. 12 series from per-method P95 (and optionally
+    mean) tracking errors."""
+    system = system or TfrSystem()
+    profiles = system_profiles(errors_p95, pruning_ratio)
+    result = E2eResult(event_mix=event_mix, profiles=profiles)
+
+    for res in RESOLUTIONS:
+        for scene in SCENES:
+            key_sr = (scene.name, res.name)
+            result.full_latency[key_sr] = (
+                system.full_resolution_latency(scene, res) * 1e3
+            )
+            polo = profiles["POLO"]
+            for path in POLO_PATHS:
+                label = PATH_LABELS[path]
+                frame = system.frame_latency(polo, scene, res, path, schedule)
+                result.method_latency[(label, scene.name, res.name)] = frame.total_s * 1e3
+                result.breakdown[(label, scene.name, res.name)] = frame
+            if event_mix is not None:
+                result.polo_average[key_sr] = (
+                    system.average_latency(polo, scene, res, event_mix, schedule) * 1e3
+                )
+            else:
+                result.polo_average[key_sr] = result.method_latency[
+                    ("POLO_N", scene.name, res.name)
+                ]
+            for name in SYSTEM_BASELINES:
+                frame = system.frame_latency(profiles[name], scene, res, "predict", schedule)
+                result.method_latency[(name, scene.name, res.name)] = frame.total_s * 1e3
+                result.breakdown[(name, scene.name, res.name)] = frame
+
+            # Alternative operating points for the dotted series.
+            for store, delta_for in (
+                (result.mean_error_latency, "mean"),
+                (result.jnd_latency, "jnd"),
+            ):
+                if delta_for == "mean" and errors_mean is None:
+                    continue
+                for name, profile in profiles.items():
+                    label = "POLO_N" if name == "POLO" else name
+                    delta = _operating_delta(
+                        name, profile, errors_p95, errors_mean, delta_for
+                    )
+                    frame = system.frame_latency(
+                        profile.with_delta_theta(delta), scene, res, "predict", schedule
+                    )
+                    store[(label, scene.name, res.name)] = frame.total_s * 1e3
+    return result
+
+
+def _operating_delta(
+    name: str,
+    profile: TrackerSystemProfile,
+    errors_p95: dict,
+    errors_mean: "dict | None",
+    kind: str,
+) -> float:
+    if kind == "mean":
+        return errors_mean[name]
+    # JND tolerance point: the smallest theta_f keeping discriminability
+    # under 5% replaces theta_i + delta; express it as an equivalent delta.
+    theta_f = required_theta_f(errors_p95[name], target_probability=0.05)
+    return max(theta_f - 5.0, 0.0)
+
+
+def format_fig12(result: E2eResult, resolution: str = "1080P") -> str:
+    methods = ["POLO_S", "POLO_R", "POLO_N", *SYSTEM_BASELINES]
+    headers = ["Scene"] + methods + ["Full"]
+    rows = []
+    for scene in SCENES:
+        row = [scene.name]
+        for m in methods:
+            row.append(f"{result.method_latency[(m, scene.name, resolution)]:.1f}")
+        row.append(f"{result.full_latency[(scene.name, resolution)]:.1f}")
+        rows.append(row)
+    text = f"Fig. 12 — end-to-end TFR latency at {resolution} (ms)\n"
+    text += table_to_text(headers, rows)
+    summary = result.speedup_summary()
+    text += "\n\nSpeedup summary (baseline-average / POLO):\n"
+    headers2 = ["Resolution", "POLO_N x", "POLO-avg x", "vs full x", "POLO_N ms"]
+    rows2 = [
+        [
+            res,
+            f"{s['polo_n_speedup']:.2f}",
+            f"{s['polo_avg_speedup']:.2f}",
+            f"{s['vs_full']:.2f}",
+            f"{s['polo_n_ms']:.1f}",
+        ]
+        for res, s in summary.items()
+    ]
+    return text + table_to_text(headers2, rows2)

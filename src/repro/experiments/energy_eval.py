@@ -1,0 +1,59 @@
+"""Fig. 13a: per-frame gaze-tracking energy breakdown (MAC / SFU /
+buffer) of each algorithm on its dedicated accelerator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.profiles import (
+    SYSTEM_BASELINES,
+    baseline_execution,
+    polo_execution,
+)
+from repro.hw.energy import EnergyBreakdown
+from repro.system.metrics import table_to_text
+
+
+@dataclass
+class EnergyResult:
+    """Per-method energy breakdowns in millijoules."""
+
+    breakdowns: dict[str, EnergyBreakdown] = field(default_factory=dict)
+
+    def total_mj(self, name: str) -> float:
+        return self.breakdowns[name].total_j * 1e3
+
+    def polo_reduction(self) -> float:
+        """Average baseline-to-POLO energy ratio (paper: 4.1x)."""
+        polo = self.total_mj("POLO")
+        ratios = [self.total_mj(n) / polo for n in SYSTEM_BASELINES]
+        return float(np.mean(ratios))
+
+
+def run_fig13a(pruning_ratio: float = 0.2) -> EnergyResult:
+    result = EnergyResult()
+    polo = polo_execution(pruning_ratio)
+    result.breakdowns["POLO"] = polo.energy_predict
+    for name in SYSTEM_BASELINES:
+        result.breakdowns[name] = baseline_execution(name).energy_predict
+    return result
+
+
+def format_fig13a(result: EnergyResult) -> str:
+    headers = ["Method", "Total(mJ)", "MAC%", "SFU%", "Buffer%"]
+    rows = []
+    for name, e in result.breakdowns.items():
+        fr = e.fractions()
+        rows.append(
+            [
+                name,
+                f"{e.total_j * 1e3:.3f}",
+                f"{100 * fr['mac']:.0f}",
+                f"{100 * fr['sfu']:.0f}",
+                f"{100 * (fr['buffer'] + fr['other']):.0f}",
+            ]
+        )
+    text = "Fig. 13a — gaze-tracking energy per frame\n" + table_to_text(headers, rows)
+    return text + f"\nAverage baseline/POLO energy ratio: {result.polo_reduction():.2f}x"

@@ -1,0 +1,69 @@
+"""Eq. 8 / §5.3: maximum sustainable TFR frame rates per method.
+
+The paper derives FPS_max = 1 / (Ts + Tc + Td + Tr) (sequential) and
+1 / (Tr1 + Tr2) once gaze processing hides behind R1 (parallel).  This
+experiment tabulates both, event-mix-averaged for POLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.profiles import SYSTEM_BASELINES, system_profiles
+from repro.eye.events import EventMix
+from repro.render import RESOLUTIONS, SCENES
+from repro.system import Schedule, TfrSystem
+from repro.system.metrics import table_to_text
+
+
+@dataclass
+class FpsResult:
+    """Scene-averaged FPS_max per (method, resolution, schedule)."""
+
+    fps: dict = field(default_factory=dict)
+
+    def get(self, method: str, resolution: str, schedule: Schedule) -> float:
+        return self.fps[(method, resolution, schedule.value)]
+
+
+def run_fps(
+    errors_p95: dict[str, float],
+    event_mix: "EventMix | None" = None,
+    pruning_ratio: float = 0.2,
+    system: "TfrSystem | None" = None,
+) -> FpsResult:
+    system = system or TfrSystem()
+    profiles = system_profiles(errors_p95, pruning_ratio)
+    result = FpsResult()
+    for res in RESOLUTIONS:
+        for name, profile in profiles.items():
+            label = "POLO" if name == "POLO" else name
+            for schedule in Schedule:
+                mix = event_mix if name == "POLO" else None
+                fps_values = [
+                    system.fps_max(profile, scene, res, mix, schedule)
+                    for scene in SCENES
+                ]
+                result.fps[(label, res.name, schedule.value)] = float(
+                    np.mean(fps_values)
+                )
+    return result
+
+
+def format_fps(result: FpsResult) -> str:
+    methods = ["POLO", *SYSTEM_BASELINES]
+    headers = ["Method"] + [
+        f"{r.name} {s.value[:3]}" for r in RESOLUTIONS for s in Schedule
+    ]
+    rows = []
+    for method in methods:
+        row = [method]
+        for res in RESOLUTIONS:
+            for schedule in Schedule:
+                row.append(f"{result.get(method, res.name, schedule):.0f}")
+        rows.append(row)
+    return "Eq. 8 — maximum sustainable FPS (scene-averaged)\n" + table_to_text(
+        headers, rows
+    )

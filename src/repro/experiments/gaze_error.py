@@ -1,0 +1,88 @@
+"""Table 1 / Fig. 8a: gaze-tracking error of POLOViT (INT8, at pruning
+ratios 0.0 / 0.2 / 0.4) against the five baselines."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import ErrorSummary
+from repro.experiments.common import (
+    ExperimentContext,
+    polovit_validation_errors,
+    tracker_validation_errors,
+)
+from repro.system.metrics import table_to_text
+
+PRUNE_RATIOS = (0.0, 0.2, 0.4)
+
+
+@dataclass
+class GazeErrorResult:
+    """Error summaries per method plus raw error arrays (for Fig. 8a)."""
+
+    summaries: dict[str, ErrorSummary] = field(default_factory=dict)
+    raw_errors: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def ordered_names(self) -> list[str]:
+        return list(self.summaries)
+
+
+def run_table1(context: ExperimentContext) -> GazeErrorResult:
+    """Evaluate every method on the validation participants."""
+    result = GazeErrorResult()
+    for name, tracker in context.baselines.items():
+        errors = tracker_validation_errors(tracker, context)
+        result.raw_errors[name] = errors
+        result.summaries[name] = ErrorSummary.from_errors(errors)
+
+    vit = context.bundle.vit
+    calib_crops, _ = _calibration_crops(context)
+    for ratio in PRUNE_RATIOS:
+        model = vit if ratio == 0.2 else copy.deepcopy(vit)
+        if ratio == 0.0:
+            model.set_prune_threshold(None)
+        elif ratio != 0.2:
+            model.calibrate_pruning(calib_crops, ratio)
+        errors = polovit_validation_errors(model, context, prune=ratio > 0)
+        key = f"INT8-POLOViT({ratio:.1f})"
+        result.raw_errors[key] = errors
+        result.summaries[key] = ErrorSummary.from_errors(errors)
+    return result
+
+
+def _calibration_crops(context: ExperimentContext):
+    from repro.core import build_crop_dataset
+
+    crops, gaze = build_crop_dataset(context.train, context.polonet_config)
+    n = min(16, len(crops))
+    return crops[:n], gaze[:n]
+
+
+def format_table1(result: GazeErrorResult) -> str:
+    headers = ["Method", "Mean(deg)", "P90(deg)", "P95(deg)"]
+    rows = [
+        [name, f"{s.mean:.2f}", f"{s.p90:.2f}", f"{s.p95:.2f}"]
+        for name, s in result.summaries.items()
+    ]
+    return "Table 1 — gaze tracking error\n" + table_to_text(headers, rows)
+
+
+def format_fig8a(result: GazeErrorResult) -> str:
+    """Fig. 8a: distribution statistics (mean, p5, p95, min, max)."""
+    headers = ["Method", "Min", "P5", "Mean", "P95", "Max"]
+    rows = []
+    for name, s in result.summaries.items():
+        rows.append(
+            [
+                name,
+                f"{s.minimum:.2f}",
+                f"{s.p5:.2f}",
+                f"{s.mean:.2f}",
+                f"{s.p95:.2f}",
+                f"{s.maximum:.2f}",
+            ]
+        )
+    return "Fig. 8a — gaze error distributions (deg)\n" + table_to_text(headers, rows)

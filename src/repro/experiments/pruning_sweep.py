@@ -1,0 +1,77 @@
+"""Table 5: average 1080P TFR latency vs token-pruning ratio, plus the
+Vive Pro Eye commercial comparison.
+
+The sweep exposes the paper's central trade-off: more pruning shrinks
+gaze-tracking latency but raises tracking error, which enlarges the
+foveal region and raises rendering latency — the minimum sits at 20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.profiles import polo_execution, profile_from_execution
+from repro.render import RES_1080P, SCENES
+from repro.system import TfrSystem, vive_pro_eye_profile
+from repro.system.metrics import table_to_text
+
+PRUNING_RATIOS = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+#: P95 error vs pruning ratio.  Table 1 gives 0.0 / 0.2 / 0.4; the 0.1 and
+#: 0.3 points are interpolated, matching the paper's monotone trend.
+PAPER_ERROR_BY_RATIO = {0.0: 2.30, 0.1: 2.58, 0.2: 2.92, 0.3: 4.2, 0.4: 5.91}
+
+
+@dataclass
+class PruningSweepResult:
+    """Average 1080P TFR latency per pruning ratio, plus Vive Pro Eye."""
+
+    latency_ms: dict = field(default_factory=dict)  # ratio -> ms
+    gaze_ms: dict = field(default_factory=dict)
+    render_ms: dict = field(default_factory=dict)
+    vive_ms: float = 0.0
+
+    def best_ratio(self) -> float:
+        return min(self.latency_ms, key=self.latency_ms.get)
+
+
+def run_table5(
+    errors_by_ratio: "dict[float, float] | None" = None,
+    system: "TfrSystem | None" = None,
+) -> PruningSweepResult:
+    errors_by_ratio = errors_by_ratio or PAPER_ERROR_BY_RATIO
+    system = system or TfrSystem()
+    result = PruningSweepResult()
+    for ratio, error in errors_by_ratio.items():
+        execution = polo_execution(ratio)
+        profile = profile_from_execution(execution, error)
+        frames = [
+            system.frame_latency(profile, s, RES_1080P, "predict") for s in SCENES
+        ]
+        result.latency_ms[ratio] = float(np.mean([f.total_s for f in frames]) * 1e3)
+        result.gaze_ms[ratio] = float(np.mean([f.gaze_s for f in frames]) * 1e3)
+        result.render_ms[ratio] = float(np.mean([f.rendering_s for f in frames]) * 1e3)
+
+    vive = vive_pro_eye_profile()
+    result.vive_ms = float(
+        np.mean(
+            [system.frame_latency(vive, s, RES_1080P, "predict").total_s for s in SCENES]
+        )
+        * 1e3
+    )
+    return result
+
+
+def format_table5(result: PruningSweepResult) -> str:
+    headers = ["Pruning ratio"] + [f"{r:.0%}" for r in result.latency_ms] + ["Vive Pro Eye"]
+    rows = [
+        ["TFR latency (ms)"]
+        + [f"{v:.1f}" for v in result.latency_ms.values()]
+        + [f"{result.vive_ms:.1f}"],
+        ["gaze (ms)"] + [f"{v:.1f}" for v in result.gaze_ms.values()] + ["50.0"],
+        ["render (ms)"] + [f"{v:.1f}" for v in result.render_ms.values()] + ["-"],
+    ]
+    text = "Table 5 — TFR latency vs pruning ratio (1080P)\n" + table_to_text(headers, rows)
+    return text + f"\nBest ratio: {result.best_ratio():.0%}"

@@ -1,0 +1,48 @@
+"""Fig. 1: full-resolution ray-traced rendering latency across scenes
+and resolutions on the Jetson-Orin-NX GPU model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.render import RESOLUTIONS, SCENES, GpuModel, Resolution, SceneProfile
+from repro.system.metrics import table_to_text
+
+
+@dataclass(frozen=True)
+class RenderingLatencyResult:
+    """Per-scene-per-resolution full-render latencies in milliseconds."""
+
+    latencies_ms: dict  # (scene, resolution) -> ms
+    averages_ms: dict  # resolution -> ms
+
+    def latency(self, scene: str, resolution: str) -> float:
+        return self.latencies_ms[(scene, resolution)]
+
+
+def run_fig1(gpu: "GpuModel | None" = None) -> RenderingLatencyResult:
+    gpu = gpu or GpuModel()
+    latencies = {}
+    averages = {}
+    for res in RESOLUTIONS:
+        values = []
+        for scene in SCENES:
+            ms = gpu.full_resolution_latency(res, scene) * 1e3
+            latencies[(scene.name, res.name)] = ms
+            values.append(ms)
+        averages[res.name] = float(np.mean(values))
+    return RenderingLatencyResult(latencies_ms=latencies, averages_ms=averages)
+
+
+def format_fig1(result: RenderingLatencyResult) -> str:
+    headers = ["Scene"] + [r.name for r in RESOLUTIONS]
+    rows = [
+        [s.name] + [f"{result.latency(s.name, r.name):.1f}" for r in RESOLUTIONS]
+        for s in SCENES
+    ]
+    rows.append(
+        ["Average"] + [f"{result.averages_ms[r.name]:.1f}" for r in RESOLUTIONS]
+    )
+    return "Fig. 1 — full-resolution rendering latency (ms)\n" + table_to_text(headers, rows)

@@ -1,0 +1,82 @@
+"""Table 4: gaze error on *reused* frames as the reuse threshold gamma2
+varies.
+
+Runs the full POLONet runtime over the validation sequences at each
+gamma2, collects the angular error of every frame whose gaze came from
+the reuse path, and reports the mean / P95 — larger gamma2 tolerates
+bigger inter-frame change before re-predicting, so staleness (and error)
+grows monotonically, which is the paper's crossover argument for
+gamma2 = 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.baselines import angular_errors
+from repro.core import Decision, PoloNet
+from repro.experiments.common import MIN_OPENNESS, ExperimentContext
+from repro.system.metrics import table_to_text
+
+GAMMA2_VALUES = (5.0, 10.0, 15.0, 20.0)
+
+
+@dataclass
+class ReuseSweepResult:
+    """Per-gamma2 reused-frame error statistics."""
+
+    stats: dict = field(default_factory=dict)  # gamma2 -> dict
+
+    def reuse_fraction(self, gamma2: float) -> float:
+        return self.stats[gamma2]["reuse_fraction"]
+
+
+def run_table4(
+    context: ExperimentContext, gamma2_values: tuple = GAMMA2_VALUES
+) -> ReuseSweepResult:
+    result = ReuseSweepResult()
+    bundle = context.bundle
+    for gamma2 in gamma2_values:
+        config = replace(context.polonet_config, gamma2=gamma2)
+        polonet = PoloNet(
+            bundle.detector, bundle.vit, config, prune=bundle.polonet.prune
+        )
+        reused_errors = []
+        decisions = {d: 0 for d in Decision}
+        for seq in context.val.sequences:
+            polonet.reset()
+            for i in range(len(seq)):
+                frame = seq.images[i].astype(np.float64)
+                res = polonet.process_frame(frame)
+                decisions[res.decision] += 1
+                usable = seq.openness[i] >= MIN_OPENNESS
+                if res.decision is Decision.REUSE and usable:
+                    err = angular_errors(
+                        res.gaze_deg[None], seq.gaze_deg[i][None]
+                    )[0]
+                    reused_errors.append(err)
+        reused = np.asarray(reused_errors)
+        total = sum(decisions.values())
+        result.stats[gamma2] = {
+            "mean": float(reused.mean()) if reused.size else float("nan"),
+            "p95": float(np.percentile(reused, 95)) if reused.size else float("nan"),
+            "n_reused": int(reused.size),
+            "reuse_fraction": decisions[Decision.REUSE] / max(total, 1),
+        }
+    return result
+
+
+def format_table4(result: ReuseSweepResult) -> str:
+    headers = ["gamma2", "P95 Error(deg)", "Mean(deg)", "Reuse fraction"]
+    rows = [
+        [
+            f"<= {g:.0f}",
+            f"{s['p95']:.2f}",
+            f"{s['mean']:.2f}",
+            f"{s['reuse_fraction']:.2f}",
+        ]
+        for g, s in result.stats.items()
+    ]
+    return "Table 4 — impact of gamma2 on reused-frame error\n" + table_to_text(headers, rows)

@@ -1,0 +1,95 @@
+"""Table 2 (saccade accuracy vs RNN hidden dimension) and Table 3
+(macro-F1 vs binarization threshold gamma1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import PolonetConfig, SaccadeDetector, SaccadeNetConfig, binary_map
+from repro.core.training import (
+    build_saccade_sequences,
+    evaluate_saccade_detector,
+    train_saccade_detector,
+)
+from repro.experiments.common import ExperimentContext
+from repro.system.metrics import table_to_text
+
+HIDDEN_DIMS = (16, 32, 64, 128)
+GAMMA1_VALUES = (35.0, 40.0, 45.0, 50.0)
+
+
+@dataclass
+class SaccadeSweepResult:
+    """Metric rows keyed by the swept parameter value."""
+
+    parameter: str
+    metrics: dict = field(default_factory=dict)  # value -> {'accuracy','macro_f1'}
+
+
+def _train_and_score(
+    context: ExperimentContext,
+    config: PolonetConfig,
+    saccade_config: SaccadeNetConfig,
+    seed: int,
+    sequences=None,
+    labels=None,
+) -> dict[str, float]:
+    sample = context.train.sequences[0].images[0].astype(float)
+    map_shape = binary_map(sample, config).shape
+    detector = SaccadeDetector(map_shape, saccade_config, seed=seed)
+    if sequences is None:
+        sequences, labels = build_saccade_sequences(context.train, config)
+    train_saccade_detector(
+        detector,
+        sequences,
+        labels,
+        epochs=context.scale.saccade_epochs,
+        seed=seed,
+    )
+    return evaluate_saccade_detector(detector, context.val, config)
+
+
+def run_table2(context: ExperimentContext) -> SaccadeSweepResult:
+    """Sweep the RNN hidden dimension at the default gamma1."""
+    result = SaccadeSweepResult(parameter="hidden_dim")
+    config = context.polonet_config
+    # gamma1 is fixed across the sweep, so the binary-map sequences are
+    # shared by all four trainings.
+    sequences, labels = build_saccade_sequences(context.train, config)
+    for hidden in HIDDEN_DIMS:
+        saccade_config = SaccadeNetConfig(hidden_dim=hidden)
+        result.metrics[hidden] = _train_and_score(
+            context,
+            config,
+            saccade_config,
+            seed=context.seed + hidden,
+            sequences=sequences,
+            labels=labels,
+        )
+    return result
+
+
+def run_table3(context: ExperimentContext) -> SaccadeSweepResult:
+    """Sweep gamma1 at the default hidden dimension (32)."""
+    result = SaccadeSweepResult(parameter="gamma1")
+    for gamma1 in GAMMA1_VALUES:
+        config = replace(context.polonet_config, gamma1=gamma1)
+        result.metrics[gamma1] = _train_and_score(
+            context, config, SaccadeNetConfig(), seed=context.seed + int(gamma1)
+        )
+    return result
+
+
+def format_table2(result: SaccadeSweepResult) -> str:
+    headers = ["Hidden dim"] + [str(v) for v in result.metrics]
+    rows = [
+        ["Accuracy"] + [f"{m['accuracy'] * 100:.1f}" for m in result.metrics.values()],
+        ["Macro F1"] + [f"{m['macro_f1']:.3f}" for m in result.metrics.values()],
+    ]
+    return "Table 2 — saccade detection vs hidden dim\n" + table_to_text(headers, rows)
+
+
+def format_table3(result: SaccadeSweepResult) -> str:
+    headers = ["gamma1", "Macro F1"]
+    rows = [[f"{v:.0f}", f"{m['macro_f1']:.3f}"] for v, m in result.metrics.items()]
+    return "Table 3 — impact of gamma1\n" + table_to_text(headers, rows)

@@ -1,0 +1,123 @@
+"""Loader for externally-recorded eye datasets (real OpenEDS-style data).
+
+The synthetic substrate stands in for OpenEDS-2020, but a user who holds
+the real dataset (or any near-eye recording) can bring it through this
+adapter.  Expected on-disk layout, one directory per participant::
+
+    <root>/<participant_id>/
+        frames.npy    # (T, H, W) uint8 or float images
+        gaze.csv      # per-frame: theta_x_deg,theta_y_deg
+        labels.csv    # per-frame movement type (0=fixation,1=saccade,
+                      #   2=pursuit,3=blink); optional, defaults fixation
+        meta.json     # optional: {"fps": 100.0}
+
+PNG decoding is intentionally out of scope (no imaging dependency);
+convert recordings to ``frames.npy`` with any tool once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.eye.dataset import EyeDataset, EyeSequence
+from repro.eye.events import MovementType, post_saccade_mask
+
+DEFAULT_FPS = 100.0
+
+
+def _read_csv_floats(path: Path, n_columns: int) -> np.ndarray:
+    """Parse a headerless (or single-header-line) numeric CSV."""
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            try:
+                values = [float(p) for p in parts]
+            except ValueError:
+                if line_no == 0:
+                    continue  # header line
+                raise ValueError(f"{path}: non-numeric row {line_no}: {line!r}")
+            if len(values) != n_columns:
+                raise ValueError(
+                    f"{path}: expected {n_columns} columns, got {len(values)}"
+                )
+            rows.append(values)
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def load_sequence(directory: "str | os.PathLike", participant: int) -> EyeSequence:
+    """Load one participant directory into an :class:`EyeSequence`."""
+    path = Path(directory)
+    frames_path = path / "frames.npy"
+    if not frames_path.exists():
+        raise FileNotFoundError(f"missing {frames_path}")
+    images = np.load(frames_path)
+    if images.ndim != 3:
+        raise ValueError(f"{frames_path}: expected (T, H, W), got {images.shape}")
+    if images.dtype == np.uint8:
+        images = images.astype(np.float32) / 255.0
+    else:
+        images = images.astype(np.float32)
+        if images.max() > 1.0 + 1e-6:
+            raise ValueError(f"{frames_path}: float frames must be in [0, 1]")
+
+    gaze = _read_csv_floats(path / "gaze.csv", 2)
+    if len(gaze) != len(images):
+        raise ValueError(
+            f"{path}: {len(images)} frames but {len(gaze)} gaze rows"
+        )
+
+    labels_path = path / "labels.csv"
+    if labels_path.exists():
+        labels = _read_csv_floats(labels_path, 1).astype(np.int64)[:, 0]
+        if len(labels) != len(images):
+            raise ValueError(f"{path}: label count mismatch")
+        valid = {int(m) for m in MovementType}
+        if not set(np.unique(labels)).issubset(valid):
+            raise ValueError(f"{path}: unknown movement labels")
+    else:
+        labels = np.zeros(len(images), dtype=np.int64)
+
+    meta_path = path / "meta.json"
+    fps = DEFAULT_FPS
+    if meta_path.exists():
+        with open(meta_path, encoding="utf-8") as handle:
+            fps = float(json.load(handle).get("fps", DEFAULT_FPS))
+
+    dt = 1.0 / fps
+    velocity = np.concatenate(
+        [[0.0], np.linalg.norm(np.diff(gaze, axis=0), axis=1) / dt]
+    )
+    window = max(1, int(round(0.05 * fps)))
+    return EyeSequence(
+        participant=participant,
+        images=images,
+        gaze_deg=gaze,
+        labels=labels,
+        openness=np.where(labels == MovementType.BLINK, 0.0, 1.0),
+        velocity_deg_s=velocity,
+        post_saccade=post_saccade_mask(labels, window),
+        fps=fps,
+    )
+
+
+def load_dataset(root: "str | os.PathLike") -> EyeDataset:
+    """Load every participant directory under ``root``."""
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"{root} is not a directory")
+    sequences = []
+    for i, child in enumerate(sorted(p for p in root.iterdir() if p.is_dir())):
+        sequences.append(load_sequence(child, participant=i))
+    if not sequences:
+        raise ValueError(f"{root}: no participant directories found")
+    return EyeDataset(sequences)

@@ -1,0 +1,228 @@
+"""Oculomotor sequence model.
+
+Generates gaze trajectories with the statistics §2.1 of the paper relies
+on: alternating fixations and saccades (one to three saccades per second,
+each lasting 20–200 ms), occasional smooth pursuit, blinks, fixational
+tremor/drift, and a ~50 ms post-saccadic low-acuity period.  Saccade
+kinematics follow the main sequence (duration grows with amplitude) with
+a minimum-jerk position profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eye.events import MovementType, post_saccade_mask
+from repro.utils.rng import RngMixin
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class OculomotorConfig:
+    """Behavioural parameters of the gaze generator.
+
+    Defaults follow the literature values quoted in §2.1: fixations of
+    150–600 ms, saccade durations from the main sequence
+    ``duration_ms = 2.2 * amplitude_deg + 21`` (Robinson-style fit),
+    blinks every ~4 s, and a 50 ms post-saccadic period.
+    """
+
+    fps: float = 100.0
+    field_deg: float = 22.0
+    fixation_duration_s: tuple[float, float] = (0.15, 0.6)
+    saccade_amplitude_deg: tuple[float, float] = (2.0, 25.0)
+    main_sequence_slope_ms: float = 2.2
+    main_sequence_intercept_ms: float = 21.0
+    pursuit_probability: float = 0.08
+    pursuit_duration_s: tuple[float, float] = (0.4, 1.2)
+    pursuit_speed_deg_s: tuple[float, float] = (5.0, 20.0)
+    blink_rate_hz: float = 0.25
+    blink_duration_s: tuple[float, float] = (0.1, 0.3)
+    squint_probability: float = 0.22
+    squint_level: tuple[float, float] = (0.36, 0.70)
+    normal_level: tuple[float, float] = (0.82, 1.0)
+    openness_segment_s: tuple[float, float] = (0.5, 2.0)
+    tremor_std_deg: float = 0.04
+    drift_speed_deg_s: float = 0.35
+    post_saccade_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("fps", self.fps)
+        check_positive("field_deg", self.field_deg)
+        check_in_range("pursuit_probability", self.pursuit_probability, 0.0, 1.0)
+
+
+@dataclass
+class GazeTrack:
+    """A sampled gaze trajectory with per-frame annotations."""
+
+    gaze_deg: np.ndarray  # (T, 2)
+    labels: np.ndarray  # (T,) MovementType values
+    openness: np.ndarray  # (T,) eyelid opening in [0, 1]
+    velocity_deg_s: np.ndarray  # (T,)
+    fps: float
+    post_saccade: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.gaze_deg.shape[0]
+        for name, arr in (
+            ("labels", self.labels),
+            ("openness", self.openness),
+            ("velocity_deg_s", self.velocity_deg_s),
+        ):
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} length {arr.shape[0]} != {n}")
+        window = max(1, int(round(0.05 * self.fps)))
+        self.post_saccade = post_saccade_mask(self.labels, window)
+
+    def __len__(self) -> int:
+        return self.gaze_deg.shape[0]
+
+
+def _minimum_jerk(n: int) -> np.ndarray:
+    """Minimum-jerk displacement profile s(tau) in [0, 1] over ``n`` samples."""
+    tau = np.linspace(0.0, 1.0, n)
+    return 10 * tau**3 - 15 * tau**4 + 6 * tau**5
+
+
+class OculomotorModel(RngMixin):
+    """Stochastic generator of gaze trajectories."""
+
+    def __init__(self, config: "OculomotorConfig | None" = None, seed=None):
+        super().__init__(seed)
+        self.config = config or OculomotorConfig()
+
+    def generate(self, n_frames: int) -> GazeTrack:
+        """Generate ``n_frames`` of gaze behaviour starting from a random
+        fixation point."""
+        if n_frames <= 0:
+            raise ValueError(f"n_frames must be positive, got {n_frames}")
+        cfg = self.config
+        dt = 1.0 / cfg.fps
+
+        gaze = np.zeros((n_frames, 2))
+        labels = np.zeros(n_frames, dtype=np.int64)
+        openness = np.ones(n_frames)
+
+        position = self.rng.uniform(-cfg.field_deg / 2, cfg.field_deg / 2, size=2)
+        t = 0
+        while t < n_frames:
+            roll = self.rng.random()
+            if roll < cfg.pursuit_probability:
+                t, position = self._emit_pursuit(gaze, labels, position, t, n_frames)
+            else:
+                t, position = self._emit_fixation(gaze, labels, position, t, n_frames)
+                if t < n_frames:
+                    t, position = self._emit_saccade(gaze, labels, position, t, n_frames)
+
+        self._baseline_openness(openness, n_frames)
+        self._overlay_blinks(openness, n_frames)
+        velocity = self._velocities(gaze, dt)
+        # A closed eye yields no usable gaze signal; keep the nominal gaze
+        # label but annotate the frame as a blink.
+        labels[openness < 0.2] = MovementType.BLINK
+        return GazeTrack(
+            gaze_deg=gaze,
+            labels=labels,
+            openness=openness,
+            velocity_deg_s=velocity,
+            fps=cfg.fps,
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_fixation(self, gaze, labels, position, t, n_frames):
+        cfg = self.config
+        duration = self.rng.uniform(*cfg.fixation_duration_s)
+        n = max(1, int(round(duration * cfg.fps)))
+        stop = min(t + n, n_frames)
+        count = stop - t
+        drift_dir = self.rng.normal(size=2)
+        drift_dir /= np.linalg.norm(drift_dir) + 1e-9
+        drift = (
+            np.outer(np.arange(count), drift_dir)
+            * cfg.drift_speed_deg_s
+            / cfg.fps
+        )
+        tremor = self.rng.normal(0.0, cfg.tremor_std_deg, size=(count, 2))
+        gaze[t:stop] = position + drift + tremor
+        labels[t:stop] = MovementType.FIXATION
+        new_position = gaze[stop - 1].copy() if count else position
+        return stop, new_position
+
+    def _emit_saccade(self, gaze, labels, position, t, n_frames):
+        cfg = self.config
+        target = self._sample_target(position)
+        amplitude = float(np.linalg.norm(target - position))
+        duration_ms = cfg.main_sequence_intercept_ms + cfg.main_sequence_slope_ms * amplitude
+        n = max(2, int(round(duration_ms / 1000.0 * cfg.fps)))
+        stop = min(t + n, n_frames)
+        count = stop - t
+        profile = _minimum_jerk(n)[:count]
+        gaze[t:stop] = position + np.outer(profile, target - position)
+        labels[t:stop] = MovementType.SACCADE
+        return stop, (target if stop == t + n else gaze[stop - 1].copy())
+
+    def _emit_pursuit(self, gaze, labels, position, t, n_frames):
+        cfg = self.config
+        duration = self.rng.uniform(*cfg.pursuit_duration_s)
+        speed = self.rng.uniform(*cfg.pursuit_speed_deg_s)
+        n = max(2, int(round(duration * cfg.fps)))
+        stop = min(t + n, n_frames)
+        count = stop - t
+        direction = self.rng.normal(size=2)
+        direction /= np.linalg.norm(direction) + 1e-9
+        path = position + np.outer(np.arange(count) * speed / cfg.fps, direction)
+        limit = cfg.field_deg / 2
+        path = np.clip(path, -limit, limit)
+        gaze[t:stop] = path
+        labels[t:stop] = MovementType.PURSUIT
+        return stop, gaze[stop - 1].copy() if count else position
+
+    def _sample_target(self, position: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        limit = cfg.field_deg / 2
+        for _ in range(32):
+            amplitude = self.rng.uniform(*cfg.saccade_amplitude_deg)
+            angle = self.rng.uniform(0, 2 * np.pi)
+            target = position + amplitude * np.array([np.cos(angle), np.sin(angle)])
+            if np.all(np.abs(target) <= limit):
+                return target
+        return np.clip(target, -limit, limit)
+
+    def _baseline_openness(self, openness: np.ndarray, n_frames: int) -> None:
+        """Slow lid-level variation: mostly wide open, with occasional
+        sustained squints.  These partially-occluded stretches are the
+        long-tail frames that separate the gaze trackers (Fig. 8a)."""
+        cfg = self.config
+        t = 0
+        while t < n_frames:
+            duration = self.rng.uniform(*cfg.openness_segment_s)
+            stop = min(t + max(1, int(round(duration * cfg.fps))), n_frames)
+            if self.rng.random() < cfg.squint_probability:
+                level = self.rng.uniform(*cfg.squint_level)
+            else:
+                level = self.rng.uniform(*cfg.normal_level)
+            openness[t:stop] = level
+            t = stop
+
+    def _overlay_blinks(self, openness: np.ndarray, n_frames: int) -> None:
+        cfg = self.config
+        expected = cfg.blink_rate_hz * n_frames / cfg.fps
+        n_blinks = self.rng.poisson(expected)
+        for _ in range(n_blinks):
+            start = int(self.rng.integers(0, n_frames))
+            duration = self.rng.uniform(*cfg.blink_duration_s)
+            n = max(2, int(round(duration * cfg.fps)))
+            stop = min(start + n, n_frames)
+            count = stop - start
+            # Triangular close/open profile.
+            half = count / 2.0
+            profile = 1.0 - np.minimum(np.arange(count) + 1, count - np.arange(count)) / half
+            openness[start:stop] = np.minimum(openness[start:stop], np.clip(profile, 0.0, 1.0))
+
+    @staticmethod
+    def _velocities(gaze: np.ndarray, dt: float) -> np.ndarray:
+        deltas = np.linalg.norm(np.diff(gaze, axis=0), axis=1) / dt
+        return np.concatenate([[0.0], deltas])

@@ -1,0 +1,274 @@
+"""Procedural near-eye frame synthesis.
+
+Generates monochrome infrared-style eye images with the intensity
+ordering the POLO pipeline depends on (pupil darkest, then iris, then
+skin, then sclera; §4.2), plus the nuisances that create long-tail gaze
+errors: eyelid occlusion, blinks, eyelashes, corneal glints, vignetting,
+and sensor noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eye.eyeball import EyeAppearance, EyeGeometry
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class RenderConfig:
+    """Sensor and image-formation settings.
+
+    The default 160x120 resolution keeps pure-python experiments fast; the
+    OpenEDS sensor (640x400) is available by passing those dimensions.
+    """
+
+    width: int = 160
+    height: int = 120
+    noise_std: float = 0.02
+    vignette_strength: float = 0.25
+    glint_count: int = 2
+    eyelash_count: int = 9
+    max_shadow_patches: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+        check_in_range("noise_std", self.noise_std, 0.0, 0.5)
+        check_in_range("vignette_strength", self.vignette_strength, 0.0, 1.0)
+        if self.max_shadow_patches < 0:
+            raise ValueError("max_shadow_patches must be non-negative")
+
+
+class NearEyeRenderer:
+    """Renders labelled near-eye frames for one participant."""
+
+    def __init__(
+        self,
+        appearance: EyeAppearance,
+        config: "RenderConfig | None" = None,
+        seed=None,
+    ):
+        self.appearance = appearance
+        self.config = config or RenderConfig()
+        self.geometry = EyeGeometry(appearance)
+        self._rng = default_rng(seed)
+        h, w = self.config.height, self.config.width
+        self._yy, self._xx = np.mgrid[0:h, 0:w].astype(np.float64)
+        self._vignette = self._make_vignette()
+        self._iris_texture_phase = self._rng.uniform(0, 2 * math.pi)
+        self._lash_params = self._sample_lashes()
+        self._shadow_patches = self._sample_shadow_patches()
+
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        gaze_deg: np.ndarray,
+        openness: float = 1.0,
+        dilation: float = 1.0,
+        motion_blur: float = 0.0,
+    ) -> np.ndarray:
+        """Render one frame.
+
+        Args:
+            gaze_deg: (2,) gaze angles in degrees.
+            openness: eyelid opening in [0, 1]; 0 is a full blink.
+            dilation: pupil dilation multiplier.
+            motion_blur: blur extent in pixels along x (saccadic frames).
+
+        Returns:
+            (H, W) float image in [0, 1].
+        """
+        openness = float(np.clip(openness, 0.0, 1.0))
+        a = self.appearance
+        frame = np.full((self.config.height, self.config.width), a.skin_shade)
+        frame += 0.03 * self._smooth_noise()
+        frame = self._draw_shadow_patches(frame)
+
+        pose = self.geometry.pupil_pose(gaze_deg, dilation)
+        eye_mask = self._eye_opening_mask(openness)
+
+        # Sclera within the opening.
+        frame = np.where(eye_mask, a.sclera_shade + 0.02 * self._smooth_noise(), frame)
+
+        if openness > 0.05:
+            iris = self._disc(pose.x, pose.y, a.iris_radius, squash=pose.radius_minor / pose.radius_major)
+            iris_tex = a.iris_shade + 0.05 * np.sin(
+                6.0 * np.arctan2(self._yy - pose.y, self._xx - pose.x)
+                + self._iris_texture_phase
+            )
+            frame = np.where(eye_mask & iris, iris_tex, frame)
+
+            pupil = self._ellipse(
+                pose.x, pose.y, pose.radius_major, pose.radius_minor, pose.orientation_rad
+            )
+            frame = np.where(eye_mask & pupil, 0.05, frame)
+
+            for gi in range(self.config.glint_count):
+                gx = pose.x + (8.0 + 4.0 * gi) * math.cos(1.1 + 2.2 * gi)
+                gy = pose.y + (6.0 + 3.0 * gi) * math.sin(0.7 + 2.2 * gi)
+                glint = self._disc(gx, gy, 1.6)
+                frame = np.where(eye_mask & glint, 0.98, frame)
+
+        frame = self._draw_eyelids(frame, openness)
+        frame = self._draw_lashes(frame, openness)
+
+        if motion_blur > 0.5:
+            frame = self._blur_x(frame, int(round(motion_blur)))
+
+        frame *= self._vignette
+        frame += self._rng.normal(0.0, self.config.noise_std, frame.shape)
+        return np.clip(frame, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _disc(self, cx: float, cy: float, radius: float, squash: float = 1.0) -> np.ndarray:
+        dx = self._xx - cx
+        dy = (self._yy - cy) / max(squash, 1e-3)
+        return dx * dx + dy * dy <= radius * radius
+
+    def _ellipse(
+        self, cx: float, cy: float, a_r: float, b_r: float, angle: float
+    ) -> np.ndarray:
+        dx = self._xx - cx
+        dy = self._yy - cy
+        cos_t, sin_t = math.cos(angle), math.sin(angle)
+        u = dx * cos_t + dy * sin_t
+        v = -dx * sin_t + dy * cos_t
+        return (u / max(a_r, 1e-3)) ** 2 + (v / max(b_r, 1e-3)) ** 2 <= 1.0
+
+    def _eye_opening_mask(self, openness: float) -> np.ndarray:
+        """Almond-shaped palpebral fissure.
+
+        Closing is upper-lid dominant, as in real blinks: the top boundary
+        descends with (1 - openness) while the lower lid barely moves.
+        This is what creates partial pupil occlusion — and therefore the
+        biased-centroid failure mode of segmentation-based gaze trackers —
+        whenever the gaze is upward and the lid is low.
+        """
+        a = self.appearance
+        if openness < 0.04:
+            return np.zeros_like(self._xx, dtype=bool)
+        dx = (self._xx - a.center_x) / a.eye_width
+        dy = (self._yy - a.center_y) / max(a.eye_height, 1e-3)
+        opening = dx * dx + dy * dy <= 1.0
+        # Upper lid line: from the opening's top (openness 1) down past its
+        # bottom (openness 0); droop keeps the relaxed lid slightly low.
+        descent = (1.0 - openness) * 2.0 + a.lid_droop * 0.5
+        lid_line = a.center_y + a.eye_height * (descent - 1.0)
+        return opening & (self._yy >= lid_line)
+
+    def _draw_eyelids(self, frame: np.ndarray, openness: float) -> np.ndarray:
+        """Shaded crease along the (descended) upper-lid line."""
+        a = self.appearance
+        descent = (1.0 - openness) * 2.0 + a.lid_droop * 0.5
+        lid_line = a.center_y + a.eye_height * (descent - 1.0)
+        band = (self._yy > lid_line - 3.0) & (self._yy <= lid_line + 1.0)
+        inside_x = np.abs(self._xx - a.center_x) < a.eye_width
+        shade = a.skin_shade * 0.82
+        return np.where(band & inside_x, np.minimum(frame, shade), frame)
+
+    def _sample_shadow_patches(self) -> list[tuple[float, float, float, float, float]]:
+        """Static peripheral dark smudges (eye shadow, mascara smears,
+        lens shading) unique to each participant.
+
+        These are the 'extraneous pixels' of §4.2: they sit *outside* the
+        eye opening, darker than skin but well above the binarization
+        threshold, so the POLONet front end (binarize + crop) discards
+        them entirely while a full-frame appearance model has to learn
+        around each user's unique clutter layout.
+        """
+        a = self.appearance
+        patches = []
+        n = int(self._rng.integers(0, self.config.max_shadow_patches + 1))
+        for _ in range(n):
+            for _attempt in range(16):
+                cx = self._rng.uniform(0, self.config.width)
+                cy = self._rng.uniform(0, self.config.height)
+                distance = math.hypot(cx - a.center_x, cy - a.center_y)
+                if distance > 1.15 * a.eye_width:
+                    break
+            else:
+                continue
+            patches.append(
+                (
+                    cx,
+                    cy,
+                    self._rng.uniform(8.0, 22.0),  # radius px
+                    self._rng.uniform(0.35, 0.8),  # squash
+                    # Above the gamma1 binarization threshold even after
+                    # vignetting, so the IPU never mistakes a smudge for
+                    # the pupil.
+                    self._rng.uniform(0.30, 0.42),  # intensity
+                )
+            )
+        return patches
+
+    def _draw_shadow_patches(self, frame: np.ndarray) -> np.ndarray:
+        for cx, cy, radius, squash, shade in self._shadow_patches:
+            mask = self._disc(cx, cy, radius, squash=squash)
+            frame = np.where(mask, np.minimum(frame, shade), frame)
+        return frame
+
+    def _sample_lashes(self) -> list[tuple[float, float, float]]:
+        a = self.appearance
+        lashes = []
+        for _ in range(self.config.eyelash_count):
+            x0 = a.center_x + self._rng.uniform(-0.9, 0.9) * a.eye_width
+            angle = self._rng.uniform(-0.5, 0.5) - math.pi / 2
+            length = self._rng.uniform(4.0, 9.0)
+            lashes.append((x0, angle, length))
+        return lashes
+
+    def _draw_lashes(self, frame: np.ndarray, openness: float) -> np.ndarray:
+        a = self.appearance
+        descent = (1.0 - openness) * 2.0 + a.lid_droop * 0.5
+        y0 = a.center_y + a.eye_height * (descent - 1.0)
+        out = frame
+        for x0, angle, length in self._lash_params:
+            n = int(length)
+            xs = (x0 + np.cos(angle) * np.arange(n)).astype(int)
+            ys = (y0 + np.sin(angle) * np.arange(n)).astype(int)
+            valid = (
+                (xs >= 0)
+                & (xs < self.config.width)
+                & (ys >= 0)
+                & (ys < self.config.height)
+            )
+            out[ys[valid], xs[valid]] = np.minimum(out[ys[valid], xs[valid]], 0.22)
+        return out
+
+    # ------------------------------------------------------------------
+    # Image-formation helpers
+    # ------------------------------------------------------------------
+    def _make_vignette(self) -> np.ndarray:
+        h, w = self.config.height, self.config.width
+        dy = (self._yy - h / 2) / (h / 2)
+        dx = (self._xx - w / 2) / (w / 2)
+        r2 = dx * dx + dy * dy
+        return 1.0 - self.config.vignette_strength * 0.5 * r2
+
+    def _smooth_noise(self) -> np.ndarray:
+        """Low-frequency noise from an upsampled coarse grid."""
+        h, w = self.config.height, self.config.width
+        coarse = self._rng.normal(size=(max(h // 16, 2), max(w // 16, 2)))
+        reps_y = math.ceil(h / coarse.shape[0])
+        reps_x = math.ceil(w / coarse.shape[1])
+        tiled = np.repeat(np.repeat(coarse, reps_y, axis=0), reps_x, axis=1)
+        return tiled[:h, :w]
+
+    @staticmethod
+    def _blur_x(frame: np.ndarray, extent: int) -> np.ndarray:
+        """Box blur along x simulating intra-frame saccadic motion."""
+        extent = max(1, extent)
+        kernel = np.ones(2 * extent + 1) / (2 * extent + 1)
+        padded = np.pad(frame, ((0, 0), (extent, extent)), mode="edge")
+        out = np.empty_like(frame)
+        for row in range(frame.shape[0]):
+            out[row] = np.convolve(padded[row], kernel, mode="valid")
+        return out

@@ -1,0 +1,74 @@
+"""Hardware substrate: systolic array, SFU, IPU, buffers, accelerator
+composition, sensor/link models, and the DNN-on-GPU ablation model."""
+
+from repro.hw.accelerator import (
+    Accelerator,
+    AcceleratorConfig,
+    ExecutionReport,
+    PathReport,
+    PoloAcceleratorModel,
+    baseline_accelerator,
+    polo_accelerator,
+)
+from repro.hw.area import AreaTable, MAC_AREA_RATIO
+from repro.hw.buffers import SramBuffer
+from repro.hw.energy import (
+    AREA_SCALE_45_TO_22,
+    ENERGY_SCALE_45_TO_22,
+    EnergyBreakdown,
+    EnergyTable,
+)
+from repro.hw.gpu_compute import GpuComputeModel
+from repro.hw.ipu import IpuConfig, IpuModel, IpuReport
+from repro.hw.mapper import ScheduleReport, WorkloadMapper
+from repro.hw.mipi import MipiLink
+from repro.hw.noc import NocLink
+from repro.hw.ops import (
+    ElementwiseOp,
+    MatMulOp,
+    NonlinearKind,
+    NonlinearOp,
+    conv2d_as_matmul,
+    total_elementwise,
+    total_macs,
+    total_nonlinear,
+)
+from repro.hw.sensor import CameraSensor
+from repro.hw.sfu import SpecialFunctionUnit
+from repro.hw.systolic import SystolicArray
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorConfig",
+    "ExecutionReport",
+    "PathReport",
+    "PoloAcceleratorModel",
+    "baseline_accelerator",
+    "polo_accelerator",
+    "AreaTable",
+    "MAC_AREA_RATIO",
+    "SramBuffer",
+    "AREA_SCALE_45_TO_22",
+    "ENERGY_SCALE_45_TO_22",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "GpuComputeModel",
+    "IpuConfig",
+    "IpuModel",
+    "IpuReport",
+    "ScheduleReport",
+    "WorkloadMapper",
+    "MipiLink",
+    "NocLink",
+    "ElementwiseOp",
+    "MatMulOp",
+    "NonlinearKind",
+    "NonlinearOp",
+    "conv2d_as_matmul",
+    "total_elementwise",
+    "total_macs",
+    "total_nonlinear",
+    "CameraSensor",
+    "SpecialFunctionUnit",
+    "SystolicArray",
+]

@@ -1,0 +1,90 @@
+"""Area model at 22 nm (paper §7: the synthesized POLO accelerator
+occupies 0.75 mm^2, split 72% buffers / 24% computational engine / 4%
+IPU).
+
+The constants below are chosen so that the paper's configuration —
+16 x 16 INT8 PEs, SFU, token selector, 128 KB + 128 KB SRAM, IPU —
+reproduces those published aggregates; baseline accelerators are then
+sized under the *same total compute area* (§7: "optimized to enhance
+performance for each gaze-tracking DNN within the same total chip area"),
+which is what forces FP16 baselines onto smaller arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+#: Relative datapath area of one MAC by precision: a FP16
+#: multiply-accumulate (multiplier + alignment/normalization logic) costs
+#: about 3x the area of an INT8 MAC.
+MAC_AREA_RATIO = {"int8": 1.0, "fp16": 3.0}
+
+
+@dataclass(frozen=True)
+class AreaTable:
+    """Component areas in mm^2 at 22 nm."""
+
+    pe_int8_mm2: float = 0.00045
+    sfu_mm2: float = 0.035
+    token_selector_mm2: float = 0.015
+    ipu_mm2: float = 0.03
+    sram_mm2_per_kb: float = 0.00211
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pe_int8_mm2",
+            "sfu_mm2",
+            "token_selector_mm2",
+            "ipu_mm2",
+            "sram_mm2_per_kb",
+        ):
+            check_positive(name, getattr(self, name))
+
+    def pe_mm2(self, precision: str) -> float:
+        try:
+            ratio = MAC_AREA_RATIO[precision]
+        except KeyError:
+            raise ValueError(f"unknown precision {precision!r}") from None
+        return self.pe_int8_mm2 * ratio
+
+    def array_mm2(self, rows: int, cols: int, precision: str) -> float:
+        return rows * cols * self.pe_mm2(precision)
+
+    def compute_engine_mm2(
+        self, rows: int, cols: int, precision: str, with_token_selector: bool
+    ) -> float:
+        area = self.array_mm2(rows, cols, precision) + self.sfu_mm2
+        if with_token_selector:
+            area += self.token_selector_mm2
+        return area
+
+    def buffers_mm2(self, total_kb: float) -> float:
+        return total_kb * self.sram_mm2_per_kb
+
+    def accelerator_mm2(
+        self,
+        rows: int,
+        cols: int,
+        precision: str,
+        buffer_kb: float,
+        with_token_selector: bool = True,
+        with_ipu: bool = True,
+    ) -> float:
+        total = self.compute_engine_mm2(rows, cols, precision, with_token_selector)
+        total += self.buffers_mm2(buffer_kb)
+        if with_ipu:
+            total += self.ipu_mm2
+        return total
+
+    def equal_area_array_dim(
+        self, reference_rows: int, reference_cols: int, reference_precision: str, precision: str
+    ) -> int:
+        """Largest square array of ``precision`` PEs fitting in the area of
+        the reference array — how the baseline accelerators are sized."""
+        budget = self.array_mm2(reference_rows, reference_cols, reference_precision)
+        per_pe = self.pe_mm2(precision)
+        dim = int(math.floor(math.sqrt(budget / per_pe)))
+        return max(dim, 1)

@@ -1,0 +1,48 @@
+"""On-chip SRAM buffer model (paper §5.2: 128 KB activation/metadata
+buffer + 128 KB weight buffer, sized down by cropping and token pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.energy import EnergyTable
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class SramBuffer:
+    """A capacity-checked SRAM with access-energy accounting."""
+
+    name: str
+    capacity_kb: float
+    energy: EnergyTable
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_kb", self.capacity_kb)
+        self._accesses_bytes = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self.capacity_kb * 1024)
+
+    @property
+    def pj_per_byte(self) -> float:
+        return self.energy.sram_pj_per_byte(self.capacity_kb)
+
+    def fits(self, n_bytes: int) -> bool:
+        return n_bytes <= self.capacity_bytes
+
+    def access(self, n_bytes: int) -> float:
+        """Record ``n_bytes`` of traffic; returns the energy in joules."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        self._accesses_bytes += n_bytes
+        return n_bytes * self.pj_per_byte * 1e-12
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self._accesses_bytes
+
+    def reset(self) -> None:
+        self._accesses_bytes = 0

@@ -1,0 +1,112 @@
+"""Per-operation energy constants and technology scaling.
+
+The paper synthesizes the accelerator in 45 nm (Nangate) at 1 GHz, models
+buffers with CACTI, and scales results to 22 nm with DeepScaleTool (§7).
+We encode the same flow as data: per-op energies at 45 nm from standard
+published measurements (Horowitz, ISSCC'14 style numbers), a DeepScaleTool
+style 45->22 nm scaling factor, and a CACTI-like sqrt-capacity model for
+SRAM access energy.  All downstream energy numbers derive from this one
+table, so the calibration is auditable in a single place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.utils.validation import check_positive
+
+#: DeepScaleTool-style scaling of dynamic energy from 45 nm to 22 nm.
+ENERGY_SCALE_45_TO_22 = 0.37
+#: Corresponding area scaling.
+AREA_SCALE_45_TO_22 = 0.25
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-operation dynamic energy in picojoules at the target node.
+
+    ``mac_int8_pj`` / ``mac_fp16_pj``: one multiply-accumulate.
+    ``sfu_op_pj``: one LUT/PWL nonlinear evaluation in the SFU.
+    ``bit_op_pj``: one bit-level IPU operation (XOR, 1-bit add slice).
+    ``sram_pj_per_byte_128kb``: SRAM access energy per byte for a 128 KB
+    macro; other capacities scale as sqrt(capacity).
+    ``dram_pj_per_byte``: off-chip access energy per byte.
+    ``mipi_pj_per_bit``: link energy per transferred bit.
+    """
+
+    mac_int8_pj: float = 0.25 * ENERGY_SCALE_45_TO_22
+    mac_fp16_pj: float = 0.8 * ENERGY_SCALE_45_TO_22
+    sfu_op_pj: float = 0.9 * ENERGY_SCALE_45_TO_22
+    bit_op_pj: float = 0.004 * ENERGY_SCALE_45_TO_22
+    sram_pj_per_byte_128kb: float = 4.0 * ENERGY_SCALE_45_TO_22
+    dram_pj_per_byte: float = 20.0
+    mipi_pj_per_bit: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mac_int8_pj",
+            "mac_fp16_pj",
+            "sfu_op_pj",
+            "bit_op_pj",
+            "sram_pj_per_byte_128kb",
+            "dram_pj_per_byte",
+            "mipi_pj_per_bit",
+        ):
+            check_positive(name, getattr(self, name))
+
+    def mac_pj(self, precision: str) -> float:
+        """MAC energy for a datapath precision ('int8' or 'fp16')."""
+        if precision == "int8":
+            return self.mac_int8_pj
+        if precision == "fp16":
+            return self.mac_fp16_pj
+        raise ValueError(f"unknown precision {precision!r}")
+
+    def sram_pj_per_byte(self, capacity_kb: float) -> float:
+        """CACTI-like access energy: grows with the square root of
+        capacity (bitline/wordline length scaling)."""
+        check_positive("capacity_kb", capacity_kb)
+        return self.sram_pj_per_byte_128kb * math.sqrt(capacity_kb / 128.0)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules attributed to each accelerator component (Fig. 13a axes)."""
+
+    mac_j: float = 0.0
+    sfu_j: float = 0.0
+    buffer_j: float = 0.0
+    other_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.mac_j + self.sfu_j + self.buffer_j + self.other_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac_j=self.mac_j + other.mac_j,
+            sfu_j=self.sfu_j + other.sfu_j,
+            buffer_j=self.buffer_j + other.buffer_j,
+            other_j=self.other_j + other.other_j,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac_j=self.mac_j * factor,
+            sfu_j=self.sfu_j * factor,
+            buffer_j=self.buffer_j * factor,
+            other_j=self.other_j * factor,
+        )
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_j
+        if total <= 0:
+            return {"mac": 0.0, "sfu": 0.0, "buffer": 0.0, "other": 0.0}
+        return {
+            "mac": self.mac_j / total,
+            "sfu": self.sfu_j / total,
+            "buffer": self.buffer_j / total,
+            "other": self.other_j / total,
+        }

@@ -1,0 +1,66 @@
+"""DNN-inference-on-GPU latency model for the no-accelerator ablation
+(paper §7.2, Fig. 13b).
+
+When the gaze-tracking accelerator is removed, the rendering GPU runs
+the gaze DNN itself inside the graphics/compute context that Vulkan-Sim
+models — batch-1, many small kernels, no tensor-core inference runtime,
+plus the GPU-hostile operations the paper calls out (softmax/layernorm,
+token top-k and reshaping).  Effective MAC throughput is therefore far
+below peak.  The model charges:
+
+* sustained MAC throughput by precision (INT8 via dp4a-style packing is
+  ~4x the FP16-accumulate path),
+* a per-kernel launch overhead for every op,
+* memory-bound nonlinearities at the DRAM-bandwidth rate,
+* an extra penalty factor for token-pruned ViTs (top-k + reshape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.ops import MatMulOp, NonlinearOp
+from repro.utils.validation import check_positive
+
+_GPU_MACS_PER_S = {"int8": 80e9, "fp16": 20e9}
+
+
+@dataclass(frozen=True)
+class GpuComputeModel:
+    """Batch-1 DNN inference latency on the rendering GPU."""
+
+    name: str = "Jetson Orin NX (graphics-context inference)"
+    kernel_launch_s: float = 8e-6
+    memory_bandwidth_bytes_s: float = 102e9
+    pruning_overhead: float = 1.3
+
+    def __post_init__(self) -> None:
+        check_positive("kernel_launch_s", self.kernel_launch_s)
+        check_positive("memory_bandwidth_bytes_s", self.memory_bandwidth_bytes_s)
+        if self.pruning_overhead < 1.0:
+            raise ValueError("pruning_overhead must be >= 1")
+
+    def macs_per_s(self, precision: str) -> float:
+        try:
+            return _GPU_MACS_PER_S[precision]
+        except KeyError:
+            raise ValueError(f"unknown precision {precision!r}") from None
+
+    def latency_s(self, ops: list, precision: str, token_pruned: bool = False) -> float:
+        """Seconds to run one inference of ``ops`` at ``precision``."""
+        rate = self.macs_per_s(precision)
+        bytes_per_elem = 1 if precision == "int8" else 2
+        total = 0.0
+        for op in ops:
+            total += self.kernel_launch_s
+            if isinstance(op, MatMulOp):
+                total += op.macs / rate
+            elif isinstance(op, NonlinearOp):
+                # Memory bound: read + write each element once.
+                total += 2 * op.count * bytes_per_elem / self.memory_bandwidth_bytes_s
+            else:
+                count = getattr(op, "count", 0)
+                total += 3 * count * bytes_per_elem / self.memory_bandwidth_bytes_s
+        if token_pruned:
+            total *= self.pruning_overhead
+        return total

@@ -1,0 +1,118 @@
+"""Image Pre-processing Unit model (paper §5.1, Fig. 10).
+
+Three shared-datapath tasks over the full-sized eye frame:
+
+* **Pool + binarize** — M x M tiles stream through the adder tree, one
+  tile per cycle; the tile sum is compared against gamma1 pre-scaled by
+  M^2 (the hardware's division-free trick).
+* **Gaze-reuse test** — the two binary maps stream through the XOR array
+  (one word of ``xor_width`` pixels per cycle) into the adder tree.
+* **Pupil search** — an S x S window sum evaluated *only at white
+  pixels*, exploiting binary-map sparsity; cycle count is therefore
+  data-dependent (the count of white pixels).
+
+Functional outputs delegate to the golden model in
+:mod:`repro.core.preprocessing`; tests assert that hardware-reported
+outputs equal the golden outputs exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.energy import EnergyBreakdown, EnergyTable
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class IpuConfig:
+    """Datapath widths of the shared IPU hardware."""
+
+    xor_width: int = 64  # binary pixels compared per cycle
+    adder_tree_width: int = 16  # pixels summed per cycle in pooling
+    pipeline_fill: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("xor_width", self.xor_width)
+        check_positive("adder_tree_width", self.adder_tree_width)
+
+
+@dataclass(frozen=True)
+class IpuReport:
+    """Cycles and energy of one IPU task invocation."""
+
+    task: str
+    cycles: int
+    energy: EnergyBreakdown
+
+
+class IpuModel:
+    """Costing (and functional pass-through) of the IPU datapaths."""
+
+    def __init__(self, config: "IpuConfig | None" = None, energy: "EnergyTable | None" = None):
+        self.config = config or IpuConfig()
+        self.energy = energy or EnergyTable()
+
+    # ------------------------------------------------------------------
+    # Costing
+    # ------------------------------------------------------------------
+    def pool_binarize_cost(self, frame_shape: tuple[int, int], pool_m: int) -> IpuReport:
+        """Adder-tree pooling + comparator binarization over the frame."""
+        h, w = frame_shape
+        tiles = (h // pool_m) * (w // pool_m)
+        pixels_per_tile = pool_m * pool_m
+        cycles_per_tile = max(1, pixels_per_tile // self.config.adder_tree_width)
+        cycles = tiles * cycles_per_tile + self.config.pipeline_fill
+        # Byte-wide adds for pooling, one comparator op per tile.
+        ops = h * w + tiles
+        energy = EnergyBreakdown(other_j=ops * 8 * self.energy.bit_op_pj * 1e-12)
+        return IpuReport("pool_binarize", cycles, energy)
+
+    def reuse_check_cost(self, map_shape: tuple[int, int]) -> IpuReport:
+        """XOR array + adder tree over the two binary maps."""
+        pixels = map_shape[0] * map_shape[1]
+        cycles = max(1, pixels // self.config.xor_width) + self.config.pipeline_fill
+        energy = EnergyBreakdown(other_j=2 * pixels * self.energy.bit_op_pj * 1e-12)
+        return IpuReport("reuse_check", cycles, energy)
+
+    def pupil_search_cost(self, binary_map: np.ndarray, window: int) -> IpuReport:
+        """Sparse sliding-window sum; one white-centred window per cycle."""
+        white = int(binary_map.sum())
+        cycles = max(1, white) + self.config.pipeline_fill
+        ops = white * window * window
+        energy = EnergyBreakdown(other_j=ops * self.energy.bit_op_pj * 1e-12)
+        return IpuReport("pupil_search", cycles, energy)
+
+    # ------------------------------------------------------------------
+    # Combined per-frame costs for the three POLONet paths
+    # ------------------------------------------------------------------
+    def frame_cost(
+        self,
+        frame_shape: tuple[int, int],
+        pool_m: int,
+        binary_map: "np.ndarray | None",
+        window: int,
+        path: str,
+    ) -> IpuReport:
+        """IPU work for one frame on a given Algorithm-1 path.
+
+        ``path``: 'saccade' runs pooling/binarization only; 'reuse' adds the
+        XOR difference; 'predict' additionally runs the pupil search.
+        """
+        reports = [self.pool_binarize_cost(frame_shape, pool_m)]
+        map_shape = (frame_shape[0] // pool_m, frame_shape[1] // pool_m)
+        if path in ("reuse", "predict"):
+            reports.append(self.reuse_check_cost(map_shape))
+        if path == "predict":
+            if binary_map is None:
+                binary_map = np.ones(map_shape, dtype=np.uint8) * 0  # worst case none
+            reports.append(self.pupil_search_cost(binary_map, window))
+        if path not in ("saccade", "reuse", "predict"):
+            raise ValueError(f"unknown path {path!r}")
+        cycles = sum(r.cycles for r in reports)
+        energy = EnergyBreakdown()
+        for r in reports:
+            energy = energy + r.energy
+        return IpuReport(path, cycles, energy)

@@ -1,0 +1,30 @@
+"""MIPI CSI link model (paper §2.3/§7: sub-millisecond transfer of the
+eye frame from sensor to SoC; latency/energy after [2, 63])."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MipiLink:
+    """Serial camera link with fixed setup latency plus serialization."""
+
+    bandwidth_bps: float = 2.5e9
+    setup_s: float = 20e-6
+    energy_pj_per_bit: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_bps", self.bandwidth_bps)
+        check_positive("setup_s", self.setup_s, strict=False)
+        check_positive("energy_pj_per_bit", self.energy_pj_per_bit)
+
+    def transfer_latency_s(self, bits: int) -> float:
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return self.setup_s + bits / self.bandwidth_bps
+
+    def transfer_energy_j(self, bits: int) -> float:
+        return bits * self.energy_pj_per_bit * 1e-12

@@ -1,0 +1,33 @@
+"""Network-on-chip link model (paper §5.3).
+
+The gaze result crossing the NoC is a handful of bytes — the paper
+explicitly neglects it — but the model keeps it explicit so the latency
+composition is complete and auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NocLink:
+    """On-chip interconnect hop."""
+
+    bandwidth_bytes_per_s: float = 32e9
+    hop_latency_s: float = 50e-9
+    energy_pj_per_byte: float = 0.8
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)
+        check_positive("hop_latency_s", self.hop_latency_s, strict=False)
+
+    def transfer_latency_s(self, n_bytes: int, hops: int = 2) -> float:
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        return hops * self.hop_latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_energy_j(self, n_bytes: int) -> float:
+        return n_bytes * self.energy_pj_per_byte * 1e-12

@@ -1,0 +1,109 @@
+"""Abstract compute-op descriptors.
+
+Every gaze-processing algorithm (POLONet and each baseline) describes its
+paper-scale inference workload as a list of these ops.  The hardware
+models (``repro.hw.accelerator``, ``repro.hw.gpu_compute``) consume the
+same lists to produce cycle counts, energy, and memory traffic, which is
+what makes the cross-algorithm latency comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NonlinearKind(enum.Enum):
+    """Nonlinearities the SFU supports (paper §5.2)."""
+
+    SOFTMAX = "softmax"
+    LAYERNORM = "layernorm"
+    GELU = "gelu"
+    RELU = "relu"
+    TANH = "tanh"
+    SIGMOID = "sigmoid"
+
+
+@dataclass(frozen=True)
+class MatMulOp:
+    """Dense matrix multiply C[m, n] = A[m, k] @ B[k, n].
+
+    Convolutions are lowered to this form via im2col before costing, which
+    matches how both the systolic array and a GPU's GEMM path execute them.
+    ``transposed`` marks the in-place transposed matmuls of attention that
+    the reconfigurable systolic array of [118] supports.
+    """
+
+    m: int
+    k: int
+    n: int
+    transposed: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"matmul dims must be positive, got {(self.m, self.k, self.n)}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @property
+    def input_elems(self) -> int:
+        return self.m * self.k + self.k * self.n
+
+    @property
+    def output_elems(self) -> int:
+        return self.m * self.n
+
+
+@dataclass(frozen=True)
+class NonlinearOp:
+    """``count`` scalar applications of one nonlinearity."""
+
+    kind: NonlinearKind
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class ElementwiseOp:
+    """``count`` scalar add/mul-class operations (residuals, biases, masks)."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+
+
+Op = "MatMulOp | NonlinearOp | ElementwiseOp"
+
+
+def conv2d_as_matmul(
+    out_h: int,
+    out_w: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+) -> MatMulOp:
+    """Lower a convolution to its im2col GEMM."""
+    return MatMulOp(m=out_h * out_w, k=in_channels * kernel * kernel, n=out_channels)
+
+
+def total_macs(ops: list) -> int:
+    return sum(op.macs for op in ops if isinstance(op, MatMulOp))
+
+
+def total_nonlinear(ops: list) -> int:
+    return sum(op.count for op in ops if isinstance(op, NonlinearOp))
+
+
+def total_elementwise(ops: list) -> int:
+    return sum(op.count for op in ops if isinstance(op, ElementwiseOp))

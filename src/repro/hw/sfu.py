@@ -1,0 +1,55 @@
+"""Special Function Unit timing model (paper §5.2).
+
+The SFU executes every nonlinearity the ViT and saccade network need:
+softmax exponentials via LUT, layer-norm square roots via LUT, GeLU/Tanh
+via piecewise-linear segments, and ReLU via comparators.  Throughputs
+below are scalar lanes per cycle for each kind; comparator-based ReLU is
+the cheapest, LUT softmax the most expensive (it also accumulates the
+normalizing sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.ops import NonlinearKind, NonlinearOp
+
+#: Scalar evaluations per cycle for each supported nonlinearity.
+DEFAULT_THROUGHPUT: dict[NonlinearKind, float] = {
+    NonlinearKind.SOFTMAX: 4.0,
+    NonlinearKind.LAYERNORM: 4.0,
+    NonlinearKind.GELU: 8.0,
+    NonlinearKind.TANH: 8.0,
+    NonlinearKind.SIGMOID: 8.0,
+    NonlinearKind.RELU: 16.0,
+}
+
+#: Relative energy per evaluation (multiplied by EnergyTable.sfu_op_pj).
+DEFAULT_ENERGY_WEIGHT: dict[NonlinearKind, float] = {
+    NonlinearKind.SOFTMAX: 1.0,
+    NonlinearKind.LAYERNORM: 1.0,
+    NonlinearKind.GELU: 0.6,
+    NonlinearKind.TANH: 0.6,
+    NonlinearKind.SIGMOID: 0.6,
+    NonlinearKind.RELU: 0.15,
+}
+
+
+@dataclass(frozen=True)
+class SpecialFunctionUnit:
+    """LUT/PWL nonlinearity engine."""
+
+    throughput: dict = field(default_factory=lambda: dict(DEFAULT_THROUGHPUT))
+    energy_weight: dict = field(default_factory=lambda: dict(DEFAULT_ENERGY_WEIGHT))
+
+    def cycles(self, op: NonlinearOp) -> int:
+        rate = self.throughput.get(op.kind)
+        if rate is None:
+            raise ValueError(f"SFU does not support {op.kind}")
+        return max(1, int(round(op.count / rate)))
+
+    def energy_weight_for(self, op: NonlinearOp) -> float:
+        weight = self.energy_weight.get(op.kind)
+        if weight is None:
+            raise ValueError(f"SFU does not support {op.kind}")
+        return weight * op.count

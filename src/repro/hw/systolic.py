@@ -1,0 +1,70 @@
+"""Weight-stationary systolic-array timing model (paper §5.2).
+
+The POLO computational engine is a 16 x 16 array of 8-bit MACs fed in a
+staggered (skewed) fashion; weights are preloaded into the PEs and
+inputs stream through.  For a GEMM C[M,N] = A[M,K] @ B[K,N] the array
+processes one (rows x cols) tile of B at a time:
+
+    tiles  = ceil(K / rows) * ceil(N / cols)
+    cycles = tiles * (M + rows + cols)
+
+where ``rows + cols`` is the systolic fill/drain skew; per-tile weight
+preload is double-buffered behind the previous tile's drain and adds no
+cycles.  The reconfigurable design of [118] performs transposed matmuls
+in place, so ``transposed`` ops incur no extra pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.ops import MatMulOp
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """Array geometry and datapath precision."""
+
+    rows: int = 16
+    cols: int = 16
+    precision: str = "int8"
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+        if self.precision not in ("int8", "fp16"):
+            raise ValueError(f"unknown precision {self.precision!r}")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.rows * self.cols
+
+    def tiles(self, op: MatMulOp) -> int:
+        return math.ceil(op.k / self.rows) * math.ceil(op.n / self.cols)
+
+    def cycles(self, op: MatMulOp) -> int:
+        """Total cycles to execute one GEMM."""
+        per_tile = op.m + self.rows + self.cols
+        return self.tiles(op) * per_tile
+
+    def utilization(self, op: MatMulOp) -> float:
+        """Achieved MACs per cycle over peak (accounts for ragged tiles
+        and fill/drain overhead)."""
+        return op.macs / (self.cycles(op) * self.macs_per_cycle)
+
+    def weight_loads(self, op: MatMulOp) -> int:
+        """Weight elements fetched from SRAM (each loaded exactly once
+        under weight-stationary dataflow)."""
+        return op.k * op.n
+
+    def activation_reads(self, op: MatMulOp) -> int:
+        """Input elements streamed from SRAM.  The A panel is re-streamed
+        once per N-tile (it cannot be held in the array)."""
+        return op.m * op.k * math.ceil(op.n / self.cols)
+
+    def output_writes(self, op: MatMulOp) -> int:
+        """Accumulated outputs written back (partial sums stay in the
+        accumulator across K-tiles)."""
+        return op.m * op.n

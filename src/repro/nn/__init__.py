@@ -1,0 +1,69 @@
+"""A compact reverse-mode autograd framework over numpy.
+
+This package is the training and inference substrate for every learned
+component in the reproduction: POLOViT, the saccade RNN, and the learned
+baselines.  It provides tensors with automatic differentiation, standard
+layers, ViT blocks with token pruning, optimizers, and INT8 post-training
+quantization.
+"""
+
+from repro.nn import functional
+from repro.nn.attention import AttentionStats, MultiHeadSelfAttention, TokenFilter
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.optim import Adam, CosineSchedule, Optimizer, SGD
+from repro.nn.quantization import ActivationQuantizer, QuantSpec, quantize_weights
+from repro.nn.recurrent import LeakyRecurrentCell
+from repro.nn.serialization import load_weights, save_weights
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack, where
+from repro.nn.transformer import PatchEmbed, TokenTrace, TransformerBlock, ViTEncoder
+
+__all__ = [
+    "functional",
+    "AttentionStats",
+    "MultiHeadSelfAttention",
+    "TokenFilter",
+    "AvgPool2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "Adam",
+    "CosineSchedule",
+    "Optimizer",
+    "SGD",
+    "ActivationQuantizer",
+    "QuantSpec",
+    "quantize_weights",
+    "LeakyRecurrentCell",
+    "load_weights",
+    "save_weights",
+    "Tensor",
+    "concatenate",
+    "no_grad",
+    "stack",
+    "where",
+    "PatchEmbed",
+    "TokenTrace",
+    "TransformerBlock",
+    "ViTEncoder",
+]

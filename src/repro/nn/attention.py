@@ -1,0 +1,135 @@
+"""Multi-head self-attention with attention-score export.
+
+POLOViT's token filter (paper §4.3 / §5.2) ranks tokens by the attention
+they *receive*: the accelerator's token selector sums each column of the
+attention map across heads, and tokens whose importance falls below a
+threshold are pruned.  To support that, this attention module exposes the
+per-token received-attention statistics of its last forward pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class AttentionStats:
+    """Received-attention statistics for one attention layer.
+
+    Attributes:
+        column_sum: (N, T) sum over queries and heads of attention into each
+            token — the quantity the hardware token selector accumulates.
+        column_max: (N, T) maximum attention weight received by each token
+            over all queries and heads — the pruning criterion of §4.3.
+    """
+
+    column_sum: np.ndarray
+    column_max: np.ndarray
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard pre-norm ViT attention with QKV projections."""
+
+    def __init__(self, dim: int, num_heads: int, seed=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / math.sqrt(self.head_dim)
+        base = 0 if seed is None else seed
+        self.qkv = Linear(dim, 3 * dim, seed=base)
+        self.proj = Linear(dim, dim, seed=base + 1)
+        self.last_stats: "AttentionStats | None" = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, d = x.shape
+        qkv = self.qkv(x)  # (N, T, 3D)
+        qkv = qkv.reshape(n, t, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, N, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (N, H, T, T)
+        attn = F.softmax(scores, axis=-1)
+
+        # Column statistics: attention *received* by each key token.
+        attn_np = attn.data
+        self.last_stats = AttentionStats(
+            column_sum=attn_np.sum(axis=(1, 2)),
+            column_max=attn_np.max(axis=(1, 2)),
+        )
+
+        out = attn @ v  # (N, H, T, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(n, t, d)
+        return self.proj(out)
+
+
+class TokenFilter:
+    """Selects which tokens survive a pruning stage.
+
+    Two policies are supported, matching how the paper uses the selector:
+
+    * ``threshold``: drop tokens whose received-attention importance is below
+      a fixed threshold (the hardware implementation, §5.2).
+    * ``ratio``: drop a fixed fraction of the lowest-importance tokens
+      (used to sweep exact overall pruning ratios in Tables 1 and 5).
+
+    The class token (index 0) is always kept because the gaze regression
+    head reads it.
+    """
+
+    def __init__(
+        self,
+        threshold: "float | None" = None,
+        ratio: "float | None" = None,
+        criterion: str = "max",
+    ):
+        if (threshold is None) == (ratio is None):
+            raise ValueError("specify exactly one of threshold or ratio")
+        if ratio is not None and not 0.0 <= ratio < 1.0:
+            raise ValueError(f"ratio must be in [0, 1), got {ratio}")
+        if criterion not in ("max", "sum"):
+            raise ValueError(f"criterion must be 'max' or 'sum', got {criterion!r}")
+        self.threshold = threshold
+        self.ratio = ratio
+        self.criterion = criterion
+
+    def importance(self, stats: AttentionStats) -> np.ndarray:
+        return stats.column_max if self.criterion == "max" else stats.column_sum
+
+    def keep_indices(self, stats: AttentionStats) -> np.ndarray:
+        """Return sorted token indices to keep, for a batch of size 1.
+
+        Pruning changes the token count, so batched pruning would produce a
+        ragged batch; the runtime prunes per-sample (batch size 1), which is
+        also how the accelerator executes.
+        """
+        scores = self.importance(stats)
+        if scores.shape[0] != 1:
+            raise ValueError("token pruning requires batch size 1")
+        scores = scores[0]
+        t = scores.shape[0]
+        if self.threshold is not None:
+            keep = np.flatnonzero(scores >= self.threshold)
+        else:
+            n_drop = int(round(self.ratio * (t - 1)))
+            order = np.argsort(scores[1:], kind="stable") + 1  # never rank the CLS token
+            dropped = set(order[:n_drop].tolist())
+            keep = np.array([i for i in range(t) if i not in dropped])
+        if 0 not in keep:
+            keep = np.concatenate([[0], keep])
+        keep.sort()
+        if keep.size < 2:
+            # Degenerate pruning (everything but CLS dropped) would starve the
+            # head of image evidence; keep the single best image token.
+            best = int(np.argmax(scores[1:])) + 1
+            keep = np.array(sorted({0, best}))
+        return keep

@@ -1,0 +1,25 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def kaiming_uniform(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-uniform init appropriate for ReLU-family activations."""
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init appropriate for tanh/linear/attention layers."""
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def truncated_normal(shape: tuple, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Normal init truncated to two standard deviations (ViT convention)."""
+    samples = rng.normal(0.0, std, size=shape)
+    return np.clip(samples, -2.0 * std, 2.0 * std)

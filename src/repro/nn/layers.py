@@ -1,0 +1,252 @@
+"""Module system and standard layers.
+
+``Module`` provides parameter discovery (recursively through attributes,
+lists, and dicts), train/eval mode switching, and state-dict
+serialization — the minimal subset of the familiar torch API that the
+rest of the library relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+from repro.utils.rng import default_rng
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- forward ---------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- parameter discovery ----------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            yield from _walk_parameters(full, value)
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).items():
+            yield from _walk_modules(value[1])
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode switching -----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradients ----------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {name!r}: shape {value.shape} does not match {param.data.shape}"
+                )
+            param.data = value.copy()
+
+
+def _walk_parameters(prefix: str, value) -> Iterator[tuple[str, Tensor]]:
+    if isinstance(value, Tensor):
+        if value.requires_grad:
+            yield prefix, value
+    elif isinstance(value, Module):
+        yield from value.named_parameters(prefix + ".")
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _walk_parameters(f"{prefix}.{i}", item)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _walk_parameters(f"{prefix}.{key}", item)
+
+
+def _walk_modules(value) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield value
+        for inner in vars(value).values():
+            yield from _walk_modules(inner)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _walk_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _walk_modules(item)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed=None):
+        super().__init__()
+        rng = default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            init.xavier_uniform((out_features, in_features), in_features, out_features, rng),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True, name="bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed=None,
+    ):
+        super().__init__()
+        rng = default_rng(seed)
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_channels), requires_grad=True, name="bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Tensor(np.ones(dim), requires_grad=True, name="weight")
+        self.bias = Tensor(np.zeros(dim), requires_grad=True, name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; inert in eval mode."""
+
+    def __init__(self, p: float = 0.1, seed=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, self.training)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int, stride: "int | None" = None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int, stride: "int | None" = None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel, self.stride)
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,130 @@
+"""Optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a flat list of parameters."""
+
+    def __init__(self, parameters: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale gradients so their global L2 norm is at most ``max_norm``."""
+        total = 0.0
+        for p in self.parameters:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        norm = math.sqrt(total)
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """SGD with optional classical momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with decoupled weight decay (AdamW-style)."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+class CosineSchedule:
+    """Cosine decay from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.min_lr = min_lr
+        self.total_steps = total_steps
+        self._t = 0
+
+    def step(self) -> float:
+        self._t = min(self._t + 1, self.total_steps)
+        frac = self._t / self.total_steps
+        lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * frac))
+        self.optimizer.lr = lr
+        return lr

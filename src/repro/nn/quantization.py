@@ -1,0 +1,125 @@
+"""INT8 post-training quantization (paper §4.3: "all activations and
+weights are 8-bit quantized to further cut bandwidth and storage").
+
+The simulation uses *fake quantization*: values are mapped to the int8
+grid and back to float, so downstream numpy code observes exactly the
+precision loss of an int8 datapath while staying in float arithmetic.
+Weights use symmetric per-tensor scales; activations are quantized with
+scales calibrated on sample inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Symmetric linear quantization grid."""
+
+    bits: int = 8
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    def scale_for(self, array: np.ndarray) -> float:
+        """Symmetric per-tensor scale covering the array's max magnitude."""
+        peak = float(np.abs(array).max())
+        if peak == 0.0:
+            return 1.0
+        return peak / self.qmax
+
+    def quantize(self, array: np.ndarray, scale: "float | None" = None) -> np.ndarray:
+        """Map to the int8 grid and back (fake quantization)."""
+        scale = self.scale_for(array) if scale is None else scale
+        q = np.clip(np.round(array / scale), -self.qmax - 1, self.qmax)
+        return q * scale
+
+    def quantize_to_int(self, array: np.ndarray, scale: "float | None" = None):
+        """Return (int codes, scale) — used by storage-size accounting."""
+        scale = self.scale_for(array) if scale is None else scale
+        q = np.clip(np.round(array / scale), -self.qmax - 1, self.qmax)
+        return q.astype(np.int8 if self.bits <= 8 else np.int32), scale
+
+    def quantize_per_channel(self, array: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Fake quantization with one symmetric scale per slice of ``axis``
+        (per-output-channel weight quantization — standard INT8 practice,
+        and what keeps small models accurate under quantization)."""
+        if array.ndim < 2:
+            return self.quantize(array)
+        moved = np.moveaxis(array, axis, 0)
+        flat = moved.reshape(moved.shape[0], -1)
+        peaks = np.abs(flat).max(axis=1)
+        scales = np.where(peaks > 0, peaks / self.qmax, 1.0)
+        q = np.clip(np.round(flat / scales[:, None]), -self.qmax - 1, self.qmax)
+        out = (q * scales[:, None]).reshape(moved.shape)
+        return np.moveaxis(out, 0, axis)
+
+
+def quantize_weights(
+    model: Module, spec: "QuantSpec | None" = None, per_channel: bool = True
+) -> dict[str, float]:
+    """Fake-quantize every parameter of ``model`` in place.
+
+    Matrix-shaped parameters use per-output-channel scales by default;
+    vectors fall back to per-tensor.  Returns the per-parameter (tensor)
+    scales so callers can audit the grids.
+    """
+    spec = spec or QuantSpec()
+    scales: dict[str, float] = {}
+    for name, param in model.named_parameters():
+        scale = spec.scale_for(param.data)
+        if per_channel and param.data.ndim >= 2:
+            param.data = spec.quantize_per_channel(param.data, axis=0)
+        else:
+            param.data = spec.quantize(param.data, scale)
+        scales[name] = scale
+    return scales
+
+
+def quantization_error(array: np.ndarray, spec: "QuantSpec | None" = None) -> float:
+    """RMS error introduced by quantizing ``array`` (diagnostic helper)."""
+    spec = spec or QuantSpec()
+    quantized = spec.quantize(array)
+    return float(np.sqrt(np.mean((array - quantized) ** 2)))
+
+
+class ActivationQuantizer:
+    """Calibrated activation fake-quantizer.
+
+    Call :meth:`observe` on representative activations to widen the scale,
+    then :meth:`__call__` to quantize at inference.  POLOViT applies one of
+    these at block boundaries when running in INT8 mode.
+    """
+
+    def __init__(self, spec: "QuantSpec | None" = None):
+        self.spec = spec or QuantSpec()
+        self._peak = 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        return self._peak > 0.0
+
+    @property
+    def scale(self) -> float:
+        if not self.calibrated:
+            raise RuntimeError("activation quantizer used before calibration")
+        return self._peak / self.spec.qmax
+
+    def observe(self, array: np.ndarray) -> None:
+        self._peak = max(self._peak, float(np.abs(array).max()))
+
+    def __call__(self, x: "Tensor | np.ndarray"):
+        data = x.data if isinstance(x, Tensor) else x
+        if not self.calibrated:
+            self.observe(data)
+        quantized = self.spec.quantize(data, self.scale)
+        if isinstance(x, Tensor):
+            return Tensor(quantized)
+        return quantized

@@ -1,0 +1,46 @@
+"""Recurrent building block used by the saccade detector (paper Eq. 2).
+
+The cell is a leaky recurrence with learnable mixing scalars:
+
+    h_t = beta * h_{t-1} + alpha * tanh(W x_t + U h_{t-1} + b)
+
+``alpha`` controls the impact of the current observation and ``beta`` the
+retention of history; both are trained jointly with ``W`` and ``U``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class LeakyRecurrentCell(Module):
+    """One step of the Eq. 2 recurrence."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed=None):
+        super().__init__()
+        base = 0 if seed is None else seed
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w = Linear(input_dim, hidden_dim, seed=base)
+        self.u = Linear(hidden_dim, hidden_dim, bias=False, seed=base + 1)
+        self.alpha = Tensor(np.array(1.0), requires_grad=True, name="alpha")
+        self.beta = Tensor(np.array(0.5), requires_grad=True, name="beta")
+
+    def forward(self, x: Tensor, h: "Tensor | None" = None) -> Tensor:
+        """Advance the hidden state by one frame.
+
+        Args:
+            x: (N, input_dim) features for the current frame.
+            h: (N, hidden_dim) previous hidden state, or None for the zero
+                state at sequence start.
+        """
+        if h is None:
+            h = Tensor(np.zeros((x.shape[0], self.hidden_dim)))
+        candidate = (self.w(x) + self.u(h)).tanh()
+        return self.beta * h + self.alpha * candidate
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_dim)))

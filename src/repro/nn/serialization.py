@@ -1,0 +1,22 @@
+"""Saving and loading model weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_weights(model: Module, path: "str | os.PathLike") -> None:
+    """Write the model's state dict to an ``.npz`` archive."""
+    state = model.state_dict()
+    np.savez(path, **state)
+
+
+def load_weights(model: Module, path: "str | os.PathLike") -> None:
+    """Load an ``.npz`` archive produced by :func:`save_weights`."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)

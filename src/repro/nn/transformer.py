@@ -1,0 +1,157 @@
+"""Vision-transformer building blocks: patch embedding, encoder blocks,
+and a token-prunable encoder used by POLOViT (paper Fig. 7).
+
+The encoder reports a :class:`TokenTrace` describing how many tokens each
+block processed — the hardware mapper consumes this to cost out the
+systolic-array schedule under pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.attention import MultiHeadSelfAttention, TokenFilter
+from repro.nn.layers import GELU, LayerNorm, Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import default_rng
+
+
+@dataclass
+class TokenTrace:
+    """Per-block token counts observed during one forward pass."""
+
+    tokens_per_block: list[int] = field(default_factory=list)
+    initial_tokens: int = 0
+
+    @property
+    def final_tokens(self) -> int:
+        return self.tokens_per_block[-1] if self.tokens_per_block else self.initial_tokens
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of token-compute removed relative to a no-pruning pass."""
+        if not self.tokens_per_block or self.initial_tokens == 0:
+            return 0.0
+        full = self.initial_tokens * len(self.tokens_per_block)
+        actual = sum(self.tokens_per_block)
+        return 1.0 - actual / full
+
+
+class PatchEmbed(Module):
+    """Split a monochrome image into patches and project them to ``dim``."""
+
+    def __init__(self, image_size: int, patch_size: int, dim: int, seed=None):
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError(
+                f"image_size {image_size} must be divisible by patch_size {patch_size}"
+            )
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.grid = image_size // patch_size
+        self.num_patches = self.grid * self.grid
+        self.proj = Linear(patch_size * patch_size, dim, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x: (N, H, W) monochrome image -> (N, num_patches, dim)."""
+        n, h, w = x.shape
+        if h != self.image_size or w != self.image_size:
+            raise ValueError(
+                f"expected {self.image_size}x{self.image_size} input, got {h}x{w}"
+            )
+        p, g = self.patch_size, self.grid
+        patches = x.reshape(n, g, p, g, p).transpose(0, 1, 3, 2, 4).reshape(n, g * g, p * p)
+        return self.proj(patches)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block (LN→MHA→res, LN→MLP→res)."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0, seed=None):
+        super().__init__()
+        base = 0 if seed is None else seed
+        hidden = int(dim * mlp_ratio)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, seed=base)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = Sequential(
+            Linear(dim, hidden, seed=base + 2),
+            GELU(),
+            Linear(hidden, dim, seed=base + 3),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class ViTEncoder(Module):
+    """Token-prunable ViT encoder with a class token and learned positions.
+
+    Token filters run after every ``prune_every`` blocks (the paper's token
+    selector fires every two transformer layers).  Pruning is an
+    inference-time mechanism: during training (or when no filter is given)
+    all tokens flow through every block.
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        patch_size: int,
+        dim: int,
+        depth: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        prune_every: int = 2,
+        seed=None,
+    ):
+        super().__init__()
+        rng = default_rng(seed)
+        base = 0 if seed is None else seed
+        self.dim = dim
+        self.depth = depth
+        self.prune_every = prune_every
+        self.patch_embed = PatchEmbed(image_size, patch_size, dim, seed=base)
+        self.cls_token = Tensor(
+            init.truncated_normal((1, 1, dim), 0.02, rng), requires_grad=True, name="cls"
+        )
+        self.pos_embed = Tensor(
+            init.truncated_normal((1, self.patch_embed.num_patches + 1, dim), 0.02, rng),
+            requires_grad=True,
+            name="pos",
+        )
+        self.blocks = [
+            TransformerBlock(dim, num_heads, mlp_ratio, seed=base + 10 * (i + 1))
+            for i in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+
+    def forward(
+        self, x: Tensor, token_filter: "TokenFilter | None" = None
+    ) -> tuple[Tensor, TokenTrace]:
+        """Encode an image batch; returns (cls embedding, token trace)."""
+        n = x.shape[0]
+        tokens = self.patch_embed(x)
+        # Broadcast the class token across the batch via a differentiable
+        # multiply so its gradient accumulates over samples.
+        cls = self.cls_token * Tensor(np.ones((n, 1, 1)))
+        from repro.nn.tensor import concatenate
+
+        tokens = concatenate([cls, tokens], axis=1)
+        tokens = tokens + self.pos_embed
+
+        trace = TokenTrace(initial_tokens=tokens.shape[1])
+        for i, block in enumerate(self.blocks):
+            trace.tokens_per_block.append(tokens.shape[1])
+            tokens = block(tokens)
+            at_filter = (i + 1) % self.prune_every == 0 and (i + 1) < self.depth
+            if token_filter is not None and at_filter:
+                keep = token_filter.keep_indices(block.attn.last_stats)
+                tokens = tokens[:, keep, :]
+        tokens = self.norm(tokens)
+        return tokens[:, 0, :], trace

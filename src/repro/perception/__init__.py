@@ -1,0 +1,41 @@
+"""Perception substrate: acuity falloff, FovVideoVDP-style visible
+difference model, and the synthetic 2IFC user study."""
+
+from repro.perception.acuity import (
+    E2_DEG,
+    acuity_limited_shading_rate,
+    minimum_angle_of_resolution,
+    relative_acuity,
+)
+from repro.perception.observer import ObserverConfig, SyntheticObserver, VideoProfile
+from repro.perception.qoe import (
+    LatencyQoeConfig,
+    SaccadeMisdetectionConfig,
+    false_positive_artifact_rate,
+    latency_qoe,
+    misdetection_qoe,
+)
+from repro.perception.user_study import DEFAULT_VIDEOS, StudyResult, run_user_study
+from repro.perception.vdp import VdpConfig, discriminability, jnd_score, required_theta_f
+
+__all__ = [
+    "E2_DEG",
+    "acuity_limited_shading_rate",
+    "minimum_angle_of_resolution",
+    "relative_acuity",
+    "ObserverConfig",
+    "SyntheticObserver",
+    "VideoProfile",
+    "LatencyQoeConfig",
+    "SaccadeMisdetectionConfig",
+    "false_positive_artifact_rate",
+    "latency_qoe",
+    "misdetection_qoe",
+    "DEFAULT_VIDEOS",
+    "StudyResult",
+    "run_user_study",
+    "VdpConfig",
+    "discriminability",
+    "jnd_score",
+    "required_theta_f",
+]

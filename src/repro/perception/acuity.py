@@ -1,0 +1,45 @@
+"""Visual-acuity falloff across the retina (paper §2.1).
+
+Relative acuity follows the cortical-magnification model: highest at the
+fovea and declining hyperbolically with eccentricity,
+
+    A(e) = e2 / (e2 + e)
+
+with the half-resolution eccentricity ``e2`` around 2.3 degrees.  The
+foveated-rendering regions of Eq. 1 exist precisely because A(e) decays
+this fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Half-resolution eccentricity in degrees (Weymouth-style constant).
+E2_DEG = 2.3
+
+
+def relative_acuity(eccentricity_deg, e2: float = E2_DEG):
+    """Relative acuity in (0, 1]; accepts scalars or arrays."""
+    check_positive("e2", e2)
+    ecc = np.asarray(eccentricity_deg, dtype=np.float64)
+    if np.any(ecc < 0):
+        raise ValueError("eccentricity must be non-negative")
+    return e2 / (e2 + ecc)
+
+
+def minimum_angle_of_resolution(eccentricity_deg, mar0_arcmin: float = 1.0, e2: float = E2_DEG):
+    """MAR in arcminutes: the finest resolvable detail at an eccentricity."""
+    return mar0_arcmin / relative_acuity(eccentricity_deg, e2)
+
+
+def acuity_limited_shading_rate(eccentricity_deg, e2: float = E2_DEG):
+    """Fraction of full shading rate perception can actually use at an
+    eccentricity — the principled ceiling for resolution-drop factors.
+
+    Shading need scales with acuity squared (two spatial dimensions), so
+    e.g. at ~7 deg the eye needs about 1/16 of foveal pixel density,
+    matching the paper's peripheral 16x drop.
+    """
+    return relative_acuity(eccentricity_deg, e2) ** 2

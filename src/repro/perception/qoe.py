@@ -1,0 +1,113 @@
+"""Quality-of-experience models (paper §8 future work).
+
+The paper's conclusion names two open questions this module models:
+
+* **Latency QoE** — how end-to-end TFR latency maps to user experience.
+  Prior work ([5], quoted throughout the paper) puts the acceptable
+  per-frame budget at 50-70 ms; we model QoE as a saturating function
+  that is flat below ~50 ms, degrades through the 50-70 ms band, and
+  collapses beyond it (motion-to-photon mismatch, §2.2).
+
+* **Saccade misdetection QoE** — what false saccade detections cost.
+  A false positive renders a *fixating* eye at uniform low resolution:
+  a full-field artifact whose visibility follows the VDP model at zero
+  eccentricity protection.  A false negative merely wastes the saccade
+  saving (latency, not quality).  Combining the detector's
+  false-positive rate with the per-event visibility yields the expected
+  artifact rate a user sees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perception.vdp import VdpConfig, discriminability
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class LatencyQoeConfig:
+    """Saturating latency-tolerance model calibrated to the 50-70 ms
+    acceptability band of [5]."""
+
+    comfortable_s: float = 0.050
+    limit_s: float = 0.070
+    collapse_scale_s: float = 0.030
+
+    def __post_init__(self) -> None:
+        check_positive("comfortable_s", self.comfortable_s)
+        if self.limit_s <= self.comfortable_s:
+            raise ValueError("limit_s must exceed comfortable_s")
+        check_positive("collapse_scale_s", self.collapse_scale_s)
+
+
+def latency_qoe(latency_s, config: "LatencyQoeConfig | None" = None):
+    """QoE score in (0, 1]: 1 below the comfortable budget, ~0.5 at the
+    acceptability limit, exponentially collapsing beyond.  Vectorized."""
+    config = config or LatencyQoeConfig()
+    latency = np.asarray(latency_s, dtype=np.float64)
+    if np.any(latency <= 0):
+        raise ValueError("latency must be positive")
+    mid = 0.5 * (config.comfortable_s + config.limit_s)
+    width = (config.limit_s - config.comfortable_s) / 4.0
+    score = 1.0 / (1.0 + np.exp((latency - mid) / width))
+    # Keep a floor of graceful degradation rather than exact zero.
+    score = 0.02 + 0.98 * score
+    return score if score.shape else float(score)
+
+
+@dataclass(frozen=True)
+class SaccadeMisdetectionConfig:
+    """Visibility of misdetection artifacts.
+
+    ``fp_visibility`` is the probability a single false-positive
+    low-resolution frame is noticed during fixation (full-field drop at
+    the fovea: VDP at theta_f -> ~0 protection).  ``fn_latency_cost_s``
+    is the latency penalty of missing a saccade (the frame renders at
+    the full foveated cost instead of the cheap saccade path).
+    """
+
+    frame_rate_hz: float = 100.0
+    fixation_fraction: float = 0.9
+    vdp: VdpConfig = VdpConfig()
+
+    def __post_init__(self) -> None:
+        check_positive("frame_rate_hz", self.frame_rate_hz)
+        check_in_range("fixation_fraction", self.fixation_fraction, 0.0, 1.0)
+
+
+def false_positive_artifact_rate(
+    false_positive_rate: float,
+    config: "SaccadeMisdetectionConfig | None" = None,
+) -> float:
+    """Visible artifacts per second caused by false saccade detections.
+
+    Each false positive replaces one fixation frame with a uniform
+    low-resolution frame; its visibility is the VDP discriminability of a
+    rendering whose protected region has effectively collapsed (theta_f
+    -> minimum) while the eye fixates (error irrelevant, content at the
+    fovea is degraded).
+    """
+    check_in_range("false_positive_rate", false_positive_rate, 0.0, 1.0)
+    config = config or SaccadeMisdetectionConfig()
+    # Full-field resolution drop at the fovea: maximum-visibility event.
+    visibility = discriminability(1.0, config.vdp.theta_c_deg, config.vdp)
+    events_per_s = (
+        false_positive_rate * config.fixation_fraction * config.frame_rate_hz
+    )
+    return float(events_per_s * visibility)
+
+
+def misdetection_qoe(
+    false_positive_rate: float,
+    tolerance_events_per_s: float = 0.5,
+    config: "SaccadeMisdetectionConfig | None" = None,
+) -> float:
+    """QoE in (0, 1]: exponential tolerance to visible artifact events
+    (sparse flashes are forgiven; sustained flicker is not)."""
+    check_positive("tolerance_events_per_s", tolerance_events_per_s)
+    rate = false_positive_artifact_rate(false_positive_rate, config)
+    return float(math.exp(-rate / tolerance_events_per_s))

@@ -1,0 +1,104 @@
+"""2IFC user-study harness (paper §7.5, Figs. 14-16).
+
+Reproduces the published protocol mechanically: 7 participants x 4
+videos x 2 error-trace pairings x 4 repeats = 32 trials each, randomized
+per participant, comparing foveated rendering driven by one tracker's
+error trace against another's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perception.observer import ObserverConfig, SyntheticObserver, VideoProfile
+from repro.perception.vdp import VdpConfig
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.validation import check_positive
+
+#: The four stimulus videos of §7.5: two with significant motion, two
+#: largely static, spanning bright/dark and indoor/outdoor content.
+DEFAULT_VIDEOS: tuple[VideoProfile, ...] = (
+    VideoProfile("video1-static-indoor", motion_masking=0.05, brightness=0.6),
+    VideoProfile("video2-dynamic-outdoor", motion_masking=0.55, brightness=0.8),
+    VideoProfile("video3-static-rendered", motion_masking=0.10, brightness=0.5),
+    VideoProfile("video4-dynamic-dark", motion_masking=0.20, brightness=0.25),
+)
+
+
+@dataclass
+class StudyResult:
+    """Aggregated 2IFC outcomes.
+
+    ``selection_rate`` entries are the fraction of trials in which the
+    *candidate* trace (trace A, e.g. POLOViT) was preferred.
+    """
+
+    per_participant: np.ndarray  # (P,) selection rates
+    per_video: dict[str, float] = field(default_factory=dict)
+    per_video_std: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_selection(self) -> float:
+        return float(self.per_participant.mean())
+
+    @property
+    def std_selection(self) -> float:
+        return float(self.per_participant.std())
+
+
+def run_user_study(
+    candidate_trace: np.ndarray,
+    baseline_trace: np.ndarray,
+    videos: "tuple[VideoProfile, ...] | None" = None,
+    n_participants: int = 7,
+    repeats: int = 4,
+    observer_config: "ObserverConfig | None" = None,
+    vdp_config: "VdpConfig | None" = None,
+    seed: int = 0,
+) -> StudyResult:
+    """Run the full 2IFC study.
+
+    Args:
+        candidate_trace: per-frame tracking-error trace (degrees) of the
+            candidate method (POLOViT in the paper).
+        baseline_trace: error trace of the comparator (ResNet-34).
+    """
+    check_positive("n_participants", n_participants)
+    check_positive("repeats", repeats)
+    videos = videos or DEFAULT_VIDEOS
+    rngs = spawn_rngs(seed, n_participants)
+
+    per_participant = np.zeros(n_participants)
+    video_wins: dict[str, list[float]] = {v.name: [] for v in videos}
+
+    for p, rng in enumerate(rngs):
+        observer = SyntheticObserver(observer_config, vdp_config, seed=rng)
+        trial_rng = default_rng(rng.integers(0, 2**31))
+        wins = 0
+        trials = 0
+        participant_video_wins = {v.name: 0 for v in videos}
+        for video in videos:
+            for _ in range(repeats * 2):  # 2 error pairings per video per repeat
+                # Random interval assignment (t1/t2 shuffling of §7.5).
+                if trial_rng.random() < 0.5:
+                    choice = observer.choose(candidate_trace, baseline_trace, video)
+                    candidate_won = choice == 0
+                else:
+                    choice = observer.choose(baseline_trace, candidate_trace, video)
+                    candidate_won = choice == 1
+                wins += candidate_won
+                participant_video_wins[video.name] += candidate_won
+                trials += 1
+        per_participant[p] = wins / trials
+        for video in videos:
+            video_wins[video.name].append(participant_video_wins[video.name] / (repeats * 2))
+
+    per_video = {name: float(np.mean(values)) for name, values in video_wins.items()}
+    per_video_std = {name: float(np.std(values)) for name, values in video_wins.items()}
+    return StudyResult(
+        per_participant=per_participant,
+        per_video=per_video,
+        per_video_std=per_video_std,
+    )

@@ -1,0 +1,51 @@
+"""Rendering substrate: foveation geometry, GPU latency model, scene
+suite, pipeline composition, and a real mini path tracer."""
+
+from repro.render.foveation import (
+    FoveationConfig,
+    RegionPixels,
+    effective_rays,
+    eccentricity_radius_px,
+    foveated_ray_fraction,
+    region_pixels,
+    theta_f,
+)
+from repro.render.gpu import GpuModel
+from repro.render.pipeline import FoveatedBreakdown, RenderPipeline
+from repro.render.raytrace import MiniScene, PathTracer, Sphere
+from repro.render.scene import (
+    RES_1080P,
+    RES_1440P,
+    RES_720P,
+    RESOLUTIONS,
+    Resolution,
+    SceneProfile,
+    SCENES,
+    resolution_by_name,
+    scene_by_name,
+)
+
+__all__ = [
+    "FoveationConfig",
+    "RegionPixels",
+    "effective_rays",
+    "eccentricity_radius_px",
+    "foveated_ray_fraction",
+    "region_pixels",
+    "theta_f",
+    "GpuModel",
+    "FoveatedBreakdown",
+    "RenderPipeline",
+    "MiniScene",
+    "PathTracer",
+    "Sphere",
+    "RES_1080P",
+    "RES_1440P",
+    "RES_720P",
+    "RESOLUTIONS",
+    "Resolution",
+    "SceneProfile",
+    "SCENES",
+    "resolution_by_name",
+    "scene_by_name",
+]

@@ -1,0 +1,56 @@
+"""Edge-GPU ray-tracing latency model (Vulkan-Sim / Jetson Orin NX stand-in).
+
+The paper simulates ray-traced rendering with Vulkan-Sim configured as a
+Jetson Orin NX (8 SMs at 765 MHz, §7).  End-to-end, the quantity that
+matters to the TFR comparisons is how rendering latency scales with the
+number of rays (pixels x samples) and with per-scene traversal/shading
+cost.  This model captures exactly that:
+
+    latency = frame_overhead + rays * cycles_per_ray / (sm_count * clock)
+
+``frame_overhead`` absorbs resolution-independent costs (BVH refit,
+pipeline setup, framebuffer ops).  With the scene coefficients in
+``repro.render.scene`` this reproduces Fig. 1's averages (80 / 155 /
+282 ms at 720P / 1080P / 1440P) and its 20-700 ms min/max spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.render.scene import Resolution, SceneProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Throughput model of the rendering GPU."""
+
+    name: str = "Jetson Orin NX 8GB"
+    sm_count: int = 8
+    clock_hz: float = 765e6
+    frame_overhead_s: float = 0.008
+
+    def __post_init__(self) -> None:
+        check_positive("sm_count", self.sm_count)
+        check_positive("clock_hz", self.clock_hz)
+        check_positive("frame_overhead_s", self.frame_overhead_s, strict=False)
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Aggregate cycle budget across SMs."""
+        return self.sm_count * self.clock_hz
+
+    def ray_latency(self, rays: float, scene: SceneProfile) -> float:
+        """Seconds to trace ``rays`` camera rays of ``scene`` (no overhead)."""
+        if rays < 0:
+            raise ValueError(f"rays must be non-negative, got {rays}")
+        return rays * scene.cycles_per_ray / self.cycles_per_second
+
+    def frame_latency(self, rays: float, scene: SceneProfile) -> float:
+        """Seconds for a full frame pass tracing ``rays`` rays."""
+        return self.frame_overhead_s + self.ray_latency(rays, scene)
+
+    def full_resolution_latency(self, resolution: Resolution, scene: SceneProfile) -> float:
+        """Fig. 1's quantity: full-resolution ray-traced frame time."""
+        return self.frame_latency(resolution.pixels, scene)

@@ -1,0 +1,94 @@
+"""Rendering-pipeline latency composition (paper §5.3, Fig. 11).
+
+Builds on the GPU model and foveation geometry to produce the rendering
+latencies the TFR system model consumes:
+
+* full-resolution frames (the Fig. 1 / green-bar comparator),
+* foveated frames under a given tracking error (Eq. 1 -> ray budget),
+* saccade frames (uniform 4x4-downsampled rendering, §7),
+* the hierarchical R1/R2 split that enables gaze-parallel rendering
+  (Fig. 11 c/d): R1 covers the whole frame at the peripheral rate and
+  needs no gaze; R2 upgrades the foveal and inter-foveal regions once the
+  gaze arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.render.foveation import FoveationConfig, effective_rays, region_pixels
+from repro.render.gpu import GpuModel
+from repro.render.scene import Resolution, SceneProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FoveatedBreakdown:
+    """Latency decomposition of one foveated frame."""
+
+    total_s: float
+    r1_s: float
+    r2_s: float
+    rays: float
+
+    def __post_init__(self) -> None:
+        check_positive("total_s", self.total_s)
+
+
+class RenderPipeline:
+    """Latency model for one (scene, resolution) rendering context."""
+
+    def __init__(
+        self,
+        gpu: "GpuModel | None" = None,
+        foveation: "FoveationConfig | None" = None,
+    ):
+        self.gpu = gpu or GpuModel()
+        self.foveation = foveation or FoveationConfig()
+
+    # ------------------------------------------------------------------
+    def full_latency(self, scene: SceneProfile, resolution: Resolution) -> float:
+        """Full-resolution frame latency in seconds."""
+        return self.gpu.full_resolution_latency(resolution, scene)
+
+    def saccade_latency(self, scene: SceneProfile, resolution: Resolution) -> float:
+        """Frame latency during a saccade: uniform 4x4-downsampled render
+        (1/16 of the rays; §7: 'rendered with a low resolution with a
+        downsampling ratio of 4 x 4')."""
+        rays = resolution.pixels / 16.0
+        return self.gpu.frame_latency(rays, scene)
+
+    def foveated_latency(
+        self,
+        scene: SceneProfile,
+        resolution: Resolution,
+        delta_theta_deg: float,
+    ) -> FoveatedBreakdown:
+        """Foveated frame latency under tracking error ``delta_theta_deg``.
+
+        The R1/R2 split follows Fig. 11(d): R1 renders every pixel at the
+        peripheral rate (gaze-independent), R2 adds the remaining rays for
+        the inter-foveal and foveal regions.  R1 + R2 ray counts always sum
+        to the plain foveated ray budget, so sequential and parallel
+        schedules render identical work.
+        """
+        cfg = self.foveation
+        regions = region_pixels(delta_theta_deg, resolution, cfg)
+        rays_total = effective_rays(regions, cfg)
+        r1_rays = resolution.pixels / cfg.peripheral_drop
+        r2_rays = rays_total - r1_rays
+        r1 = self.gpu.frame_latency(r1_rays, scene)
+        # R2 continues the same frame: no second fixed overhead.
+        r2 = self.gpu.ray_latency(max(r2_rays, 0.0), scene)
+        return FoveatedBreakdown(
+            total_s=r1 + r2, r1_s=r1, r2_s=r2, rays=rays_total
+        )
+
+    # ------------------------------------------------------------------
+    def speedup_vs_full(
+        self, scene: SceneProfile, resolution: Resolution, delta_theta_deg: float
+    ) -> float:
+        """Full-resolution latency divided by foveated latency."""
+        full = self.full_latency(scene, resolution)
+        fov = self.foveated_latency(scene, resolution, delta_theta_deg).total_s
+        return full / fov

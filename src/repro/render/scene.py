@@ -1,0 +1,82 @@
+"""LumiBench-like scene suite (paper Fig. 1, §7).
+
+Eight scenes labelled A-H spanning the ray-tracing complexity range the
+paper measures with Vulkan-Sim (20 ms to ~700 ms depending on scene and
+resolution).  Each scene's complexity is summarized as average GPU
+cycles per camera ray — the single coefficient the latency model needs —
+plus descriptive metadata used by the examples and the real path tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SceneProfile:
+    """Rendering-cost profile of one benchmark scene.
+
+    ``cycles_per_ray`` folds BVH traversal depth, shading cost, and bounce
+    count into one calibrated coefficient (see ``repro.render.gpu`` for the
+    calibration discussion).
+    """
+
+    name: str
+    cycles_per_ray: float
+    triangles: int
+    bounces: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("cycles_per_ray", self.cycles_per_ray)
+        check_positive("triangles", self.triangles)
+
+
+#: The eight-scene suite.  cycles_per_ray values are calibrated so the
+#: Jetson-Orin-NX GPU model reproduces Fig. 1's averages (80/155/282 ms at
+#: 720P/1080P/1440P) and its 20-700 ms spread.
+SCENES: tuple[SceneProfile, ...] = (
+    SceneProfile("A", 130.0, 48_000, 1, "small interior, mostly diffuse"),
+    SceneProfile("B", 200.0, 120_000, 1, "office with glossy surfaces"),
+    SceneProfile("C", 280.0, 260_000, 2, "vegetation-heavy exterior"),
+    SceneProfile("D", 330.0, 410_000, 2, "vehicle showroom, reflections"),
+    SceneProfile("E", 420.0, 630_000, 2, "night city block, many lights"),
+    SceneProfile("F", 520.0, 890_000, 3, "cathedral interior, soft shadows"),
+    SceneProfile("G", 670.0, 1_400_000, 3, "forest canopy, deep BVH"),
+    SceneProfile("H", 1050.0, 2_300_000, 4, "refractive museum hall"),
+)
+
+
+def scene_by_name(name: str) -> SceneProfile:
+    for scene in SCENES:
+        if scene.name == name:
+            return scene
+    raise KeyError(f"unknown scene {name!r}; choose from {[s.name for s in SCENES]}")
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Display resolution preset."""
+
+    name: str
+    width: int
+    height: int
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+RES_720P = Resolution("720P", 1280, 720)
+RES_1080P = Resolution("1080P", 1920, 1080)
+RES_1440P = Resolution("1440P", 2560, 1440)
+RESOLUTIONS: tuple[Resolution, ...] = (RES_720P, RES_1080P, RES_1440P)
+
+
+def resolution_by_name(name: str) -> Resolution:
+    for res in RESOLUTIONS:
+        if res.name == name:
+            return res
+    raise KeyError(f"unknown resolution {name!r}")

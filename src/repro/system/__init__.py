@@ -1,0 +1,41 @@
+"""System layer: end-to-end TFR latency composition (Eqs. 6-8) and the
+commercial-tracker comparison profile."""
+
+from repro.system.commercial import (
+    VIVE_PRO_EYE_DELTA_THETA_DEG,
+    VIVE_PRO_EYE_TD_S,
+    vive_pro_eye_profile,
+)
+from repro.system.metrics import (
+    fmt_ms,
+    geometric_mean,
+    is_close_factor,
+    log_ratio,
+    ms,
+    percentile_summary,
+    speedup,
+    table_to_text,
+)
+from repro.system.session import SessionConfig, SessionReport, simulate_session
+from repro.system.tfr import FrameLatency, Schedule, TfrSystem, TrackerSystemProfile
+
+__all__ = [
+    "VIVE_PRO_EYE_DELTA_THETA_DEG",
+    "VIVE_PRO_EYE_TD_S",
+    "vive_pro_eye_profile",
+    "fmt_ms",
+    "geometric_mean",
+    "is_close_factor",
+    "log_ratio",
+    "ms",
+    "percentile_summary",
+    "speedup",
+    "table_to_text",
+    "SessionConfig",
+    "SessionReport",
+    "simulate_session",
+    "FrameLatency",
+    "Schedule",
+    "TfrSystem",
+    "TrackerSystemProfile",
+]

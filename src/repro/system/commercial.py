@@ -1,0 +1,25 @@
+"""Commercial eye-tracker comparison point (paper §7.3/§7.4).
+
+The paper simulates a Vive Pro Eye-equipped HMD using latency and error
+figures from the literature: a gaze-detection delay of up to 50 ms [98]
+and headset-grade tracking accuracy [46].  At 1080P this produces the
+86.7 ms average TFR latency of Table 5.
+"""
+
+from __future__ import annotations
+
+from repro.system.tfr import TrackerSystemProfile
+
+#: Gaze-detection delay of the commercial tracker pipeline [98].
+VIVE_PRO_EYE_TD_S = 0.050
+#: Effective P95 tracking error of the commercial headset tracker [46].
+VIVE_PRO_EYE_DELTA_THETA_DEG = 4.5
+
+
+def vive_pro_eye_profile() -> TrackerSystemProfile:
+    """System profile of the Vive Pro Eye commercial tracker."""
+    return TrackerSystemProfile(
+        name="Vive Pro Eye",
+        td_predict_s=VIVE_PRO_EYE_TD_S,
+        delta_theta_deg=VIVE_PRO_EYE_DELTA_THETA_DEG,
+    )

@@ -1,0 +1,75 @@
+"""Aggregation and formatting helpers for system-level results."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional way to average speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds."""
+    return seconds * 1e3
+
+
+def fmt_ms(seconds: float, digits: int = 1) -> str:
+    return f"{seconds * 1e3:.{digits}f}ms"
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Latency speedup of ``improved`` over ``baseline``."""
+    if improved <= 0:
+        raise ValueError("improved latency must be positive")
+    return baseline / improved
+
+
+def table_to_text(headers: list[str], rows: list[list], min_width: int = 10) -> str:
+    """Render a simple aligned text table (benchmark harness output)."""
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percentile_summary(errors: np.ndarray) -> dict[str, float]:
+    """Mean / P90 / P95 summary in the Table 1 format."""
+    errors = np.asarray(errors, dtype=np.float64)
+    if errors.size == 0:
+        raise ValueError("no errors")
+    return {
+        "mean": float(errors.mean()),
+        "p90": float(np.percentile(errors, 90)),
+        "p95": float(np.percentile(errors, 95)),
+    }
+
+
+def is_close_factor(measured: float, expected: float, factor: float = 2.0) -> bool:
+    """True when measured is within a multiplicative band of expected —
+    the acceptance criterion for 'shape holds' checks."""
+    if measured <= 0 or expected <= 0:
+        raise ValueError("values must be positive")
+    ratio = measured / expected
+    return 1.0 / factor <= ratio <= factor
+
+
+def log_ratio(measured: float, expected: float) -> float:
+    """Signed log2 deviation between measured and expected."""
+    return math.log2(measured / expected)

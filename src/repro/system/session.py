@@ -1,0 +1,134 @@
+"""Frame-by-frame TFR session simulation.
+
+Replays an oculomotor trace through the Algorithm-1 decision logic and
+the system timing model, producing a per-frame latency timeline — the
+dynamic counterpart of the steady-state Eqs. 6-8.  This is what a
+downstream user runs to ask "what does POLO do to *my* content at *my*
+frame rate": deadline misses, latency percentiles, and the realized
+event mix all fall out of one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eye.events import EventMix, MovementType
+from repro.eye.motion import GazeTrack
+from repro.render.scene import Resolution, SceneProfile
+from repro.system.tfr import Schedule, TfrSystem, TrackerSystemProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Replay parameters.
+
+    ``reuse_displacement_deg`` mirrors gamma2's semantics: the buffered
+    gaze is reused while the eye stays within this angular distance of
+    the last *predicted* position (displacement, not instantaneous
+    velocity, because fixational tremor makes per-frame velocity noisy
+    while barely moving the binary map).
+    """
+
+    reuse_displacement_deg: float = 1.0
+    post_saccade_low_res: bool = True  # paper §2.1: 50 ms post-saccadic window
+
+    def __post_init__(self) -> None:
+        check_positive("reuse_displacement_deg", self.reuse_displacement_deg)
+
+
+@dataclass
+class SessionReport:
+    """Timeline and aggregates of one simulated session."""
+
+    frame_latency_s: np.ndarray
+    decisions: list[str]
+    event_mix: EventMix
+    deadline_s: float
+    fps: float
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(self.frame_latency_s.mean())
+
+    @property
+    def p99_latency_s(self) -> float:
+        return float(np.percentile(self.frame_latency_s, 99))
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return float(np.mean(self.frame_latency_s > self.deadline_s))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "mean_ms": self.mean_latency_s * 1e3,
+            "p99_ms": self.p99_latency_s * 1e3,
+            "miss_rate": self.deadline_miss_rate,
+            "p_saccade": self.event_mix.p_saccade,
+            "p_reuse": self.event_mix.p_reuse,
+            "p_predict": self.event_mix.p_predict,
+        }
+
+
+def simulate_session(
+    profile: TrackerSystemProfile,
+    track: GazeTrack,
+    scene: SceneProfile,
+    resolution: Resolution,
+    system: "TfrSystem | None" = None,
+    schedule: Schedule = Schedule.SEQUENTIAL,
+    config: "SessionConfig | None" = None,
+) -> SessionReport:
+    """Replay ``track`` through the decision logic and timing model.
+
+    The Algorithm-1 decision per frame is derived from the trace's
+    kinematics (the behavioural ground truth the trained detector
+    approximates): saccadic frames — plus the post-saccadic window when
+    enabled — take the saccade path; quiet frames below the reuse speed
+    take the reuse path; everything else pays for a fresh prediction.
+    Methods without event gating always pay the predict path.
+    """
+    system = system or TfrSystem()
+    config = config or SessionConfig()
+    n = len(track)
+    if n == 0:
+        raise ValueError("empty gaze track")
+
+    latencies = np.zeros(n)
+    decisions: list[str] = []
+    counts = {"saccade": 0, "reuse": 0, "predict": 0}
+    anchor: "np.ndarray | None" = None  # gaze at the last fresh prediction
+    for i in range(n):
+        if not profile.supports_event_gating:
+            path = "predict"
+        elif track.labels[i] == MovementType.SACCADE or (
+            config.post_saccade_low_res and track.post_saccade[i]
+        ):
+            path = "saccade"
+        elif (
+            anchor is not None
+            and float(np.linalg.norm(track.gaze_deg[i] - anchor))
+            < config.reuse_displacement_deg
+        ):
+            path = "reuse"
+        else:
+            path = "predict"
+        if path == "predict":
+            anchor = track.gaze_deg[i]
+        counts[path] += 1
+        decisions.append(path)
+        latencies[i] = system.frame_latency(
+            profile, scene, resolution, path, schedule
+        ).total_s
+
+    mix = EventMix.from_counts(counts["saccade"], counts["reuse"], counts["predict"])
+    deadline = 1.0 / track.fps
+    return SessionReport(
+        frame_latency_s=latencies,
+        decisions=decisions,
+        event_mix=mix,
+        deadline_s=max(deadline, 1e-9),
+        fps=track.fps,
+    )

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG management, validation helpers."""
+
+from repro.utils.rng import RngMixin, default_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RngMixin",
+    "default_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

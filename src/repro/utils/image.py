@@ -1,0 +1,65 @@
+"""Small image-processing helpers shared by trackers and preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resize_bilinear(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resize of a (H, W) or (N, H, W) array."""
+    if image.ndim == 3:
+        return np.stack([resize_bilinear(im, out_h, out_w) for im in image])
+    h, w = image.shape
+    if (h, w) == (out_h, out_w):
+        return image.copy()
+    ys = np.linspace(0, h - 1, out_h)
+    xs = np.linspace(0, w - 1, out_w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    top = image[np.ix_(y0, x0)] * (1 - wx) + image[np.ix_(y0, x1)] * wx
+    bottom = image[np.ix_(y1, x0)] * (1 - wx) + image[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def block_reduce_mean(image: np.ndarray, block: int) -> np.ndarray:
+    """Average-pool a (H, W) image by non-overlapping ``block`` x ``block``
+    tiles, truncating ragged edges (matches the IPU's tiled adder tree)."""
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+    h, w = image.shape
+    h_out, w_out = h // block, w // block
+    trimmed = image[: h_out * block, : w_out * block]
+    return trimmed.reshape(h_out, block, w_out, block).mean(axis=(1, 3))
+
+
+def center_crop(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Crop the central (out_h, out_w) region, clamping to the image."""
+    h, w = image.shape
+    out_h, out_w = min(out_h, h), min(out_w, w)
+    top = (h - out_h) // 2
+    left = (w - out_w) // 2
+    return image[top : top + out_h, left : left + out_w]
+
+
+def crop_centered(image: np.ndarray, cy: int, cx: int, out_h: int, out_w: int) -> np.ndarray:
+    """Crop an (out_h, out_w) window centred at (cy, cx), shifting the
+    window to stay inside the image (never padding) — the behaviour of the
+    analytical cropper in §4.2, which always returns a full-size crop."""
+    h, w = image.shape
+    if out_h > h or out_w > w:
+        raise ValueError(f"crop {out_h}x{out_w} exceeds image {h}x{w}")
+    top = int(np.clip(cy - out_h // 2, 0, h - out_h))
+    left = int(np.clip(cx - out_w // 2, 0, w - out_w))
+    return image[top : top + out_h, left : left + out_w]
+
+
+def normalize_unit(image: np.ndarray) -> np.ndarray:
+    """Shift/scale to [0, 1]; constant images map to zeros."""
+    lo, hi = float(image.min()), float(image.max())
+    if hi - lo < 1e-12:
+        return np.zeros_like(image)
+    return (image - lo) / (hi - lo)

@@ -1,0 +1,99 @@
+"""Learned baselines: training, inference, and workload structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ErrorSummary,
+    IncResNetGazeTracker,
+    NVGazeTracker,
+    ResNetGazeTracker,
+    angular_errors,
+)
+from repro.hw.ops import MatMulOp, total_macs
+
+
+@pytest.fixture(scope="module")
+def train_frames(tiny_train_dataset):
+    images = tiny_train_dataset.images().astype(np.float64)
+    gaze = tiny_train_dataset.gaze()
+    keep = tiny_train_dataset.sequences[0].openness  # not aligned; use all
+    return images, gaze
+
+
+class TestAngularErrors:
+    def test_l2_norm_of_difference(self):
+        pred = np.array([[3.0, 4.0]])
+        target = np.array([[0.0, 0.0]])
+        np.testing.assert_allclose(angular_errors(pred, target), [5.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            angular_errors(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestErrorSummary:
+    def test_statistics(self):
+        errors = np.arange(101.0)
+        s = ErrorSummary.from_errors(errors)
+        assert s.mean == pytest.approx(50.0)
+        assert s.p95 == pytest.approx(95.0)
+        assert s.minimum == 0.0 and s.maximum == 100.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_errors(np.array([]))
+
+
+@pytest.mark.parametrize(
+    "tracker_cls", [NVGazeTracker, ResNetGazeTracker, IncResNetGazeTracker]
+)
+class TestLearnedTrackers:
+    def test_training_reduces_loss(self, tracker_cls, train_frames):
+        images, gaze = train_frames
+        tracker = tracker_cls(input_size=16, seed=0)
+        log = tracker.fit(images[:80], gaze[:80], epochs=4)
+        assert log.losses[-1] < log.losses[0]
+
+    def test_predict_shape(self, tracker_cls, train_frames):
+        images, gaze = train_frames
+        tracker = tracker_cls(input_size=16, seed=0)
+        tracker.fit(images[:40], gaze[:40], epochs=1)
+        pred = tracker.predict(images[:7])
+        assert pred.shape == (7, 2)
+        assert np.isfinite(pred).all()
+
+    def test_learns_better_than_constant_predictor(self, tracker_cls, train_frames):
+        images, gaze = train_frames
+        tracker = tracker_cls(input_size=24, seed=0)
+        tracker.fit(images, gaze, epochs=8)
+        pred = tracker.predict(images)
+        model_err = angular_errors(pred, gaze).mean()
+        constant_err = angular_errors(
+            np.tile(gaze.mean(axis=0), (len(gaze), 1)), gaze
+        ).mean()
+        assert model_err < constant_err
+
+
+class TestWorkloadScales:
+    def test_resnet34_scale(self):
+        macs = total_macs(ResNetGazeTracker().workload())
+        assert 2e9 < macs < 5e9  # published ResNet-34 magnitude
+
+    def test_nvgaze_is_tiny(self):
+        assert total_macs(NVGazeTracker().workload()) < 5e7
+
+    def test_incresnet_comparable_to_resnet(self):
+        inc = total_macs(IncResNetGazeTracker().workload())
+        res = total_macs(ResNetGazeTracker().workload())
+        assert 0.5 < inc / res < 2.0
+
+    def test_workloads_contain_only_known_ops(self):
+        for tracker in (NVGazeTracker(), ResNetGazeTracker(), IncResNetGazeTracker()):
+            ops = tracker.workload()
+            assert any(isinstance(op, MatMulOp) for op in ops)
+            for op in ops:
+                if isinstance(op, MatMulOp):
+                    assert op.macs > 0

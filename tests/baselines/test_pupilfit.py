@@ -1,0 +1,105 @@
+"""Pupil segmentation and geometric fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AffineGazeMap,
+    PriorGeometricMap,
+    segment_batch,
+    segment_pupil,
+)
+
+
+def synthetic_frame(cx=80, cy=60, radius=8, shape=(120, 160)):
+    frame = np.full(shape, 0.7)
+    yy, xx = np.mgrid[0 : shape[0], 0 : shape[1]]
+    frame[(xx - cx) ** 2 + (yy - cy) ** 2 <= radius**2] = 0.05
+    return frame
+
+
+class TestSegmentation:
+    def test_finds_dark_disc_center(self):
+        obs = segment_pupil(synthetic_frame(cx=100, cy=40))
+        assert obs.valid
+        assert obs.x == pytest.approx(100, abs=1.0)
+        assert obs.y == pytest.approx(40, abs=1.0)
+        assert obs.area > 100
+
+    def test_blank_frame_invalid(self):
+        obs = segment_pupil(np.full((60, 80), 0.8))
+        assert not obs.valid
+        assert obs.x == 40 and obs.y == 30  # falls back to the center
+
+    def test_min_pixels_threshold(self):
+        frame = np.full((60, 80), 0.8)
+        frame[10, 10] = 0.0  # single dark pixel: below min_pixels
+        assert not segment_pupil(frame).valid
+
+    def test_batch(self):
+        frames = np.stack([synthetic_frame(cx=40), synthetic_frame(cx=120)])
+        centers, valid = segment_batch(frames)
+        assert valid.all()
+        assert centers[0, 0] < centers[1, 0]
+
+
+class TestAffineGazeMap:
+    def test_exact_recovery_of_affine_relation(self):
+        rng = np.random.default_rng(0)
+        centers = rng.uniform(20, 140, size=(50, 2))
+        weights = np.array([[0.5, 0.1], [-0.2, 0.6], [3.0, -1.0]])
+        gaze = np.column_stack([centers, np.ones(50)]) @ weights
+        fit = AffineGazeMap.fit(centers, gaze)
+        np.testing.assert_allclose(fit(centers), gaze, atol=1e-9)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            AffineGazeMap.fit(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_single_query_shape(self):
+        fit = AffineGazeMap.fit(
+            np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]),
+            np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]),
+        )
+        assert fit(np.array([0.5, 0.5])).shape == (1, 2)
+
+
+class TestPriorGeometricMap:
+    def test_correct_gain_gives_exact_recovery(self):
+        rng = np.random.default_rng(1)
+        gaze = rng.uniform(-10, 10, size=(40, 2))
+        center = np.array([80.0, 60.0])
+        gain = np.array([1.4, 1.1])
+        pupils = center + gaze * gain
+        calibrated = PriorGeometricMap.calibrate(pupils, gaze, (1.4, 1.1))
+        np.testing.assert_allclose(calibrated(pupils), gaze, atol=1e-9)
+
+    def test_unsupervised_calibration_ignores_labels(self):
+        rng = np.random.default_rng(3)
+        gaze = rng.uniform(-10, 10, size=(30, 2))
+        pupils = np.array([80.0, 60.0]) + gaze * np.array([1.4, 1.1])
+        fit = PriorGeometricMap.calibrate_unsupervised(pupils, (1.4, 1.1))
+        # Center = mean pupil position; bias equals the mean gaze of the
+        # observation window scaled back through the gain.
+        np.testing.assert_allclose(fit.center, pupils.mean(axis=0))
+        residual = fit(pupils) - gaze
+        np.testing.assert_allclose(residual, -gaze.mean(axis=0) + 0 * residual, atol=1e-9)
+
+    def test_unsupervised_needs_three_points(self):
+        with pytest.raises(ValueError):
+            PriorGeometricMap.calibrate_unsupervised(np.zeros((2, 2)), (1.0, 1.0))
+
+    def test_gain_mismatch_gives_systematic_error(self):
+        """The DeepVOG failure mode: wrong prior gain scales eccentric gaze."""
+        rng = np.random.default_rng(2)
+        gaze = rng.uniform(-10, 10, size=(40, 2))
+        true_gain = np.array([1.8, 1.4])  # user deviates from population
+        pupils = np.array([80.0, 60.0]) + gaze * true_gain
+        calibrated = PriorGeometricMap.calibrate(pupils, gaze, (1.4, 1.1))
+        errors = np.linalg.norm(calibrated(pupils) - gaze, axis=1)
+        # Error grows with eccentricity — systematic, not noise.
+        ecc = np.linalg.norm(gaze, axis=1)
+        assert np.corrcoef(ecc, errors)[0, 1] > 0.8
+        assert errors.max() > 2.0

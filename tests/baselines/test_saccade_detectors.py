@@ -1,0 +1,73 @@
+"""Classical saccade detectors (I-VT, I-DT) against the oculomotor model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DispersionThresholdDetector, VelocityThresholdDetector
+from repro.core.saccade import saccade_metrics
+from repro.eye import MovementType, OculomotorModel
+
+
+@pytest.fixture(scope="module")
+def track():
+    return OculomotorModel(seed=21).generate(2000)
+
+
+class TestIVT:
+    def test_detects_most_saccades(self, track):
+        detector = VelocityThresholdDetector(threshold_deg_s=70.0)
+        predicted = detector.detect(track.gaze_deg, track.fps)
+        actual = track.labels == MovementType.SACCADE
+        metrics = saccade_metrics(predicted, actual)
+        assert metrics["accuracy"] > 0.9
+        assert metrics["macro_f1"] > 0.75
+
+    def test_threshold_monotonicity(self, track):
+        low = VelocityThresholdDetector(threshold_deg_s=30.0).detect(track.gaze_deg, track.fps)
+        high = VelocityThresholdDetector(threshold_deg_s=200.0).detect(track.gaze_deg, track.fps)
+        assert low.sum() >= high.sum()
+
+    def test_velocity_computation(self):
+        gaze = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        speeds = VelocityThresholdDetector().velocities(gaze, fps=100.0)
+        np.testing.assert_allclose(speeds, [100.0, 100.0, 100.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VelocityThresholdDetector(threshold_deg_s=0)
+        with pytest.raises(ValueError):
+            VelocityThresholdDetector().detect(np.zeros((5, 3)), 100.0)
+
+
+class TestIDT:
+    def test_detects_saccades_better_than_chance(self, track):
+        detector = DispersionThresholdDetector(dispersion_deg=1.5, window=6)
+        predicted = detector.detect(track.gaze_deg)
+        actual = track.labels == MovementType.SACCADE
+        metrics = saccade_metrics(predicted, actual)
+        assert metrics["accuracy"] > 0.8
+        assert metrics["macro_f1"] > 0.5
+
+    def test_pure_fixation_classified_fixation(self):
+        rng = np.random.default_rng(0)
+        gaze = rng.normal(0, 0.05, size=(100, 2))
+        detector = DispersionThresholdDetector(dispersion_deg=1.0, window=8)
+        assert not detector.detect(gaze).any()
+
+    def test_large_jump_flagged(self):
+        # A saccade sampled mid-flight: several transition frames whose
+        # windows exceed the dispersion threshold.
+        gaze = np.zeros((40, 2))
+        gaze[18:22, 0] = [3.0, 7.5, 12.0, 14.0]
+        gaze[22:] = 15.0
+        detector = DispersionThresholdDetector(dispersion_deg=1.0, window=8)
+        flags = detector.detect(gaze)
+        assert flags[18:22].any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DispersionThresholdDetector(dispersion_deg=0)
+        with pytest.raises(ValueError):
+            DispersionThresholdDetector(window=1)

@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+Heavy artifacts (synthetic datasets, a trained POLONet bundle) are
+session-scoped: many tests share one small training run instead of each
+paying for their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_polonet
+from repro.core.training import PolonetBundle
+from repro.eye import EyeDataset, synthesize_dataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_train_dataset() -> EyeDataset:
+    """Two participants, 160 frames each — enough to exercise every
+    pipeline stage including saccades and (usually) a blink."""
+    return synthesize_dataset(2, 160, seed=101)
+
+
+@pytest.fixture(scope="session")
+def tiny_val_dataset() -> EyeDataset:
+    dataset = synthesize_dataset(1, 140, seed=909)
+    dataset.sequences[0].participant = 1000
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tiny_train_dataset) -> PolonetBundle:
+    """A minimally-trained POLONet (shapes and mechanisms, not accuracy)."""
+    return build_polonet(
+        tiny_train_dataset, vit_epochs=3, saccade_epochs=5, seed=7
+    )
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. ``x``.
+
+    ``f`` must read ``x`` by reference (the array is mutated in place).
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f()
+        flat[i] = original - eps
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad

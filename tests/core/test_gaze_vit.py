@@ -1,0 +1,128 @@
+"""POLOViT: prediction paths, pruning calibration, INT8, workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GazeViTConfig, PoloViT
+from repro.core.gaze_vit import vit_workload
+from repro.hw.ops import MatMulOp, total_macs
+
+
+@pytest.fixture(scope="module")
+def vit():
+    return PoloViT(GazeViTConfig.compact(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def crops(rng):
+    return rng.uniform(size=(6, 72, 72))
+
+
+class TestConfig:
+    def test_paper_configuration(self):
+        c = GazeViTConfig.paper()
+        assert (c.depth, c.num_heads, c.dim, c.image_size) == (8, 6, 384, 224)
+        assert c.num_patches == 196
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GazeViTConfig(image_size=30, patch_size=16)
+        with pytest.raises(ValueError):
+            GazeViTConfig(dim=100, num_heads=7)
+
+
+class TestPrediction:
+    def test_predict_shapes(self, vit, crops):
+        pred = vit.predict(crops, prune=False)
+        assert pred.shape == (6, 2)
+        assert np.isfinite(pred).all()
+
+    def test_predict_single(self, vit, crops):
+        gaze, trace = vit.predict_single(crops[0], prune=False)
+        assert gaze.shape == (2,)
+        assert trace.tokens_per_block[0] == vit.config.num_patches + 1
+
+    def test_prepare_resizes_and_centers(self, vit, crops):
+        prepared = vit.prepare(crops)
+        size = vit.config.image_size
+        assert prepared.shape == (6, size, size)
+        assert np.abs(prepared).max() <= 0.5 + 1e-9
+
+
+class TestPruning:
+    def test_calibration_hits_target_ratio(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=1)
+        threshold = model.calibrate_pruning(crops, target_ratio=0.3, tolerance=0.05)
+        assert threshold > 0
+        ratios = []
+        for crop in crops:
+            model.predict_single(crop, prune=True)
+            ratios.append(model.last_trace.pruning_ratio)
+        assert np.mean(ratios) == pytest.approx(0.3, abs=0.08)
+
+    def test_zero_ratio_disables_pruning(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=1)
+        model.calibrate_pruning(crops, target_ratio=0.0)
+        assert model.token_filter() is None
+
+    def test_invalid_ratio(self, vit, crops):
+        with pytest.raises(ValueError):
+            vit.calibrate_pruning(crops, target_ratio=1.0)
+
+    def test_pruned_prediction_close_to_unpruned(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=2)
+        model.calibrate_pruning(crops, target_ratio=0.2)
+        pruned = model.predict(crops, prune=True)
+        full = model.predict(crops, prune=False)
+        # Pruning perturbs but does not destroy the prediction.
+        assert np.abs(pruned - full).max() < 5.0
+
+
+class TestInt8:
+    def test_enable_int8_quantizes_weights(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=3)
+        before = model.head.weight.data.copy()
+        model.enable_int8(crops)
+        assert model.int8
+        assert not np.allclose(model.head.weight.data, before)
+
+    def test_int8_prediction_close_to_float(self, crops):
+        a = PoloViT(GazeViTConfig.compact(), seed=4)
+        b = PoloViT(GazeViTConfig.compact(), seed=4)
+        float_pred = a.predict(crops, prune=False)
+        b.enable_int8(crops)
+        int8_pred = b.predict(crops, prune=False)
+        assert np.abs(int8_pred - float_pred).mean() < 1.0
+
+
+class TestWorkload:
+    def test_paper_scale_macs(self):
+        macs = total_macs(vit_workload(GazeViTConfig.paper()))
+        assert 2e9 < macs < 4e9  # ViT-small magnitude at 197 tokens
+
+    def test_workload_token_scaling(self, vit, crops):
+        from repro.nn import TokenFilter, no_grad
+
+        vit_local = PoloViT(GazeViTConfig.compact(), seed=5)
+        with no_grad():
+            vit_local.forward(
+                __import__("repro.nn", fromlist=["Tensor"]).Tensor(
+                    vit_local.prepare(crops[:1])
+                ),
+                token_filter=TokenFilter(ratio=0.4),
+            )
+        pruned_ops = vit_local.workload(vit_local.last_trace)
+        full_ops = vit_local.workload(None)
+        assert total_macs(pruned_ops) < total_macs(full_ops)
+
+    def test_workload_depth_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            vit_workload(GazeViTConfig.paper(), [197] * 3)
+
+    def test_workload_structure(self):
+        ops = vit_workload(GazeViTConfig.compact())
+        matmuls = [op for op in ops if isinstance(op, MatMulOp)]
+        # patch embed + 6 matmuls per block x depth + head
+        assert len(matmuls) == 1 + 6 * GazeViTConfig.compact().depth + 1

@@ -1,0 +1,116 @@
+"""Performance-aware loss (Eqs. 3-5): smooth-max behaviour and gradients."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PerformanceLossConfig,
+    angular_error_tensor,
+    hard_max_loss,
+    make_performance_loss,
+    mse_radians_loss,
+    performance_aware_loss,
+)
+from repro.nn import Tensor
+
+
+def make_batch(errors_deg):
+    """Predictions offset from zero targets by the requested errors."""
+    pred = np.zeros((len(errors_deg), 2))
+    pred[:, 0] = errors_deg
+    return Tensor(pred, requires_grad=True), np.zeros((len(errors_deg), 2))
+
+
+class TestAngularError:
+    def test_converts_to_radians(self):
+        pred, target = make_batch([180.0 / math.pi])
+        err = angular_error_tensor(pred, target)
+        assert err.data[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_vector_norm(self):
+        pred = Tensor(np.array([[3.0, 4.0]]))
+        err = angular_error_tensor(pred, np.zeros((1, 2)))
+        assert err.data[0] == pytest.approx(math.radians(5.0), abs=1e-6)
+
+
+class TestSmoothMax:
+    def test_approximates_max_from_above(self):
+        pred, target = make_batch([1.0, 5.0, 10.0])
+        config = PerformanceLossConfig(smooth_n=100.0, lam=0.0)
+        loss = performance_aware_loss(pred, target, config).item()
+        true_max = math.radians(10.0)
+        assert true_max <= loss <= true_max + math.log(3) / 100.0 + 1e-9
+
+    def test_sharper_n_tightens_approximation(self):
+        pred, target = make_batch([2.0, 9.0])
+        loose = performance_aware_loss(
+            pred, target, PerformanceLossConfig(smooth_n=10.0, lam=0.0)
+        ).item()
+        tight = performance_aware_loss(
+            pred, target, PerformanceLossConfig(smooth_n=200.0, lam=0.0)
+        ).item()
+        true_max = math.radians(9.0)
+        assert abs(tight - true_max) < abs(loose - true_max)
+
+    def test_lambda_adds_mean_term(self):
+        pred, target = make_batch([3.0, 6.0])
+        config0 = PerformanceLossConfig(smooth_n=100.0, lam=0.0)
+        config1 = PerformanceLossConfig(smooth_n=100.0, lam=1.0)
+        base = performance_aware_loss(pred, target, config0).item()
+        with_mean = performance_aware_loss(pred, target, config1).item()
+        mse = mse_radians_loss(pred, target).item()
+        assert with_mean == pytest.approx(base + mse, abs=1e-9)
+
+    def test_gradient_concentrates_on_worst_sample(self):
+        pred, target = make_batch([1.0, 8.0, 2.0])
+        config = PerformanceLossConfig(smooth_n=100.0, lam=0.0)
+        performance_aware_loss(pred, target, config).backward()
+        grads = np.abs(pred.grad[:, 0])
+        assert grads[1] > 10 * grads[0]
+        assert grads[1] > 10 * grads[2]
+
+    def test_all_samples_receive_gradient_with_lambda(self):
+        pred, target = make_batch([1.0, 8.0, 2.0])
+        config = PerformanceLossConfig(smooth_n=100.0, lam=1.0)
+        performance_aware_loss(pred, target, config).backward()
+        assert (np.abs(pred.grad[:, 0]) > 1e-6).all()
+
+
+class TestComparators:
+    def test_hard_max_is_exact(self):
+        pred, target = make_batch([1.0, 7.0, 3.0])
+        assert hard_max_loss(pred, target).item() == pytest.approx(
+            math.radians(7.0), abs=1e-6
+        )
+
+    def test_hard_max_only_worst_gets_gradient(self):
+        pred, target = make_batch([1.0, 7.0, 3.0])
+        hard_max_loss(pred, target).backward()
+        grads = np.abs(pred.grad[:, 0])
+        assert grads[1] > 0
+        np.testing.assert_allclose(grads[[0, 2]], 0.0, atol=1e-12)
+
+    def test_mse_radians(self):
+        pred, target = make_batch([2.0, 4.0])
+        expected = np.mean([math.radians(2.0) ** 2, math.radians(4.0) ** 2])
+        assert mse_radians_loss(pred, target).item() == pytest.approx(expected, rel=1e-4)
+
+    def test_make_performance_loss_adapter(self):
+        loss_fn = make_performance_loss()
+        pred, target = make_batch([2.0])
+        direct = performance_aware_loss(pred, target).item()
+        assert loss_fn(pred, target).item() == pytest.approx(direct)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            PerformanceLossConfig(smooth_n=0.0)
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError):
+            PerformanceLossConfig(lam=-0.1)

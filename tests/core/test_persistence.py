@@ -1,0 +1,54 @@
+"""POLONet save/load round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Decision
+from repro.core.persistence import load_polonet, save_polonet
+
+
+@pytest.fixture(scope="module")
+def frames(tiny_val_dataset):
+    return tiny_val_dataset.sequences[0].images[:12].astype(np.float64)
+
+
+class TestRoundTrip:
+    def test_identical_runtime_behaviour(self, tiny_bundle, frames, tmp_path):
+        original = tiny_bundle.polonet
+        save_polonet(original, tmp_path / "model")
+        restored = load_polonet(tmp_path / "model")
+
+        original.reset()
+        restored.reset()
+        for frame in frames:
+            a = original.process_frame(frame)
+            b = restored.process_frame(frame)
+            assert a.decision == b.decision
+            if a.has_gaze:
+                np.testing.assert_allclose(a.gaze_deg, b.gaze_deg, atol=1e-9)
+
+    def test_calibration_state_preserved(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        restored = load_polonet(tmp_path / "model")
+        assert restored.gaze_vit.int8 == tiny_bundle.vit.int8
+        assert restored.gaze_vit._prune_threshold == pytest.approx(
+            tiny_bundle.vit._prune_threshold
+        )
+        assert restored.config == tiny_bundle.polonet.config
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_polonet(tmp_path / "nothing")
+
+    def test_bad_version_rejected(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        manifest_path = tmp_path / "model" / "polonet.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_polonet(tmp_path / "model")

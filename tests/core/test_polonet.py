@@ -1,0 +1,136 @@
+"""POLONet runtime: Algorithm-1 path selection on crafted inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Decision, PoloNet, PolonetConfig, RuntimeStats
+
+
+class StubDetector:
+    """Saccade detector returning a scripted probability sequence."""
+
+    def __init__(self, probabilities):
+        self.probabilities = list(probabilities)
+        self._i = 0
+
+    def step(self, binary_map, h, previous_map=None):
+        prob = self.probabilities[min(self._i, len(self.probabilities) - 1)]
+        self._i += 1
+        return prob, np.zeros((1, 4))
+
+
+class StubViT:
+    """Gaze ViT returning a constant vector and counting invocations."""
+
+    def __init__(self, value=(1.0, -1.0)):
+        self.value = np.asarray(value, dtype=float)
+        self.calls = 0
+
+    def predict_single(self, crop, prune=True):
+        self.calls += 1
+        return self.value.copy(), None
+
+
+def eye_like_frame(cx=80, cy=60, radius=9, shape=(120, 160)):
+    frame = np.full(shape, 0.7)
+    yy, xx = np.mgrid[0 : shape[0], 0 : shape[1]]
+    frame[(xx - cx) ** 2 + (yy - cy) ** 2 <= radius**2] = 0.05
+    return frame
+
+
+@pytest.fixture
+def config():
+    return PolonetConfig()
+
+
+class TestPathSelection:
+    def test_saccade_halts_processing(self, config):
+        vit = StubViT()
+        polonet = PoloNet(StubDetector([0.9]), vit, config)
+        result = polonet.process_frame(eye_like_frame())
+        assert result.decision is Decision.SACCADE
+        assert result.gaze_deg is None
+        assert vit.calls == 0
+
+    def test_first_frame_predicts(self, config):
+        vit = StubViT()
+        polonet = PoloNet(StubDetector([0.0]), vit, config)
+        result = polonet.process_frame(eye_like_frame())
+        assert result.decision is Decision.PREDICT
+        assert vit.calls == 1
+        np.testing.assert_allclose(result.gaze_deg, [1.0, -1.0])
+
+    def test_identical_frames_trigger_reuse(self, config):
+        vit = StubViT()
+        polonet = PoloNet(StubDetector([0.0, 0.0, 0.0]), vit, config)
+        frame = eye_like_frame()
+        polonet.process_frame(frame)
+        second = polonet.process_frame(frame)
+        third = polonet.process_frame(frame)
+        assert second.decision is Decision.REUSE
+        assert third.decision is Decision.REUSE
+        assert vit.calls == 1
+        np.testing.assert_allclose(second.gaze_deg, [1.0, -1.0])
+        assert second.frame_difference == 0
+
+    def test_large_change_forces_fresh_prediction(self, config):
+        vit = StubViT()
+        polonet = PoloNet(StubDetector([0.0, 0.0]), vit, config)
+        polonet.process_frame(eye_like_frame(cx=50))
+        result = polonet.process_frame(eye_like_frame(cx=110))
+        assert result.decision is Decision.PREDICT
+        assert vit.calls == 2
+        assert result.frame_difference >= config.gamma2
+
+    def test_pupil_detection_reported_on_predict(self, config):
+        polonet = PoloNet(StubDetector([0.0]), StubViT(), config)
+        result = polonet.process_frame(eye_like_frame(cx=100, cy=40))
+        assert result.pupil is not None
+        assert abs(result.pupil.col - 100) < 10
+        assert abs(result.pupil.row - 40) < 10
+
+    def test_no_reuse_without_buffered_gaze(self, config):
+        """A saccade on frame 1 leaves no buffered gaze; identical frame 2
+        must predict rather than reuse."""
+        vit = StubViT()
+        polonet = PoloNet(StubDetector([0.9, 0.0]), vit, config)
+        frame = eye_like_frame()
+        polonet.process_frame(frame)
+        result = polonet.process_frame(frame)
+        assert result.decision is Decision.PREDICT
+
+    def test_reset_clears_state(self, config):
+        vit = StubViT()
+        polonet = PoloNet(StubDetector([0.0, 0.0]), vit, config)
+        frame = eye_like_frame()
+        polonet.process_frame(frame)
+        polonet.reset()
+        result = polonet.process_frame(frame)
+        assert result.decision is Decision.PREDICT
+        assert polonet.stats.total == 1
+
+
+class TestRuntimeStats:
+    def test_probabilities(self):
+        stats = RuntimeStats(saccade=1, reuse=7, predict=2)
+        probs = stats.probabilities()
+        assert probs["p_saccade"] == pytest.approx(0.1)
+        assert probs["p_reuse"] == pytest.approx(0.7)
+        assert probs["p_predict"] == pytest.approx(0.2)
+
+    def test_record(self):
+        stats = RuntimeStats()
+        stats.record(Decision.SACCADE)
+        stats.record(Decision.REUSE)
+        stats.record(Decision.PREDICT)
+        assert (stats.saccade, stats.reuse, stats.predict) == (1, 1, 1)
+
+    def test_sequence_processing_accumulates(self, config):
+        polonet = PoloNet(StubDetector([0.0]), StubViT(), config)
+        frames = np.stack([eye_like_frame()] * 4)
+        results = polonet.process_sequence(frames)
+        assert len(results) == 4
+        assert polonet.stats.total == 4
+        assert polonet.stats.reuse == 3

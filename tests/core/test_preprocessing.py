@@ -1,0 +1,146 @@
+"""IPU golden model: pooling, binarization, reuse test, pupil search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PolonetConfig,
+    average_pool,
+    binarize,
+    binary_map,
+    crop_frame,
+    find_pupil_center,
+    frame_difference,
+    preprocess_frame,
+    should_reuse,
+)
+from repro.eye import EyeAppearance, NearEyeRenderer, RenderConfig
+
+
+@pytest.fixture(scope="module")
+def eye_frame():
+    appearance = EyeAppearance.sample(np.random.default_rng(8), 160, 120)
+    renderer = NearEyeRenderer(appearance, RenderConfig(), seed=8)
+    frame = renderer.render(np.array([3.0, -2.0]))
+    pose = renderer.geometry.pupil_pose(np.array([3.0, -2.0]))
+    return frame, pose
+
+
+class TestPoolBinarize:
+    def test_average_pool_values(self):
+        frame = np.arange(16.0).reshape(4, 4)
+        pooled = average_pool(frame, 2)
+        np.testing.assert_allclose(pooled, [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_pool_truncates_ragged_edges(self):
+        pooled = average_pool(np.ones((5, 7)), 2)
+        assert pooled.shape == (2, 3)
+
+    def test_binarize_marks_dark_as_one(self):
+        pooled = np.array([[0.05, 0.5], [0.1, 0.9]])
+        out = binarize(pooled, 40 / 255)
+        np.testing.assert_array_equal(out, [[1, 0], [1, 0]])
+        assert out.dtype == np.uint8
+
+    def test_binary_map_composition(self, eye_frame):
+        frame, _ = eye_frame
+        config = PolonetConfig()
+        manual = binarize(average_pool(frame, config.pool_m), config.gamma1_unit)
+        np.testing.assert_array_equal(binary_map(frame, config), manual)
+
+    def test_binary_map_shape(self, eye_frame):
+        frame, _ = eye_frame
+        assert binary_map(frame, PolonetConfig()).shape == (30, 40)
+
+
+class TestReuse:
+    def test_frame_difference_counts_pixels(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = a.copy()
+        b[0, :3] = 1
+        assert frame_difference(a, b) == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frame_difference(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_should_reuse_logic(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = a.copy()
+        b[0, 0] = 1
+        assert should_reuse(b, a, gamma2=2.0)
+        assert not should_reuse(b, a, gamma2=1.0)
+        assert not should_reuse(b, None, gamma2=100.0)
+
+
+class TestPupilSearch:
+    def test_finds_disc_center(self):
+        binary = np.zeros((20, 30), dtype=np.uint8)
+        yy, xx = np.mgrid[0:20, 0:30]
+        binary[(xx - 21) ** 2 + (yy - 8) ** 2 <= 9] = 1
+        det = find_pupil_center(binary, window=5)
+        assert abs(det.col_pooled - 21) <= 1
+        assert abs(det.row_pooled - 8) <= 1
+        assert det.found
+
+    def test_pool_coordinate_conversion(self):
+        binary = np.zeros((10, 10), dtype=np.uint8)
+        binary[4:7, 4:7] = 1
+        det = find_pupil_center(binary, window=3, pool_m=4)
+        assert det.row == det.row_pooled * 4 + 2
+        assert det.col == det.col_pooled * 4 + 2
+
+    def test_blank_map_falls_back_to_center(self):
+        det = find_pupil_center(np.zeros((10, 20), dtype=np.uint8), window=5)
+        assert not det.found
+        assert det.row_pooled == 5 and det.col_pooled == 10
+
+    def test_only_white_centres_compete(self):
+        """A pixel surrounded by white but itself black cannot win."""
+        binary = np.zeros((9, 9), dtype=np.uint8)
+        binary[3:6, 3:6] = 1
+        binary[4, 4] = 0  # donut hole
+        det = find_pupil_center(binary, window=3)
+        assert binary[det.row_pooled, det.col_pooled] == 1
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            find_pupil_center(np.zeros((5, 5), dtype=np.uint8), window=4)
+
+    def test_real_frame_detection_near_true_pupil(self, eye_frame):
+        frame, pose = eye_frame
+        config = PolonetConfig()
+        binary, det, crop = preprocess_frame(frame, config)
+        assert abs(det.col - pose.x) < 10
+        assert abs(det.row - pose.y) < 10
+
+
+class TestCrop:
+    def test_crop_size_fixed(self, eye_frame):
+        frame, _ = eye_frame
+        config = PolonetConfig()
+        _, det, crop = preprocess_frame(frame, config)
+        assert crop.shape == (config.crop_height, config.crop_width)
+
+    def test_crop_contains_pupil(self, eye_frame):
+        frame, _ = eye_frame
+        _, _, crop = preprocess_frame(frame, PolonetConfig())
+        assert crop.min() < 0.15  # the dark pupil made it into the crop
+
+    def test_crop_clamps_at_borders(self):
+        frame = np.ones((120, 160))
+        from repro.core.preprocessing import PupilDetection
+
+        config = PolonetConfig()
+        det = PupilDetection(0, 0, 0, 0, 1)
+        crop = crop_frame(frame, det, config)
+        assert crop.shape == (config.crop_height, config.crop_width)
+
+    def test_oversized_crop_rejected(self):
+        from repro.core.preprocessing import PupilDetection
+        from repro.utils.image import crop_centered
+
+        with pytest.raises(ValueError):
+            crop_centered(np.ones((10, 10)), 5, 5, 20, 20)

@@ -1,0 +1,89 @@
+"""Saccade detection network: runtime/training consistency and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SaccadeDetector, SaccadeNetConfig, saccade_metrics
+from repro.hw.ops import total_macs
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def detector():
+    return SaccadeDetector((12, 16), SaccadeNetConfig(hidden_dim=8), seed=0)
+
+
+class TestForward:
+    def test_sequence_logits_shape(self, detector):
+        seqs = Tensor(np.random.default_rng(0).integers(0, 2, size=(3, 5, 12, 16)).astype(float))
+        logits = detector(seqs)
+        assert logits.shape == (3, 5)
+
+    def test_step_matches_forward(self, detector):
+        """The stateful runtime path must agree with the batched path."""
+        rng = np.random.default_rng(1)
+        frames = rng.integers(0, 2, size=(4, 12, 16)).astype(float)
+        logits = detector(Tensor(frames[None])).data[0]
+        h = None
+        previous = None
+        step_probs = []
+        for frame in frames:
+            prob, h = detector.step(frame, h, previous_map=previous)
+            step_probs.append(prob)
+            previous = frame
+        expected = 1.0 / (1.0 + np.exp(-logits))
+        np.testing.assert_allclose(step_probs, expected, atol=1e-10)
+
+    def test_hidden_state_carries_information(self, detector):
+        frame = np.ones((12, 16))
+        prob1, h1 = detector.step(frame, None)
+        prob2, h2 = detector.step(frame, h1)
+        assert not np.allclose(h1, h2)  # state evolves
+
+    def test_detect_threshold(self, detector):
+        assert detector.detect(0.7, threshold=0.5)
+        assert not detector.detect(0.3, threshold=0.5)
+
+    def test_gradient_flows_through_time(self, detector):
+        seqs = Tensor(np.random.default_rng(2).random((2, 6, 12, 16)))
+        logits = detector(seqs)
+        (logits * logits).sum().backward()
+        assert detector.cell.alpha.grad is not None
+        assert np.abs(detector.conv.weight.grad).sum() > 0
+
+
+class TestWorkload:
+    def test_paper_scale_is_tiny_vs_vit(self):
+        from repro.core import GazeViTConfig
+        from repro.core.gaze_vit import vit_workload
+
+        detector = SaccadeDetector((100, 160))
+        sac_macs = total_macs(detector.workload((100, 160)))
+        vit_macs = total_macs(vit_workload(GazeViTConfig.paper()))
+        assert sac_macs / vit_macs < 0.02  # "<2% of the gaze ViT" (§7.1)
+
+    def test_workload_scales_with_map(self):
+        detector = SaccadeDetector((100, 160))
+        small = total_macs(detector.workload((50, 80)))
+        large = total_macs(detector.workload((100, 160)))
+        assert large > 2 * small
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        labels = np.array([True, False, True])
+        m = saccade_metrics(labels, labels)
+        assert m["accuracy"] == 1.0 and m["macro_f1"] == 1.0
+
+    def test_always_negative_predictor(self):
+        actual = np.array([True] * 10 + [False] * 90)
+        predicted = np.zeros(100, dtype=bool)
+        m = saccade_metrics(predicted, actual)
+        assert m["accuracy"] == pytest.approx(0.9)
+        assert m["macro_f1"] < 0.5 + 0.01  # macro F1 punishes the miss
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            saccade_metrics(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))

@@ -1,0 +1,121 @@
+"""Training pipelines: dataset preparation, trainers, and the builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decision,
+    GazeViTConfig,
+    PoloViT,
+    PolonetConfig,
+    SaccadeDetector,
+    SaccadeNetConfig,
+    binary_map,
+    build_crop_dataset,
+    build_saccade_sequences,
+    train_polovit,
+    train_saccade_detector,
+)
+from repro.core.training import evaluate_saccade_detector
+from repro.eye import MovementType
+
+
+class TestDatasetPreparation:
+    def test_crop_dataset_shapes(self, tiny_train_dataset):
+        config = PolonetConfig()
+        crops, gaze = build_crop_dataset(tiny_train_dataset, config)
+        assert crops.shape[1:] == (config.crop_height, config.crop_width)
+        assert gaze.shape == (len(crops), 2)
+        assert len(crops) <= len(tiny_train_dataset)
+
+    def test_closed_eyes_filtered(self, tiny_train_dataset):
+        all_crops, _ = build_crop_dataset(tiny_train_dataset, min_openness=0.0)
+        open_crops, _ = build_crop_dataset(tiny_train_dataset, min_openness=0.8)
+        assert len(open_crops) < len(all_crops)
+
+    def test_impossible_filter_raises(self, tiny_train_dataset):
+        with pytest.raises(ValueError):
+            build_crop_dataset(tiny_train_dataset, min_openness=2.0)
+
+    def test_saccade_sequences_shapes(self, tiny_train_dataset):
+        seqs, labels = build_saccade_sequences(tiny_train_dataset, window=10)
+        assert seqs.shape[1] == 10
+        assert labels.shape == seqs.shape[:2]
+        assert set(np.unique(labels)).issubset({0.0, 1.0})
+
+    def test_saccade_labels_match_dataset(self, tiny_train_dataset):
+        seqs, labels = build_saccade_sequences(tiny_train_dataset, window=10, stride=10)
+        expected_fraction = np.mean(
+            tiny_train_dataset.labels() == MovementType.SACCADE
+        )
+        assert labels.mean() == pytest.approx(expected_fraction, abs=0.1)
+
+    def test_window_longer_than_sequence_raises(self, tiny_train_dataset):
+        with pytest.raises(ValueError):
+            build_saccade_sequences(tiny_train_dataset, window=10_000)
+
+
+class TestTrainers:
+    def test_polovit_mse_loss_decreases(self, tiny_train_dataset):
+        crops, gaze = build_crop_dataset(tiny_train_dataset)
+        vit = PoloViT(GazeViTConfig.compact(), seed=0)
+        log = train_polovit(vit, crops[:64], gaze[:64], epochs=4, loss="mse", seed=0)
+        assert log.losses[-1] < log.losses[0]
+
+    def test_polovit_performance_phase_decreases(self, tiny_train_dataset):
+        """The smooth-max phase (after the MSE warmup) must itself make
+        progress; losses are not comparable across the phase switch."""
+        crops, gaze = build_crop_dataset(tiny_train_dataset)
+        vit = PoloViT(GazeViTConfig.compact(), seed=0)
+        log = train_polovit(vit, crops[:64], gaze[:64], epochs=6, seed=0)
+        warmup = int(round(0.4 * 6))
+        perf_phase = log.losses[warmup:]
+        assert perf_phase[-1] <= perf_phase[0] * 1.2
+
+    def test_polovit_mse_loss_option(self, tiny_train_dataset):
+        crops, gaze = build_crop_dataset(tiny_train_dataset)
+        vit = PoloViT(GazeViTConfig.compact(), seed=1)
+        log = train_polovit(vit, crops[:32], gaze[:32], epochs=2, loss="mse", seed=0)
+        assert len(log.losses) == 2
+
+    def test_unknown_loss_rejected(self, tiny_train_dataset):
+        crops, gaze = build_crop_dataset(tiny_train_dataset)
+        with pytest.raises(ValueError):
+            train_polovit(PoloViT(seed=0), crops[:8], gaze[:8], loss="huber")
+
+    def test_saccade_trainer_decreases_loss(self, tiny_train_dataset):
+        config = PolonetConfig()
+        sample = tiny_train_dataset.sequences[0].images[0].astype(float)
+        detector = SaccadeDetector(binary_map(sample, config).shape, seed=0)
+        seqs, labels = build_saccade_sequences(tiny_train_dataset, config)
+        log = train_saccade_detector(detector, seqs, labels, epochs=4, seed=0)
+        assert log.losses[-1] < log.losses[0]
+
+
+class TestBundle:
+    def test_bundle_components(self, tiny_bundle):
+        assert tiny_bundle.vit.int8  # paper deployment: INT8
+        assert tiny_bundle.vit.token_filter() is not None  # 20% pruning
+        assert isinstance(tiny_bundle.detector, SaccadeDetector)
+        assert tiny_bundle.vit_log.losses and tiny_bundle.saccade_log.losses
+
+    def test_bundle_runtime_runs(self, tiny_bundle, tiny_val_dataset):
+        polonet = tiny_bundle.polonet
+        polonet.reset()
+        seq = tiny_val_dataset.sequences[0]
+        results = polonet.process_sequence(seq.images[:30].astype(np.float64))
+        assert len(results) == 30
+        decisions = {r.decision for r in results}
+        assert decisions <= set(Decision)
+        # Reuse can only ever follow a fresh prediction.
+        if Decision.REUSE in decisions:
+            assert Decision.PREDICT in decisions
+
+    def test_saccade_evaluation_beats_chance(self, tiny_bundle, tiny_val_dataset):
+        metrics = evaluate_saccade_detector(tiny_bundle.detector, tiny_val_dataset)
+        # Five epochs at tiny scale: the detector is noisy (it over-fires
+        # on squint-heavy sequences); require only that it carries signal.
+        assert metrics["accuracy"] > 0.25
+        assert metrics["macro_f1"] > 0.2

@@ -1,0 +1,57 @@
+"""On-disk experiment-context cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    CACHE_ENV_VAR,
+    ContextScale,
+    clear_context_cache,
+    get_context,
+)
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+    clear_context_cache()
+    yield tmp_path
+    clear_context_cache()
+
+
+SCALE = ContextScale("cachetest", 1, 1, 60, 1, 1, 1)
+
+
+class TestDiskCache:
+    def test_roundtrip_preserves_behaviour(self, cache_env):
+        built = get_context(SCALE, seed=321)
+        clear_context_cache()
+        reloaded = get_context(SCALE, seed=321)
+        frames = built.val.sequences[0].images[:3].astype(np.float64)
+        a = built.bundle.vit.predict(frames, prune=False)
+        b = reloaded.bundle.vit.predict(frames, prune=False)
+        np.testing.assert_allclose(a, b, atol=5e-3)
+        assert len(reloaded.train) == len(built.train)
+        assert set(reloaded.baselines) == set(built.baselines)
+
+    def test_cache_directory_created(self, cache_env):
+        get_context(SCALE, seed=321)
+        cached = cache_env / "context-cachetest-321"
+        assert (cached / "DONE").exists()
+        assert (cached / "polonet" / "polonet.json").exists()
+
+    def test_incomplete_cache_ignored(self, cache_env):
+        get_context(SCALE, seed=321)
+        clear_context_cache()
+        (cache_env / "context-cachetest-321" / "DONE").unlink()
+        rebuilt = get_context(SCALE, seed=321)  # silently rebuilds
+        assert rebuilt is not None
+
+    def test_disabled_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        clear_context_cache()
+        get_context(SCALE, seed=322)
+        assert not list(tmp_path.iterdir())
+        clear_context_cache()

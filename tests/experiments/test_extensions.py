@@ -1,0 +1,65 @@
+"""Extension experiments: latency QoE and FPS tables (analytic parts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import format_latency_qoe, run_latency_qoe
+from repro.experiments.fps_eval import format_fps, run_fps
+from repro.experiments.profiles import paper_reference_errors
+from repro.eye.events import EventMix
+from repro.system import Schedule
+
+
+@pytest.fixture(scope="module")
+def errors():
+    return paper_reference_errors(0.2)
+
+
+class TestLatencyQoe:
+    def test_polo_best_everywhere(self, errors):
+        result = run_latency_qoe(errors)
+        for res in ("720P", "1080P", "1440P"):
+            assert result.best_method(res) == "POLO_N"
+
+    def test_qoe_ordering_follows_latency(self, errors):
+        result = run_latency_qoe(errors)
+        for res in ("720P", "1080P"):
+            pairs = [
+                (result.latency_ms[(m, res)], result.qoe[(m, res)])
+                for m in ("POLO_N", "ResNet-34", "DeepVOG")
+            ]
+            ordered = sorted(pairs)
+            qoes = [q for _, q in ordered]
+            assert all(a >= b for a, b in zip(qoes, qoes[1:]))
+
+    def test_format(self, errors):
+        assert "QoE" in format_latency_qoe(run_latency_qoe(errors))
+
+
+class TestFps:
+    def test_event_mix_raises_polo_fps(self, errors):
+        mix = EventMix(0.1, 0.7, 0.2)
+        gated = run_fps(errors, event_mix=mix)
+        ungated = run_fps(errors, event_mix=None)
+        for res in ("720P", "1080P", "1440P"):
+            assert gated.get("POLO", res, Schedule.SEQUENTIAL) >= ungated.get(
+                "POLO", res, Schedule.SEQUENTIAL
+            )
+
+    def test_baselines_unaffected_by_mix(self, errors):
+        mix = EventMix(0.1, 0.7, 0.2)
+        gated = run_fps(errors, event_mix=mix)
+        ungated = run_fps(errors, event_mix=None)
+        assert gated.get("DeepVOG", "1080P", Schedule.SEQUENTIAL) == pytest.approx(
+            ungated.get("DeepVOG", "1080P", Schedule.SEQUENTIAL)
+        )
+
+    def test_resolution_lowers_fps(self, errors):
+        result = run_fps(errors)
+        assert result.get("POLO", "720P", Schedule.SEQUENTIAL) > result.get(
+            "POLO", "1440P", Schedule.SEQUENTIAL
+        )
+
+    def test_format(self, errors):
+        assert "FPS" in format_fps(run_fps(errors))

@@ -1,0 +1,104 @@
+"""Formatting functions for trained experiments, driven by synthetic
+result objects (no training needed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ErrorSummary
+from repro.experiments.ablations import (
+    AcceleratorAblationResult,
+    ScheduleAblationResult,
+    format_fig13b,
+    format_fig13c,
+)
+from repro.experiments.extensions import (
+    SaccadeSensitivityResult,
+    format_saccade_sensitivity,
+)
+from repro.experiments.gaze_error import GazeErrorResult, format_fig8a, format_table1
+from repro.experiments.reuse_eval import ReuseSweepResult, format_table4
+from repro.experiments.saccade_eval import SaccadeSweepResult, format_table2, format_table3
+from repro.eye.events import EventMix
+
+
+def make_summary(mean, p95):
+    errors = np.concatenate([np.full(95, mean), np.full(5, p95)])
+    return ErrorSummary.from_errors(errors)
+
+
+class TestGazeErrorFormatting:
+    def test_table1_contains_all_methods(self):
+        result = GazeErrorResult()
+        result.summaries["A"] = make_summary(1.0, 3.0)
+        result.summaries["B"] = make_summary(2.0, 9.0)
+        text = format_table1(result)
+        assert "A" in text and "B" in text and "P95" in text
+        assert result.ordered_names() == ["A", "B"]
+
+    def test_fig8a_statistics_columns(self):
+        result = GazeErrorResult()
+        result.summaries["A"] = make_summary(1.0, 3.0)
+        text = format_fig8a(result)
+        for column in ("Min", "P5", "Mean", "P95", "Max"):
+            assert column in text
+
+
+class TestSweepFormatting:
+    def test_table2(self):
+        result = SaccadeSweepResult(parameter="hidden_dim")
+        result.metrics[16] = {"accuracy": 0.9, "macro_f1": 0.8}
+        result.metrics[32] = {"accuracy": 0.95, "macro_f1": 0.85}
+        text = format_table2(result)
+        assert "90.0" in text and "0.850" in text
+
+    def test_table3(self):
+        result = SaccadeSweepResult(parameter="gamma1")
+        result.metrics[40.0] = {"accuracy": 0.9, "macro_f1": 0.77}
+        assert "0.770" in format_table3(result)
+
+    def test_table4(self):
+        result = ReuseSweepResult()
+        result.stats[10.0] = {
+            "mean": 1.4,
+            "p95": 3.3,
+            "n_reused": 100,
+            "reuse_fraction": 0.6,
+        }
+        text = format_table4(result)
+        assert "3.30" in text and "0.60" in text
+        assert result.reuse_fraction(10.0) == 0.6
+
+
+class TestAblationFormatting:
+    def test_fig13b(self):
+        result = AcceleratorAblationResult()
+        result.with_accel_ms["X"] = 50.0
+        result.gpu_only_ms["X"] = 100.0
+        text = format_fig13b(result)
+        assert "2.00x" in text
+        assert result.ratio("X") == 2.0
+
+    def test_fig13c(self):
+        result = ScheduleAblationResult()
+        result.sequential_ms["X"] = 100.0
+        result.parallel_ms["X"] = 90.0
+        text = format_fig13c(result)
+        assert "10.0%" in text
+        assert result.average_reduction() == pytest.approx(0.1)
+
+
+class TestExtensionFormatting:
+    def test_saccade_sensitivity(self):
+        result = SaccadeSensitivityResult()
+        result.points[0.5] = {
+            "fpr": 0.02,
+            "fnr": 0.3,
+            "artifact_rate": 0.4,
+            "qoe": 0.7,
+            "avg_latency_ms": 33.0,
+            "event_mix": EventMix(0.1, 0.7, 0.2),
+        }
+        text = format_saccade_sensitivity(result)
+        assert "0.020" in text and "33.0" in text

@@ -1,0 +1,97 @@
+"""Dataset synthesis: schema, splits, reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eye import (
+    EyeDataset,
+    EyeSequence,
+    MovementType,
+    make_openeds_like,
+    synthesize_dataset,
+    synthesize_sequence,
+)
+
+
+class TestSequenceSynthesis:
+    def test_schema(self):
+        seq = synthesize_sequence(0, 100, seed=0)
+        assert seq.images.shape == (100, 120, 160)
+        assert seq.images.dtype == np.float32
+        assert seq.gaze_deg.shape == (100, 2)
+        assert seq.labels.shape == (100,)
+        assert 0.0 <= seq.images.min() and seq.images.max() <= 1.0
+
+    def test_labels_match_motion(self):
+        seq = synthesize_sequence(0, 400, seed=1)
+        saccadic = seq.labels == MovementType.SACCADE
+        assert saccadic.any()
+        assert seq.velocity_deg_s[saccadic].mean() > seq.velocity_deg_s[~saccadic].mean()
+
+    def test_seeded_determinism(self):
+        a = synthesize_sequence(0, 50, seed=42)
+        b = synthesize_sequence(0, 50, seed=42)
+        np.testing.assert_allclose(a.images, b.images)
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ValueError):
+            synthesize_sequence(0, 0)
+
+    def test_length_validation(self):
+        seq = synthesize_sequence(0, 10, seed=0)
+        with pytest.raises(ValueError):
+            EyeSequence(
+                participant=0,
+                images=seq.images,
+                gaze_deg=seq.gaze_deg[:5],
+                labels=seq.labels,
+                openness=seq.openness,
+                velocity_deg_s=seq.velocity_deg_s,
+                post_saccade=seq.post_saccade,
+                fps=seq.fps,
+            )
+
+
+class TestDataset:
+    def test_multi_participant_appearances_differ(self):
+        dataset = synthesize_dataset(3, 20, seed=0)
+        assert dataset.participants == [0, 1, 2]
+        first = dataset.sequences[0].images.mean()
+        second = dataset.sequences[1].images.mean()
+        assert first != pytest.approx(second, abs=1e-4)
+
+    def test_flattened_views(self):
+        dataset = synthesize_dataset(2, 15, seed=0)
+        assert len(dataset) == 30
+        assert dataset.images().shape[0] == 30
+        assert dataset.gaze().shape == (30, 2)
+        assert dataset.labels().shape == (30,)
+
+    def test_subsample(self):
+        dataset = synthesize_dataset(2, 15, seed=0)
+        images, gaze = dataset.subsample(8, seed=1)
+        assert images.shape[0] == 8 and gaze.shape == (8, 2)
+        with pytest.raises(ValueError):
+            dataset.subsample(1000)
+
+    def test_empty_dataset_len(self):
+        assert len(EyeDataset()) == 0
+
+
+class TestOpenedsLike:
+    def test_split_structure(self):
+        train, val = make_openeds_like(scale=0.005, seed=0)
+        assert len(train.sequences) >= 2
+        assert len(val.sequences) >= 1
+        train_ids = set(train.participants)
+        val_ids = set(val.participants)
+        assert train_ids.isdisjoint(val_ids)
+        assert all(pid >= 1000 for pid in val_ids)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            make_openeds_like(scale=0.0)
+        with pytest.raises(ValueError):
+            make_openeds_like(scale=1.5)

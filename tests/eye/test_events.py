@@ -1,0 +1,69 @@
+"""Event taxonomy utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eye import (
+    EventMix,
+    MovementType,
+    post_saccade_mask,
+    saccade_fraction,
+    segments_from_labels,
+)
+
+
+class TestSegments:
+    def test_basic_segmentation(self):
+        labels = np.array([0, 0, 1, 1, 1, 0, 2])
+        segments = segments_from_labels(labels)
+        assert [(s.kind, s.start, s.stop) for s in segments] == [
+            (MovementType.FIXATION, 0, 2),
+            (MovementType.SACCADE, 2, 5),
+            (MovementType.FIXATION, 5, 6),
+            (MovementType.PURSUIT, 6, 7),
+        ]
+        assert segments[1].length == 3
+
+    def test_empty_and_single(self):
+        assert segments_from_labels(np.array([])) == []
+        only = segments_from_labels(np.array([3]))
+        assert only[0].kind == MovementType.BLINK and only[0].length == 1
+
+
+class TestEventMix:
+    def test_probabilities_sum_check(self):
+        with pytest.raises(ValueError):
+            EventMix(0.5, 0.5, 0.5)
+
+    def test_from_counts(self):
+        mix = EventMix.from_counts(10, 70, 20)
+        assert mix.p_saccade == pytest.approx(0.1)
+        assert mix.p_reuse == pytest.approx(0.7)
+        assert mix.p_predict == pytest.approx(0.2)
+
+    def test_from_counts_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EventMix.from_counts(0, 0, 0)
+
+
+class TestFractionsAndMasks:
+    def test_saccade_fraction(self):
+        labels = np.array([0, 1, 1, 0])
+        assert saccade_fraction(labels) == pytest.approx(0.5)
+
+    def test_saccade_fraction_rejects_empty(self):
+        with pytest.raises(ValueError):
+            saccade_fraction(np.array([]))
+
+    def test_post_saccade_mask_window(self):
+        labels = np.array([0, 1, 1, 0, 0, 0, 0])
+        mask = post_saccade_mask(labels, window=2)
+        np.testing.assert_array_equal(mask, [False, False, False, True, True, False, False])
+
+    def test_post_saccade_mask_excludes_next_saccade(self):
+        labels = np.array([1, 0, 1, 1, 0])
+        mask = post_saccade_mask(labels, window=3)
+        assert not mask[2] and not mask[3]
+        assert mask[1] and mask[4]

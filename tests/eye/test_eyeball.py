@@ -1,0 +1,74 @@
+"""Eye geometry: projection, inversion, foreshortening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eye import EyeAppearance, EyeGeometry
+
+
+@pytest.fixture
+def appearance(rng):
+    return EyeAppearance.sample(rng, width=160, height=120)
+
+
+class TestAppearanceSampling:
+    def test_parameters_in_plausible_ranges(self, rng):
+        for _ in range(20):
+            a = EyeAppearance.sample(rng, 160, 120)
+            assert 0 < a.pupil_radius < a.iris_radius < a.eye_width
+            assert 0.0 <= a.lid_droop <= 0.3
+            assert 0.3 <= a.iris_shade <= 0.55
+            assert a.sclera_shade > a.skin_shade > a.iris_shade
+
+    def test_scales_with_resolution(self, rng):
+        small = EyeAppearance.sample(np.random.default_rng(0), 160, 120)
+        large = EyeAppearance.sample(np.random.default_rng(0), 640, 480)
+        assert large.pupil_radius > 2 * small.pupil_radius
+
+
+class TestProjection:
+    def test_center_gaze_lands_at_center(self, appearance):
+        geometry = EyeGeometry(appearance)
+        pose = geometry.pupil_pose(np.array([0.0, 0.0]))
+        assert pose.x == pytest.approx(appearance.center_x)
+        assert pose.y == pytest.approx(appearance.center_y)
+
+    def test_gaze_moves_pupil_proportionally(self, appearance):
+        geometry = EyeGeometry(appearance)
+        right = geometry.pupil_pose(np.array([10.0, 0.0]))
+        far_right = geometry.pupil_pose(np.array([20.0, 0.0]))
+        assert right.x > appearance.center_x
+        assert far_right.x > right.x
+        # Small-angle slope approximates gain per degree.
+        near = geometry.pupil_pose(np.array([1.0, 0.0]))
+        slope = near.x - appearance.center_x
+        assert slope == pytest.approx(appearance.gain_x, rel=0.01)
+
+    def test_inverse_recovers_gaze(self, appearance):
+        geometry = EyeGeometry(appearance)
+        for gaze in ([5.0, -8.0], [0.0, 0.0], [-15.0, 12.0]):
+            pose = geometry.pupil_pose(np.array(gaze))
+            recovered = geometry.gaze_from_pupil(pose.x, pose.y)
+            np.testing.assert_allclose(recovered, gaze, atol=1e-9)
+
+    def test_foreshortening_squashes_minor_axis(self, appearance):
+        geometry = EyeGeometry(appearance)
+        ahead = geometry.pupil_pose(np.array([0.0, -appearance.camera_tilt_deg]))
+        oblique = geometry.pupil_pose(np.array([20.0, 15.0]))
+        ratio_ahead = ahead.radius_minor / ahead.radius_major
+        ratio_oblique = oblique.radius_minor / oblique.radius_major
+        assert ratio_ahead == pytest.approx(1.0, abs=1e-6)
+        assert ratio_oblique < ratio_ahead
+
+    def test_dilation_scales_radius(self, appearance):
+        geometry = EyeGeometry(appearance)
+        small = geometry.pupil_pose(np.zeros(2), dilation=0.8)
+        big = geometry.pupil_pose(np.zeros(2), dilation=1.4)
+        assert big.radius_major == pytest.approx(small.radius_major * 1.4 / 0.8)
+
+    def test_dilation_clamped(self, appearance):
+        geometry = EyeGeometry(appearance)
+        huge = geometry.pupil_pose(np.zeros(2), dilation=10.0)
+        assert huge.radius_major == pytest.approx(appearance.pupil_radius * 1.8)

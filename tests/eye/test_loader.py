@@ -1,0 +1,99 @@
+"""External-dataset adapter."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eye import MovementType
+from repro.eye.loader import load_dataset, load_sequence
+
+
+def write_participant(directory, n=20, h=24, w=32, fps=90.0, with_labels=True):
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(0)
+    frames = (rng.random((n, h, w)) * 255).astype(np.uint8)
+    np.save(directory / "frames.npy", frames)
+    gaze = rng.uniform(-10, 10, size=(n, 2))
+    with open(directory / "gaze.csv", "w") as handle:
+        handle.write("theta_x,theta_y\n")
+        for row in gaze:
+            handle.write(f"{row[0]:.4f},{row[1]:.4f}\n")
+    if with_labels:
+        labels = np.zeros(n, dtype=int)
+        labels[5:8] = int(MovementType.SACCADE)
+        with open(directory / "labels.csv", "w") as handle:
+            handle.writelines(f"{v}\n" for v in labels)
+    with open(directory / "meta.json", "w") as handle:
+        json.dump({"fps": fps}, handle)
+    return frames, gaze
+
+
+class TestLoadSequence:
+    def test_roundtrip(self, tmp_path):
+        frames, gaze = write_participant(tmp_path / "p0")
+        seq = load_sequence(tmp_path / "p0", participant=0)
+        assert seq.images.shape == frames.shape
+        assert seq.images.max() <= 1.0
+        np.testing.assert_allclose(seq.gaze_deg, gaze, atol=1e-3)
+        assert seq.fps == 90.0
+        assert (seq.labels[5:8] == MovementType.SACCADE).all()
+
+    def test_labels_optional(self, tmp_path):
+        write_participant(tmp_path / "p0", with_labels=False)
+        seq = load_sequence(tmp_path / "p0", participant=0)
+        assert (seq.labels == MovementType.FIXATION).all()
+
+    def test_missing_frames(self, tmp_path):
+        (tmp_path / "p0").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_sequence(tmp_path / "p0", participant=0)
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        write_participant(tmp_path / "p0", n=20)
+        with open(tmp_path / "p0" / "gaze.csv", "a") as handle:
+            handle.write("0.0,0.0\n")
+        with pytest.raises(ValueError):
+            load_sequence(tmp_path / "p0", participant=0)
+
+    def test_bad_float_range_rejected(self, tmp_path):
+        write_participant(tmp_path / "p0")
+        np.save(tmp_path / "p0" / "frames.npy", np.full((20, 24, 32), 3.0))
+        with pytest.raises(ValueError):
+            load_sequence(tmp_path / "p0", participant=0)
+
+    def test_velocity_and_post_saccade_derived(self, tmp_path):
+        write_participant(tmp_path / "p0")
+        seq = load_sequence(tmp_path / "p0", participant=0)
+        assert seq.velocity_deg_s.shape == (20,)
+        assert seq.post_saccade.dtype == bool
+
+
+class TestLoadDataset:
+    def test_multiple_participants(self, tmp_path):
+        write_participant(tmp_path / "alice")
+        write_participant(tmp_path / "bob")
+        dataset = load_dataset(tmp_path)
+        assert len(dataset.sequences) == 2
+        assert dataset.participants == [0, 1]
+
+    def test_empty_root_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_dataset(tmp_path)
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")
+
+    def test_loaded_data_runs_through_polonet(self, tmp_path, tiny_bundle):
+        """The adapter's output is pipeline-compatible."""
+        write_participant(tmp_path / "p0", n=6, h=120, w=160)
+        dataset = load_dataset(tmp_path)
+        polonet = tiny_bundle.polonet
+        polonet.reset()
+        results = polonet.process_sequence(
+            dataset.sequences[0].images.astype(np.float64)
+        )
+        assert len(results) == 6

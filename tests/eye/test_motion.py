@@ -1,0 +1,113 @@
+"""Oculomotor model: §2.1's behavioural statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eye import (
+    MovementType,
+    OculomotorConfig,
+    OculomotorModel,
+    segments_from_labels,
+)
+
+
+@pytest.fixture(scope="module")
+def track():
+    return OculomotorModel(seed=3).generate(3000)  # 30 s at 100 fps
+
+
+class TestTrajectoryStatistics:
+    def test_lengths_consistent(self, track):
+        assert len(track) == 3000
+        assert track.gaze_deg.shape == (3000, 2)
+        assert track.labels.shape == (3000,)
+        assert track.openness.shape == (3000,)
+
+    def test_gaze_within_field(self, track):
+        limit = OculomotorConfig().field_deg / 2 + 1.0  # tremor slack
+        assert np.abs(track.gaze_deg).max() <= limit
+
+    def test_saccade_rate_one_to_three_per_second(self, track):
+        segments = segments_from_labels(track.labels)
+        n_saccades = sum(1 for s in segments if s.kind == MovementType.SACCADE)
+        duration_s = len(track) / track.fps
+        rate = n_saccades / duration_s
+        assert 0.7 <= rate <= 3.5
+
+    def test_saccade_durations_in_published_range(self, track):
+        segments = segments_from_labels(track.labels)
+        for seg in segments:
+            if seg.kind == MovementType.SACCADE:
+                ms = seg.length / track.fps * 1000
+                assert 15.0 <= ms <= 220.0
+
+    def test_saccade_frames_have_high_velocity(self, track):
+        saccadic = track.labels == MovementType.SACCADE
+        fixating = track.labels == MovementType.FIXATION
+        assert track.velocity_deg_s[saccadic].mean() > 5 * max(
+            track.velocity_deg_s[fixating].mean(), 1e-6
+        )
+
+    def test_fixation_durations_plausible(self, track):
+        segments = segments_from_labels(track.labels)
+        fixations = [s for s in segments if s.kind == MovementType.FIXATION]
+        # Blinks can split fixations, so only check the upper bound and
+        # that typical fixations are not degenerate.
+        lengths_ms = np.array([s.length / track.fps * 1000 for s in fixations])
+        assert np.median(lengths_ms) >= 100.0
+        assert lengths_ms.max() <= 700.0
+
+    def test_post_saccade_mask_follows_saccades(self, track):
+        mask = track.post_saccade
+        saccadic = track.labels == MovementType.SACCADE
+        # post-saccadic frames are never themselves saccadic
+        assert not np.any(mask & saccadic)
+        # each saccade end is followed by at least one flagged frame
+        ends = np.flatnonzero(saccadic[:-1] & ~saccadic[1:])
+        for end in ends:
+            assert mask[end + 1] or track.labels[end + 1] != MovementType.FIXATION
+
+    def test_blinks_close_the_eye(self):
+        config = OculomotorConfig(blink_rate_hz=2.0)
+        track = OculomotorModel(config, seed=11).generate(2000)
+        assert (track.openness < 0.2).any()
+        assert (track.labels[track.openness < 0.2] == MovementType.BLINK).all()
+
+    def test_pursuit_segments_have_moderate_velocity(self):
+        config = OculomotorConfig(pursuit_probability=0.6)
+        track = OculomotorModel(config, seed=2).generate(2000)
+        pursuit = track.labels == MovementType.PURSUIT
+        assert pursuit.any()
+        speeds = track.velocity_deg_s[pursuit]
+        assert 1.0 < np.median(speeds) < 40.0
+
+
+class TestDeterminismAndValidation:
+    def test_seeded_reproducibility(self):
+        a = OculomotorModel(seed=9).generate(500)
+        b = OculomotorModel(seed=9).generate(500)
+        np.testing.assert_allclose(a.gaze_deg, b.gaze_deg)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            OculomotorModel(seed=0).generate(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OculomotorConfig(fps=0)
+        with pytest.raises(ValueError):
+            OculomotorConfig(pursuit_probability=1.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=0, max_value=50))
+    def test_any_length_fully_labelled(self, n_frames, seed):
+        track = OculomotorModel(seed=seed).generate(n_frames)
+        assert len(track) == n_frames
+        valid_labels = {int(m) for m in MovementType}
+        assert set(np.unique(track.labels)).issubset(valid_labels)
+        assert np.isfinite(track.gaze_deg).all()

@@ -1,0 +1,78 @@
+"""Near-eye renderer: the intensity contract POLONet depends on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eye import EyeAppearance, EyeGeometry, NearEyeRenderer, RenderConfig
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    appearance = EyeAppearance.sample(np.random.default_rng(5), 160, 120)
+    return NearEyeRenderer(appearance, RenderConfig(), seed=5)
+
+
+class TestFrameBasics:
+    def test_range_and_shape(self, renderer):
+        frame = renderer.render(np.array([0.0, 0.0]))
+        assert frame.shape == (120, 160)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_pupil_is_darkest_region(self, renderer):
+        frame = renderer.render(np.array([0.0, 0.0]))
+        pose = renderer.geometry.pupil_pose(np.array([0.0, 0.0]))
+        y, x = int(round(pose.y)), int(round(pose.x))
+        pupil_patch = frame[y - 2 : y + 3, x - 2 : x + 3]
+        assert np.median(pupil_patch) < 0.2
+        assert np.median(frame) > 0.4
+
+    def test_darkest_pixel_tracks_gaze(self, renderer):
+        for gaze in ([8.0, 0.0], [-8.0, 4.0], [0.0, -6.0]):
+            frame = renderer.render(np.array(gaze))
+            pose = renderer.geometry.pupil_pose(np.array(gaze))
+            # Median-filter-free check: take the centroid of very dark pixels.
+            ys, xs = np.nonzero(frame < 0.12)
+            assert len(xs) > 10
+            assert abs(xs.mean() - pose.x) < 8.0
+            assert abs(ys.mean() - pose.y) < 8.0
+
+    def test_blink_removes_pupil(self, renderer):
+        frame = renderer.render(np.array([0.0, 0.0]), openness=0.0)
+        assert (frame < 0.12).sum() < 20  # only lashes / noise survive
+
+    def test_partial_openness_shrinks_dark_area(self, renderer):
+        open_frame = renderer.render(np.array([0.0, 5.0]), openness=1.0)
+        half_frame = renderer.render(np.array([0.0, 5.0]), openness=0.35)
+        assert (half_frame < 0.12).sum() < (open_frame < 0.12).sum()
+
+    def test_motion_blur_reduces_contrast(self, renderer):
+        sharp = renderer.render(np.array([0.0, 0.0]))
+        blurred = renderer.render(np.array([0.0, 0.0]), motion_blur=6.0)
+        assert blurred.std() < sharp.std()
+
+    def test_glints_present(self, renderer):
+        frame = renderer.render(np.array([0.0, 0.0]))
+        assert (frame > 0.9).sum() >= 3  # bright corneal reflections
+
+
+class TestConfigValidation:
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            RenderConfig(noise_std=0.9)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            RenderConfig(width=0)
+
+    def test_custom_resolution(self):
+        appearance = EyeAppearance.sample(np.random.default_rng(0), 80, 60)
+        renderer = NearEyeRenderer(appearance, RenderConfig(width=80, height=60), seed=0)
+        assert renderer.render(np.zeros(2)).shape == (60, 80)
+
+
+class TestGeometryIntegration:
+    def test_geometry_object_shared(self, renderer):
+        assert isinstance(renderer.geometry, EyeGeometry)
+        assert renderer.geometry.appearance is renderer.appearance

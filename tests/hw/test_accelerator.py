@@ -1,0 +1,122 @@
+"""Accelerator composition: POLO vs per-baseline accelerators, the
+path model, and synthesis-summary calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepVOGTracker, EdGazeTracker, ResNetGazeTracker
+from repro.core import GazeViTConfig, SaccadeDetector
+from repro.core.gaze_vit import vit_workload
+from repro.hw import (
+    AcceleratorConfig,
+    Accelerator,
+    MatMulOp,
+    PoloAcceleratorModel,
+    baseline_accelerator,
+    polo_accelerator,
+)
+
+
+class TestPoloAccelerator:
+    def test_paper_configuration(self):
+        acc = polo_accelerator()
+        assert acc.array.rows == 16 and acc.array.cols == 16
+        assert acc.array.precision == "int8"
+        assert acc.config.clock_hz == 1e9
+
+    def test_area_matches_paper(self):
+        acc = polo_accelerator()
+        assert acc.area_mm2 == pytest.approx(0.75, rel=0.1)
+        fractions = acc.area_fractions()
+        assert fractions["buffers"] == pytest.approx(0.72, abs=0.05)
+        assert fractions["engine"] == pytest.approx(0.24, abs=0.05)
+        assert fractions["ipu"] == pytest.approx(0.04, abs=0.02)
+
+    def test_polovit_latency_magnitude(self):
+        """POLO_N gaze latency lands in the paper's ~10-16 ms band."""
+        acc = polo_accelerator()
+        report = acc.run(vit_workload(GazeViTConfig.paper()))
+        assert 8e-3 < report.latency_s < 20e-3
+        assert 0.5 < report.utilization <= 1.0
+
+    def test_power_under_paper_budget(self):
+        acc = polo_accelerator()
+        report = acc.run(vit_workload(GazeViTConfig.paper()))
+        power = acc.average_power_w(report.energy.total_j, report.latency_s)
+        assert power < 0.15
+
+
+class TestBaselineAccelerators:
+    def test_equal_area_fp16_array(self):
+        acc = baseline_accelerator("ResNet-34")
+        assert acc.array.precision == "fp16"
+        assert acc.array.rows == acc.array.cols == 9
+        assert not acc.config.has_token_selector
+
+    def test_latency_ordering_matches_paper(self):
+        """DeepVOG heaviest, EdGaze lightest of the system baselines."""
+        latencies = {}
+        for tracker in (ResNetGazeTracker(), EdGazeTracker(), DeepVOGTracker()):
+            acc = baseline_accelerator(tracker.name)
+            latencies[tracker.name] = acc.run(tracker.workload()).latency_s
+        assert latencies["DeepVOG"] > latencies["ResNet-34"] > latencies["EdGaze"]
+        assert latencies["DeepVOG"] > 0.05  # 'exceeding 70ms in many cases' band
+
+    def test_polo_faster_than_all_baselines(self):
+        polo = polo_accelerator().run(vit_workload(GazeViTConfig.paper())).latency_s
+        for tracker in (ResNetGazeTracker(), EdGazeTracker(), DeepVOGTracker()):
+            base = baseline_accelerator(tracker.name).run(tracker.workload()).latency_s
+            assert polo < base
+
+
+class TestExecutionReports:
+    def test_report_addition(self):
+        acc = polo_accelerator()
+        a = acc.run([MatMulOp(10, 16, 16)])
+        b = acc.run([MatMulOp(20, 16, 16)])
+        total = a + b
+        assert total.cycles == a.cycles + b.cycles
+        assert total.latency_s == pytest.approx(a.latency_s + b.latency_s)
+        assert total.energy.total_j == pytest.approx(
+            a.energy.total_j + b.energy.total_j
+        )
+
+    def test_clock_scales_latency(self):
+        slow = Accelerator(AcceleratorConfig(clock_hz=5e8))
+        fast = Accelerator(AcceleratorConfig(clock_hz=1e9))
+        op = [MatMulOp(100, 64, 64)]
+        assert slow.run(op).latency_s == pytest.approx(2 * fast.run(op).latency_s)
+
+
+class TestPathModel:
+    def test_path_latency_ordering(self):
+        model = PoloAcceleratorModel()
+        detector = SaccadeDetector((100, 160))
+        sac_ops = detector.workload((100, 160))
+        vit_ops = vit_workload(GazeViTConfig.paper())
+        saccade = model.path_report("saccade", sac_ops)
+        reuse = model.path_report("reuse", sac_ops)
+        predict = model.path_report("predict", sac_ops, vit_ops)
+        assert saccade.latency_s < reuse.latency_s < predict.latency_s
+        # The cheap paths are a tiny fraction of a prediction (§7.1).
+        assert reuse.latency_s / predict.latency_s < 0.05
+
+    def test_predict_requires_vit_ops(self):
+        model = PoloAcceleratorModel()
+        sac_ops = SaccadeDetector((100, 160)).workload((100, 160))
+        with pytest.raises(ValueError):
+            model.path_report("predict", sac_ops)
+
+    def test_custom_binary_map_changes_cost(self):
+        model = PoloAcceleratorModel()
+        detector = SaccadeDetector((100, 160))
+        sac_ops = detector.workload((100, 160))
+        vit_ops = vit_workload(GazeViTConfig.paper())
+        dense = np.ones(model.map_shape, dtype=np.uint8)
+        sparse = np.zeros(model.map_shape, dtype=np.uint8)
+        sparse[0, 0] = 1
+        heavy = model.path_report("predict", sac_ops, vit_ops, binary_map=dense)
+        light = model.path_report("predict", sac_ops, vit_ops, binary_map=sparse)
+        assert heavy.latency_s > light.latency_s

@@ -1,0 +1,130 @@
+"""SFU, buffers, energy table, area table, sensor, links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    AreaTable,
+    CameraSensor,
+    EnergyBreakdown,
+    EnergyTable,
+    MipiLink,
+    NocLink,
+    NonlinearKind,
+    NonlinearOp,
+    SpecialFunctionUnit,
+    SramBuffer,
+)
+
+
+class TestSfu:
+    def test_relu_cheapest(self):
+        sfu = SpecialFunctionUnit()
+        relu = sfu.cycles(NonlinearOp(NonlinearKind.RELU, 1000))
+        softmax = sfu.cycles(NonlinearOp(NonlinearKind.SOFTMAX, 1000))
+        assert relu < softmax
+
+    def test_cycles_scale_with_count(self):
+        sfu = SpecialFunctionUnit()
+        small = sfu.cycles(NonlinearOp(NonlinearKind.GELU, 100))
+        large = sfu.cycles(NonlinearOp(NonlinearKind.GELU, 10_000))
+        assert large == pytest.approx(100 * small, rel=0.05)
+
+    def test_energy_weight(self):
+        sfu = SpecialFunctionUnit()
+        op = NonlinearOp(NonlinearKind.TANH, 500)
+        assert sfu.energy_weight_for(op) == pytest.approx(0.6 * 500)
+
+
+class TestBuffers:
+    def test_capacity_and_fit(self):
+        buf = SramBuffer("act", 128, EnergyTable())
+        assert buf.capacity_bytes == 128 * 1024
+        assert buf.fits(100_000)
+        assert not buf.fits(200_000)
+
+    def test_access_energy_and_traffic(self):
+        buf = SramBuffer("act", 128, EnergyTable())
+        joules = buf.access(1000)
+        assert joules == pytest.approx(1000 * buf.pj_per_byte * 1e-12)
+        assert buf.traffic_bytes == 1000
+        buf.reset()
+        assert buf.traffic_bytes == 0
+
+    def test_negative_access_rejected(self):
+        buf = SramBuffer("act", 128, EnergyTable())
+        with pytest.raises(ValueError):
+            buf.access(-1)
+
+    def test_bigger_buffer_costs_more_per_byte(self):
+        table = EnergyTable()
+        assert table.sram_pj_per_byte(256) > table.sram_pj_per_byte(64)
+
+
+class TestEnergyTable:
+    def test_int8_cheaper_than_fp16(self):
+        table = EnergyTable()
+        assert table.mac_pj("int8") < table.mac_pj("fp16")
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            EnergyTable().mac_pj("fp64")
+
+    def test_breakdown_addition_and_fractions(self):
+        a = EnergyBreakdown(mac_j=1.0, buffer_j=3.0)
+        b = EnergyBreakdown(sfu_j=2.0)
+        total = a + b
+        assert total.total_j == 6.0
+        fr = total.fractions()
+        assert fr["buffer"] == pytest.approx(0.5)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown_fractions(self):
+        assert EnergyBreakdown().fractions()["mac"] == 0.0
+
+    def test_scaled(self):
+        e = EnergyBreakdown(mac_j=2.0).scaled(0.5)
+        assert e.mac_j == 1.0
+
+
+class TestAreaTable:
+    def test_fp16_pe_larger(self):
+        table = AreaTable()
+        assert table.pe_mm2("fp16") == pytest.approx(3 * table.pe_mm2("int8"))
+
+    def test_equal_area_dim(self):
+        table = AreaTable()
+        dim = table.equal_area_array_dim(16, 16, "int8", "fp16")
+        # 256 int8 PEs worth of area fits 256/3 fp16 PEs -> 9x9 array.
+        assert dim == 9
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            AreaTable().pe_mm2("bf16")
+
+
+class TestSensorAndLinks:
+    def test_sensor_frame_geometry(self):
+        sensor = CameraSensor()
+        assert sensor.frame_bytes == 640 * 400
+        assert sensor.acquisition_s == pytest.approx(1e-3)
+
+    def test_mipi_sub_millisecond_for_eye_frames(self):
+        """§2.3: MIPI transfer of the eye frame is under 1 ms."""
+        sensor, link = CameraSensor(), MipiLink()
+        assert link.transfer_latency_s(sensor.frame_bits) < 1e-3
+
+    def test_mipi_energy_scales_with_bits(self):
+        link = MipiLink()
+        assert link.transfer_energy_j(2000) == pytest.approx(2 * link.transfer_energy_j(1000))
+
+    def test_mipi_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MipiLink().transfer_latency_s(-1)
+
+    def test_noc_negligible_for_gaze_values(self):
+        """§5.3: the gaze result crossing the NoC is negligible."""
+        noc = NocLink()
+        assert noc.transfer_latency_s(8) < 1e-6
+        assert noc.transfer_energy_j(8) < 1e-9

@@ -1,0 +1,71 @@
+"""IPU cost model and its agreement with the golden preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PolonetConfig, binary_map
+from repro.hw import IpuConfig, IpuModel
+
+
+@pytest.fixture
+def ipu():
+    return IpuModel()
+
+
+class TestTaskCosts:
+    def test_pool_binarize_scales_with_frame(self, ipu):
+        small = ipu.pool_binarize_cost((120, 160), 4)
+        large = ipu.pool_binarize_cost((400, 640), 4)
+        assert large.cycles > 10 * small.cycles
+        assert large.energy.total_j > small.energy.total_j
+
+    def test_reuse_check_uses_xor_width(self):
+        narrow = IpuModel(IpuConfig(xor_width=16))
+        wide = IpuModel(IpuConfig(xor_width=128))
+        assert narrow.reuse_check_cost((100, 160)).cycles > wide.reuse_check_cost((100, 160)).cycles
+
+    def test_pupil_search_is_sparsity_dependent(self, ipu):
+        sparse = np.zeros((100, 160), dtype=np.uint8)
+        sparse[:2, :10] = 1
+        dense = np.ones((100, 160), dtype=np.uint8)
+        assert (
+            ipu.pupil_search_cost(sparse, 5).cycles
+            < ipu.pupil_search_cost(dense, 5).cycles
+        )
+
+    def test_blank_map_minimal_cost(self, ipu):
+        report = ipu.pupil_search_cost(np.zeros((10, 10), dtype=np.uint8), 5)
+        assert report.cycles <= ipu.config.pipeline_fill + 1
+
+
+class TestPathCosts:
+    def test_path_ordering(self, ipu):
+        binary = np.zeros((100, 160), dtype=np.uint8)
+        binary[40:50, 70:80] = 1
+        saccade = ipu.frame_cost((400, 640), 4, binary, 5, "saccade")
+        reuse = ipu.frame_cost((400, 640), 4, binary, 5, "reuse")
+        predict = ipu.frame_cost((400, 640), 4, binary, 5, "predict")
+        assert saccade.cycles < reuse.cycles < predict.cycles
+
+    def test_unknown_path_rejected(self, ipu):
+        with pytest.raises(ValueError):
+            ipu.frame_cost((400, 640), 4, None, 5, "teleport")
+
+    def test_ipu_is_microseconds_at_1ghz(self, ipu):
+        """The entire IPU front end is orders of magnitude below the ViT."""
+        binary = np.zeros((100, 160), dtype=np.uint8)
+        binary[:5, :20] = 1
+        report = ipu.frame_cost((400, 640), 4, binary, 5, "predict")
+        assert report.cycles / 1e9 < 100e-6
+
+
+class TestGoldenAgreement:
+    def test_costs_on_real_binary_maps(self, ipu, tiny_train_dataset):
+        """The IPU model consumes exactly the golden model's binary maps."""
+        config = PolonetConfig()
+        frame = tiny_train_dataset.sequences[0].images[0].astype(np.float64)
+        binary = binary_map(frame, config)
+        report = ipu.pupil_search_cost(binary, config.pupil_window)
+        assert report.cycles == int(binary.sum()) + ipu.config.pipeline_fill

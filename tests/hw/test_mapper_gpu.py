@@ -1,0 +1,107 @@
+"""Workload mapper and the GPU-inference ablation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    ElementwiseOp,
+    GpuComputeModel,
+    MatMulOp,
+    NonlinearKind,
+    NonlinearOp,
+    SystolicArray,
+    WorkloadMapper,
+)
+
+
+@pytest.fixture
+def mapper():
+    return WorkloadMapper(SystolicArray(16, 16, "int8"))
+
+
+class TestMapper:
+    def test_cycles_sum_by_category(self, mapper):
+        ops = [
+            MatMulOp(10, 16, 16),
+            NonlinearOp(NonlinearKind.RELU, 160),
+            ElementwiseOp(160),
+        ]
+        report = mapper.map(ops)
+        assert report.cycles == (
+            report.matmul_cycles + report.sfu_cycles + report.elementwise_cycles
+        )
+        assert report.matmul_cycles > 0
+        assert report.sfu_cycles > 0
+        assert report.elementwise_cycles > 0
+
+    def test_energy_categories_populated(self, mapper):
+        report = mapper.map([MatMulOp(64, 64, 64), NonlinearOp(NonlinearKind.GELU, 4096)])
+        assert report.energy.mac_j > 0
+        assert report.energy.sfu_j > 0
+        assert report.energy.buffer_j > 0
+
+    def test_traffic_accounting(self, mapper):
+        op = MatMulOp(10, 16, 32)
+        report = mapper.map([op])
+        assert report.weight_bytes == 16 * 32  # int8: one byte per weight
+        assert report.activation_bytes == (10 * 16 * 2 + 10 * 32) * 1
+
+    def test_fp16_doubles_bytes(self):
+        mapper = WorkloadMapper(SystolicArray(16, 16, "fp16"))
+        report = mapper.map([MatMulOp(10, 16, 32)])
+        assert report.weight_bytes == 16 * 32 * 2
+
+    def test_utilization_weighted(self, mapper):
+        report = mapper.map([MatMulOp(512, 256, 256)])
+        assert 0.5 < report.utilization <= 1.0
+
+    def test_unknown_op_rejected(self, mapper):
+        with pytest.raises(TypeError):
+            mapper.map(["not an op"])
+
+    def test_report_addition(self, mapper):
+        a = mapper.map([MatMulOp(10, 16, 16)])
+        b = mapper.map([MatMulOp(20, 16, 16)])
+        total = a + b
+        assert total.macs == a.macs + b.macs
+        assert total.cycles == a.cycles + b.cycles
+
+
+class TestGpuComputeModel:
+    def test_int8_faster_than_fp16(self):
+        gpu = GpuComputeModel()
+        ops = [MatMulOp(256, 256, 256)]
+        assert gpu.latency_s(ops, "int8") < gpu.latency_s(ops, "fp16")
+
+    def test_pruning_overhead_applied(self):
+        gpu = GpuComputeModel()
+        ops = [MatMulOp(256, 256, 256)]
+        plain = gpu.latency_s(ops, "int8")
+        pruned = gpu.latency_s(ops, "int8", token_pruned=True)
+        assert pruned == pytest.approx(plain * gpu.pruning_overhead)
+
+    def test_kernel_launch_floor(self):
+        gpu = GpuComputeModel()
+        many_tiny = [MatMulOp(1, 1, 1)] * 100
+        assert gpu.latency_s(many_tiny, "int8") >= 100 * gpu.kernel_launch_s
+
+    def test_nonlinear_memory_bound(self):
+        gpu = GpuComputeModel()
+        op = [NonlinearOp(NonlinearKind.SOFTMAX, 10_000_000)]
+        expected = gpu.kernel_launch_s + 2 * 10_000_000 * 2 / gpu.memory_bandwidth_bytes_s
+        assert gpu.latency_s(op, "fp16") == pytest.approx(expected)
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            GpuComputeModel().latency_s([], "fp64")
+
+    def test_gpu_slower_than_dedicated_accelerator(self):
+        """The Fig. 13b premise: dedicated hardware wins for every method."""
+        from repro.baselines import ResNetGazeTracker
+        from repro.hw import baseline_accelerator
+
+        tracker = ResNetGazeTracker()
+        accel = baseline_accelerator(tracker.name).run(tracker.workload()).latency_s
+        gpu = GpuComputeModel().latency_s(tracker.workload(), "fp16")
+        assert gpu > accel

@@ -1,0 +1,57 @@
+"""Op descriptors and conv lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    ElementwiseOp,
+    MatMulOp,
+    NonlinearKind,
+    NonlinearOp,
+    conv2d_as_matmul,
+    total_elementwise,
+    total_macs,
+    total_nonlinear,
+)
+
+
+class TestMatMulOp:
+    def test_counts(self):
+        op = MatMulOp(m=3, k=4, n=5)
+        assert op.macs == 60
+        assert op.flops == 120
+        assert op.input_elems == 12 + 20
+        assert op.output_elems == 15
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            MatMulOp(m=0, k=1, n=1)
+
+
+class TestConvLowering:
+    def test_im2col_gemm_shape(self):
+        op = conv2d_as_matmul(out_h=14, out_w=14, in_channels=3, out_channels=8, kernel=3)
+        assert op.m == 196
+        assert op.k == 27
+        assert op.n == 8
+        assert op.macs == 196 * 27 * 8  # exactly the conv's MAC count
+
+
+class TestAggregation:
+    def test_totals(self):
+        ops = [
+            MatMulOp(2, 2, 2),
+            NonlinearOp(NonlinearKind.RELU, 10),
+            ElementwiseOp(5),
+            MatMulOp(1, 1, 1),
+        ]
+        assert total_macs(ops) == 9
+        assert total_nonlinear(ops) == 10
+        assert total_elementwise(ops) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonlinearOp(NonlinearKind.GELU, 0)
+        with pytest.raises(ValueError):
+            ElementwiseOp(0)

@@ -1,0 +1,77 @@
+"""Property-based invariants of the hardware models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    EnergyTable,
+    IpuModel,
+    MatMulOp,
+    SystolicArray,
+    WorkloadMapper,
+)
+
+dims = st.integers(min_value=1, max_value=600)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dims, dims, dims)
+def test_systolic_cycles_bound_macs(m, k, n):
+    """Cycles x peak >= MACs, always: no array computes faster than peak."""
+    array = SystolicArray(16, 16, "int8")
+    op = MatMulOp(m=m, k=k, n=n)
+    assert array.cycles(op) * array.macs_per_cycle >= op.macs
+    assert 0.0 < array.utilization(op) <= 1.0
+
+
+large_dims = st.integers(min_value=64, max_value=600)
+
+
+@settings(max_examples=40, deadline=None)
+@given(large_dims, large_dims, large_dims)
+def test_bigger_array_never_slower_on_large_gemms(m, k, n):
+    """For GEMMs at least as large as the arrays, more PEs always help
+    (tiny ops can invert this: fill/drain overhead scales with the array,
+    which is exactly why the paper sizes the array to its workload)."""
+    small = SystolicArray(8, 8, "int8")
+    big = SystolicArray(32, 32, "int8")
+    op = MatMulOp(m=m, k=k, n=n)
+    assert big.cycles(op) <= small.cycles(op)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims, dims, dims)
+def test_mapper_energy_positive_and_additive(m, k, n):
+    mapper = WorkloadMapper(SystolicArray(16, 16, "int8"))
+    op = MatMulOp(m=m, k=k, n=n)
+    single = mapper.map([op])
+    double = mapper.map([op, op])
+    assert single.energy.total_j > 0
+    assert double.cycles == 2 * single.cycles
+    assert double.energy.total_j == pytest.approx(2 * single.energy.total_j, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=512))
+def test_sram_energy_monotone_in_capacity(kb):
+    table = EnergyTable()
+    assert table.sram_pj_per_byte(kb) <= table.sram_pj_per_byte(kb + 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=8, max_value=200),
+    st.integers(min_value=8, max_value=200),
+    st.integers(min_value=0, max_value=100),
+)
+def test_ipu_pupil_search_cycles_track_sparsity(h, w, n_white):
+    ipu = IpuModel()
+    binary = np.zeros((h, w), dtype=np.uint8)
+    flat = binary.reshape(-1)
+    flat[: min(n_white, flat.size)] = 1
+    report = ipu.pupil_search_cost(binary, 5)
+    assert report.cycles == max(1, int(binary.sum())) + ipu.config.pipeline_fill

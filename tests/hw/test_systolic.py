@@ -1,0 +1,69 @@
+"""Systolic-array cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import MatMulOp, SystolicArray
+
+
+class TestCycles:
+    def test_single_tile(self):
+        array = SystolicArray(rows=16, cols=16)
+        op = MatMulOp(m=10, k=16, n=16)
+        assert array.tiles(op) == 1
+        assert array.cycles(op) == 10 + 16 + 16
+
+    def test_multi_tile(self):
+        array = SystolicArray(rows=16, cols=16)
+        op = MatMulOp(m=8, k=32, n=48)
+        assert array.tiles(op) == 2 * 3
+        assert array.cycles(op) == 6 * (8 + 32)
+
+    def test_ragged_tiles_round_up(self):
+        array = SystolicArray(rows=16, cols=16)
+        op = MatMulOp(m=1, k=17, n=17)
+        assert array.tiles(op) == 4
+
+    def test_utilization_bounded(self):
+        array = SystolicArray(rows=16, cols=16)
+        for op in (MatMulOp(1, 1, 1), MatMulOp(512, 512, 512), MatMulOp(3, 100, 7)):
+            util = array.utilization(op)
+            assert 0.0 < util <= 1.0
+
+    def test_large_gemm_high_utilization(self):
+        array = SystolicArray(rows=16, cols=16)
+        assert array.utilization(MatMulOp(1024, 512, 512)) > 0.9
+
+    def test_tiny_gemm_low_utilization(self):
+        array = SystolicArray(rows=16, cols=16)
+        assert array.utilization(MatMulOp(1, 16, 16)) < 0.1
+
+
+class TestTraffic:
+    def test_weight_loads_once(self):
+        array = SystolicArray(rows=16, cols=16)
+        op = MatMulOp(m=100, k=64, n=64)
+        assert array.weight_loads(op) == 64 * 64
+
+    def test_activation_restreams_per_n_tile(self):
+        array = SystolicArray(rows=16, cols=16)
+        op = MatMulOp(m=10, k=16, n=32)
+        assert array.activation_reads(op) == 10 * 16 * 2
+
+    def test_output_writes(self):
+        array = SystolicArray(rows=16, cols=16)
+        assert array.output_writes(MatMulOp(m=10, k=99, n=7)) == 70
+
+
+class TestValidation:
+    def test_precision_checked(self):
+        with pytest.raises(ValueError):
+            SystolicArray(precision="fp32")
+
+    def test_dims_checked(self):
+        with pytest.raises(ValueError):
+            SystolicArray(rows=0)
+
+    def test_macs_per_cycle(self):
+        assert SystolicArray(rows=8, cols=8).macs_per_cycle == 64

@@ -1,0 +1,98 @@
+"""Integration tests: the trained POLONet pipeline end to end, and the
+trained-experiment harness at tiny scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import angular_errors
+from repro.core import Decision
+from repro.experiments import measure_event_mix
+from repro.experiments.common import (
+    ContextScale,
+    ExperimentContext,
+    clear_context_cache,
+    get_context,
+    polovit_validation_errors,
+    tracker_validation_errors,
+)
+from repro.experiments.reuse_eval import run_table4
+from repro.experiments.user_study_exp import run_fig15
+
+
+@pytest.fixture(scope="module")
+def context() -> ExperimentContext:
+    clear_context_cache()
+    return get_context(ContextScale.tiny(), seed=3)
+
+
+class TestTrainedRuntime:
+    def test_runtime_produces_all_decision_kinds(self, context):
+        polonet = context.bundle.polonet
+        polonet.reset()
+        decisions = set()
+        for seq in context.val.sequences:
+            for i in range(min(len(seq), 120)):
+                result = polonet.process_frame(seq.images[i].astype(np.float64))
+                decisions.add(result.decision)
+        assert Decision.PREDICT in decisions
+        assert Decision.REUSE in decisions  # fixations dominate
+
+    def test_runtime_gaze_tracks_ground_truth(self, context):
+        """Even a tiny-scale model beats the constant-center predictor."""
+        polonet = context.bundle.polonet
+        polonet.reset()
+        seq = context.val.sequences[0]
+        preds, truths = [], []
+        for i in range(min(len(seq), 120)):
+            result = polonet.process_frame(seq.images[i].astype(np.float64))
+            if result.has_gaze and seq.openness[i] > 0.5:
+                preds.append(result.gaze_deg)
+                truths.append(seq.gaze_deg[i])
+        preds, truths = np.array(preds), np.array(truths)
+        model_err = angular_errors(preds, truths).mean()
+        center_err = angular_errors(np.zeros_like(truths), truths).mean()
+        assert model_err < center_err * 1.2  # loose: 3 epochs of training
+
+    def test_event_mix_measurement(self, context):
+        mix = measure_event_mix(context, max_frames=100)
+        # A 3-epoch detector is noisy; only the mechanics are under test.
+        assert 0.0 <= mix.p_saccade <= 0.9
+        assert mix.p_reuse > 0.05  # fixation-dominated behaviour
+        total = mix.p_saccade + mix.p_reuse + mix.p_predict
+        assert total == pytest.approx(1.0)
+
+
+class TestEvaluationProtocol:
+    def test_model_based_per_user_calibration(self, context):
+        errors = tracker_validation_errors(context.baselines["EdGaze"], context)
+        assert errors.size > 0
+        assert np.isfinite(errors).all()
+        assert np.median(errors) < 15.0  # calibrated per user
+
+    def test_learned_tracker_generalization_errors(self, context):
+        errors = tracker_validation_errors(context.baselines["NVGaze"], context)
+        assert errors.size > 0
+        assert errors.mean() < 30.0
+
+    def test_polovit_pipeline_errors(self, context):
+        errors = polovit_validation_errors(context.bundle.vit, context, prune=True)
+        assert errors.size > 0
+        assert np.isfinite(errors).all()
+
+
+class TestTrainedExperiments:
+    def test_table4_reuse_monotonicity(self, context):
+        result = run_table4(context, gamma2_values=(5.0, 40.0))
+        # A much looser threshold reuses at least as often.
+        assert result.reuse_fraction(40.0) >= result.reuse_fraction(5.0)
+
+    def test_user_study_with_measured_traces(self, context):
+        experiment = run_fig15(context, n_participants=3, repeats=2, seed=0)
+        assert 0.0 <= experiment.result.mean_selection <= 1.0
+        assert experiment.candidate_trace.size > 0
+
+    def test_context_cache_returns_same_object(self, context):
+        again = get_context(ContextScale.tiny(), seed=3)
+        assert again is context

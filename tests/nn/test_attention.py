@@ -1,0 +1,96 @@
+"""Attention mechanics and the token filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadSelfAttention, Tensor, TokenFilter
+from repro.nn.attention import AttentionStats
+
+
+def make_stats(scores: np.ndarray) -> AttentionStats:
+    return AttentionStats(column_sum=scores[None], column_max=scores[None])
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(dim=16, num_heads=4, seed=0)
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=10, num_heads=3)
+
+    def test_stats_recorded(self):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, seed=0)
+        attn(Tensor(np.random.default_rng(1).normal(size=(3, 6, 8))))
+        stats = attn.last_stats
+        assert stats.column_sum.shape == (3, 6)
+        assert stats.column_max.shape == (3, 6)
+        # Each of the 2 heads x 6 queries rows sums to 1, so columns sum to 12.
+        np.testing.assert_allclose(stats.column_sum.sum(axis=1), 12.0, atol=1e-8)
+        assert (stats.column_max <= 1.0).all() and (stats.column_max >= 0.0).all()
+
+    def test_gradient_flows_through_attention(self):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, seed=0)
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 4, 8)), requires_grad=True)
+        (attn(x) ** 2).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestTokenFilter:
+    def test_requires_exactly_one_policy(self):
+        with pytest.raises(ValueError):
+            TokenFilter()
+        with pytest.raises(ValueError):
+            TokenFilter(threshold=0.1, ratio=0.2)
+
+    def test_rejects_invalid_ratio_or_criterion(self):
+        with pytest.raises(ValueError):
+            TokenFilter(ratio=1.0)
+        with pytest.raises(ValueError):
+            TokenFilter(threshold=0.1, criterion="median")
+
+    def test_threshold_keeps_high_scores(self):
+        scores = np.array([0.9, 0.05, 0.5, 0.02, 0.8])
+        keep = TokenFilter(threshold=0.4).keep_indices(make_stats(scores))
+        np.testing.assert_array_equal(keep, [0, 2, 4])
+
+    def test_cls_token_always_kept(self):
+        scores = np.array([0.0, 0.9, 0.9, 0.9])
+        keep = TokenFilter(threshold=0.5).keep_indices(make_stats(scores))
+        assert 0 in keep
+
+    def test_ratio_drops_expected_count(self):
+        scores = np.linspace(1.0, 0.1, 11)  # token 0 is CLS
+        keep = TokenFilter(ratio=0.5).keep_indices(make_stats(scores))
+        # 5 of the 10 non-CLS tokens dropped.
+        assert keep.size == 6
+        assert 0 in keep
+
+    def test_ratio_drops_lowest_importance(self):
+        scores = np.array([0.5, 0.9, 0.1, 0.8, 0.2])
+        keep = TokenFilter(ratio=0.5).keep_indices(make_stats(scores))
+        np.testing.assert_array_equal(keep, [0, 1, 3])
+
+    def test_degenerate_threshold_keeps_best_token(self):
+        scores = np.array([0.01, 0.2, 0.9, 0.3])
+        keep = TokenFilter(threshold=5.0).keep_indices(make_stats(scores))
+        np.testing.assert_array_equal(keep, [0, 2])
+
+    def test_batch_size_one_enforced(self):
+        stats = AttentionStats(
+            column_sum=np.ones((2, 4)), column_max=np.ones((2, 4))
+        )
+        with pytest.raises(ValueError):
+            TokenFilter(ratio=0.2).keep_indices(stats)
+
+    def test_sum_criterion(self):
+        stats = AttentionStats(
+            column_sum=np.array([[5.0, 1.0, 4.0]]),
+            column_max=np.array([[0.1, 0.9, 0.1]]),
+        )
+        keep = TokenFilter(ratio=0.5, criterion="sum").keep_indices(stats)
+        np.testing.assert_array_equal(keep, [0, 2])

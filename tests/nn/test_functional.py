@@ -1,0 +1,195 @@
+"""Gradient and value checks for the composite/fused functional ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numerical_gradient
+
+
+def gradcheck(build, *shapes, seed=0, tol=1e-5):
+    rng = np.random.default_rng(seed)
+    tensors = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+    build(*tensors).backward()
+    for t in tensors:
+        num = numerical_gradient(lambda: build(*tensors).item(), t.data)
+        np.testing.assert_allclose(t.grad, num, atol=tol, rtol=tol)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 1000.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_softmax_grad(self):
+        gradcheck(lambda a: (F.softmax(a, axis=-1) ** 2).sum(), (3, 5))
+
+    def test_log_softmax_grad(self):
+        gradcheck(lambda a: (F.log_softmax(a, axis=-1) * F.log_softmax(a, axis=-1)).sum(), (3, 4))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.default_rng(2).normal(size=(2, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), atol=1e-10
+        )
+
+    def test_logsumexp_matches_numpy(self):
+        x = np.random.default_rng(3).normal(size=(4, 6)) * 10
+        expected = np.log(np.exp(x).sum(axis=-1))
+        np.testing.assert_allclose(F.logsumexp(Tensor(x), axis=-1).data, expected, atol=1e-10)
+
+    def test_logsumexp_stable_for_large_inputs(self):
+        x = Tensor(np.array([1000.0, 1000.0]))
+        out = F.logsumexp(x, axis=0)
+        assert np.isfinite(out.data)
+        np.testing.assert_allclose(out.data, 1000.0 + np.log(2.0))
+
+    def test_logsumexp_grad(self):
+        gradcheck(lambda a: F.logsumexp(a, axis=0).sum(), (5,))
+
+    def test_logsumexp_keepdims(self):
+        x = Tensor(np.zeros((2, 3)))
+        assert F.logsumexp(x, axis=1, keepdims=True).shape == (2, 1)
+
+
+class TestActivations:
+    def test_gelu_grad(self):
+        gradcheck(lambda a: F.gelu(a).sum(), (6,))
+
+    def test_gelu_known_values(self):
+        out = F.gelu(Tensor(np.array([0.0]))).data
+        np.testing.assert_allclose(out, [0.0], atol=1e-12)
+        assert F.gelu(Tensor(np.array([3.0]))).data[0] == pytest.approx(3.0, abs=0.02)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_scales_surviving_units(self):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        values = np.unique(out.data)
+        assert set(np.round(values, 6)) <= {0.0, 2.0}
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0), training=True)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8)))
+        w = Tensor(np.ones(8))
+        b = Tensor(np.zeros(8))
+        out = F.layer_norm(x, w, b).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_grads(self):
+        gradcheck(
+            lambda x, w, b: (F.layer_norm(x, w, b) ** 2).sum(),
+            (3, 6),
+            (6,),
+            (6,),
+            tol=1e-4,
+        )
+
+
+class TestConvPool:
+    def _naive_conv(self, x, w, b, stride, padding):
+        n, c, h, wd = x.shape
+        o, _, kh, kw = w.shape
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        oh = (xp.shape[2] - kh) // stride + 1
+        ow = (xp.shape[3] - kw) // stride + 1
+        out = np.zeros((n, o, oh, ow))
+        for ni in range(n):
+            for oi in range(o):
+                for yi in range(oh):
+                    for xi in range(ow):
+                        patch = xp[ni, :, yi * stride : yi * stride + kh, xi * stride : xi * stride + kw]
+                        out[ni, oi, yi, xi] = (patch * w[oi]).sum() + b[oi]
+        return out
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, self._naive_conv(x, w, b, stride, padding), atol=1e-10)
+
+    def test_conv2d_grad(self):
+        gradcheck(
+            lambda x, w, b: (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum(),
+            (1, 2, 5, 5),
+            (3, 2, 3, 3),
+            (3,),
+            tol=1e-4,
+        )
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((3, 5, 3, 3))))
+
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_values_and_grad(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        loss = F.mse_loss(pred, np.array([[0.0, 0.0]]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_mse_loss_grad(self):
+        gradcheck(lambda a: F.mse_loss(a, np.zeros((3, 2))), (3, 2))
+
+    def test_bce_with_logits_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        targets = np.array([0.0, 1.0, 1.0])
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(expected, abs=1e-10)
+
+    def test_bce_pos_weight_raises_positive_loss(self):
+        logits = Tensor(np.array([-1.0]))
+        base = F.binary_cross_entropy_with_logits(logits, np.array([1.0]))
+        weighted = F.binary_cross_entropy_with_logits(logits, np.array([1.0]), pos_weight=4.0)
+        assert weighted.item() == pytest.approx(4 * base.item())
+
+    def test_bce_grad(self):
+        gradcheck(
+            lambda a: F.binary_cross_entropy_with_logits(a, np.array([1.0, 0.0, 1.0]), pos_weight=2.0),
+            (3,),
+        )

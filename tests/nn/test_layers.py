@@ -1,0 +1,140 @@
+"""Module system and standard-layer behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+    Tensor,
+)
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, seed=0)
+        self.blocks = [Linear(8, 8, seed=1), Linear(8, 8, seed=2)]
+        self.by_name = {"head": Linear(8, 2, seed=3)}
+
+    def forward(self, x):
+        x = self.first(x).relu()
+        for block in self.blocks:
+            x = block(x).relu()
+        return self.by_name["head"](x)
+
+
+class TestModule:
+    def test_named_parameters_walks_lists_and_dicts(self):
+        names = dict(TwoLayer().named_parameters())
+        assert "first.weight" in names
+        assert "blocks.0.weight" in names and "blocks.1.bias" in names
+        assert "by_name.head.weight" in names
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        expected = 4 * 8 + 8 + 2 * (8 * 8 + 8) + 8 * 2 + 2
+        assert model.num_parameters() == expected
+
+    def test_state_dict_roundtrip(self):
+        a, b = TwoLayer(), TwoLayer()
+        b.first.weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.first.weight.data, a.first.weight.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 4))))
+        (out * out).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(3, 5, seed=0)
+        out = layer(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 5)
+        no_bias = Linear(3, 5, bias=False, seed=0)
+        assert no_bias.bias is None
+
+    def test_linear_batched_input(self):
+        layer = Linear(3, 5, seed=0)
+        assert layer(Tensor(np.ones((2, 7, 3)))).shape == (2, 7, 5)
+
+    def test_conv2d_output_shape(self):
+        layer = Conv2d(2, 4, 3, stride=2, padding=1, seed=0)
+        assert layer(Tensor(np.ones((1, 2, 8, 8)))).shape == (1, 4, 4, 4)
+
+    def test_layernorm_affine_params(self):
+        layer = LayerNorm(6)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(2, 6))))
+        assert out.shape == (2, 6)
+        assert layer.weight.requires_grad and layer.bias.requires_grad
+
+    def test_dropout_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_pooling_wrappers(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        assert MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert AvgPool2d(2)(x).shape == (1, 1, 2, 2)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.zeros((3, 2, 4)))).shape == (3, 8)
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([[-1.0, 1.0]]))
+        assert (ReLU()(x).data >= 0).all()
+        assert np.abs(Tanh()(x).data).max() < 1.0
+        assert GELU()(x).shape == (1, 2)
+
+    def test_sequential_len_getitem(self):
+        seq = Sequential(Linear(2, 2), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+
+    def test_deterministic_init_by_seed(self):
+        a, b = Linear(4, 4, seed=5), Linear(4, 4, seed=5)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        c = Linear(4, 4, seed=6)
+        assert not np.allclose(a.weight.data, c.weight.data)

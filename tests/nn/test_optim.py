@@ -1,0 +1,115 @@
+"""Optimizer convergence and mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CosineSchedule, SGD, Tensor
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0, 0.5]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+def optimize(optimizer_cls, steps=200, **kwargs) -> np.ndarray:
+    param = Tensor(np.zeros(3), requires_grad=True)
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        quadratic_loss(param).backward()
+        optimizer.step()
+    return param.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = optimize(SGD, lr=0.1)
+        np.testing.assert_allclose(final, [3.0, -2.0, 0.5], atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        def loss_after(momentum, steps=25):
+            param = Tensor(np.zeros(3), requires_grad=True)
+            optimizer = SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(steps):
+                optimizer.zero_grad()
+                quadratic_loss(param).backward()
+                optimizer.step()
+            return quadratic_loss(param).item()
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = optimize(SGD, lr=0.1, weight_decay=0.0)
+        decayed = optimize(SGD, lr=0.1, weight_decay=1.0)
+        assert np.linalg.norm(decayed) < np.linalg.norm(plain)
+
+    def test_skips_parameters_without_grad(self):
+        a = Tensor(np.zeros(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        optimizer = SGD([a, b], lr=0.1)
+        (a * a).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(b.data, np.ones(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = optimize(Adam, lr=0.1, steps=300)
+        np.testing.assert_allclose(final, [3.0, -2.0, 0.5], atol=1e-2)
+
+    def test_bias_correction_first_step_magnitude(self):
+        """First Adam step has magnitude ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1e3):
+            param = Tensor(np.array([scale]), requires_grad=True)
+            optimizer = Adam([param], lr=0.01)
+            (param * param).sum().backward()
+            optimizer.step()
+            assert abs(scale - param.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_rejects_bad_lr_and_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.zeros(1), requires_grad=True)], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestGradClip:
+    def test_clips_large_gradients(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = SGD([param], lr=1.0)
+        param.grad = np.full(4, 100.0)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([param], lr=1.0)
+        param.grad = np.array([0.1, 0.1])
+        optimizer.clip_grad_norm(10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+
+class TestCosineSchedule:
+    def test_decays_to_min_lr(self):
+        optimizer = SGD([Tensor(np.zeros(1), requires_grad=True)], lr=1.0)
+        schedule = CosineSchedule(optimizer, total_steps=10, min_lr=0.1)
+        values = [schedule.step() for _ in range(10)]
+        assert values[0] > values[-1]
+        assert values[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_after_total_steps(self):
+        optimizer = SGD([Tensor(np.zeros(1), requires_grad=True)], lr=1.0)
+        schedule = CosineSchedule(optimizer, total_steps=5)
+        for _ in range(8):
+            lr = schedule.step()
+        assert lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_total_steps(self):
+        optimizer = SGD([Tensor(np.zeros(1), requires_grad=True)], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineSchedule(optimizer, total_steps=0)

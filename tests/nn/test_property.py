@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) on core numeric invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import QuantSpec, Tensor
+from repro.nn import functional as F
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 6)))
+def test_softmax_is_distribution(x):
+    out = F.softmax(Tensor(x), axis=-1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((8,)))
+def test_logsumexp_bounds_max(x):
+    out = F.logsumexp(Tensor(x), axis=0).data
+    assert out >= x.max() - 1e-9
+    assert out <= x.max() + np.log(x.size) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((40,)))
+def test_quantization_error_bounded_by_half_step(x):
+    spec = QuantSpec(bits=8)
+    scale = spec.scale_for(x)
+    q = spec.quantize(x)
+    assert np.abs(q - x).max() <= scale / 2 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4, 9)))
+def test_layer_norm_output_statistics(x):
+    # Only meaningful when rows have spread; constant rows stay ~zero.
+    w = Tensor(np.ones(9))
+    b = Tensor(np.zeros(9))
+    out = F.layer_norm(Tensor(x), w, b).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+    for row_in, row_out in zip(x, out):
+        # eps in the denominator matters for near-constant rows; only
+        # rows with real spread normalize to unit variance.
+        if row_in.std() > 0.1:
+            assert abs(row_out.std() - 1.0) < 1e-2
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((3, 5)), arrays((3, 5)))
+def test_addition_gradient_is_ones(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, np.ones_like(a))
+    np.testing.assert_allclose(tb.grad, np.ones_like(b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((2, 4)))
+def test_relu_output_nonnegative_and_sparse_grad(x):
+    t = Tensor(x, requires_grad=True)
+    out = t.relu()
+    assert (out.data >= 0).all()
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, (x > 0).astype(float))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_matmul_grad_shapes_match_inputs(m, k, n):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(m, k)), requires_grad=True)
+    b = Tensor(rng.normal(size=(k, n)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (m, k)
+    assert b.grad.shape == (k, n)

@@ -1,0 +1,123 @@
+"""INT8 fake-quantization behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import ActivationQuantizer, Linear, QuantSpec, Tensor, quantize_weights
+from repro.nn.quantization import quantization_error
+
+
+class TestQuantSpec:
+    def test_qmax(self):
+        assert QuantSpec(bits=8).qmax == 127
+        assert QuantSpec(bits=4).qmax == 7
+
+    def test_quantize_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000)
+        spec = QuantSpec(bits=8)
+        q = spec.quantize(x)
+        scale = spec.scale_for(x)
+        assert np.abs(q - x).max() <= scale / 2 + 1e-12
+
+    def test_quantize_idempotent(self):
+        x = np.random.default_rng(1).normal(size=100)
+        spec = QuantSpec()
+        scale = spec.scale_for(x)
+        once = spec.quantize(x, scale)
+        twice = spec.quantize(once, scale)
+        np.testing.assert_allclose(once, twice)
+
+    def test_zero_array_scale(self):
+        assert QuantSpec().scale_for(np.zeros(4)) == 1.0
+
+    def test_quantize_to_int_dtype_and_range(self):
+        x = np.linspace(-1, 1, 11)
+        codes, scale = QuantSpec(bits=8).quantize_to_int(x)
+        assert codes.dtype == np.int8
+        assert codes.max() == 127 and codes.min() == -127
+        np.testing.assert_allclose(codes * scale, x, atol=scale)
+
+    def test_more_bits_less_error(self):
+        x = np.random.default_rng(2).normal(size=500)
+        assert quantization_error(x, QuantSpec(bits=8)) < quantization_error(
+            x, QuantSpec(bits=4)
+        )
+
+
+class TestQuantizeWeights:
+    def test_weights_changed_and_scales_returned(self):
+        layer = Linear(16, 16, seed=0)
+        before = layer.weight.data.copy()
+        scales = quantize_weights(layer)
+        assert "weight" in scales
+        assert not np.allclose(layer.weight.data, before)
+        # Per-channel quantization error is bounded by half the *tensor*
+        # step (each row's step is at most the tensor-wide one).
+        assert np.abs(layer.weight.data - before).max() <= scales["weight"] / 2 + 1e-12
+
+    def test_quantized_weights_on_grid_per_tensor(self):
+        layer = Linear(8, 8, seed=1)
+        scales = quantize_weights(layer, per_channel=False)
+        codes = layer.weight.data / scales["weight"]
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_per_channel_beats_per_tensor_on_skewed_rows(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(8, 16))
+        weights[0] *= 100.0  # one hot row would blow up a shared scale
+        spec = QuantSpec(bits=8)
+        per_tensor_err = np.abs(spec.quantize(weights) - weights)[1:].max()
+        per_channel_err = np.abs(spec.quantize_per_channel(weights) - weights)[1:].max()
+        assert per_channel_err < 0.1 * per_tensor_err
+
+    def test_per_channel_rows_on_their_grids(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(4, 6))
+        spec = QuantSpec(bits=8)
+        out = spec.quantize_per_channel(weights, axis=0)
+        for row_in, row_out in zip(weights, out):
+            scale = np.abs(row_in).max() / spec.qmax
+            codes = row_out / scale
+            np.testing.assert_allclose(codes, np.round(codes), atol=1e-6)
+
+    def test_per_channel_vector_falls_back(self):
+        spec = QuantSpec(bits=8)
+        vec = np.array([0.5, -1.0, 0.25])
+        np.testing.assert_allclose(
+            spec.quantize_per_channel(vec), spec.quantize(vec)
+        )
+
+
+class TestActivationQuantizer:
+    def test_requires_calibration_for_scale(self):
+        q = ActivationQuantizer()
+        with pytest.raises(RuntimeError):
+            _ = q.scale
+
+    def test_observe_then_quantize(self):
+        q = ActivationQuantizer()
+        q.observe(np.array([2.0, -4.0]))
+        assert q.calibrated
+        out = q(np.array([1.0]))
+        assert abs(out[0] - 1.0) <= q.scale / 2
+
+    def test_first_call_self_calibrates(self):
+        q = ActivationQuantizer()
+        out = q(np.array([3.0, -1.0]))
+        assert q.calibrated
+        assert out.shape == (2,)
+
+    def test_tensor_passthrough(self):
+        q = ActivationQuantizer()
+        out = q(Tensor(np.array([0.5, -0.5])))
+        assert isinstance(out, Tensor)
+
+    def test_peak_only_grows(self):
+        q = ActivationQuantizer()
+        q.observe(np.array([10.0]))
+        scale_before = q.scale
+        q.observe(np.array([1.0]))
+        assert q.scale == scale_before

@@ -1,0 +1,58 @@
+"""Leaky recurrent cell (paper Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import LeakyRecurrentCell, Tensor
+
+
+class TestLeakyRecurrentCell:
+    def test_matches_equation_two(self):
+        cell = LeakyRecurrentCell(3, 4, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 3))
+        h = np.random.default_rng(1).normal(size=(2, 4))
+        out = cell(Tensor(x), Tensor(h)).data
+        w, wb = cell.w.weight.data, cell.w.bias.data
+        u = cell.u.weight.data
+        alpha, beta = cell.alpha.data, cell.beta.data
+        expected = beta * h + alpha * np.tanh(x @ w.T + wb + h @ u.T)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_zero_initial_state(self):
+        cell = LeakyRecurrentCell(3, 4, seed=0)
+        x = Tensor(np.ones((2, 3)))
+        implicit = cell(x).data
+        explicit = cell(x, cell.initial_state(2)).data
+        np.testing.assert_allclose(implicit, explicit)
+
+    def test_alpha_beta_trainable(self):
+        cell = LeakyRecurrentCell(2, 2, seed=0)
+        names = dict(cell.named_parameters())
+        assert "alpha" in names and "beta" in names
+        x = Tensor(np.ones((1, 2)))
+        h = cell(x)
+        h = cell(x, h)
+        (h * h).sum().backward()
+        assert cell.alpha.grad is not None
+        assert cell.beta.grad is not None
+
+    def test_beta_controls_history_retention(self):
+        cell = LeakyRecurrentCell(2, 2, seed=0)
+        cell.alpha.data = np.array(0.0)
+        cell.beta.data = np.array(0.5)
+        h0 = Tensor(np.ones((1, 2)))
+        h1 = cell(Tensor(np.zeros((1, 2))), h0)
+        np.testing.assert_allclose(h1.data, 0.5 * np.ones((1, 2)))
+
+    def test_state_bounded_over_long_sequences(self):
+        """With |beta| < 1 and bounded tanh, the state cannot blow up."""
+        cell = LeakyRecurrentCell(2, 3, seed=0)
+        cell.beta.data = np.array(0.9)
+        cell.alpha.data = np.array(1.0)
+        h = None
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            h = cell(Tensor(rng.normal(size=(1, 2))), h)
+        bound = 1.0 / (1.0 - 0.9) + 1e-6
+        assert np.abs(h.data).max() <= bound

@@ -1,0 +1,28 @@
+"""Weight save/load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential, Tensor, load_weights, save_weights
+
+
+def test_roundtrip(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+    path = tmp_path / "weights.npz"
+    save_weights(model, path)
+
+    other = Sequential(Linear(4, 8, seed=9), Linear(8, 2, seed=10))
+    load_weights(other, path)
+    x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+    np.testing.assert_allclose(model(x).data, other(x).data)
+
+
+def test_load_rejects_architecture_mismatch(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0))
+    path = tmp_path / "weights.npz"
+    save_weights(model, path)
+    wrong = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+    with pytest.raises(KeyError):
+        load_weights(wrong, path)

@@ -1,0 +1,218 @@
+"""Autograd engine tests: every primitive op is checked against a
+numerical gradient, plus graph-mechanics behaviour (no_grad, accumulation,
+error paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, no_grad, stack, where
+from tests.conftest import numerical_gradient
+
+
+def check_grad(build, *shapes, seed=0, tol=1e-5):
+    """Gradcheck helper: ``build(*tensors)`` returns a scalar Tensor."""
+    rng = np.random.default_rng(seed)
+    tensors = [Tensor(rng.normal(size=s) + 0.5, requires_grad=True) for s in shapes]
+    loss = build(*tensors)
+    loss.backward()
+    for t in tensors:
+        assert t.grad is not None, "missing gradient"
+        num = numerical_gradient(lambda: build(*tensors).item(), t.data)
+        np.testing.assert_allclose(t.grad, num, atol=tol, rtol=tol)
+
+
+class TestArithmetic:
+    def test_add_grad(self):
+        check_grad(lambda a, b: ((a + b) * (a + b)).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast_grad(self):
+        check_grad(lambda a, b: ((a + b) ** 2).sum(), (3, 4), (4,))
+
+    def test_mul_grad(self):
+        check_grad(lambda a, b: (a * b).sum(), (2, 3), (2, 3))
+
+    def test_mul_broadcast_scalar_shape(self):
+        check_grad(lambda a, b: (a * b).sum(), (2, 3), (1, 1))
+
+    def test_sub_and_neg(self):
+        check_grad(lambda a, b: ((a - b) * (-a)).sum(), (3,), (3,))
+
+    def test_div_grad(self):
+        check_grad(lambda a, b: (a / (b * b + 1.0)).sum(), (2, 2), (2, 2))
+
+    def test_pow_grad(self):
+        check_grad(lambda a: (a**3).sum(), (4,))
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_radd_rmul_with_floats(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = (2.0 + t) * 3.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, 3.0 * np.ones(3))
+
+
+class TestMatmul:
+    def test_matmul_grad(self):
+        check_grad(lambda a, b: (a @ b).sum(), (3, 4), (4, 5))
+
+    def test_batched_matmul_grad(self):
+        check_grad(lambda a, b: (a @ b).sum(), (2, 3, 4), (2, 4, 5))
+
+    def test_broadcast_batched_matmul_grad(self):
+        check_grad(lambda a, b: (a @ b).sum(), (2, 3, 4), (4, 5))
+
+    def test_matmul_values(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(3, 4)
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+
+class TestShape:
+    def test_reshape_grad(self):
+        check_grad(lambda a: (a.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.reshape(2, -1).shape == (2, 12)
+
+    def test_transpose_grad(self):
+        check_grad(lambda a: (a.transpose(1, 0) @ a).sum(), (3, 4))
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem_grad(self):
+        check_grad(lambda a: (a[1:, :2] ** 2).sum(), (3, 4))
+
+    def test_getitem_fancy_index_grad(self):
+        idx = np.array([0, 2, 2])
+
+        def build(a):
+            return (a[:, idx] ** 2).sum()
+
+        check_grad(build, (2, 4))
+
+    def test_concatenate_grad(self):
+        check_grad(
+            lambda a, b: (concatenate([a, b], axis=1) ** 2).sum(), (2, 3), (2, 2)
+        )
+
+    def test_stack_grad(self):
+        check_grad(lambda a, b: (stack([a, b], axis=0) ** 2).sum(), (2, 3), (2, 3))
+
+    def test_where_grad(self):
+        cond = np.array([[True, False], [False, True]])
+        check_grad(lambda a, b: (where(cond, a, b) ** 2).sum(), (2, 2), (2, 2))
+
+
+class TestReductions:
+    def test_sum_axis_grad(self):
+        check_grad(lambda a: (a.sum(axis=0) ** 2).sum(), (3, 4))
+
+    def test_sum_keepdims_grad(self):
+        check_grad(lambda a: (a / a.sum(axis=1, keepdims=True)).sum(), (3, 4), seed=3)
+
+    def test_mean_grad(self):
+        check_grad(lambda a: (a.mean(axis=1) ** 2).sum(), (3, 4))
+
+    def test_mean_matches_sum(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        np.testing.assert_allclose(t.mean(axis=1).data, t.data.mean(axis=1))
+
+    def test_max_grad_unique(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.permutation(12).astype(float).reshape(3, 4), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        # Gradient is 1 exactly at each row argmax.
+        expected = np.zeros((3, 4))
+        expected[np.arange(3), x.data.argmax(axis=1)] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.ones((1, 4)), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad.sum(), 1.0)
+
+
+class TestPointwise:
+    def test_exp_log_sqrt_tanh_grads(self):
+        check_grad(lambda a: (a.exp() + (a * a + 1.0).log() + (a * a + 1.0).sqrt() + a.tanh()).sum(), (3, 3))
+
+    def test_relu_grad(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+
+    def test_sigmoid_grad(self):
+        check_grad(lambda a: a.sigmoid().sum(), (4,))
+
+    def test_abs_grad(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        ((x * 2.0).sum() + (x * 3.0).sum()).backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_backward_grad_shape_mismatch(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 1.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(4))
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x.detach() * x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(2))
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.zeros((2, 3))))
+
+    def test_item_and_numpy(self):
+        t = Tensor(np.array(3.5))
+        assert t.item() == 3.5
+        assert t.numpy() is t.data

@@ -1,0 +1,117 @@
+"""ViT encoder: patch embedding, blocks, pruning traces, learnability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Linear, Tensor, TokenFilter, ViTEncoder, no_grad
+from repro.nn import functional as F
+from repro.nn.transformer import PatchEmbed, TokenTrace, TransformerBlock
+
+
+class TestPatchEmbed:
+    def test_token_count_and_dim(self):
+        embed = PatchEmbed(image_size=16, patch_size=4, dim=24, seed=0)
+        out = embed(Tensor(np.random.default_rng(0).normal(size=(2, 16, 16))))
+        assert out.shape == (2, 16, 24)
+
+    def test_rejects_indivisible_patch(self):
+        with pytest.raises(ValueError):
+            PatchEmbed(image_size=15, patch_size=4, dim=8)
+
+    def test_rejects_wrong_input_size(self):
+        embed = PatchEmbed(image_size=16, patch_size=4, dim=8, seed=0)
+        with pytest.raises(ValueError):
+            embed(Tensor(np.zeros((1, 8, 8))))
+
+    def test_patches_preserve_locality(self):
+        """Each token depends only on its own patch."""
+        embed = PatchEmbed(image_size=8, patch_size=4, dim=4, seed=0)
+        base = np.zeros((1, 8, 8))
+        modified = base.copy()
+        modified[0, :4, :4] = 1.0  # top-left patch only
+        delta = embed(Tensor(modified)).data - embed(Tensor(base)).data
+        assert np.abs(delta[0, 0]).sum() > 0
+        np.testing.assert_allclose(delta[0, 1:], 0.0, atol=1e-12)
+
+
+class TestTokenTrace:
+    def test_pruning_ratio(self):
+        trace = TokenTrace(tokens_per_block=[10, 10, 5, 5], initial_tokens=10)
+        assert trace.pruning_ratio == pytest.approx(0.25)
+        assert trace.final_tokens == 5
+
+    def test_empty_trace(self):
+        assert TokenTrace().pruning_ratio == 0.0
+
+
+class TestViTEncoder:
+    def make(self, depth=4):
+        return ViTEncoder(
+            image_size=16, patch_size=4, dim=16, depth=depth, num_heads=4, seed=3
+        )
+
+    def test_forward_shape_and_trace(self):
+        vit = self.make()
+        emb, trace = vit(Tensor(np.random.default_rng(0).normal(size=(2, 16, 16))))
+        assert emb.shape == (2, 16)
+        assert trace.tokens_per_block == [17, 17, 17, 17]
+
+    def test_pruning_reduces_tokens_monotonically(self):
+        vit = self.make()
+        with no_grad():
+            _, trace = vit(
+                Tensor(np.random.default_rng(1).normal(size=(1, 16, 16))),
+                token_filter=TokenFilter(ratio=0.4),
+            )
+        counts = trace.tokens_per_block
+        assert counts[0] == 17
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert trace.pruning_ratio > 0.0
+
+    def test_no_pruning_on_last_block_boundary(self):
+        """The filter never fires after the final block (nothing downstream)."""
+        vit = self.make(depth=2)
+        with no_grad():
+            _, trace = vit(
+                Tensor(np.random.default_rng(2).normal(size=(1, 16, 16))),
+                token_filter=TokenFilter(ratio=0.5),
+            )
+        assert trace.tokens_per_block == [17, 17]
+
+    def test_trainable_on_toy_regression(self):
+        """The encoder + head can fit 'mean brightness of image' quickly."""
+        rng = np.random.default_rng(0)
+        vit = ViTEncoder(image_size=8, patch_size=4, dim=8, depth=2, num_heads=2, seed=0)
+        head = Linear(8, 1, seed=1)
+        images = rng.uniform(size=(32, 8, 8))
+        targets = images.mean(axis=(1, 2), keepdims=False)[:, None]
+        params = vit.parameters() + head.parameters()
+        optimizer = Adam(params, lr=5e-3)
+        losses = []
+        for _ in range(30):
+            optimizer.zero_grad()
+            emb, _ = vit(Tensor(images))
+            loss = F.mse_loss(head(emb), targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_cls_token_receives_gradient(self):
+        vit = self.make()
+        emb, _ = vit(Tensor(np.random.default_rng(1).normal(size=(2, 16, 16))))
+        (emb * emb).sum().backward()
+        assert vit.cls_token.grad is not None
+        assert np.abs(vit.cls_token.grad).sum() > 0
+
+    def test_block_residual_structure(self):
+        """A block with zeroed projections is the identity map."""
+        block = TransformerBlock(dim=8, num_heads=2, seed=0)
+        block.attn.proj.weight.data[:] = 0.0
+        block.attn.proj.bias.data[:] = 0.0
+        block.mlp[2].weight.data[:] = 0.0
+        block.mlp[2].bias.data[:] = 0.0
+        x = np.random.default_rng(0).normal(size=(1, 3, 8))
+        np.testing.assert_allclose(block(Tensor(x)).data, x, atol=1e-12)

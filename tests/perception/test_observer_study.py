@@ -1,0 +1,104 @@
+"""Synthetic observer and the 2IFC user-study harness (Fig. 15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception import (
+    ObserverConfig,
+    SyntheticObserver,
+    VideoProfile,
+    run_user_study,
+)
+
+
+@pytest.fixture
+def traces(rng):
+    good = np.abs(rng.normal(1.2, 0.6, size=200))  # POLOViT-like errors
+    bad = np.abs(rng.normal(4.0, 4.0, size=200))  # long-tailed baseline
+    return good, bad
+
+
+class TestVideoProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoProfile("x", motion_masking=0.99)
+        with pytest.raises(ValueError):
+            VideoProfile("x", brightness=1.5)
+
+
+class TestObserver:
+    def test_artifact_evidence_higher_for_worse_trace(self, traces):
+        good, bad = traces
+        observer = SyntheticObserver(seed=0)
+        video = VideoProfile("static")
+        assert observer.artifact_evidence(bad, video) > observer.artifact_evidence(
+            good, video
+        )
+
+    def test_motion_masking_reduces_evidence(self, traces):
+        good, _ = traces
+        observer = SyntheticObserver(seed=0)
+        static = observer.artifact_evidence(good, VideoProfile("s", motion_masking=0.0))
+        moving = observer.artifact_evidence(good, VideoProfile("m", motion_masking=0.6))
+        assert moving < static
+
+    def test_prefers_lower_error_most_of_the_time(self, traces):
+        good, bad = traces
+        observer = SyntheticObserver(
+            ObserverConfig(decision_noise=0.05, lapse_rate=0.0), seed=1
+        )
+        video = VideoProfile("static")
+        picks = [observer.choose(good, bad, video) for _ in range(50)]
+        assert np.mean([p == 0 for p in picks]) > 0.9
+
+    def test_identical_traces_near_chance(self, traces):
+        good, _ = traces
+        observer = SyntheticObserver(seed=2)
+        video = VideoProfile("static")
+        picks = [observer.choose(good, good, video) for _ in range(200)]
+        assert 0.35 < np.mean([p == 0 for p in picks]) < 0.65
+
+    def test_empty_trace_rejected(self):
+        observer = SyntheticObserver(seed=0)
+        with pytest.raises(ValueError):
+            observer.artifact_evidence(np.array([]), VideoProfile("x"))
+
+
+class TestUserStudy:
+    def test_candidate_with_lower_error_wins(self, traces):
+        good, bad = traces
+        result = run_user_study(good, bad, n_participants=5, repeats=3, seed=0)
+        assert result.mean_selection > 0.7
+        assert len(result.per_participant) == 5
+        assert set(result.per_video) == {v.name for v in __import__(
+            "repro.perception", fromlist=["DEFAULT_VIDEOS"]
+        ).DEFAULT_VIDEOS}
+
+    def test_symmetric_traces_near_chance(self, traces):
+        good, _ = traces
+        result = run_user_study(good, good.copy(), n_participants=8, repeats=4, seed=3)
+        assert 0.3 < result.mean_selection < 0.7
+
+    def test_reproducible_by_seed(self, traces):
+        good, bad = traces
+        a = run_user_study(good, bad, seed=7)
+        b = run_user_study(good, bad, seed=7)
+        np.testing.assert_allclose(a.per_participant, b.per_participant)
+
+    def test_motion_video_weakest_preference(self, traces):
+        """Mirrors Fig. 15: the high-motion video masks artifacts, so the
+        preference is weakest there."""
+        good, bad = traces
+        result = run_user_study(good, bad, n_participants=10, repeats=6, seed=1)
+        dynamic = result.per_video["video2-dynamic-outdoor"]
+        static_mean = np.mean(
+            [v for k, v in result.per_video.items() if k != "video2-dynamic-outdoor"]
+        )
+        assert dynamic <= static_mean + 0.05
+
+    def test_validation(self, traces):
+        good, bad = traces
+        with pytest.raises(ValueError):
+            run_user_study(good, bad, n_participants=0)

@@ -1,0 +1,69 @@
+"""QoE extension models (paper §8 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception.qoe import (
+    LatencyQoeConfig,
+    SaccadeMisdetectionConfig,
+    false_positive_artifact_rate,
+    latency_qoe,
+    misdetection_qoe,
+)
+
+
+class TestLatencyQoe:
+    def test_comfortable_latency_near_one(self):
+        assert latency_qoe(0.030) > 0.9
+
+    def test_band_midpoint_near_half(self):
+        assert latency_qoe(0.060) == pytest.approx(0.51, abs=0.1)
+
+    def test_collapse_beyond_limit(self):
+        assert latency_qoe(0.150) < 0.1
+
+    def test_monotone_decreasing(self):
+        latencies = np.array([0.02, 0.05, 0.07, 0.10, 0.20])
+        scores = latency_qoe(latencies)
+        assert (np.diff(scores) < 0).all()
+
+    def test_positive_floor(self):
+        assert latency_qoe(1.0) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_qoe(0.0)
+        with pytest.raises(ValueError):
+            LatencyQoeConfig(comfortable_s=0.07, limit_s=0.05)
+
+
+class TestMisdetection:
+    def test_zero_fpr_zero_artifacts(self):
+        assert false_positive_artifact_rate(0.0) == 0.0
+        assert misdetection_qoe(0.0) == pytest.approx(1.0)
+
+    def test_artifact_rate_scales_with_fpr(self):
+        low = false_positive_artifact_rate(0.01)
+        high = false_positive_artifact_rate(0.10)
+        assert high == pytest.approx(10 * low, rel=1e-6)
+
+    def test_qoe_decreasing_in_fpr(self):
+        scores = [misdetection_qoe(f) for f in (0.0, 0.01, 0.05, 0.2)]
+        assert all(a > b for a, b in zip(scores, scores[1:]))
+
+    def test_frame_rate_scales_events(self):
+        slow = false_positive_artifact_rate(
+            0.05, SaccadeMisdetectionConfig(frame_rate_hz=50.0)
+        )
+        fast = false_positive_artifact_rate(
+            0.05, SaccadeMisdetectionConfig(frame_rate_hz=100.0)
+        )
+        assert fast == pytest.approx(2 * slow, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            false_positive_artifact_rate(1.5)
+        with pytest.raises(ValueError):
+            misdetection_qoe(0.1, tolerance_events_per_s=0.0)

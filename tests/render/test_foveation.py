@@ -1,0 +1,97 @@
+"""Foveation geometry (Eq. 1): radii, regions, ray budgets."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.render import (
+    FoveationConfig,
+    RES_1080P,
+    RES_720P,
+    eccentricity_radius_px,
+    effective_rays,
+    foveated_ray_fraction,
+    region_pixels,
+    theta_f,
+)
+
+
+class TestThetaF:
+    def test_addition(self):
+        assert theta_f(5.0, 2.92) == pytest.approx(7.92)
+
+    def test_rejects_negative_error(self):
+        with pytest.raises(ValueError):
+            theta_f(5.0, -1.0)
+
+
+class TestRadius:
+    def test_matches_hand_calculation(self):
+        # rho*d = (1920/2)/tan(48 deg); r = rho*d*tan(7.92 deg)
+        rho_d = 960 / math.tan(math.radians(48.0))
+        expected = rho_d * math.tan(math.radians(7.92))
+        got = eccentricity_radius_px(7.92, RES_1080P, 96.0)
+        assert got == pytest.approx(expected)
+
+    def test_monotone_in_angle(self):
+        radii = [eccentricity_radius_px(a, RES_1080P, 96.0) for a in (5, 10, 20, 40)]
+        assert all(a < b for a, b in zip(radii, radii[1:]))
+
+    def test_ninety_degrees_is_infinite(self):
+        assert eccentricity_radius_px(90.0, RES_1080P, 96.0) == float("inf")
+
+
+class TestRegions:
+    def test_partition_covers_display(self):
+        regions = region_pixels(2.92, RES_1080P)
+        assert regions.total == pytest.approx(RES_1080P.pixels, rel=0.01)
+
+    def test_foveal_grows_with_error(self):
+        small = region_pixels(2.0, RES_1080P).foveal
+        large = region_pixels(13.0, RES_1080P).foveal
+        assert large > 3 * small
+
+    def test_zero_error_still_has_fovea(self):
+        regions = region_pixels(0.0, RES_1080P)
+        assert regions.foveal > 0
+
+    def test_huge_error_caps_at_display(self):
+        regions = region_pixels(80.0, RES_1080P)
+        assert regions.foveal == pytest.approx(RES_1080P.pixels, rel=0.01)
+        assert regions.peripheral == pytest.approx(0.0, abs=RES_1080P.pixels * 0.01)
+
+
+class TestRayBudget:
+    def test_effective_rays_formula(self):
+        config = FoveationConfig()
+        regions = region_pixels(2.92, RES_1080P, config)
+        rays = effective_rays(regions, config)
+        expected = regions.foveal + regions.inter / 4 + regions.peripheral / 16
+        assert rays == pytest.approx(expected)
+
+    def test_fraction_below_one_and_monotone(self):
+        fractions = [foveated_ray_fraction(d, RES_1080P) for d in (0.0, 3.0, 13.0, 24.0)]
+        assert all(0.0 < f <= 1.0 for f in fractions)
+        assert all(a < b for a, b in zip(fractions, fractions[1:]))
+
+    def test_polo_error_gives_large_savings(self):
+        """At POLO's P95 error the ray budget is a small fraction of full."""
+        assert foveated_ray_fraction(2.92, RES_1080P) < 0.2
+
+    def test_resolution_consistency(self):
+        """The same angular error claims a similar *fraction* across
+        resolutions (same FOV -> same angular geometry)."""
+        a = foveated_ray_fraction(5.0, RES_720P)
+        b = foveated_ray_fraction(5.0, RES_1080P)
+        assert a == pytest.approx(b, rel=0.05)
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            FoveationConfig(theta_foveal_deg=0.0)
+        with pytest.raises(ValueError):
+            FoveationConfig(display_hfov_deg=200.0)

@@ -1,0 +1,116 @@
+"""GPU latency model and rendering-pipeline composition (Figs. 1, 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.render import (
+    GpuModel,
+    RES_1080P,
+    RES_1440P,
+    RES_720P,
+    RESOLUTIONS,
+    RenderPipeline,
+    SCENES,
+    resolution_by_name,
+    scene_by_name,
+)
+
+
+class TestSceneSuite:
+    def test_eight_scenes_sorted_by_complexity(self):
+        assert len(SCENES) == 8
+        costs = [s.cycles_per_ray for s in SCENES]
+        assert costs == sorted(costs)
+
+    def test_lookup(self):
+        assert scene_by_name("C").name == "C"
+        with pytest.raises(KeyError):
+            scene_by_name("Z")
+        assert resolution_by_name("1080P") is RES_1080P
+        with pytest.raises(KeyError):
+            resolution_by_name("4K")
+
+
+class TestFig1Calibration:
+    """The GPU model must reproduce Fig. 1's aggregates."""
+
+    def test_average_latencies(self):
+        gpu = GpuModel()
+        targets = {"720P": 0.080, "1080P": 0.155, "1440P": 0.282}
+        for res in RESOLUTIONS:
+            avg = np.mean([gpu.full_resolution_latency(res, s) for s in SCENES])
+            assert avg == pytest.approx(targets[res.name], rel=0.15)
+
+    def test_latency_spread_20_to_700ms(self):
+        gpu = GpuModel()
+        lats = [
+            gpu.full_resolution_latency(res, s)
+            for res in RESOLUTIONS
+            for s in SCENES
+        ]
+        assert min(lats) < 0.035
+        assert max(lats) > 0.5
+
+    def test_latency_scales_with_pixels(self):
+        gpu = GpuModel()
+        scene = scene_by_name("E")
+        l720 = gpu.full_resolution_latency(RES_720P, scene)
+        l1440 = gpu.full_resolution_latency(RES_1440P, scene)
+        # 4x pixels but a fixed overhead: between 2x and 4x.
+        assert 2.0 < l1440 / l720 < 4.0
+
+    def test_negative_rays_rejected(self):
+        with pytest.raises(ValueError):
+            GpuModel().ray_latency(-1, scene_by_name("A"))
+
+
+class TestPipeline:
+    @pytest.fixture
+    def pipeline(self):
+        return RenderPipeline()
+
+    def test_r1_r2_sum_equals_total(self, pipeline):
+        scene = scene_by_name("E")
+        breakdown = pipeline.foveated_latency(scene, RES_1080P, 2.92)
+        assert breakdown.total_s == pytest.approx(breakdown.r1_s + breakdown.r2_s)
+
+    def test_latency_ordering_saccade_foveated_full(self, pipeline):
+        scene = scene_by_name("E")
+        saccade = pipeline.saccade_latency(scene, RES_1080P)
+        foveated = pipeline.foveated_latency(scene, RES_1080P, 2.92).total_s
+        full = pipeline.full_latency(scene, RES_1080P)
+        assert saccade < foveated < full
+
+    def test_foveated_latency_grows_with_error(self, pipeline):
+        scene = scene_by_name("E")
+        low = pipeline.foveated_latency(scene, RES_1080P, 2.92).total_s
+        high = pipeline.foveated_latency(scene, RES_1080P, 13.15).total_s
+        assert high > 1.3 * low
+
+    def test_rendering_speedup_band(self, pipeline):
+        """POLO's error gives a ~1.5x rendering advantage over ResNet's
+        (the §7.1 claim)."""
+        ratios = []
+        for scene in SCENES:
+            polo = pipeline.foveated_latency(scene, RES_1080P, 2.92).total_s
+            resnet = pipeline.foveated_latency(scene, RES_1080P, 13.15).total_s
+            ratios.append(resnet / polo)
+        assert 1.2 < np.mean(ratios) < 2.2
+
+    def test_r1_is_gaze_independent(self, pipeline):
+        scene = scene_by_name("D")
+        a = pipeline.foveated_latency(scene, RES_1080P, 2.0).r1_s
+        b = pipeline.foveated_latency(scene, RES_1080P, 20.0).r1_s
+        assert a == pytest.approx(b)
+
+    def test_r1_average_near_paper(self, pipeline):
+        """§7.4: R1 averages ~22 ms across scenes at 1080P."""
+        r1 = np.mean(
+            [pipeline.foveated_latency(s, RES_1080P, 2.92).r1_s for s in SCENES]
+        )
+        assert 0.012 < r1 < 0.03
+
+    def test_speedup_vs_full(self, pipeline):
+        assert pipeline.speedup_vs_full(scene_by_name("H"), RES_1080P, 2.92) > 3.0

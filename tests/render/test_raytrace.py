@@ -1,0 +1,73 @@
+"""The real mini path tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.render import MiniScene, PathTracer, Sphere
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return PathTracer(MiniScene.demo())
+
+
+class TestFullRender:
+    def test_image_validity(self, tracer):
+        img = tracer.render(48, 32)
+        assert img.shape == (32, 48, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert np.isfinite(img).all()
+
+    def test_scene_content_visible(self, tracer):
+        """Sky above, checkerboard floor below, spheres in between."""
+        img = tracer.render(64, 48)
+        sky = np.asarray(MiniScene.demo().sky)
+        np.testing.assert_allclose(img[0, 0], sky, atol=0.05)
+        # Floor rows show the two checker shades.
+        floor = img[-4:, :, 0]
+        assert floor.std() > 0.05
+
+    def test_deterministic(self, tracer):
+        a = tracer.render(32, 24)
+        b = tracer.render(32, 24)
+        np.testing.assert_allclose(a, b)
+
+    def test_reflective_sphere_differs_from_matte(self):
+        matte = PathTracer(
+            MiniScene(spheres=[Sphere((0, 0, 3), 1.0, (0.8, 0.2, 0.2), 0.0)])
+        ).render(48, 36)
+        shiny = PathTracer(
+            MiniScene(spheres=[Sphere((0, 0, 3), 1.0, (0.8, 0.2, 0.2), 0.9)])
+        ).render(48, 36)
+        assert np.abs(matte - shiny).max() > 0.1
+
+    def test_shadows_darken_floor(self):
+        scene = MiniScene(spheres=[Sphere((0.5, 0.5, 2.5), 0.9, (0.5, 0.5, 0.5))])
+        img = PathTracer(scene).render(64, 48)
+        floor = img[40:, :, :].mean(axis=2)
+        assert floor.min() < 0.55 * floor.max()  # shadowed vs lit floor
+
+
+class TestFoveatedRender:
+    def test_ray_savings(self, tracer):
+        img, fraction = tracer.render_foveated(64, 48, (32, 24), 8.0, 16.0)
+        assert img.shape == (48, 64, 3)
+        assert fraction < 0.6
+
+    def test_foveal_region_matches_full_render(self, tracer):
+        full = tracer.render(64, 48)
+        fov, _ = tracer.render_foveated(64, 48, (32, 24), 8.0, 16.0)
+        yy, xx = np.mgrid[0:48, 0:64]
+        mask = (xx - 32) ** 2 + (yy - 24) ** 2 <= 8**2
+        np.testing.assert_allclose(fov[mask], full[mask], atol=1e-9)
+
+    def test_larger_fovea_costs_more_rays(self, tracer):
+        _, small = tracer.render_foveated(64, 48, (32, 24), 5.0, 10.0)
+        _, large = tracer.render_foveated(64, 48, (32, 24), 16.0, 24.0)
+        assert large > small
+
+    def test_sphere_validation(self):
+        with pytest.raises(ValueError):
+            Sphere((0, 0, 0), 0.0, (1, 1, 1))

@@ -1,0 +1,66 @@
+"""System metrics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    fmt_ms,
+    geometric_mean,
+    is_close_factor,
+    log_ratio,
+    ms,
+    percentile_summary,
+    speedup,
+    table_to_text,
+)
+
+
+class TestAggregation:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_speedup(self):
+        assert speedup(0.1, 0.05) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_ms_and_fmt(self):
+        assert ms(0.0123) == pytest.approx(12.3)
+        assert fmt_ms(0.0123) == "12.3ms"
+
+    def test_percentile_summary(self):
+        s = percentile_summary(np.arange(101.0))
+        assert s["mean"] == pytest.approx(50.0)
+        assert s["p90"] == pytest.approx(90.0)
+        assert s["p95"] == pytest.approx(95.0)
+        with pytest.raises(ValueError):
+            percentile_summary(np.array([]))
+
+
+class TestShapeChecks:
+    def test_is_close_factor(self):
+        assert is_close_factor(1.5, 1.0, factor=2.0)
+        assert not is_close_factor(3.0, 1.0, factor=2.0)
+        assert is_close_factor(0.6, 1.0, factor=2.0)
+        with pytest.raises(ValueError):
+            is_close_factor(0.0, 1.0)
+
+    def test_log_ratio(self):
+        assert log_ratio(2.0, 1.0) == pytest.approx(1.0)
+        assert log_ratio(1.0, 2.0) == pytest.approx(-1.0)
+
+
+class TestTable:
+    def test_table_contains_headers_and_cells(self):
+        text = table_to_text(["A", "B"], [["x", "1"], ["yyyyyyyyyyyyyy", "2"]])
+        assert "A" in text and "yyyyyyyyyyyyyy" in text
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows

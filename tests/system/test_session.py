@@ -1,0 +1,95 @@
+"""Frame-by-frame session simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eye import OculomotorModel
+from repro.render import RES_1080P, RES_720P, scene_by_name
+from repro.system import Schedule, TrackerSystemProfile
+from repro.system.session import SessionConfig, simulate_session
+
+
+@pytest.fixture(scope="module")
+def track():
+    return OculomotorModel(seed=17).generate(600)
+
+
+@pytest.fixture
+def polo_profile():
+    return TrackerSystemProfile(
+        "POLO", 0.012, 2.92, td_saccade_s=0.0002, td_reuse_s=0.0002
+    )
+
+
+@pytest.fixture
+def baseline_profile():
+    return TrackerSystemProfile("ResNet-34", 0.05, 13.15)
+
+
+SCENE = scene_by_name("C")
+
+
+class TestSimulateSession:
+    def test_timeline_shape(self, track, polo_profile):
+        report = simulate_session(polo_profile, track, SCENE, RES_1080P)
+        assert report.frame_latency_s.shape == (600,)
+        assert len(report.decisions) == 600
+        assert (report.frame_latency_s > 0).all()
+
+    def test_event_mix_reflects_behaviour(self, track, polo_profile):
+        report = simulate_session(polo_profile, track, SCENE, RES_1080P)
+        assert report.event_mix.p_saccade > 0.02  # saccades occurred
+        assert report.event_mix.p_reuse > 0.3  # fixations dominate
+
+    def test_baseline_always_predicts(self, track, baseline_profile):
+        report = simulate_session(baseline_profile, track, SCENE, RES_1080P)
+        assert set(report.decisions) == {"predict"}
+        assert report.event_mix.p_predict == 1.0
+
+    def test_polo_faster_than_baseline(self, track, polo_profile, baseline_profile):
+        polo = simulate_session(polo_profile, track, SCENE, RES_1080P)
+        base = simulate_session(baseline_profile, track, SCENE, RES_1080P)
+        assert polo.mean_latency_s < 0.6 * base.mean_latency_s
+
+    def test_parallel_schedule_reduces_latency(self, track, polo_profile):
+        seq = simulate_session(polo_profile, track, SCENE, RES_1080P)
+        par = simulate_session(
+            polo_profile, track, SCENE, RES_1080P, schedule=Schedule.PARALLEL
+        )
+        assert par.mean_latency_s <= seq.mean_latency_s
+
+    def test_post_saccadic_window_extends_cheap_frames(self, track, polo_profile):
+        with_window = simulate_session(
+            polo_profile, track, SCENE, RES_1080P, config=SessionConfig()
+        )
+        without = simulate_session(
+            polo_profile,
+            track,
+            SCENE,
+            RES_1080P,
+            config=SessionConfig(post_saccade_low_res=False),
+        )
+        assert with_window.event_mix.p_saccade >= without.event_mix.p_saccade
+
+    def test_deadline_miss_rate(self, track, polo_profile, baseline_profile):
+        # At 100 fps (10 ms deadline), everything misses; the summary must
+        # report it honestly.
+        report = simulate_session(baseline_profile, track, SCENE, RES_720P)
+        assert report.deadline_miss_rate == 1.0
+        summary = report.summary()
+        assert set(summary) >= {"mean_ms", "p99_ms", "miss_rate"}
+
+    def test_empty_track_rejected(self, polo_profile):
+        from repro.eye.motion import GazeTrack
+
+        empty = GazeTrack(
+            gaze_deg=np.zeros((0, 2)),
+            labels=np.zeros(0, dtype=np.int64),
+            openness=np.zeros(0),
+            velocity_deg_s=np.zeros(0),
+            fps=100.0,
+        )
+        with pytest.raises(ValueError):
+            simulate_session(polo_profile, empty, SCENE, RES_1080P)

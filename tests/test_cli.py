@@ -1,0 +1,30 @@
+"""CLI report generator (`python -m repro`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "1440P" in out
+
+    @pytest.mark.parametrize(
+        "name", ["fig11e", "fig12", "fig13a", "table5", "sec7", "qoe", "fps"]
+    )
+    def test_analytic_experiments(self, name, capsys):
+        assert main([name]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_all_analytic(self, capsys):
+        assert main(["all-analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Vive" in out and "FPS" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,130 @@
+"""Utility helpers: rng management, validation, image ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    RngMixin,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+    default_rng,
+    spawn_rngs,
+)
+from repro.utils.image import (
+    block_reduce_mean,
+    center_crop,
+    crop_centered,
+    normalize_unit,
+    resize_bilinear,
+)
+
+
+class TestRng:
+    def test_default_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_default_rng_seeded_reproducible(self):
+        a = default_rng(5).random(3)
+        b = default_rng(5).random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(7, 3)
+        values = [s.random(4) for s in streams]
+        assert not np.allclose(values[0], values[1])
+        again = [s.random(4) for s in spawn_rngs(7, 3)]
+        np.testing.assert_allclose(values[0], again[0])
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_mixin_reseed(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing(seed=3)
+        first = thing.rng.random()
+        thing.reseed(3)
+        assert thing.rng.random() == first
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 2.0, 1.0, 3.0) == 2.0
+        with pytest.raises(ValueError):
+            check_in_range("x", 4.0, 1.0, 3.0)
+
+    def test_check_shape(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, None)) is arr
+        with pytest.raises(ValueError):
+            check_shape("a", arr, (3, 3))
+        with pytest.raises(ValueError):
+            check_shape("a", arr, (2, 3, 1))
+
+
+class TestImageOps:
+    def test_resize_identity(self):
+        img = np.random.default_rng(0).random((5, 7))
+        np.testing.assert_allclose(resize_bilinear(img, 5, 7), img)
+
+    def test_resize_preserves_constant(self):
+        img = np.full((8, 8), 0.3)
+        out = resize_bilinear(img, 5, 11)
+        np.testing.assert_allclose(out, 0.3)
+
+    def test_resize_batch(self):
+        batch = np.random.default_rng(1).random((3, 6, 6))
+        out = resize_bilinear(batch, 4, 4)
+        assert out.shape == (3, 4, 4)
+
+    def test_resize_monotone_gradient(self):
+        img = np.tile(np.arange(10.0), (4, 1))
+        out = resize_bilinear(img, 4, 5)
+        assert (np.diff(out, axis=1) > 0).all()
+
+    def test_block_reduce(self):
+        img = np.arange(16.0).reshape(4, 4)
+        np.testing.assert_allclose(block_reduce_mean(img, 2), [[2.5, 4.5], [10.5, 12.5]])
+        with pytest.raises(ValueError):
+            block_reduce_mean(img, 0)
+
+    def test_center_crop(self):
+        img = np.arange(36.0).reshape(6, 6)
+        out = center_crop(img, 2, 2)
+        np.testing.assert_allclose(out, [[14, 15], [20, 21]])
+
+    def test_crop_centered_shifts_at_border(self):
+        img = np.arange(100.0).reshape(10, 10)
+        out = crop_centered(img, 0, 0, 4, 4)
+        np.testing.assert_allclose(out, img[:4, :4])
+        out = crop_centered(img, 9, 9, 4, 4)
+        np.testing.assert_allclose(out, img[6:, 6:])
+
+    def test_crop_centered_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            crop_centered(np.zeros((4, 4)), 2, 2, 8, 8)
+
+    def test_normalize_unit(self):
+        out = normalize_unit(np.array([2.0, 4.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+        np.testing.assert_allclose(normalize_unit(np.full(3, 7.0)), 0.0)
