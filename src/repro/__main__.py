@@ -3,6 +3,9 @@
 Regenerates individual paper tables/figures (or the full analytic set)
 without going through pytest.  Training-dependent experiments accept a
 ``--scale`` flag; everything prints the same rows the paper reports.
+
+``python -m repro serve [...]`` runs the multi-session serving simulator
+instead (see ``repro.serve.cli`` for its flags).
 """
 
 from __future__ import annotations
@@ -69,6 +72,11 @@ def _run_trained(name: str, scale: str, seed: int) -> str:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

@@ -23,7 +23,7 @@ from repro.nn import (
     no_grad,
     quantize_weights,
 )
-from repro.nn.transformer import TokenTrace
+from repro.nn.transformer import BatchTokenTrace, TokenTrace
 from repro.utils.image import resize_bilinear
 
 
@@ -78,7 +78,7 @@ class PoloViT(Module):
         self._int8 = False
         self._input_quant = ActivationQuantizer(QuantSpec(bits=8))
         self._prune_threshold: "float | None" = None
-        self.last_trace: "TokenTrace | None" = None
+        self.last_trace: "TokenTrace | BatchTokenTrace | None" = None
 
     # ------------------------------------------------------------------
     # Forward paths
@@ -100,20 +100,24 @@ class PoloViT(Module):
         resized = resize_bilinear(images, c.image_size, c.image_size)
         return resized - 0.5
 
-    def predict(self, images: np.ndarray, prune: bool = True) -> np.ndarray:
-        """Batch inference (pruning applies per-sample when enabled)."""
+    def predict(
+        self, images: np.ndarray, prune: bool = True, chunk: int = 64
+    ) -> np.ndarray:
+        """Batch inference; pruning applies per-sample via masked selection.
+
+        Pruned batches run one vectorized forward per chunk: each sample
+        keeps its own token subset behind a live-token mask, so batching
+        never changes a sample's result beyond float round-off.
+        """
         prepared = self.prepare(images)
         token_filter = self.token_filter() if prune else None
         outputs = []
         with no_grad():
-            if token_filter is None:
-                for start in range(0, len(prepared), 64):
-                    pred = self.forward(Tensor(prepared[start : start + 64]))
-                    outputs.append(pred.data.copy())
-            else:
-                for sample in prepared:  # pruning requires batch size 1
-                    pred = self.forward(Tensor(sample[None]), token_filter=token_filter)
-                    outputs.append(pred.data.copy())
+            for start in range(0, len(prepared), chunk):
+                pred = self.forward(
+                    Tensor(prepared[start : start + chunk]), token_filter=token_filter
+                )
+                outputs.append(pred.data.copy())
         return np.concatenate(outputs, axis=0)
 
     def predict_single(self, image: np.ndarray, prune: bool = True):
@@ -149,15 +153,14 @@ class PoloViT(Module):
         prepared = self.prepare(images)
 
         def ratio_at(threshold: float) -> float:
-            ratios = []
+            # One vectorized forward: the batch trace reports every sample's
+            # independent pruning ratio.
             with no_grad():
-                for sample in prepared:
-                    self.forward(
-                        Tensor(sample[None]),
-                        token_filter=TokenFilter(threshold=threshold, criterion="max"),
-                    )
-                    ratios.append(self.last_trace.pruning_ratio)
-            return float(np.mean(ratios))
+                self.forward(
+                    Tensor(prepared),
+                    token_filter=TokenFilter(threshold=threshold, criterion="max"),
+                )
+            return self.last_trace.pruning_ratio
 
         lo, hi = 0.0, 1.0
         threshold = 0.5
@@ -192,23 +195,32 @@ class PoloViT(Module):
     # ------------------------------------------------------------------
     # Hardware workload
     # ------------------------------------------------------------------
-    def workload(self, trace: "TokenTrace | None" = None, paper_scale: bool = True) -> list:
+    def workload(
+        self,
+        trace: "TokenTrace | BatchTokenTrace | None" = None,
+        paper_scale: bool = True,
+    ) -> list:
         """Per-frame inference ops.
 
         With ``paper_scale`` the op shapes use the published configuration
         (8 blocks, dim 384, 197 tokens) with the *relative* token counts of
         ``trace`` applied, so pruning measured on the compact model costs
-        the paper-scale model consistently.
+        the paper-scale model consistently.  A :class:`BatchTokenTrace` is
+        costed at its batch-mean token counts (the average per-frame work a
+        serving batch carries).
         """
         cfg = GazeViTConfig.paper() if paper_scale else self.config
         full_tokens = cfg.num_patches + 1
         if trace is None:
             tokens_per_block = [full_tokens] * cfg.depth
         else:
+            observed = (
+                trace.mean_tokens_per_block()
+                if isinstance(trace, BatchTokenTrace)
+                else trace.tokens_per_block
+            )
             scale = full_tokens / max(trace.initial_tokens, 1)
-            tokens_per_block = [
-                max(2, int(round(t * scale))) for t in trace.tokens_per_block
-            ]
+            tokens_per_block = [max(2, int(round(t * scale))) for t in observed]
             # The compact and paper models share the same depth by default;
             # if they differ, repeat the last observed count.
             while len(tokens_per_block) < cfg.depth:

@@ -28,7 +28,13 @@ from repro.nn.quantization import ActivationQuantizer, QuantSpec, quantize_weigh
 from repro.nn.recurrent import LeakyRecurrentCell
 from repro.nn.serialization import load_weights, save_weights
 from repro.nn.tensor import Tensor, concatenate, no_grad, stack, where
-from repro.nn.transformer import PatchEmbed, TokenTrace, TransformerBlock, ViTEncoder
+from repro.nn.transformer import (
+    BatchTokenTrace,
+    PatchEmbed,
+    TokenTrace,
+    TransformerBlock,
+    ViTEncoder,
+)
 
 __all__ = [
     "functional",
@@ -62,6 +68,7 @@ __all__ = [
     "no_grad",
     "stack",
     "where",
+    "BatchTokenTrace",
     "PatchEmbed",
     "TokenTrace",
     "TransformerBlock",

@@ -50,22 +50,53 @@ class MultiHeadSelfAttention(Module):
         self.proj = Linear(dim, dim, seed=base + 1)
         self.last_stats: "AttentionStats | None" = None
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, key_mask: "np.ndarray | None" = None) -> Tensor:
+        """Attend over ``x``; ``key_mask`` (N, T) marks each sample's live tokens.
+
+        Masked (pruned) tokens receive exactly zero attention weight and are
+        excluded from the received-attention statistics, so a padded batch
+        where sample ``i`` keeps ``k_i`` tokens behaves like ``N`` independent
+        forwards over the compacted ``k_i``-token sequences.  An all-true (or
+        absent) mask takes the unmasked path, so unpruned batches pay nothing.
+        """
         n, t, d = x.shape
+        if key_mask is not None:
+            key_mask = np.asarray(key_mask, dtype=bool)
+            if key_mask.shape != (n, t):
+                raise ValueError(
+                    f"key_mask shape {key_mask.shape} does not match tokens ({n}, {t})"
+                )
+            if not key_mask.any(axis=1).all():
+                raise ValueError("key_mask must keep at least one token per sample")
+            if key_mask.all():
+                key_mask = None
         qkv = self.qkv(x)  # (N, T, 3D)
         qkv = qkv.reshape(n, t, 3, self.num_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, N, H, T, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
 
         scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (N, H, T, T)
+        if key_mask is not None:
+            # Additive -inf on dead key columns: their post-softmax weight is
+            # exactly 0.0, so they contribute nothing to any live token.
+            bias = np.where(key_mask[:, None, None, :], 0.0, -np.inf)
+            scores = scores + Tensor(bias)
         attn = F.softmax(scores, axis=-1)
 
-        # Column statistics: attention *received* by each key token.
+        # Column statistics: attention *received* by each key token.  Under a
+        # mask, only live queries vote (dead rows hold stale token values).
         attn_np = attn.data
-        self.last_stats = AttentionStats(
-            column_sum=attn_np.sum(axis=(1, 2)),
-            column_max=attn_np.max(axis=(1, 2)),
-        )
+        if key_mask is None:
+            self.last_stats = AttentionStats(
+                column_sum=attn_np.sum(axis=(1, 2)),
+                column_max=attn_np.max(axis=(1, 2)),
+            )
+        else:
+            live_rows = np.where(key_mask[:, None, :, None], attn_np, 0.0)
+            self.last_stats = AttentionStats(
+                column_sum=live_rows.sum(axis=(1, 2)),
+                column_max=live_rows.max(axis=(1, 2)),
+            )
 
         out = attn @ v  # (N, H, T, hd)
         out = out.transpose(0, 2, 1, 3).reshape(n, t, d)
@@ -105,31 +136,58 @@ class TokenFilter:
     def importance(self, stats: AttentionStats) -> np.ndarray:
         return stats.column_max if self.criterion == "max" else stats.column_sum
 
-    def keep_indices(self, stats: AttentionStats) -> np.ndarray:
-        """Return sorted token indices to keep, for a batch of size 1.
+    def _keep_row(self, scores: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Keep decision for one sample: boolean mask over its token slots.
 
-        Pruning changes the token count, so batched pruning would produce a
-        ragged batch; the runtime prunes per-sample (batch size 1), which is
-        also how the accelerator executes.
+        ``active`` marks the slots that are still live for this sample (a
+        padded batch carries already-pruned slots); dead slots never revive.
+        """
+        t = scores.shape[0]
+        keep = np.zeros(t, dtype=bool)
+        image = np.flatnonzero(active[1:]) + 1  # live non-CLS tokens
+        if self.threshold is not None:
+            keep = active & (scores >= self.threshold)
+        else:
+            n_drop = int(round(self.ratio * image.size))
+            order = image[np.argsort(scores[image], kind="stable")]
+            keep[image] = True
+            keep[order[:n_drop]] = False
+        keep[0] = True  # the gaze head reads the CLS token
+        if keep.sum() < 2 and image.size:
+            # Degenerate pruning (everything but CLS dropped) would starve the
+            # head of image evidence; keep the single best image token.
+            keep[image[int(np.argmax(scores[image]))]] = True
+        return keep
+
+    def keep_mask(
+        self, stats: AttentionStats, active: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Per-sample keep masks (N, T) for a batch.
+
+        Each sample is pruned independently against its own received-attention
+        statistics, restricted to its live tokens; the caller keeps the batch
+        rectangular by masking (and optionally compacting) dead columns.
+        """
+        scores = self.importance(stats)
+        if active is None:
+            active = np.ones(scores.shape, dtype=bool)
+        if active.shape != scores.shape:
+            raise ValueError(
+                f"active mask shape {active.shape} does not match stats {scores.shape}"
+            )
+        return np.stack(
+            [self._keep_row(scores[i], active[i]) for i in range(scores.shape[0])]
+        )
+
+    def keep_indices(self, stats: AttentionStats) -> np.ndarray:
+        """Sorted token indices to keep, for a single sample.
+
+        Batched callers use :meth:`keep_mask`; this remains the per-sample
+        view (also how the accelerator's token selector executes).
         """
         scores = self.importance(stats)
         if scores.shape[0] != 1:
-            raise ValueError("token pruning requires batch size 1")
-        scores = scores[0]
-        t = scores.shape[0]
-        if self.threshold is not None:
-            keep = np.flatnonzero(scores >= self.threshold)
-        else:
-            n_drop = int(round(self.ratio * (t - 1)))
-            order = np.argsort(scores[1:], kind="stable") + 1  # never rank the CLS token
-            dropped = set(order[:n_drop].tolist())
-            keep = np.array([i for i in range(t) if i not in dropped])
-        if 0 not in keep:
-            keep = np.concatenate([[0], keep])
-        keep.sort()
-        if keep.size < 2:
-            # Degenerate pruning (everything but CLS dropped) would starve the
-            # head of image evidence; keep the single best image token.
-            best = int(np.argmax(scores[1:])) + 1
-            keep = np.array(sorted({0, best}))
-        return keep
+            raise ValueError("keep_indices is per-sample; use keep_mask for batches")
+        return np.flatnonzero(
+            self._keep_row(scores[0], np.ones(scores.shape[1], dtype=bool))
+        )

@@ -41,6 +41,52 @@ class TokenTrace:
         return 1.0 - actual / full
 
 
+@dataclass
+class BatchTokenTrace:
+    """Per-sample, per-block live-token counts of one batched forward.
+
+    The padded/masked batch keeps one column layout for every sample, but
+    each sample prunes independently — so the *compute-relevant* token count
+    (what the accelerator or a gather-compacted kernel would execute) differs
+    per sample.  ``tokens_per_block[i, b]`` is sample ``i``'s live tokens in
+    block ``b``.
+    """
+
+    tokens_per_block: np.ndarray  # (N, depth) int
+    initial_tokens: int = 0
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.tokens_per_block.shape[0])
+
+    def sample(self, i: int) -> TokenTrace:
+        """The classic single-sample trace of batch element ``i``."""
+        return TokenTrace(
+            tokens_per_block=[int(t) for t in self.tokens_per_block[i]],
+            initial_tokens=self.initial_tokens,
+        )
+
+    def per_sample(self) -> list[TokenTrace]:
+        return [self.sample(i) for i in range(self.batch_size)]
+
+    @property
+    def pruning_ratios(self) -> np.ndarray:
+        """(N,) per-sample compute-pruning ratios."""
+        if self.tokens_per_block.size == 0 or self.initial_tokens == 0:
+            return np.zeros(self.batch_size)
+        full = self.initial_tokens * self.tokens_per_block.shape[1]
+        return 1.0 - self.tokens_per_block.sum(axis=1) / full
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Batch-mean pruning ratio (drop-in for ``TokenTrace.pruning_ratio``)."""
+        return float(np.mean(self.pruning_ratios)) if self.batch_size else 0.0
+
+    def mean_tokens_per_block(self) -> list[int]:
+        """Rounded batch-mean per-block token counts (workload costing)."""
+        return [int(round(t)) for t in self.tokens_per_block.mean(axis=0)]
+
+
 class PatchEmbed(Module):
     """Split a monochrome image into patches and project them to ``dim``."""
 
@@ -84,8 +130,8 @@ class TransformerBlock(Module):
             Linear(hidden, dim, seed=base + 3),
         )
 
-    def forward(self, x: Tensor) -> Tensor:
-        x = x + self.attn(self.norm1(x))
+    def forward(self, x: Tensor, key_mask: "np.ndarray | None" = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), key_mask=key_mask)
         x = x + self.mlp(self.norm2(x))
         return x
 
@@ -133,8 +179,17 @@ class ViTEncoder(Module):
 
     def forward(
         self, x: Tensor, token_filter: "TokenFilter | None" = None
-    ) -> tuple[Tensor, TokenTrace]:
-        """Encode an image batch; returns (cls embedding, token trace)."""
+    ) -> "tuple[Tensor, TokenTrace | BatchTokenTrace]":
+        """Encode an image batch; returns (cls embedding, token trace).
+
+        Token pruning is per-sample even in a batch: each sample keeps its
+        own token subset (selected from its own received-attention stats)
+        while the batch stays rectangular via a live-token mask.  Columns no
+        sample keeps are compacted away, so a batch of one degenerates to
+        exact single-sample pruning with no masking overhead — bit-identical
+        to running the sample alone.  Returns a :class:`TokenTrace` for a
+        single sample and a :class:`BatchTokenTrace` otherwise.
+        """
         n = x.shape[0]
         tokens = self.patch_embed(x)
         # Broadcast the class token across the batch via a differentiable
@@ -145,13 +200,27 @@ class ViTEncoder(Module):
         tokens = concatenate([cls, tokens], axis=1)
         tokens = tokens + self.pos_embed
 
-        trace = TokenTrace(initial_tokens=tokens.shape[1])
+        initial_tokens = tokens.shape[1]
+        active = np.ones((n, initial_tokens), dtype=bool)
+        counts: list[np.ndarray] = []
         for i, block in enumerate(self.blocks):
-            trace.tokens_per_block.append(tokens.shape[1])
-            tokens = block(tokens)
+            counts.append(active.sum(axis=1))
+            tokens = block(tokens, key_mask=None if active.all() else active)
             at_filter = (i + 1) % self.prune_every == 0 and (i + 1) < self.depth
             if token_filter is not None and at_filter:
-                keep = token_filter.keep_indices(block.attn.last_stats)
-                tokens = tokens[:, keep, :]
+                active = token_filter.keep_mask(block.attn.last_stats, active)
+                live_cols = active.any(axis=0)
+                if not live_cols.all():
+                    tokens = tokens[:, np.flatnonzero(live_cols), :]
+                    active = active[:, live_cols]
         tokens = self.norm(tokens)
-        return tokens[:, 0, :], trace
+        emb = tokens[:, 0, :]
+        per_block = np.stack(counts, axis=1)  # (N, depth)
+        if n == 1:
+            return emb, TokenTrace(
+                tokens_per_block=[int(t) for t in per_block[0]],
+                initial_tokens=initial_tokens,
+            )
+        return emb, BatchTokenTrace(
+            tokens_per_block=per_block, initial_tokens=initial_tokens
+        )

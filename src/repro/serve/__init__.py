@@ -1,0 +1,40 @@
+"""Multi-session gaze-tracking serving runtime.
+
+Simulates a fleet of concurrent HMD clients sharing a pool of batched
+POLOViT inference workers: Algorithm-1 saccade/reuse frames are served
+on-device at microsecond latencies, while predict-path frames flow
+through admission control and a cross-session dynamic batcher.
+"""
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.config import (
+    DEFAULT_REUSE_BYPASS_S,
+    DEFAULT_SACCADE_BYPASS_S,
+    AdmissionPolicy,
+    BatchServiceModel,
+    ServeConfig,
+)
+from repro.serve.request import ClientSession, FrameRequest, build_fleet, fleet_requests
+from repro.serve.runtime import ServeRuntime, serve_fleet
+from repro.serve.telemetry import FleetReport, SessionStats, format_fleet_report
+from repro.serve.workers import WorkerPool, WorkerState
+
+__all__ = [
+    "AdmissionPolicy",
+    "BatchServiceModel",
+    "ClientSession",
+    "DEFAULT_REUSE_BYPASS_S",
+    "DEFAULT_SACCADE_BYPASS_S",
+    "DynamicBatcher",
+    "FleetReport",
+    "FrameRequest",
+    "ServeConfig",
+    "ServeRuntime",
+    "SessionStats",
+    "WorkerPool",
+    "WorkerState",
+    "build_fleet",
+    "fleet_requests",
+    "format_fleet_report",
+    "serve_fleet",
+]

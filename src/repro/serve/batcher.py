@@ -1,0 +1,61 @@
+"""Cross-session dynamic batcher.
+
+Predict-path frames from *different* sessions queue here and are grouped
+into one vectorized POLOViT forward.  The policy is the standard
+size-or-timeout dynamic batching rule:
+
+* dispatch immediately once ``max_batch`` requests are waiting, or
+* dispatch whatever is waiting once the oldest request has waited
+  ``window_s`` (``window_s = 0`` degenerates to work-conserving greedy
+  dispatch — take everything queued the moment a worker frees up).
+
+The batcher is a passive policy object; the event loop owns time and asks
+it what to do.  FIFO order is preserved so per-session frame order holds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serve.request import FrameRequest
+
+
+class DynamicBatcher:
+    """FIFO queue with a size-or-timeout batch-formation policy."""
+
+    def __init__(self, max_batch: int, window_s: float = 0.0):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._queue: deque[FrameRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, request: FrameRequest) -> None:
+        self._queue.append(request)
+
+    def ready(self, now: float) -> bool:
+        """Should a free worker dispatch right now?"""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch:
+            return True
+        return now - self._queue[0].arrival_s >= self.window_s
+
+    def next_deadline_s(self) -> "float | None":
+        """When the pending batch must dispatch even if it stays small
+        (the oldest request's window expiry); None when the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0].arrival_s + self.window_s
+
+    def take(self) -> list[FrameRequest]:
+        """Pop the next batch (up to ``max_batch`` requests, FIFO)."""
+        batch = []
+        while self._queue and len(batch) < self.max_batch:
+            batch.append(self._queue.popleft())
+        return batch

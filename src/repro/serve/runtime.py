@@ -1,0 +1,208 @@
+"""Deterministic discrete-event serving loop.
+
+One :class:`ServeRuntime` multiplexes a fleet of HMD client sessions onto a
+:class:`~repro.serve.workers.WorkerPool`.  The loop is a classic event heap
+with three event kinds, processed in deterministic order (time, then kind,
+then insertion sequence):
+
+* ``COMPLETE`` — a worker finished a batch; record per-frame latencies,
+  free the worker, and greedily re-dispatch.
+* ``WINDOW`` — a batch-formation window expired; dispatch a partial batch
+  if a worker is idle.
+* ``ARRIVAL`` — a frame entered the system.  Saccade/reuse frames bypass
+  the pool entirely (Algorithm 1 serves them on-device); predict frames
+  pass admission control and join the cross-session batcher.
+
+Admission control estimates the wait a new predict frame would see —
+``ceil((pending + 1) / max_batch) * service(max_batch) / n_workers`` —
+and, when it exceeds the queue budget, degrades the frame to gaze reuse
+or sheds it per :class:`~repro.serve.config.AdmissionPolicy`.
+
+Everything is seeded and tie-broken explicitly: two runs of the same
+config produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
+from repro.serve.request import ClientSession, FrameRequest, build_fleet, fleet_requests
+from repro.serve.telemetry import FleetReport, SessionStats
+from repro.serve.workers import WorkerPool
+
+# Event-kind priorities: at equal timestamps, completions free workers
+# before window expiries ask for them, and both precede new arrivals.
+_COMPLETE, _WINDOW, _ARRIVAL = 0, 1, 2
+
+#: Optional hook running real batched inference for each dispatched batch.
+#: Receives the batch's requests; must return an ``(len(batch), 2)`` array
+#: of predicted gaze coordinates, stored on the report keyed by
+#: ``(session_id, frame_index)``.
+InferenceFn = Callable[[list[FrameRequest]], np.ndarray]
+
+
+class ServeRuntime:
+    """One serving simulation: fleet, batcher, pool, and the event heap."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        service: "BatchServiceModel | None" = None,
+        inference: "InferenceFn | None" = None,
+        fleet: "list[ClientSession] | None" = None,
+    ):
+        self.config = config
+        self.service = service if service is not None else BatchServiceModel()
+        self.inference = inference
+        self.fleet = fleet if fleet is not None else build_fleet(config)
+        if len(self.fleet) != config.n_sessions:
+            raise ValueError(
+                f"fleet has {len(self.fleet)} sessions, config says {config.n_sessions}"
+            )
+        self.pool = WorkerPool(config.n_workers, self.service)
+        self.batcher = DynamicBatcher(config.max_batch, config.batch_window_s)
+        self.stats = [SessionStats(s.session_id) for s in self.fleet]
+        self.predictions: "dict[tuple[int, int], np.ndarray] | None" = (
+            {} if inference is not None else None
+        )
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._event_seq = 0
+        self._makespan_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time_s: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._heap, (time_s, kind, self._event_seq, payload))
+        self._event_seq += 1
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record_completion(self, request: FrameRequest, done_s: float) -> None:
+        latency = done_s - request.arrival_s
+        self.stats[request.session_id].record(
+            request.path, latency, self.config.deadline_s
+        )
+        self._makespan_s = max(self._makespan_s, done_s)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def estimated_wait_s(self) -> float:
+        """Wait a newly admitted predict frame would see: full batches of
+        queued + in-flight + this frame, spread across the pool."""
+        pending = len(self.batcher) + self.pool.in_flight_frames() + 1
+        batches = math.ceil(pending / self.config.max_batch)
+        return (
+            batches
+            * self.service.service_s(self.config.max_batch)
+            / self.config.n_workers
+        )
+
+    def _admit(self, request: FrameRequest, now: float) -> bool:
+        if self.config.admission is AdmissionPolicy.ALWAYS:
+            return True
+        if self.estimated_wait_s() <= self.config.queue_budget_s:
+            return True
+        stats = self.stats[request.session_id]
+        if self.config.admission is AdmissionPolicy.DEGRADE:
+            done = now + self.config.reuse_bypass_s
+            stats.record_degraded(self.config.reuse_bypass_s, self.config.deadline_s)
+            self._makespan_s = max(self._makespan_s, done)
+        else:  # SHED
+            stats.record_shed(request.path)
+        return False
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _try_dispatch(self, now: float) -> None:
+        while self.batcher.ready(now):
+            worker = self.pool.idle_worker(now)
+            if worker is None:
+                return  # next COMPLETE event will retry
+            batch = self.batcher.take()
+            done_s = self.pool.dispatch(worker, len(batch), now)
+            if self.inference is not None:
+                outputs = np.asarray(self.inference(batch))
+                if outputs.shape != (len(batch), 2):
+                    raise ValueError(
+                        f"inference hook returned shape {outputs.shape}, "
+                        f"expected ({len(batch)}, 2)"
+                    )
+                assert self.predictions is not None
+                for request, gaze in zip(batch, outputs):
+                    self.predictions[(request.session_id, request.frame_index)] = gaze
+            self._push(done_s, _COMPLETE, (worker, batch))
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request: FrameRequest, now: float) -> None:
+        if request.path == "saccade":
+            self._record_completion(request, now + self.config.saccade_bypass_s)
+            return
+        if request.path == "reuse":
+            self._record_completion(request, now + self.config.reuse_bypass_s)
+            return
+        if not self._admit(request, now):
+            return
+        self.batcher.enqueue(request)
+        self._try_dispatch(now)
+        if len(self.batcher) > 0 and self.batcher.window_s > 0:
+            deadline = self.batcher.next_deadline_s()
+            if deadline is not None:
+                self._push(deadline, _WINDOW, None)
+
+    def _on_complete(
+        self, worker_batch: "tuple[object, list[FrameRequest]]", now: float
+    ) -> None:
+        worker, batch = worker_batch
+        self.pool.complete(worker)  # type: ignore[arg-type]
+        for request in batch:
+            self._record_completion(request, now)
+        self._try_dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> FleetReport:
+        for request in fleet_requests(self.fleet, self.config.deadline_s):
+            self._push(request.arrival_s, _ARRIVAL, request)
+        while self._heap:
+            now, kind, _, payload = heapq.heappop(self._heap)
+            if kind == _ARRIVAL:
+                self._on_arrival(payload, now)  # type: ignore[arg-type]
+            elif kind == _COMPLETE:
+                self._on_complete(payload, now)  # type: ignore[arg-type]
+            else:  # _WINDOW
+                self._try_dispatch(now)
+        duration = max(self.config.duration_s, self._makespan_s)
+        return FleetReport(
+            sessions=self.stats,
+            duration_s=duration,
+            deadline_s=self.config.deadline_s,
+            batch_occupancy=dict(self.pool.batch_occupancy),
+            worker_utilization=self.pool.utilization(duration),
+            mean_batch_size=self.pool.mean_batch_size(),
+            n_workers=self.config.n_workers,
+            max_batch=self.config.max_batch,
+            predictions=self.predictions,
+        )
+
+
+def serve_fleet(
+    config: ServeConfig,
+    service: "BatchServiceModel | None" = None,
+    inference: "InferenceFn | None" = None,
+    fleet: "list[ClientSession] | None" = None,
+) -> FleetReport:
+    """Run one serving simulation and return its :class:`FleetReport`."""
+    return ServeRuntime(config, service=service, inference=inference, fleet=fleet).run()

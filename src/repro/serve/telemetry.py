@@ -1,0 +1,188 @@
+"""Per-session and fleet-level telemetry of a serving run.
+
+Reuses the system layer's metric conventions: latencies in seconds with
+millisecond formatting (``repro.system.metrics``), percentile summaries,
+and the aligned-text table renderer for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.system.metrics import fmt_ms, table_to_text
+
+
+@dataclass
+class SessionStats:
+    """Accumulators for one client session."""
+
+    session_id: int
+    latencies_s: list[float] = field(default_factory=list)
+    misses: int = 0
+    shed: int = 0
+    degraded: int = 0
+    counts: dict[str, int] = field(
+        default_factory=lambda: {"saccade": 0, "reuse": 0, "predict": 0}
+    )
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def total_frames(self) -> int:
+        return self.completed + self.shed
+
+    def record(self, path: str, latency_s: float, deadline_s: float) -> None:
+        self.counts[path] += 1
+        self.latencies_s.append(latency_s)
+        if latency_s > deadline_s:
+            self.misses += 1
+
+    def record_degraded(self, latency_s: float, deadline_s: float) -> None:
+        self.degraded += 1
+        self.record("reuse", latency_s, deadline_s)
+
+    def record_shed(self, path: str) -> None:
+        self.counts[path] += 1
+        self.shed += 1
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            raise ValueError(f"session {self.session_id} has no completed frames")
+        return float(np.percentile(np.asarray(self.latencies_s), q)) * 1e3
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.completed if self.completed else 0.0
+
+
+@dataclass
+class FleetReport:
+    """Aggregate results of one serving simulation."""
+
+    sessions: list[SessionStats]
+    duration_s: float
+    deadline_s: float
+    batch_occupancy: dict[int, int]
+    worker_utilization: float
+    mean_batch_size: float
+    n_workers: int
+    max_batch: int
+    predictions: "dict[tuple[int, int], np.ndarray] | None" = None
+
+    # ------------------------------------------------------------------
+    # Fleet aggregates
+    # ------------------------------------------------------------------
+    @property
+    def all_latencies_s(self) -> np.ndarray:
+        merged = [lat for s in self.sessions for lat in s.latencies_s]
+        return np.asarray(merged, dtype=np.float64)
+
+    @property
+    def completed_frames(self) -> int:
+        return sum(s.completed for s in self.sessions)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(s.total_frames for s in self.sessions)
+
+    @property
+    def served_predict_frames(self) -> int:
+        """Fresh predictions actually served (degraded frames count as
+        reuse, shed predict frames are lost)."""
+        return sum(s.counts["predict"] for s in self.sessions) - sum(
+            s.shed for s in self.sessions
+        )
+
+    @property
+    def throughput_fps(self) -> float:
+        """Completed frames (all paths) per simulated second."""
+        return self.completed_frames / self.duration_s
+
+    @property
+    def predict_goodput_fps(self) -> float:
+        """Fresh predictions served per simulated second — the number
+        cross-session batching exists to raise."""
+        return self.served_predict_frames / self.duration_s
+
+    def latency_percentile_ms(self, q: float) -> float:
+        latencies = self.all_latencies_s
+        if latencies.size == 0:
+            raise ValueError("no completed frames in the fleet")
+        return float(np.percentile(latencies, q)) * 1e3
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        completed = self.completed_frames
+        return sum(s.misses for s in self.sessions) / completed if completed else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.total_frames
+        return sum(s.shed for s in self.sessions) / total if total else 0.0
+
+    @property
+    def degrade_rate(self) -> float:
+        total = self.total_frames
+        return sum(s.degraded for s in self.sessions) / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "sessions": float(len(self.sessions)),
+            "throughput_fps": self.throughput_fps,
+            "predict_goodput_fps": self.predict_goodput_fps,
+            "p50_ms": self.latency_percentile_ms(50),
+            "p95_ms": self.latency_percentile_ms(95),
+            "p99_ms": self.latency_percentile_ms(99),
+            "miss_rate": self.deadline_miss_rate,
+            "shed_rate": self.shed_rate,
+            "degrade_rate": self.degrade_rate,
+            "worker_utilization": self.worker_utilization,
+            "mean_batch": self.mean_batch_size,
+        }
+
+
+def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
+    """Human-readable serving report: fleet aggregates, batch occupancy,
+    and the first ``max_session_rows`` per-session rows."""
+    s = report.summary()
+    lines = [
+        f"Fleet: {len(report.sessions)} sessions, {report.n_workers} workers, "
+        f"max batch {report.max_batch}, {report.duration_s:.1f}s window, "
+        f"deadline {fmt_ms(report.deadline_s)}",
+        f"Throughput {s['throughput_fps']:.0f} frames/s "
+        f"(fresh predictions {s['predict_goodput_fps']:.0f}/s) | "
+        f"latency p50/p95/p99 {s['p50_ms']:.2f}/{s['p95_ms']:.2f}/{s['p99_ms']:.2f} ms",
+        f"Deadline misses {s['miss_rate']:.2%}, shed {s['shed_rate']:.2%}, "
+        f"degraded {s['degrade_rate']:.2%} | worker utilization "
+        f"{s['worker_utilization']:.0%}, mean batch {s['mean_batch']:.2f}",
+    ]
+    if report.batch_occupancy:
+        occupancy = ", ".join(
+            f"{b}:{c}" for b, c in sorted(report.batch_occupancy.items())
+        )
+        lines.append(f"Batch occupancy (size:count): {occupancy}")
+
+    headers = ["Session", "Frames", "p50(ms)", "p99(ms)", "Miss", "Shed", "Degr", "Pred%"]
+    rows = []
+    for stats in report.sessions[:max_session_rows]:
+        total = max(stats.total_frames, 1)
+        rows.append(
+            [
+                stats.session_id,
+                stats.total_frames,
+                f"{stats.percentile_ms(50):.2f}",
+                f"{stats.percentile_ms(99):.2f}",
+                f"{stats.miss_rate:.1%}",
+                stats.shed,
+                stats.degraded,
+                f"{stats.counts['predict'] / total:.0%}",
+            ]
+        )
+    table = table_to_text(headers, rows, min_width=7)
+    if len(report.sessions) > max_session_rows:
+        table += f"\n... and {len(report.sessions) - max_session_rows} more sessions"
+    return "\n".join(lines) + "\n\n" + table

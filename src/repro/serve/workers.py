@@ -1,0 +1,86 @@
+"""Simulated inference worker pool.
+
+Each worker serves one batch at a time under the affine service-time model
+``t(b) = fixed + per_sample * b``.  The pool tracks busy time and the
+realized batch-occupancy histogram — the two numbers that tell you whether
+cross-session batching is actually amortizing the per-dispatch overhead or
+the fleet is just queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.config import BatchServiceModel
+
+
+@dataclass
+class WorkerState:
+    """One worker's bookkeeping."""
+
+    worker_id: int
+    busy_until_s: float = 0.0
+    busy_s: float = 0.0
+    batches_served: int = 0
+    frames_served: int = 0
+
+    def idle_at(self, now: float) -> bool:
+        return self.busy_until_s <= now
+
+
+class WorkerPool:
+    """Fixed pool of identical batched-inference workers."""
+
+    def __init__(self, n_workers: int, service: BatchServiceModel):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self.service = service
+        self.workers = [WorkerState(i) for i in range(n_workers)]
+        self.batch_occupancy: dict[int, int] = {}
+        self._in_flight: dict[int, int] = {}  # worker_id -> batch size
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def idle_worker(self, now: float) -> "WorkerState | None":
+        """Lowest-id idle worker (deterministic tie-break)."""
+        for worker in self.workers:
+            if worker.idle_at(now):
+                return worker
+        return None
+
+    def in_flight_frames(self) -> int:
+        """Frames currently being served (for admission estimates)."""
+        return sum(self._in_flight.values())
+
+    def dispatch(self, worker: WorkerState, batch_size: int, now: float) -> float:
+        """Start a batch on ``worker``; returns its completion time."""
+        if not worker.idle_at(now):
+            raise RuntimeError(
+                f"worker {worker.worker_id} is busy until {worker.busy_until_s}"
+            )
+        service = self.service.service_s(batch_size)
+        worker.busy_until_s = now + service
+        worker.busy_s += service
+        worker.batches_served += 1
+        worker.frames_served += batch_size
+        self.batch_occupancy[batch_size] = self.batch_occupancy.get(batch_size, 0) + 1
+        self._in_flight[worker.worker_id] = batch_size
+        return worker.busy_until_s
+
+    def complete(self, worker: WorkerState) -> None:
+        self._in_flight.pop(worker.worker_id, None)
+
+    def utilization(self, duration_s: float) -> float:
+        """Mean fraction of the window each worker spent serving."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        return sum(min(w.busy_s, duration_s) for w in self.workers) / (
+            self.n_workers * duration_s
+        )
+
+    def mean_batch_size(self) -> float:
+        total = sum(b * c for b, c in self.batch_occupancy.items())
+        count = sum(self.batch_occupancy.values())
+        return total / count if count else 0.0

@@ -16,7 +16,12 @@ from repro.system.metrics import (
     speedup,
     table_to_text,
 )
-from repro.system.session import SessionConfig, SessionReport, simulate_session
+from repro.system.session import (
+    SessionConfig,
+    SessionReport,
+    decide_paths,
+    simulate_session,
+)
 from repro.system.tfr import FrameLatency, Schedule, TfrSystem, TrackerSystemProfile
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "table_to_text",
     "SessionConfig",
     "SessionReport",
+    "decide_paths",
     "simulate_session",
     "FrameLatency",
     "Schedule",

@@ -41,13 +41,28 @@ class SessionConfig:
 
 @dataclass
 class SessionReport:
-    """Timeline and aggregates of one simulated session."""
+    """Timeline and aggregates of one simulated session.
+
+    A report always covers at least one frame: the latency aggregates
+    (mean, percentiles, miss rate) are undefined on an empty timeline, so
+    construction rejects it instead of letting numpy emit nan + warnings.
+    """
 
     frame_latency_s: np.ndarray
     decisions: list[str]
     event_mix: EventMix
     deadline_s: float
     fps: float
+
+    def __post_init__(self) -> None:
+        self.frame_latency_s = np.asarray(self.frame_latency_s, dtype=np.float64)
+        if self.frame_latency_s.size == 0:
+            raise ValueError("SessionReport requires a non-empty latency timeline")
+        if len(self.decisions) != self.frame_latency_s.size:
+            raise ValueError(
+                f"decisions length {len(self.decisions)} does not match "
+                f"{self.frame_latency_s.size} latency samples"
+            )
 
     @property
     def mean_latency_s(self) -> float:
@@ -72,36 +87,30 @@ class SessionReport:
         }
 
 
-def simulate_session(
-    profile: TrackerSystemProfile,
+def decide_paths(
     track: GazeTrack,
-    scene: SceneProfile,
-    resolution: Resolution,
-    system: "TfrSystem | None" = None,
-    schedule: Schedule = Schedule.SEQUENTIAL,
     config: "SessionConfig | None" = None,
-) -> SessionReport:
-    """Replay ``track`` through the decision logic and timing model.
+    supports_event_gating: bool = True,
+) -> list[str]:
+    """Per-frame Algorithm-1 path decisions for an oculomotor trace.
 
-    The Algorithm-1 decision per frame is derived from the trace's
-    kinematics (the behavioural ground truth the trained detector
-    approximates): saccadic frames — plus the post-saccadic window when
-    enabled — take the saccade path; quiet frames below the reuse speed
-    take the reuse path; everything else pays for a fresh prediction.
-    Methods without event gating always pay the predict path.
+    The decision is derived from the trace's kinematics (the behavioural
+    ground truth the trained detector approximates): saccadic frames — plus
+    the post-saccadic window when enabled — take the saccade path; quiet
+    frames whose gaze stays near the last fresh prediction take the reuse
+    path; everything else pays for a fresh prediction.  Methods without
+    event gating always pay the predict path.  This is shared by the
+    single-session replay here and the multi-session serving runtime
+    (``repro.serve``), which routes only predict frames to its worker pool.
     """
-    system = system or TfrSystem()
     config = config or SessionConfig()
     n = len(track)
     if n == 0:
         raise ValueError("empty gaze track")
-
-    latencies = np.zeros(n)
     decisions: list[str] = []
-    counts = {"saccade": 0, "reuse": 0, "predict": 0}
     anchor: "np.ndarray | None" = None  # gaze at the last fresh prediction
     for i in range(n):
-        if not profile.supports_event_gating:
+        if not supports_event_gating:
             path = "predict"
         elif track.labels[i] == MovementType.SACCADE or (
             config.post_saccade_low_res and track.post_saccade[i]
@@ -117,8 +126,37 @@ def simulate_session(
             path = "predict"
         if path == "predict":
             anchor = track.gaze_deg[i]
-        counts[path] += 1
         decisions.append(path)
+    return decisions
+
+
+def simulate_session(
+    profile: TrackerSystemProfile,
+    track: GazeTrack,
+    scene: SceneProfile,
+    resolution: Resolution,
+    system: "TfrSystem | None" = None,
+    schedule: Schedule = Schedule.SEQUENTIAL,
+    config: "SessionConfig | None" = None,
+) -> SessionReport:
+    """Replay ``track`` through the decision logic and timing model.
+
+    Paths come from :func:`decide_paths`; each frame is then costed by the
+    system timing model on its path.
+    """
+    system = system or TfrSystem()
+    config = config or SessionConfig()
+    n = len(track)
+    if n == 0:
+        raise ValueError("empty gaze track")
+
+    decisions = decide_paths(
+        track, config, supports_event_gating=profile.supports_event_gating
+    )
+    latencies = np.zeros(n)
+    counts = {"saccade": 0, "reuse": 0, "predict": 0}
+    for i, path in enumerate(decisions):
+        counts[path] += 1
         latencies[i] = system.frame_latency(
             profile, scene, resolution, path, schedule
         ).total_s

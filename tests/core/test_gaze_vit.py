@@ -80,6 +80,57 @@ class TestPruning:
         assert np.abs(pruned - full).max() < 5.0
 
 
+class TestBatchedEquivalence:
+    """Cross-session batching must not change any single frame's gaze."""
+
+    def test_pruned_batch_matches_per_sample(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=6)
+        model.calibrate_pruning(crops, target_ratio=0.25, tolerance=0.05)
+        batched = model.predict(crops, prune=True)
+        solo = np.concatenate(
+            [model.predict(crop[None], prune=True) for crop in crops]
+        )
+        np.testing.assert_allclose(batched, solo, atol=1e-6)
+
+    def test_unpruned_batch_matches_per_sample(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=6)
+        batched = model.predict(crops, prune=False)
+        solo = np.concatenate(
+            [model.predict(crop[None], prune=False) for crop in crops]
+        )
+        np.testing.assert_allclose(batched, solo, atol=1e-6)
+
+    def test_batch_trace_reports_per_sample_pruning(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=6)
+        model.calibrate_pruning(crops, target_ratio=0.25, tolerance=0.05)
+        model.predict(crops, prune=True)
+        trace = model.last_trace
+        assert trace.batch_size == len(crops)
+        solo_counts = []
+        for crop in crops:
+            _, t = model.predict_single(crop, prune=True)
+            solo_counts.append(t.tokens_per_block)
+        for i, counts in enumerate(solo_counts):
+            assert trace.sample(i).tokens_per_block == counts
+
+    def test_chunking_preserves_results(self, crops):
+        model = PoloViT(GazeViTConfig.compact(), seed=6)
+        model.set_prune_threshold(0.05)
+        whole = model.predict(crops, prune=True)
+        chunked = model.predict(crops, prune=True, chunk=2)
+        np.testing.assert_allclose(whole, chunked, atol=1e-9)
+
+    def test_batch_trace_costs_workload(self, crops):
+        from repro.hw.ops import total_macs
+
+        model = PoloViT(GazeViTConfig.compact(), seed=6)
+        model.set_prune_threshold(0.05)
+        model.predict(crops, prune=True)
+        pruned = model.workload(model.last_trace)
+        full = model.workload(None)
+        assert total_macs(pruned) < total_macs(full)
+
+
 class TestInt8:
     def test_enable_int8_quantizes_weights(self, crops):
         model = PoloViT(GazeViTConfig.compact(), seed=3)

@@ -39,6 +39,42 @@ class TestMultiHeadSelfAttention:
         (attn(x) ** 2).sum().backward()
         assert x.grad is not None and np.abs(x.grad).sum() > 0
 
+    def test_masked_tokens_receive_zero_attention(self):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, seed=0)
+        x = np.random.default_rng(3).normal(size=(2, 5, 8))
+        mask = np.ones((2, 5), dtype=bool)
+        mask[0, 3] = mask[1, 1] = mask[1, 4] = False
+        attn(Tensor(x), key_mask=mask)
+        stats = attn.last_stats
+        assert stats.column_sum[0, 3] == 0.0 and stats.column_max[0, 3] == 0.0
+        assert stats.column_sum[1, 1] == 0.0 and stats.column_sum[1, 4] == 0.0
+
+    def test_masked_batch_matches_compacted_single(self):
+        """Masking a sample's dead tokens == running its live tokens alone."""
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, seed=0)
+        x = np.random.default_rng(4).normal(size=(1, 6, 8))
+        live = np.array([0, 2, 3, 5])
+        mask = np.zeros((1, 6), dtype=bool)
+        mask[0, live] = True
+        masked_out = attn(Tensor(x), key_mask=mask).data[0, live]
+        compact_out = attn(Tensor(x[:, live])).data[0]
+        np.testing.assert_allclose(masked_out, compact_out, atol=1e-12)
+
+    def test_all_true_mask_is_exact_no_op(self):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, seed=0)
+        x = np.random.default_rng(5).normal(size=(2, 4, 8))
+        plain = attn(Tensor(x)).data
+        masked = attn(Tensor(x), key_mask=np.ones((2, 4), dtype=bool)).data
+        np.testing.assert_array_equal(plain, masked)
+
+    def test_mask_validation(self):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, seed=0)
+        x = Tensor(np.zeros((2, 4, 8)))
+        with pytest.raises(ValueError):
+            attn(x, key_mask=np.ones((2, 5), dtype=bool))
+        with pytest.raises(ValueError):
+            attn(x, key_mask=np.zeros((2, 4), dtype=bool))
+
 
 class TestTokenFilter:
     def test_requires_exactly_one_policy(self):
@@ -80,12 +116,42 @@ class TestTokenFilter:
         keep = TokenFilter(threshold=5.0).keep_indices(make_stats(scores))
         np.testing.assert_array_equal(keep, [0, 2])
 
-    def test_batch_size_one_enforced(self):
+    def test_keep_indices_is_per_sample(self):
         stats = AttentionStats(
             column_sum=np.ones((2, 4)), column_max=np.ones((2, 4))
         )
         with pytest.raises(ValueError):
             TokenFilter(ratio=0.2).keep_indices(stats)
+
+    def test_keep_mask_batches_independently(self):
+        scores = np.array([[0.9, 0.05, 0.5, 0.02, 0.8], [0.9, 0.7, 0.5, 0.6, 0.01]])
+        stats = AttentionStats(column_sum=scores, column_max=scores)
+        mask = TokenFilter(threshold=0.4).keep_mask(stats)
+        np.testing.assert_array_equal(
+            mask, [[True, False, True, False, True], [True, True, True, True, False]]
+        )
+
+    def test_keep_mask_matches_keep_indices(self):
+        scores = np.array([0.5, 0.9, 0.1, 0.8, 0.2])
+        stats = AttentionStats(column_sum=scores[None], column_max=scores[None])
+        for filt in (TokenFilter(ratio=0.5), TokenFilter(threshold=0.4)):
+            mask = filt.keep_mask(stats)
+            np.testing.assert_array_equal(np.flatnonzero(mask[0]), filt.keep_indices(stats))
+
+    def test_keep_mask_never_revives_dead_tokens(self):
+        scores = np.array([[0.5, 0.9, 0.9, 0.9, 0.9]])
+        stats = AttentionStats(column_sum=scores, column_max=scores)
+        active = np.array([[True, True, False, True, False]])
+        mask = TokenFilter(threshold=0.1).keep_mask(stats, active)
+        np.testing.assert_array_equal(mask, [[True, True, False, True, False]])
+
+    def test_keep_mask_degenerate_keeps_best_live_token(self):
+        scores = np.array([[0.01, 0.2, 0.9, 0.3]])
+        stats = AttentionStats(column_sum=scores, column_max=scores)
+        active = np.array([[True, True, False, True]])
+        mask = TokenFilter(threshold=5.0).keep_mask(stats, active)
+        # Token 2 has the best score but is dead; token 3 is the best live one.
+        np.testing.assert_array_equal(mask, [[True, False, False, True]])
 
     def test_sum_criterion(self):
         stats = AttentionStats(

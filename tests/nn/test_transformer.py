@@ -7,7 +7,12 @@ import pytest
 
 from repro.nn import Adam, Linear, Tensor, TokenFilter, ViTEncoder, no_grad
 from repro.nn import functional as F
-from repro.nn.transformer import PatchEmbed, TokenTrace, TransformerBlock
+from repro.nn.transformer import (
+    BatchTokenTrace,
+    PatchEmbed,
+    TokenTrace,
+    TransformerBlock,
+)
 
 
 class TestPatchEmbed:
@@ -46,6 +51,25 @@ class TestTokenTrace:
         assert TokenTrace().pruning_ratio == 0.0
 
 
+class TestBatchTokenTrace:
+    def test_per_sample_ratios_and_views(self):
+        counts = np.array([[10, 10, 5, 5], [10, 10, 10, 10]])
+        trace = BatchTokenTrace(tokens_per_block=counts, initial_tokens=10)
+        assert trace.batch_size == 2
+        np.testing.assert_allclose(trace.pruning_ratios, [0.25, 0.0])
+        assert trace.pruning_ratio == pytest.approx(0.125)
+        sample = trace.sample(0)
+        assert isinstance(sample, TokenTrace)
+        assert sample.tokens_per_block == [10, 10, 5, 5]
+        assert sample.pruning_ratio == pytest.approx(0.25)
+        assert len(trace.per_sample()) == 2
+
+    def test_mean_tokens_per_block(self):
+        counts = np.array([[10, 4], [10, 8]])
+        trace = BatchTokenTrace(tokens_per_block=counts, initial_tokens=10)
+        assert trace.mean_tokens_per_block() == [10, 6]
+
+
 class TestViTEncoder:
     def make(self, depth=4):
         return ViTEncoder(
@@ -56,7 +80,43 @@ class TestViTEncoder:
         vit = self.make()
         emb, trace = vit(Tensor(np.random.default_rng(0).normal(size=(2, 16, 16))))
         assert emb.shape == (2, 16)
+        assert isinstance(trace, BatchTokenTrace)
+        np.testing.assert_array_equal(
+            trace.tokens_per_block, [[17, 17, 17, 17]] * 2
+        )
+
+    def test_single_sample_returns_classic_trace(self):
+        vit = self.make()
+        _, trace = vit(Tensor(np.random.default_rng(0).normal(size=(1, 16, 16))))
+        assert isinstance(trace, TokenTrace)
         assert trace.tokens_per_block == [17, 17, 17, 17]
+
+    def test_batched_pruning_matches_per_sample(self):
+        """Each sample in a pruned batch gets its solo-run result (and trace)."""
+        vit = self.make()
+        images = np.random.default_rng(5).normal(size=(4, 16, 16))
+        token_filter = TokenFilter(ratio=0.4)
+        with no_grad():
+            batch_emb, batch_trace = vit(Tensor(images), token_filter=token_filter)
+            solo = []
+            for i in range(len(images)):
+                emb_i, trace_i = vit(Tensor(images[i : i + 1]), token_filter=token_filter)
+                solo.append(emb_i.data[0])
+                assert batch_trace.sample(i).tokens_per_block == trace_i.tokens_per_block
+        np.testing.assert_allclose(batch_emb.data, np.stack(solo), atol=1e-9)
+
+    def test_batched_threshold_pruning_is_per_sample(self):
+        """A threshold filter prunes samples by their own statistics, so
+        per-sample token counts in one batch may legitimately differ."""
+        vit = self.make()
+        images = np.random.default_rng(9).normal(size=(6, 16, 16)) * np.linspace(
+            0.2, 3.0, 6
+        ).reshape(-1, 1, 1)
+        with no_grad():
+            _, trace = vit(Tensor(images), token_filter=TokenFilter(threshold=0.35))
+        assert isinstance(trace, BatchTokenTrace)
+        assert (trace.tokens_per_block[:, 0] == 17).all()
+        assert (trace.tokens_per_block >= 2).all()
 
     def test_pruning_reduces_tokens_monotonically(self):
         vit = self.make()

@@ -1,0 +1,58 @@
+"""DynamicBatcher size-or-timeout policy."""
+
+import pytest
+
+from repro.serve import DynamicBatcher, FrameRequest
+
+
+def request(seq, arrival_s=0.0, session_id=0):
+    return FrameRequest(
+        session_id=session_id,
+        frame_index=seq,
+        arrival_s=arrival_s,
+        deadline_s=arrival_s + 0.01,
+        path="predict",
+        seq=seq,
+    )
+
+
+class TestDynamicBatcher:
+    def test_empty_queue_never_ready(self):
+        batcher = DynamicBatcher(max_batch=4, window_s=1e-3)
+        assert not batcher.ready(now=100.0)
+        assert batcher.next_deadline_s() is None
+        assert batcher.take() == []
+
+    def test_full_batch_dispatches_immediately(self):
+        batcher = DynamicBatcher(max_batch=2, window_s=1.0)
+        batcher.enqueue(request(0, arrival_s=0.0))
+        assert not batcher.ready(now=0.0)
+        batcher.enqueue(request(1, arrival_s=0.0))
+        assert batcher.ready(now=0.0)
+
+    def test_window_expiry_dispatches_partial(self):
+        batcher = DynamicBatcher(max_batch=8, window_s=2e-3)
+        batcher.enqueue(request(0, arrival_s=1.0))
+        assert not batcher.ready(now=1.0)
+        assert batcher.next_deadline_s() == pytest.approx(1.002)
+        assert batcher.ready(now=1.002)
+
+    def test_zero_window_is_greedy(self):
+        batcher = DynamicBatcher(max_batch=8, window_s=0.0)
+        batcher.enqueue(request(0, arrival_s=5.0))
+        assert batcher.ready(now=5.0)
+
+    def test_take_is_fifo_and_capped(self):
+        batcher = DynamicBatcher(max_batch=2, window_s=0.0)
+        for i in range(3):
+            batcher.enqueue(request(i))
+        batch = batcher.take()
+        assert [r.seq for r in batch] == [0, 1]
+        assert len(batcher) == 1
+        assert [r.seq for r in batcher.take()] == [2]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            DynamicBatcher(max_batch=0)
+        with pytest.raises(ValueError, match="window_s"):
+            DynamicBatcher(max_batch=1, window_s=-1.0)

@@ -1,0 +1,59 @@
+"""End-to-end: serving loop driving real batched POLOViT inference.
+
+Tiny scale — a couple of sessions, a fraction of a second — but the full
+path: Algorithm-1 skew decides which frames reach the pool, the batcher
+groups them across sessions, and the inference hook runs one vectorized
+``PoloViT.predict`` per dispatch.  Batched predictions must match running
+the model per-sample on the same frames.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GazeViTConfig, PoloViT
+from repro.serve import ServeConfig, serve_fleet
+
+
+@pytest.fixture(scope="module")
+def vit():
+    return PoloViT(GazeViTConfig.compact(), seed=0)
+
+
+def frame_image(session_id: int, frame_index: int, size: int = 72) -> np.ndarray:
+    rng = np.random.default_rng(session_id * 100003 + frame_index)
+    return rng.uniform(size=(size, size))
+
+
+class TestServeWithRealModel:
+    def test_batched_serving_matches_per_sample_inference(self, vit):
+        config = ServeConfig(n_sessions=3, duration_s=0.15, max_batch=4, seed=6)
+
+        def inference(batch):
+            images = np.stack(
+                [frame_image(r.session_id, r.frame_index) for r in batch]
+            )
+            return vit.predict(images, prune=False)
+
+        report = serve_fleet(config, inference=inference)
+        assert report.predictions, "no predict frames were served"
+        for (sid, frame), gaze in report.predictions.items():
+            solo = vit.predict(frame_image(sid, frame)[None], prune=False)[0]
+            np.testing.assert_allclose(gaze, solo, atol=1e-6)
+
+    def test_pruned_batched_serving_stays_close(self, vit):
+        config = ServeConfig(n_sessions=2, duration_s=0.1, max_batch=4, seed=7)
+        vit.set_prune_threshold(0.04)
+        try:
+            def inference(batch):
+                images = np.stack(
+                    [frame_image(r.session_id, r.frame_index) for r in batch]
+                )
+                return vit.predict(images, prune=True)
+
+            report = serve_fleet(config, inference=inference)
+            assert report.predictions
+            for (sid, frame), gaze in report.predictions.items():
+                solo = vit.predict(frame_image(sid, frame)[None], prune=True)[0]
+                np.testing.assert_allclose(gaze, solo, atol=1e-6)
+        finally:
+            vit.set_prune_threshold(None)

@@ -1,0 +1,61 @@
+"""Fleet construction and global request ordering."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, build_fleet, fleet_requests
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServeConfig(n_sessions=4, duration_s=0.5, fps=100.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fleet(config):
+    return build_fleet(config)
+
+
+class TestBuildFleet:
+    def test_fleet_shape(self, config, fleet):
+        assert len(fleet) == 4
+        for i, session in enumerate(fleet):
+            assert session.session_id == i
+            assert session.n_frames == config.frames_per_session
+            assert len(session.decisions) == session.n_frames
+            assert session.start_s == pytest.approx(i * config.stagger_s)
+
+    def test_sessions_are_independent_traces(self, fleet):
+        assert not np.allclose(fleet[0].track.gaze_deg, fleet[1].track.gaze_deg)
+
+    def test_decisions_use_algorithm1_vocabulary(self, fleet):
+        for session in fleet:
+            assert set(session.decisions) <= {"saccade", "reuse", "predict"}
+
+    def test_deterministic_rebuild(self, config, fleet):
+        again = build_fleet(config)
+        for a, b in zip(fleet, again):
+            np.testing.assert_array_equal(a.track.gaze_deg, b.track.gaze_deg)
+            assert a.decisions == b.decisions
+
+    def test_arrival_clock(self, fleet):
+        session = fleet[2]
+        assert session.arrival_s(0) == pytest.approx(session.start_s)
+        assert session.arrival_s(10) == pytest.approx(session.start_s + 0.1)
+
+
+class TestFleetRequests:
+    def test_global_arrival_order_and_seq(self, config, fleet):
+        requests = fleet_requests(fleet, config.deadline_s)
+        assert len(requests) == 4 * config.frames_per_session
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.seq for r in requests] == list(range(len(requests)))
+
+    def test_absolute_deadlines(self, config, fleet):
+        for r in fleet_requests(fleet, config.deadline_s)[:50]:
+            assert r.deadline_s == pytest.approx(r.arrival_s + config.deadline_s)
+
+    def test_paths_match_session_decisions(self, config, fleet):
+        for r in fleet_requests(fleet, config.deadline_s)[:200]:
+            assert r.path == fleet[r.session_id].decisions[r.frame_index]

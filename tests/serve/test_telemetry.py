@@ -1,0 +1,95 @@
+"""SessionStats / FleetReport accounting and formatting."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, serve_fleet
+from repro.serve.telemetry import FleetReport, SessionStats, format_fleet_report
+
+
+def make_stats(session_id=0):
+    stats = SessionStats(session_id)
+    stats.record("predict", 0.004, deadline_s=0.01)
+    stats.record("reuse", 0.0001, deadline_s=0.01)
+    stats.record("predict", 0.015, deadline_s=0.01)  # miss
+    stats.record_degraded(0.0001, deadline_s=0.01)
+    stats.record_shed("predict")
+    return stats
+
+
+class TestSessionStats:
+    def test_counts_and_rates(self):
+        stats = make_stats()
+        assert stats.completed == 4
+        assert stats.total_frames == 5
+        assert stats.misses == 1
+        assert stats.miss_rate == pytest.approx(0.25)
+        assert stats.degraded == 1
+        assert stats.shed == 1
+        # degraded frames count as reuse, shed keeps its original path
+        assert stats.counts == {"saccade": 0, "reuse": 2, "predict": 3}
+
+    def test_percentiles_need_samples(self):
+        empty = SessionStats(7)
+        with pytest.raises(ValueError, match="session 7"):
+            empty.percentile_ms(50)
+        assert empty.miss_rate == 0.0
+
+    def test_percentile_in_ms(self):
+        stats = SessionStats(0)
+        stats.record("reuse", 0.002, deadline_s=0.01)
+        assert stats.percentile_ms(50) == pytest.approx(2.0)
+
+
+class TestFleetReport:
+    @pytest.fixture()
+    def report(self):
+        return FleetReport(
+            sessions=[make_stats(0), make_stats(1)],
+            duration_s=2.0,
+            deadline_s=0.01,
+            batch_occupancy={1: 2, 4: 1},
+            worker_utilization=0.5,
+            mean_batch_size=2.0,
+            n_workers=2,
+            max_batch=8,
+        )
+
+    def test_aggregates(self, report):
+        assert report.completed_frames == 8
+        assert report.total_frames == 10
+        assert report.throughput_fps == pytest.approx(4.0)
+        # per session: 3 predict counted, 1 shed -> 2 fresh predictions
+        assert report.served_predict_frames == 4
+        assert report.predict_goodput_fps == pytest.approx(2.0)
+        assert report.deadline_miss_rate == pytest.approx(0.25)
+        assert report.shed_rate == pytest.approx(0.2)
+        assert report.degrade_rate == pytest.approx(0.2)
+
+    def test_percentiles_merge_sessions(self, report):
+        assert report.latency_percentile_ms(100) == pytest.approx(15.0)
+        empty = FleetReport(
+            sessions=[], duration_s=1.0, deadline_s=0.01, batch_occupancy={},
+            worker_utilization=0.0, mean_batch_size=0.0, n_workers=1, max_batch=1,
+        )
+        with pytest.raises(ValueError, match="no completed frames"):
+            empty.latency_percentile_ms(50)
+
+    def test_summary_keys(self, report):
+        summary = report.summary()
+        for key in ("throughput_fps", "predict_goodput_fps", "p50_ms",
+                    "p95_ms", "p99_ms", "miss_rate", "shed_rate",
+                    "degrade_rate", "worker_utilization", "mean_batch"):
+            assert key in summary
+            assert np.isfinite(summary[key])
+
+    def test_format_contains_key_lines(self, report):
+        text = format_fleet_report(report)
+        assert "2 sessions" in text
+        assert "Batch occupancy" in text
+        assert "Session" in text and "p99(ms)" in text
+
+    def test_format_truncates_session_rows(self):
+        report = serve_fleet(ServeConfig(n_sessions=10, duration_s=0.2, seed=5))
+        text = format_fleet_report(report, max_session_rows=3)
+        assert "and 7 more sessions" in text

@@ -1,0 +1,53 @@
+"""WorkerPool dispatch bookkeeping."""
+
+import pytest
+
+from repro.serve import BatchServiceModel, WorkerPool
+
+
+def pool(n=2):
+    return WorkerPool(n, BatchServiceModel(fixed_s=2e-3, per_sample_s=1e-3))
+
+
+class TestWorkerPool:
+    def test_dispatch_tracks_busy_and_occupancy(self):
+        p = pool()
+        worker = p.idle_worker(0.0)
+        assert worker.worker_id == 0
+        done = p.dispatch(worker, batch_size=4, now=0.0)
+        assert done == pytest.approx(6e-3)
+        assert not worker.idle_at(3e-3)
+        assert worker.idle_at(6e-3)
+        assert p.batch_occupancy == {4: 1}
+        assert p.in_flight_frames() == 4
+        p.complete(worker)
+        assert p.in_flight_frames() == 0
+
+    def test_idle_worker_lowest_id_first(self):
+        p = pool(3)
+        p.dispatch(p.workers[0], 1, now=0.0)
+        assert p.idle_worker(0.0).worker_id == 1
+
+    def test_no_idle_worker_returns_none(self):
+        p = pool(1)
+        p.dispatch(p.workers[0], 1, now=0.0)
+        assert p.idle_worker(0.0) is None
+
+    def test_dispatch_to_busy_worker_raises(self):
+        p = pool(1)
+        p.dispatch(p.workers[0], 1, now=0.0)
+        with pytest.raises(RuntimeError, match="busy"):
+            p.dispatch(p.workers[0], 1, now=1e-3)
+
+    def test_utilization_and_mean_batch(self):
+        p = pool(2)
+        p.dispatch(p.workers[0], 2, now=0.0)  # 4 ms
+        p.dispatch(p.workers[1], 6, now=0.0)  # 8 ms
+        assert p.utilization(0.012) == pytest.approx((4e-3 + 8e-3) / (2 * 0.012))
+        assert p.mean_batch_size() == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            p.utilization(0.0)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            WorkerPool(0, BatchServiceModel())

@@ -22,10 +22,20 @@ class TestAggregation:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
 
     def test_geometric_mean_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive"):
             geometric_mean([1.0, 0.0])
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive"):
+            geometric_mean([2.0, -3.0])
+        with pytest.raises(ValueError, match="no values"):
             geometric_mean([])
+        with pytest.raises(ValueError, match="no values"):
+            geometric_mean(iter(()))
+
+    def test_geometric_mean_accepts_generators(self):
+        assert geometric_mean(2.0**k for k in range(3)) == pytest.approx(2.0)
+
+    def test_geometric_mean_single_value_identity(self):
+        assert geometric_mean([7.25]) == pytest.approx(7.25)
 
     def test_speedup(self):
         assert speedup(0.1, 0.05) == pytest.approx(2.0)
@@ -64,3 +74,27 @@ class TestTable:
         assert "A" in text and "yyyyyyyyyyyyyy" in text
         lines = text.splitlines()
         assert len(lines) == 4  # header, rule, two rows
+
+    def test_columns_align_under_min_width(self):
+        text = table_to_text(["A", "B"], [["x", "1"]], min_width=4)
+        header, rule, row = text.splitlines()
+        # every line is the same width and columns start at the same offsets
+        assert len(header) == len(rule) == len(row)
+        assert header.index("B") == row.index("1")
+        assert rule == "----  ----"
+
+    def test_wide_cell_stretches_its_column(self):
+        wide = "w" * 15
+        text = table_to_text(["A", "B"], [[wide, "1"], ["x", "2"]], min_width=4)
+        header, rule, row1, row2 = text.splitlines()
+        assert header.index("B") == 15 + 2  # widest cell + 2-space gutter
+        assert row1.index("1") == row2.index("2") == header.index("B")
+        assert rule.split("  ")[0] == "-" * 15
+
+    def test_non_string_cells_are_rendered(self):
+        text = table_to_text(["N", "F"], [[3, 2.5]], min_width=3)
+        assert "3" in text and "2.5" in text
+
+    def test_empty_rows_render_header_and_rule_only(self):
+        text = table_to_text(["A"], [], min_width=3)
+        assert text.splitlines() == ["A  ", "---"]

@@ -7,8 +7,9 @@ import pytest
 
 from repro.eye import OculomotorModel
 from repro.render import RES_1080P, RES_720P, scene_by_name
-from repro.system import Schedule, TrackerSystemProfile
-from repro.system.session import SessionConfig, simulate_session
+from repro.eye.events import EventMix
+from repro.system import Schedule, TrackerSystemProfile, decide_paths
+from repro.system.session import SessionConfig, SessionReport, simulate_session
 
 
 @pytest.fixture(scope="module")
@@ -93,3 +94,49 @@ class TestSimulateSession:
         )
         with pytest.raises(ValueError):
             simulate_session(polo_profile, empty, SCENE, RES_1080P)
+
+
+class TestSessionReport:
+    def _mix(self):
+        return EventMix.from_counts(n_saccade=0, n_reuse=1, n_predict=1)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError, match="non-empty latency timeline"):
+            SessionReport(
+                frame_latency_s=np.zeros(0),
+                decisions=[],
+                event_mix=self._mix(),
+                deadline_s=0.01,
+                fps=100.0,
+            )
+
+    def test_mismatched_decisions_rejected(self):
+        with pytest.raises(ValueError, match="decisions length"):
+            SessionReport(
+                frame_latency_s=np.array([0.001, 0.002]),
+                decisions=["predict"],
+                event_mix=self._mix(),
+                deadline_s=0.01,
+                fps=100.0,
+            )
+
+    def test_timeline_coerced_to_float64(self):
+        report = SessionReport(
+            frame_latency_s=[1, 2],
+            decisions=["reuse", "predict"],
+            event_mix=self._mix(),
+            deadline_s=0.01,
+            fps=100.0,
+        )
+        assert report.frame_latency_s.dtype == np.float64
+        assert report.mean_latency_s == pytest.approx(1.5)
+
+
+class TestDecidePaths:
+    def test_matches_simulated_session(self, track, polo_profile):
+        report = simulate_session(polo_profile, track, SCENE, RES_1080P)
+        assert decide_paths(track) == report.decisions
+
+    def test_no_event_gating_means_all_predict(self, track):
+        decisions = decide_paths(track, supports_event_gating=False)
+        assert set(decisions) == {"predict"}

@@ -28,3 +28,25 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["table99"])
+
+
+class TestServeCli:
+    def test_serve_subcommand(self, capsys):
+        assert main(["serve", "--sessions", "6", "--duration", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet: 6 sessions" in out
+        assert "Throughput" in out
+        assert "Session" in out  # per-session table
+
+    def test_serve_compare_sequential(self, capsys):
+        assert main([
+            "serve", "--sessions", "4", "--duration", "0.2",
+            "--compare-sequential",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sequential baseline" in out
+        assert "Cross-session batching" in out
+
+    def test_serve_rejects_bad_admission(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--admission", "panic"])
