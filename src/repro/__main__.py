@@ -5,7 +5,9 @@ without going through pytest.  Training-dependent experiments accept a
 ``--scale`` flag; everything prints the same rows the paper reports.
 
 ``python -m repro serve [...]`` runs the multi-session serving simulator
-instead (see ``repro.serve.cli`` for its flags).
+instead (see ``repro.serve.cli`` for its flags), and
+``python -m repro chaos [...]`` runs a seeded fault-injection scenario on
+it (see ``repro.faults.cli``).
 """
 
 from __future__ import annotations
@@ -77,6 +79,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(raw[1:])
+    if raw and raw[0] == "chaos":
+        from repro.faults.cli import main as chaos_main
+
+        return chaos_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

@@ -80,6 +80,40 @@ class GazeTrack:
     def __len__(self) -> int:
         return self.gaze_deg.shape[0]
 
+    def copy_with(
+        self,
+        gaze_deg: "np.ndarray | None" = None,
+        labels: "np.ndarray | None" = None,
+        openness: "np.ndarray | None" = None,
+        velocity_deg_s: "np.ndarray | None" = None,
+    ) -> "GazeTrack":
+        """A variant of this track with some arrays replaced (the fault
+        injectors' entry point).  When the gaze changes and no velocity is
+        supplied, velocities are recomputed from the new positions."""
+        new_gaze = self.gaze_deg if gaze_deg is None else np.asarray(gaze_deg)
+        if velocity_deg_s is None:
+            if gaze_deg is None:
+                velocity = self.velocity_deg_s
+            else:
+                velocity = velocities_from_gaze(new_gaze, 1.0 / self.fps)
+        else:
+            velocity = np.asarray(velocity_deg_s)
+        return GazeTrack(
+            gaze_deg=new_gaze,
+            labels=self.labels if labels is None else np.asarray(labels),
+            openness=self.openness if openness is None else np.asarray(openness),
+            velocity_deg_s=velocity,
+            fps=self.fps,
+        )
+
+
+def velocities_from_gaze(gaze: np.ndarray, dt: float) -> np.ndarray:
+    """Per-frame angular speed from a gaze trajectory (first frame 0)."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    deltas = np.linalg.norm(np.diff(gaze, axis=0), axis=1) / dt
+    return np.concatenate([[0.0], deltas])
+
 
 def _minimum_jerk(n: int) -> np.ndarray:
     """Minimum-jerk displacement profile s(tau) in [0, 1] over ``n`` samples."""
@@ -224,5 +258,4 @@ class OculomotorModel(RngMixin):
 
     @staticmethod
     def _velocities(gaze: np.ndarray, dt: float) -> np.ndarray:
-        deltas = np.linalg.norm(np.diff(gaze, axis=0), axis=1) / dt
-        return np.concatenate([[0.0], deltas])
+        return velocities_from_gaze(gaze, dt)

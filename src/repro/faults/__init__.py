@@ -1,0 +1,53 @@
+"""Fault injection and graceful degradation for the serving stack.
+
+Deterministic, seedable chaos engineering for the multi-session runtime:
+input faults on the sensing chain (frame drops, noise bursts, eyelid
+occlusion, MIPI bit errors), serving faults with recovery (worker
+crashes/stalls/latency spikes, retry + backoff, per-worker circuit
+breakers), and a tracking-quality watchdog that trades foveal-region
+size and prediction freshness for robustness before falling back to
+full-resolution rendering.  ``python -m repro chaos`` runs a scenario.
+"""
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.config import (
+    DEFAULT_TRACKER_PROFILE,
+    ChaosConfig,
+    InputFaultConfig,
+    LatencySpike,
+    RecoveryConfig,
+    WorkerCrash,
+    WorkerFaultSchedule,
+    WorkerStall,
+    default_chaos_scenario,
+)
+from repro.faults.injectors import (
+    OCCLUSION_BLIND_OPENNESS,
+    FaultyMipiLink,
+    FaultySensor,
+    InputFaultTrace,
+    inject_input_faults,
+)
+from repro.faults.runtime import ChaosRuntime, build_chaos_fleet, run_chaos
+
+__all__ = [
+    "BreakerState",
+    "ChaosConfig",
+    "ChaosRuntime",
+    "CircuitBreaker",
+    "DEFAULT_TRACKER_PROFILE",
+    "FaultyMipiLink",
+    "FaultySensor",
+    "InputFaultConfig",
+    "InputFaultTrace",
+    "LatencySpike",
+    "OCCLUSION_BLIND_OPENNESS",
+    "RecoveryConfig",
+    "WorkerCrash",
+    "WorkerFaultSchedule",
+    "WorkerStall",
+    "build_chaos_fleet",
+    "default_chaos_scenario",
+    "inject_input_faults",
+    "run_chaos",
+]

@@ -1,0 +1,122 @@
+"""``python -m repro chaos`` — run a reproducible chaos scenario.
+
+Starts from the canonical acceptance scenario (10% sensor frame drops,
+noise-burst/occlusion mix, one worker crash, one latency-spike window)
+and lets flags scale or disable each fault class.  The printed report is
+byte-identical across runs of the same flags — ``--compare-fault-free``
+additionally replays the identical fleet with every fault disabled and
+prints the degradation budget actually consumed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro.faults.config import (
+    ChaosConfig,
+    InputFaultConfig,
+    WorkerFaultSchedule,
+    default_chaos_scenario,
+)
+from repro.faults.runtime import run_chaos
+from repro.serve.telemetry import format_fleet_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    base = default_chaos_scenario()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run a seeded fault-injection scenario on the serving fleet.",
+    )
+    parser.add_argument("--sessions", type=int, default=base.serve.n_sessions)
+    parser.add_argument("--duration", type=float, default=base.serve.duration_s,
+                        help="simulated window in seconds")
+    parser.add_argument("--workers", type=int, default=base.serve.n_workers)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seeds both the fleet and the fault streams")
+    parser.add_argument("--drop-rate", type=float,
+                        default=base.input_faults.frame_drop_rate,
+                        help="i.i.d. sensor frame-drop probability")
+    parser.add_argument("--noise-burst-rate", type=float,
+                        default=base.input_faults.noise_burst_rate_hz,
+                        help="tracking noise bursts per second per session")
+    parser.add_argument("--occlusion-rate", type=float,
+                        default=base.input_faults.occlusion_rate_hz,
+                        help="eyelid occlusion episodes per second per session")
+    parser.add_argument("--bit-error-rate", type=float,
+                        default=base.input_faults.bit_error_rate,
+                        help="MIPI per-bit transient error probability")
+    parser.add_argument("--no-worker-faults", action="store_true",
+                        help="disable the crash/stall/spike schedule")
+    parser.add_argument("--fault-free", action="store_true",
+                        help="disable every fault (baseline run)")
+    parser.add_argument("--compare-fault-free", action="store_true",
+                        help="also run the zero-fault baseline and print the "
+                        "degradation budget consumed")
+    parser.add_argument("--max-session-rows", type=int, default=8)
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ChaosConfig:
+    base = default_chaos_scenario(seed=args.seed)
+    serve = replace(
+        base.serve,
+        n_sessions=args.sessions,
+        duration_s=args.duration,
+        n_workers=args.workers,
+    )
+    input_faults = replace(
+        base.input_faults,
+        frame_drop_rate=args.drop_rate,
+        noise_burst_rate_hz=args.noise_burst_rate,
+        occlusion_rate_hz=args.occlusion_rate,
+        bit_error_rate=args.bit_error_rate,
+    )
+    worker_faults = base.worker_faults
+    if args.no_worker_faults or any(
+        c.worker_id >= args.workers for c in worker_faults.crashes
+    ):
+        worker_faults = WorkerFaultSchedule()
+    config = ChaosConfig(
+        serve=serve,
+        input_faults=input_faults,
+        worker_faults=worker_faults,
+        recovery=base.recovery,
+        watchdog=base.watchdog,
+        profile=base.profile,
+        fault_seed=args.seed,
+    )
+    if args.fault_free:
+        config = config.fault_free()
+    return config
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as err:
+        parser.error(str(err))
+    report = run_chaos(config)
+    print(format_fleet_report(report, max_session_rows=args.max_session_rows))
+    if args.compare_fault_free and not args.fault_free:
+        baseline = run_chaos(config.fault_free())
+        print("\n--- fault-free baseline ---\n")
+        print(format_fleet_report(baseline, max_session_rows=args.max_session_rows))
+        miss = report.deadline_miss_rate
+        base_miss = baseline.deadline_miss_rate
+        ratio = miss / base_miss if base_miss > 0 else float("inf")
+        print(
+            f"\nDeadline misses under faults: {miss:.2%} vs {base_miss:.2%} "
+            f"fault-free ({ratio:.2f}x)"
+            if base_miss > 0
+            else f"\nDeadline misses under faults: {miss:.2%} "
+            f"(fault-free baseline missed none)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,391 @@
+"""Fault-aware serving loop: injection, recovery, graceful degradation.
+
+:class:`ChaosRuntime` extends the deterministic discrete-event loop of
+:class:`repro.serve.runtime.ServeRuntime` with the full fault model:
+
+* **Input faults** — each session's oculomotor trace is pre-faulted by
+  :func:`repro.faults.injectors.inject_input_faults`; dropped frames are
+  accounted as lost input (never silently vanished), MIPI-corrupted
+  frames arrive late by one retransmission, occlusion-blinded frames are
+  degraded to buffered-gaze reuse.
+* **Serving faults + recovery** — dispatches go through a
+  :class:`~repro.serve.workers.FaultyWorkerPool`; a failed batch's frames
+  are re-queued with exponential backoff, degraded instead when the retry
+  could not beat the frame's deadline, and per-worker circuit breakers
+  evict flapping workers until a cooldown + half-open probe re-admits
+  them.
+* **Tracking-quality watchdog** — one
+  :class:`~repro.system.watchdog.TrackingWatchdog` per session monitors
+  realized error/confidence and walks the degradation ladder: widen the
+  foveal radius (Eq. 1), stop trusting fresh predictions, fall back to
+  full-resolution rendering; recovery is hysteretic.
+
+Everything stays deterministic: fault times are scheduled, sampling is
+seeded per session, and ties break on the event heap exactly as in the
+base loop — a seed reproduces bit-identical fault/degradation telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.config import ChaosConfig
+from repro.faults.injectors import (
+    OCCLUSION_BLIND_OPENNESS,
+    InputFaultTrace,
+    inject_input_faults,
+)
+from repro.serve.config import AdmissionPolicy, BatchServiceModel
+from repro.serve.request import ClientSession, FrameRequest, build_fleet
+from repro.serve.runtime import _ARRIVAL, _COMPLETE, _WINDOW, InferenceFn, ServeRuntime
+from repro.serve.telemetry import FaultReport, FleetReport
+from repro.serve.workers import FaultyWorkerPool, WorkerState
+from repro.system.session import SessionConfig, decide_paths
+from repro.system.watchdog import DegradationLevel, TrackingWatchdog
+
+#: Per-session sub-seed strides (distinct odd primes keep the fault and
+#: error streams independent of each other and of the oculomotor seeds).
+_FAULT_SEED_STRIDE = 9176
+_ERROR_SEED_STRIDE = 7919
+
+
+def build_chaos_fleet(
+    config: ChaosConfig,
+) -> tuple[list[ClientSession], list[InputFaultTrace]]:
+    """The serve fleet with input faults layered onto every session.
+
+    Starts from the *same* clean fleet ``build_fleet`` would produce for
+    the serve config (so fault-free comparisons replay identical
+    behaviour), then perturbs each track and recomputes its Algorithm-1
+    decisions — noisy gaze breaks reuse anchors exactly the way real
+    tracking noise does.
+    """
+    clean = build_fleet(config.serve)
+    session_config = SessionConfig(
+        reuse_displacement_deg=config.serve.reuse_displacement_deg,
+        post_saccade_low_res=config.serve.post_saccade_low_res,
+    )
+    fleet, traces = [], []
+    for session in clean:
+        faulted, trace = inject_input_faults(
+            session.track,
+            config.input_faults,
+            seed=config.fault_seed * _FAULT_SEED_STRIDE + session.session_id,
+        )
+        fleet.append(
+            ClientSession(
+                session_id=session.session_id,
+                track=faulted,
+                decisions=decide_paths(faulted, session_config),
+                start_s=session.start_s,
+            )
+        )
+        traces.append(trace)
+    return fleet, traces
+
+
+class ChaosRuntime(ServeRuntime):
+    """One chaos scenario: faulted fleet, faulty pool, recovery stack."""
+
+    def __init__(
+        self,
+        chaos: ChaosConfig,
+        service: "BatchServiceModel | None" = None,
+        inference: "InferenceFn | None" = None,
+    ):
+        fleet, traces = build_chaos_fleet(chaos)
+        super().__init__(chaos.serve, service=service, inference=inference, fleet=fleet)
+        self.chaos = chaos
+        self.traces = traces
+        self.pool = FaultyWorkerPool(
+            chaos.serve.n_workers,
+            self.service,
+            schedule=chaos.worker_faults,
+            stall_timeout_s=chaos.recovery.dispatch_timeout_s,
+        )
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=chaos.recovery.breaker_threshold,
+                cooldown_s=chaos.recovery.breaker_cooldown_s,
+            )
+            for _ in range(chaos.serve.n_workers)
+        ]
+        self.watchdogs = [
+            TrackingWatchdog(chaos.profile, chaos.watchdog, start_s=s.start_s)
+            for s in self.fleet
+        ]
+        self.faults = FaultReport()
+        # Per-session realized tracking error of the healthy tracker: a
+        # half-normal stream whose P95 equals the profile's delta-theta.
+        scale = chaos.profile.delta_theta_deg / 1.96
+        self.base_error = [
+            np.abs(
+                np.random.default_rng(
+                    chaos.fault_seed * _ERROR_SEED_STRIDE + s.session_id
+                ).normal(0.0, scale, size=s.n_frames)
+            )
+            for s in self.fleet
+        ]
+        self._retransmitted: set[tuple[int, int]] = set()
+        self._pending_wake_s: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # Degradation bookkeeping
+    # ------------------------------------------------------------------
+    def _degrade_now(self, request: FrameRequest, now: float) -> None:
+        """Serve the frame from the buffered gaze (Algorithm-1 reuse).
+
+        Degradation means the renderer shipped the frame on time with a
+        *stale* gaze — the cost is staleness (counted in ``degraded`` and
+        the fault telemetry), not lateness, so the recorded latency is
+        the reuse bypass just as for admission-control degradation.
+        """
+        done = now + self.config.reuse_bypass_s
+        self.stats[request.session_id].record_degraded(
+            self.config.reuse_bypass_s, self.config.deadline_s
+        )
+        self._makespan_s = max(self._makespan_s, done)
+
+    # ------------------------------------------------------------------
+    # Admission (capacity-aware: breaker-evicted and crashed workers do
+    # not count toward the pool the estimate divides by)
+    # ------------------------------------------------------------------
+    def _available_workers(self, now: float) -> int:
+        n = 0
+        for worker in self.pool.workers:
+            if self.pool.schedule.down_until(worker.worker_id, now) is not None:
+                continue
+            if self.breakers[worker.worker_id].state(now) is BreakerState.OPEN:
+                continue
+            n += 1
+        return max(1, n)
+
+    def _admit(self, request: FrameRequest, now: float) -> bool:
+        if self.config.admission is AdmissionPolicy.ALWAYS:
+            return True
+        pending = len(self.batcher) + self.pool.in_flight_frames() + 1
+        batches = math.ceil(pending / self.config.max_batch)
+        wait = (
+            batches
+            * self.service.service_s(self.config.max_batch)
+            / self._available_workers(now)
+        )
+        if wait <= self.config.queue_budget_s:
+            return True
+        if self.config.admission is AdmissionPolicy.DEGRADE:
+            self._degrade_now(request, now)
+        else:  # SHED
+            self.stats[request.session_id].record_shed(request.path)
+        return False
+
+    # ------------------------------------------------------------------
+    # Dispatch through breakers and the faulty pool
+    # ------------------------------------------------------------------
+    def _eligible_worker(self, now: float) -> "WorkerState | None":
+        for worker in self.pool.workers:
+            if self.pool.available(worker, now) and self.breakers[
+                worker.worker_id
+            ].allow(now):
+                return worker
+        return None
+
+    def _schedule_wake(self, now: float) -> None:
+        """Queued work but no eligible worker: wake the loop when the
+        earliest worker could come back (crash downtime end, breaker
+        cooldown expiry, or simply a busy worker finishing)."""
+        candidates = []
+        for worker in self.pool.workers:
+            at = max(worker.busy_until_s, now)
+            down = self.pool.schedule.down_until(worker.worker_id, at)
+            if down is not None:
+                at = down
+            reopen = self.breakers[worker.worker_id].reopen_s
+            if reopen is not None:
+                at = max(at, reopen)
+            candidates.append(at)
+        if not candidates:
+            return
+        wake = max(min(candidates), now + 1e-9)
+        if self._pending_wake_s is not None and self._pending_wake_s <= wake:
+            return
+        self._pending_wake_s = wake
+        self._push(wake, _WINDOW, None)
+
+    def _try_dispatch(self, now: float) -> None:
+        if self._pending_wake_s is not None and now >= self._pending_wake_s:
+            self._pending_wake_s = None
+        while self.batcher.ready(now):
+            worker = self._eligible_worker(now)
+            if worker is None:
+                self._schedule_wake(now)
+                return
+            batch = self.batcher.take()
+            breaker = self.breakers[worker.worker_id]
+            breaker.note_dispatch(now)
+            outcome = self.pool.dispatch_faulty(worker, len(batch), now)
+            if outcome.ok and self.inference is not None:
+                outputs = np.asarray(self.inference(batch))
+                if outputs.shape != (len(batch), 2):
+                    raise ValueError(
+                        f"inference hook returned shape {outputs.shape}, "
+                        f"expected ({len(batch)}, 2)"
+                    )
+                assert self.predictions is not None
+                for request, gaze in zip(batch, outputs):
+                    self.predictions[(request.session_id, request.frame_index)] = gaze
+            self._push(outcome.done_s, _COMPLETE, (worker, batch, outcome))
+
+    # ------------------------------------------------------------------
+    # Retry / backoff
+    # ------------------------------------------------------------------
+    def _retry_or_degrade(self, request: FrameRequest, now: float) -> None:
+        recovery = self.chaos.recovery
+        next_attempt = request.retries + 1
+        backoff = recovery.backoff_base_s * recovery.backoff_factor**request.retries
+        retry_at = now + backoff
+        expected_done = retry_at + self.service.service_s(self.config.max_batch)
+        if next_attempt > recovery.max_retries:
+            self.faults.retry_exhausted_degraded += 1
+            self._degrade_now(request, now)
+        elif expected_done > request.deadline_s:
+            # The retry cannot beat the deadline: degrade immediately —
+            # a stale-but-on-time gaze beats a fresh-but-late one.
+            self.faults.deadline_degraded += 1
+            self._degrade_now(request, now)
+        else:
+            self.faults.retries_scheduled += 1
+            self._push(retry_at, _ARRIVAL, replace(request, retries=next_attempt))
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request: FrameRequest, now: float) -> None:
+        sid, i = request.session_id, request.frame_index
+        if request.retries > 0:
+            # A retried frame rejoining the batcher after backoff; it was
+            # admitted on first arrival and is never silently dropped.
+            self.batcher.requeue([request])
+            self.faults.frames_requeued += 1
+            self._try_dispatch(now)
+            return
+
+        trace = self.traces[sid]
+        if trace.dropped[i]:
+            self.faults.input_dropped += 1
+            self.stats[sid].record_lost_input()
+            return
+        if trace.corrupted[i] and (sid, i) not in self._retransmitted:
+            # Link-layer CRC caught a transient: the frame arrives one
+            # retransmission later (its deadline does not move).
+            self._retransmitted.add((sid, i))
+            self.faults.mipi_corrupted_frames += 1
+            self._push(now + float(trace.retransmit_s[i]), _ARRIVAL, request)
+            return
+
+        openness = float(self.fleet[sid].track.openness[i])
+        blind = openness < OCCLUSION_BLIND_OPENNESS
+        if trace.noise_deg[i] > 0:
+            self.faults.noise_burst_frames += 1
+        if trace.occlusion[i] > 0:
+            self.faults.occluded_frames += 1
+        error_deg = float(self.base_error[sid][i] + trace.noise_deg[i])
+        confidence = openness * (0.5 if trace.corrupted[i] else 1.0)
+        level = self.watchdogs[sid].observe(
+            now, error_deg=None if blind else error_deg, confidence=confidence
+        )
+
+        if level is DegradationLevel.FULL_RES:
+            # Tracking lost: render full-resolution — no gaze needed, the
+            # frame completes without touching the serving path at all.
+            self.faults.watchdog_full_res_frames += 1
+            self.stats[sid].record(
+                "full_res", now - request.arrival_s, self.config.deadline_s
+            )
+            self._makespan_s = max(self._makespan_s, now)
+            return
+        if request.path == "saccade":
+            self._record_completion(request, now + self.config.saccade_bypass_s)
+            return
+        if request.path == "reuse":
+            self._record_completion(request, now + self.config.reuse_bypass_s)
+            return
+        # Predict path.
+        if blind:
+            self.faults.occlusion_degraded += 1
+            self._degrade_now(request, now)
+            return
+        if level >= DegradationLevel.REUSE_ONLY:
+            self.faults.watchdog_reuse_frames += 1
+            self._degrade_now(request, now)
+            return
+        if not self._admit(request, now):
+            return
+        self.batcher.enqueue(request)
+        self._try_dispatch(now)
+        if len(self.batcher) > 0 and self.batcher.window_s > 0:
+            deadline = self.batcher.next_deadline_s()
+            if deadline is not None:
+                self._push(deadline, _WINDOW, None)
+
+    def _on_complete(self, worker_batch, now: float) -> None:
+        worker, batch, outcome = worker_batch
+        self.pool.complete(worker)
+        breaker = self.breakers[worker.worker_id]
+        if outcome.ok:
+            breaker.record_success(now)
+            for request in batch:
+                self._record_completion(request, now)
+        else:
+            breaker.record_failure(now)
+            self.faults.batch_failures += 1
+            if outcome.cause == "crash":
+                self.faults.worker_crash_failures += 1
+            else:
+                self.faults.worker_stall_timeouts += 1
+            for request in batch:
+                self._retry_or_degrade(request, now)
+        self._try_dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Telemetry assembly
+    # ------------------------------------------------------------------
+    def _fault_report(self) -> FaultReport:
+        end_s = max(self.config.duration_s, self._makespan_s)
+        dwell: dict[str, float] = {}
+        degradation: list[tuple[float, int, str, str]] = []
+        widened = self.chaos.profile.delta_theta_deg
+        for sid, watchdog in enumerate(self.watchdogs):
+            watchdog.finalize(end_s)
+            for name, seconds in watchdog.dwell_s().items():
+                dwell[name] = dwell.get(name, 0.0) + seconds
+            degradation.extend(
+                (t, sid, src, dst) for (t, src, dst) in watchdog.transitions
+            )
+            widened = max(widened, watchdog.max_widened_delta_theta_deg)
+        degradation.sort(key=lambda item: (item[0], item[1]))
+        breaker_transitions: list[tuple[float, int, str, str]] = []
+        for wid, breaker in enumerate(self.breakers):
+            breaker_transitions.extend(
+                (t, wid, src, dst) for (t, src, dst) in breaker.transitions
+            )
+        breaker_transitions.sort(key=lambda item: (item[0], item[1]))
+        self.faults.breaker_transitions = breaker_transitions
+        self.faults.degradation_transitions = degradation
+        self.faults.degradation_dwell_s = {
+            name: dwell[name] for name in sorted(dwell)
+        }
+        self.faults.widened_delta_theta_deg = widened
+        return self.faults
+
+
+def run_chaos(
+    chaos: ChaosConfig,
+    service: "BatchServiceModel | None" = None,
+    inference: "InferenceFn | None" = None,
+) -> FleetReport:
+    """Run one seeded chaos scenario; the report carries ``.faults``."""
+    return ChaosRuntime(chaos, service=service, inference=inference).run()

@@ -28,3 +28,16 @@ class MipiLink:
 
     def transfer_energy_j(self, bits: int) -> float:
         return bits * self.energy_pj_per_bit * 1e-12
+
+    def transfer_with_retransmits(self, bits: int, n_retransmits: int) -> float:
+        """Latency of a transfer plus ``n_retransmits`` full re-sends.
+
+        A transient bit error detected by the link-layer CRC costs one
+        whole-frame retransmission; the fault injectors use this to price
+        corrupted eye frames.
+        """
+        if n_retransmits < 0:
+            raise ValueError(
+                f"n_retransmits must be non-negative, got {n_retransmits}"
+            )
+        return (1 + n_retransmits) * self.transfer_latency_s(bits)

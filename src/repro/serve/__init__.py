@@ -16,8 +16,23 @@ from repro.serve.config import (
 )
 from repro.serve.request import ClientSession, FrameRequest, build_fleet, fleet_requests
 from repro.serve.runtime import ServeRuntime, serve_fleet
-from repro.serve.telemetry import FleetReport, SessionStats, format_fleet_report
-from repro.serve.workers import WorkerPool, WorkerState
+from repro.serve.telemetry import (
+    FaultReport,
+    FleetReport,
+    SessionStats,
+    format_fault_report,
+    format_fleet_report,
+)
+from repro.serve.workers import (
+    DispatchOutcome,
+    FaultyWorkerPool,
+    LatencySpike,
+    WorkerCrash,
+    WorkerFaultSchedule,
+    WorkerPool,
+    WorkerStall,
+    WorkerState,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -25,16 +40,24 @@ __all__ = [
     "ClientSession",
     "DEFAULT_REUSE_BYPASS_S",
     "DEFAULT_SACCADE_BYPASS_S",
+    "DispatchOutcome",
     "DynamicBatcher",
+    "FaultReport",
+    "FaultyWorkerPool",
     "FleetReport",
     "FrameRequest",
+    "LatencySpike",
     "ServeConfig",
     "ServeRuntime",
     "SessionStats",
+    "WorkerCrash",
+    "WorkerFaultSchedule",
     "WorkerPool",
+    "WorkerStall",
     "WorkerState",
     "build_fleet",
     "fleet_requests",
+    "format_fault_report",
     "format_fleet_report",
     "serve_fleet",
 ]

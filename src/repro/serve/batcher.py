@@ -11,6 +11,12 @@ size-or-timeout dynamic batching rule:
 
 The batcher is a passive policy object; the event loop owns time and asks
 it what to do.  FIFO order is preserved so per-session frame order holds.
+
+Accounting is conservative by construction: every request that enters
+(``enqueue`` for fresh admissions, ``requeue`` for retries of failed
+batches) is either taken into a batch or still pending, and the runtime
+drains leftovers at shutdown — ``admitted + requeued == taken + pending``
+holds at every instant (:meth:`check_accounting`).
 """
 
 from __future__ import annotations
@@ -31,12 +37,28 @@ class DynamicBatcher:
         self.max_batch = max_batch
         self.window_s = window_s
         self._queue: deque[FrameRequest] = deque()
+        self.admitted_total = 0
+        self.requeued_total = 0
+        self.taken_total = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
     def enqueue(self, request: FrameRequest) -> None:
+        """Admit one fresh request at the back of the queue."""
         self._queue.append(request)
+        self.admitted_total += 1
+
+    def requeue(self, requests: list[FrameRequest]) -> None:
+        """Re-admit frames from a failed batch (never silently dropped).
+
+        Requeued frames rejoin at the back — their original arrival times
+        are old, so the window rule makes them dispatchable immediately;
+        FIFO order among the retried frames is preserved.
+        """
+        for request in requests:
+            self._queue.append(request)
+        self.requeued_total += len(requests)
 
     def ready(self, now: float) -> bool:
         """Should a free worker dispatch right now?"""
@@ -44,7 +66,10 @@ class DynamicBatcher:
             return False
         if len(self._queue) >= self.max_batch:
             return True
-        return now - self._queue[0].arrival_s >= self.window_s
+        # Same expression as next_deadline_s(): a window event scheduled
+        # at exactly the expiry must see ready() agree despite float
+        # rounding (now - arrival >= window can be false at the boundary).
+        return now >= self._queue[0].arrival_s + self.window_s
 
     def next_deadline_s(self) -> "float | None":
         """When the pending batch must dispatch even if it stays small
@@ -58,4 +83,25 @@ class DynamicBatcher:
         batch = []
         while self._queue and len(batch) < self.max_batch:
             batch.append(self._queue.popleft())
+        self.taken_total += len(batch)
         return batch
+
+    def drain(self) -> list[FrameRequest]:
+        """Remove and return everything still pending (end-of-run flush).
+
+        Drained frames count as taken so :meth:`check_accounting` stays
+        closed; the caller is responsible for recording them.
+        """
+        leftovers = list(self._queue)
+        self._queue.clear()
+        self.taken_total += len(leftovers)
+        return leftovers
+
+    def check_accounting(self) -> None:
+        """Assert the conservation invariant; raises on a leak."""
+        entered = self.admitted_total + self.requeued_total
+        if entered != self.taken_total + len(self._queue):
+            raise RuntimeError(
+                f"batcher leak: {entered} entered but "
+                f"{self.taken_total} taken + {len(self._queue)} pending"
+            )

@@ -118,7 +118,14 @@ class ServeConfig:
         check_positive("batch_window_s", self.batch_window_s, strict=False)
         check_positive("queue_budget_deadlines", self.queue_budget_deadlines)
         check_positive("deadline_frames", self.deadline_frames)
+        check_positive("saccade_bypass_s", self.saccade_bypass_s, strict=False)
+        check_positive("reuse_bypass_s", self.reuse_bypass_s, strict=False)
+        check_positive("reuse_displacement_deg", self.reuse_displacement_deg)
         check_positive("stagger_s", self.stagger_s, strict=False)
+        if not isinstance(self.admission, AdmissionPolicy):
+            raise ValueError(
+                f"admission must be an AdmissionPolicy, got {self.admission!r}"
+            )
 
     @property
     def deadline_s(self) -> float:

@@ -29,6 +29,7 @@ class FrameRequest:
     deadline_s: float  # absolute completion deadline
     path: str  # Algorithm-1 decision: saccade | reuse | predict
     seq: int  # global arrival order (deterministic tie-break)
+    retries: int = 0  # dispatch attempts already failed (chaos runtime)
 
 
 @dataclass

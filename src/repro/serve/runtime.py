@@ -184,6 +184,11 @@ class ServeRuntime:
                 self._on_complete(payload, now)  # type: ignore[arg-type]
             else:  # _WINDOW
                 self._try_dispatch(now)
+        # End-of-run flush: anything still queued is accounted explicitly
+        # as pending-at-shutdown — admitted work is never silently lost.
+        for request in self.batcher.drain():
+            self.stats[request.session_id].record_pending(request.path)
+        self.batcher.check_accounting()
         duration = max(self.config.duration_s, self._makespan_s)
         return FleetReport(
             sessions=self.stats,
@@ -195,7 +200,12 @@ class ServeRuntime:
             n_workers=self.config.n_workers,
             max_batch=self.config.max_batch,
             predictions=self.predictions,
+            faults=self._fault_report(),
         )
+
+    def _fault_report(self):
+        """Fault telemetry attached to the report (None outside chaos runs)."""
+        return None
 
 
 def serve_fleet(

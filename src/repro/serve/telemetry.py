@@ -16,13 +16,21 @@ from repro.system.metrics import fmt_ms, table_to_text
 
 @dataclass
 class SessionStats:
-    """Accumulators for one client session."""
+    """Accumulators for one client session.
+
+    Every generated frame lands in exactly one terminal bucket —
+    completed (a latency sample), shed, pending-at-shutdown, or lost to an
+    input fault before it could arrive — so ``total_frames`` is exact
+    conservation, never an estimate.
+    """
 
     session_id: int
     latencies_s: list[float] = field(default_factory=list)
     misses: int = 0
     shed: int = 0
     degraded: int = 0
+    pending: int = 0
+    lost_input: int = 0
     counts: dict[str, int] = field(
         default_factory=lambda: {"saccade": 0, "reuse": 0, "predict": 0}
     )
@@ -33,10 +41,10 @@ class SessionStats:
 
     @property
     def total_frames(self) -> int:
-        return self.completed + self.shed
+        return self.completed + self.shed + self.pending + self.lost_input
 
     def record(self, path: str, latency_s: float, deadline_s: float) -> None:
-        self.counts[path] += 1
+        self.counts[path] = self.counts.get(path, 0) + 1
         self.latencies_s.append(latency_s)
         if latency_s > deadline_s:
             self.misses += 1
@@ -46,8 +54,17 @@ class SessionStats:
         self.record("reuse", latency_s, deadline_s)
 
     def record_shed(self, path: str) -> None:
-        self.counts[path] += 1
+        self.counts[path] = self.counts.get(path, 0) + 1
         self.shed += 1
+
+    def record_pending(self, path: str) -> None:
+        """A frame still queued when the run ended (flushed, not lost)."""
+        self.counts[path] = self.counts.get(path, 0) + 1
+        self.pending += 1
+
+    def record_lost_input(self) -> None:
+        """A frame the sensor never delivered (input-fault drop)."""
+        self.lost_input += 1
 
     def percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
@@ -57,6 +74,64 @@ class SessionStats:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.completed if self.completed else 0.0
+
+
+@dataclass
+class FaultReport:
+    """Fault-injection and degradation telemetry of one chaos run.
+
+    Populated by ``repro.faults.ChaosRuntime``; attached to the
+    :class:`FleetReport` so fault accounting travels with the serving
+    numbers it explains.  Everything here is derived from seeded streams
+    and deterministic event ordering — two runs of the same scenario
+    produce equal reports (the chaos-smoke CI job asserts exactly that).
+    """
+
+    # Input faults (sensor / link / eye).
+    input_dropped: int = 0
+    noise_burst_frames: int = 0
+    occluded_frames: int = 0
+    mipi_corrupted_frames: int = 0
+    # Serving faults and recovery.
+    batch_failures: int = 0
+    worker_crash_failures: int = 0
+    worker_stall_timeouts: int = 0
+    frames_requeued: int = 0
+    retries_scheduled: int = 0
+    retry_exhausted_degraded: int = 0
+    deadline_degraded: int = 0
+    occlusion_degraded: int = 0
+    breaker_transitions: list[tuple[float, int, str, str]] = field(
+        default_factory=list
+    )  # (time_s, worker_id, from_state, to_state)
+    # Watchdog degradation.
+    degradation_transitions: list[tuple[float, int, str, str]] = field(
+        default_factory=list
+    )  # (time_s, session_id, from_level, to_level)
+    degradation_dwell_s: dict[str, float] = field(default_factory=dict)
+    watchdog_reuse_frames: int = 0
+    watchdog_full_res_frames: int = 0
+    widened_delta_theta_deg: float = 0.0
+
+    @property
+    def breaker_opens(self) -> int:
+        return sum(1 for _, _, _, to in self.breaker_transitions if to == "OPEN")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "input_dropped": float(self.input_dropped),
+            "occluded_frames": float(self.occluded_frames),
+            "mipi_corrupted": float(self.mipi_corrupted_frames),
+            "batch_failures": float(self.batch_failures),
+            "frames_requeued": float(self.frames_requeued),
+            "retry_exhausted": float(self.retry_exhausted_degraded),
+            "deadline_degraded": float(self.deadline_degraded),
+            "occlusion_degraded": float(self.occlusion_degraded),
+            "breaker_opens": float(self.breaker_opens),
+            "watchdog_reuse": float(self.watchdog_reuse_frames),
+            "watchdog_full_res": float(self.watchdog_full_res_frames),
+            "widened_delta_theta_deg": self.widened_delta_theta_deg,
+        }
 
 
 @dataclass
@@ -72,6 +147,7 @@ class FleetReport:
     n_workers: int
     max_batch: int
     predictions: "dict[tuple[int, int], np.ndarray] | None" = None
+    faults: "FaultReport | None" = None
 
     # ------------------------------------------------------------------
     # Fleet aggregates
@@ -90,11 +166,25 @@ class FleetReport:
         return sum(s.total_frames for s in self.sessions)
 
     @property
+    def pending_at_shutdown(self) -> int:
+        """Frames still queued when the run ended (flushed and accounted,
+        not silently dropped)."""
+        return sum(s.pending for s in self.sessions)
+
+    @property
+    def lost_input_frames(self) -> int:
+        """Frames the sensors never delivered (input-fault drops)."""
+        return sum(s.lost_input for s in self.sessions)
+
+    @property
     def served_predict_frames(self) -> int:
         """Fresh predictions actually served (degraded frames count as
-        reuse, shed predict frames are lost)."""
-        return sum(s.counts["predict"] for s in self.sessions) - sum(
-            s.shed for s in self.sessions
+        reuse; shed and pending-at-shutdown predict frames are not
+        served)."""
+        return (
+            sum(s.counts["predict"] for s in self.sessions)
+            - sum(s.shed for s in self.sessions)
+            - sum(s.pending for s in self.sessions)
         )
 
     @property
@@ -145,9 +235,50 @@ class FleetReport:
         }
 
 
+def format_fault_report(faults: FaultReport) -> str:
+    """The fault/degradation section of a chaos run's report."""
+    lines = [
+        "Faults injected: "
+        f"{faults.input_dropped} frames dropped at sensor, "
+        f"{faults.occluded_frames} occluded, "
+        f"{faults.noise_burst_frames} in noise bursts, "
+        f"{faults.mipi_corrupted_frames} MIPI-corrupted",
+        "Serving faults: "
+        f"{faults.batch_failures} batch failures "
+        f"({faults.worker_crash_failures} crash, "
+        f"{faults.worker_stall_timeouts} stall-timeout) | "
+        f"{faults.frames_requeued} frames requeued, "
+        f"{faults.retries_scheduled} retries, "
+        f"{faults.retry_exhausted_degraded} retry-exhausted degraded, "
+        f"{faults.deadline_degraded} deadline-degraded",
+        "Recovery: "
+        f"{faults.breaker_opens} breaker opens "
+        f"({len(faults.breaker_transitions)} transitions) | "
+        f"watchdog degraded {faults.watchdog_reuse_frames} frames to reuse, "
+        f"{faults.watchdog_full_res_frames} to full-res, "
+        f"{faults.occlusion_degraded} occlusion-degraded, "
+        f"widened delta-theta to {faults.widened_delta_theta_deg:.2f} deg",
+    ]
+    if faults.degradation_dwell_s:
+        dwell = ", ".join(
+            f"{name}:{seconds:.2f}s"
+            for name, seconds in sorted(faults.degradation_dwell_s.items())
+            if seconds > 0
+        )
+        lines.append(f"Degradation dwell (fleet-total): {dwell}")
+    if faults.breaker_transitions:
+        first = faults.breaker_transitions[0]
+        lines.append(
+            f"First breaker transition: worker {first[1]} "
+            f"{first[2]}->{first[3]} at {first[0]:.3f}s"
+        )
+    return "\n".join(lines)
+
+
 def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
     """Human-readable serving report: fleet aggregates, batch occupancy,
-    and the first ``max_session_rows`` per-session rows."""
+    the fault/degradation section (chaos runs), and the first
+    ``max_session_rows`` per-session rows."""
     s = report.summary()
     lines = [
         f"Fleet: {len(report.sessions)} sessions, {report.n_workers} workers, "
@@ -160,6 +291,14 @@ def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
         f"degraded {s['degrade_rate']:.2%} | worker utilization "
         f"{s['worker_utilization']:.0%}, mean batch {s['mean_batch']:.2f}",
     ]
+    if report.pending_at_shutdown or report.lost_input_frames:
+        lines.append(
+            f"Accounting: {report.pending_at_shutdown} pending at shutdown, "
+            f"{report.lost_input_frames} lost to input faults"
+        )
+    if report.faults is not None:
+        lines.append("")
+        lines.append(format_fault_report(report.faults))
     if report.batch_occupancy:
         occupancy = ", ".join(
             f"{b}:{c}" for b, c in sorted(report.batch_occupancy.items())
@@ -174,8 +313,8 @@ def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
             [
                 stats.session_id,
                 stats.total_frames,
-                f"{stats.percentile_ms(50):.2f}",
-                f"{stats.percentile_ms(99):.2f}",
+                f"{stats.percentile_ms(50):.2f}" if stats.completed else "-",
+                f"{stats.percentile_ms(99):.2f}" if stats.completed else "-",
                 f"{stats.miss_rate:.1%}",
                 stats.shed,
                 stats.degraded,

@@ -5,6 +5,13 @@ Each worker serves one batch at a time under the affine service-time model
 realized batch-occupancy histogram — the two numbers that tell you whether
 cross-session batching is actually amortizing the per-dispatch overhead or
 the fleet is just queueing.
+
+The bottom half of the module is the fault-injection surface used by
+``repro.faults``: a declarative :class:`WorkerFaultSchedule` (crashes,
+stalls, latency-spike windows) and a :class:`FaultyWorkerPool` whose
+dispatches can fail mid-service.  Everything stays deterministic — faults
+fire at scheduled times, not sampled ones, so a seeded chaos run is
+bit-reproducible.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.serve.config import BatchServiceModel
+from repro.utils.validation import check_positive
 
 
 @dataclass
@@ -84,3 +92,212 @@ class WorkerPool:
         total = sum(b * c for b, c in self.batch_occupancy.items())
         count = sum(self.batch_occupancy.values())
         return total / count if count else 0.0
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Worker ``worker_id`` dies at ``at_s`` and restarts after ``down_s``.
+
+    A batch in flight when the crash fires fails at the crash instant;
+    the worker is unavailable for the whole downtime window.
+    """
+
+    worker_id: int
+    at_s: float
+    down_s: float
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ValueError(f"worker_id must be non-negative, got {self.worker_id}")
+        check_positive("at_s", self.at_s, strict=False)
+        check_positive("down_s", self.down_s)
+
+    @property
+    def up_s(self) -> float:
+        return self.at_s + self.down_s
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """Worker hangs on any batch dispatched inside ``[start_s, stop_s)``:
+    the dispatch never completes on its own and fails at the runtime's
+    dispatch timeout."""
+
+    worker_id: int
+    start_s: float
+    stop_s: float
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ValueError(f"worker_id must be non-negative, got {self.worker_id}")
+        if not self.stop_s > self.start_s >= 0:
+            raise ValueError(
+                f"stall window must satisfy 0 <= start < stop, got "
+                f"[{self.start_s}, {self.stop_s})"
+            )
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Service times multiplied by ``factor`` for batches dispatched inside
+    ``[start_s, stop_s)``; ``worker_id=None`` hits the whole pool (a shared
+    backend contention event rather than one sick worker)."""
+
+    start_s: float
+    stop_s: float
+    factor: float
+    worker_id: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.stop_s > self.start_s >= 0:
+            raise ValueError(
+                f"spike window must satisfy 0 <= start < stop, got "
+                f"[{self.start_s}, {self.stop_s})"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"spike factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class WorkerFaultSchedule:
+    """Declarative fault plan for a pool (empty by default)."""
+
+    crashes: tuple[WorkerCrash, ...] = ()
+    stalls: tuple[WorkerStall, ...] = ()
+    spikes: tuple[LatencySpike, ...] = ()
+
+    def spike_factor(self, worker_id: int, now: float) -> float:
+        factor = 1.0
+        for spike in self.spikes:
+            if spike.worker_id not in (None, worker_id):
+                continue
+            if spike.start_s <= now < spike.stop_s:
+                factor *= spike.factor
+        return factor
+
+    def stalled(self, worker_id: int, now: float) -> bool:
+        return any(
+            s.worker_id == worker_id and s.start_s <= now < s.stop_s
+            for s in self.stalls
+        )
+
+    def crash_during(
+        self, worker_id: int, start_s: float, stop_s: float
+    ) -> "WorkerCrash | None":
+        """Earliest crash of ``worker_id`` firing inside ``[start_s, stop_s)``."""
+        hits = [
+            c
+            for c in self.crashes
+            if c.worker_id == worker_id and start_s <= c.at_s < stop_s
+        ]
+        return min(hits, key=lambda c: c.at_s) if hits else None
+
+    def down_until(self, worker_id: int, now: float) -> "float | None":
+        """End of the crash downtime covering ``now``, if any."""
+        for crash in self.crashes:
+            if crash.worker_id == worker_id and crash.at_s <= now < crash.up_s:
+                return crash.up_s
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not (self.crashes or self.stalls or self.spikes)
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """What happened to one faulty dispatch."""
+
+    done_s: float  # completion (or failure) time
+    ok: bool
+    cause: "str | None" = None  # "crash" | "stall" on failure
+
+
+class FaultyWorkerPool(WorkerPool):
+    """Worker pool whose dispatches can crash, stall, or slow down.
+
+    Failed batches keep the worker occupied until the failure resolves
+    (crash downtime / stall timeout) but are *not* counted as served —
+    the chaos runtime re-queues their frames.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        service: BatchServiceModel,
+        schedule: "WorkerFaultSchedule | None" = None,
+        stall_timeout_s: float = 0.05,
+    ):
+        super().__init__(n_workers, service)
+        self.schedule = schedule or WorkerFaultSchedule()
+        self.stall_timeout_s = check_positive("stall_timeout_s", stall_timeout_s)
+        self.failed_batches = 0
+        self.failed_frames = 0
+
+    def available(self, worker: WorkerState, now: float) -> bool:
+        """Idle *and* not inside a crash downtime window."""
+        return worker.idle_at(now) and self.schedule.down_until(
+            worker.worker_id, now
+        ) is None
+
+    def idle_worker(self, now: float) -> "WorkerState | None":
+        for worker in self.workers:
+            if self.available(worker, now):
+                return worker
+        return None
+
+    def next_available_s(self, now: float) -> "float | None":
+        """Earliest instant any worker might become available again (used
+        to schedule a wake-up when the queue is blocked); None if some
+        worker is available right now."""
+        if self.idle_worker(now) is not None:
+            return None
+        candidates = []
+        for worker in self.workers:
+            at = max(worker.busy_until_s, now)
+            down = self.schedule.down_until(worker.worker_id, at)
+            if down is not None:
+                at = down
+            candidates.append(at)
+        return min(candidates) if candidates else None
+
+    def dispatch_faulty(
+        self, worker: WorkerState, batch_size: int, now: float
+    ) -> DispatchOutcome:
+        """Start a batch; the outcome says when it completes or fails."""
+        if not self.available(worker, now):
+            raise RuntimeError(
+                f"worker {worker.worker_id} is not available at {now}"
+            )
+        wid = worker.worker_id
+        if self.schedule.stalled(wid, now):
+            done = now + self.stall_timeout_s
+            self._book_failure(worker, batch_size, now, done)
+            return DispatchOutcome(done, ok=False, cause="stall")
+        service = self.service.service_s(batch_size) * self.schedule.spike_factor(
+            wid, now
+        )
+        crash = self.schedule.crash_during(wid, now, now + service)
+        if crash is not None:
+            self._book_failure(worker, batch_size, now, crash.at_s)
+            worker.busy_until_s = crash.up_s
+            return DispatchOutcome(crash.at_s, ok=False, cause="crash")
+        worker.busy_until_s = now + service
+        worker.busy_s += service
+        worker.batches_served += 1
+        worker.frames_served += batch_size
+        self.batch_occupancy[batch_size] = self.batch_occupancy.get(batch_size, 0) + 1
+        self._in_flight[wid] = batch_size
+        return DispatchOutcome(worker.busy_until_s, ok=True)
+
+    def _book_failure(
+        self, worker: WorkerState, batch_size: int, now: float, fail_s: float
+    ) -> None:
+        worker.busy_until_s = fail_s
+        worker.busy_s += fail_s - now
+        self.failed_batches += 1
+        self.failed_frames += batch_size
+        self._in_flight[worker.worker_id] = batch_size

@@ -23,8 +23,12 @@ from repro.system.session import (
     simulate_session,
 )
 from repro.system.tfr import FrameLatency, Schedule, TfrSystem, TrackerSystemProfile
+from repro.system.watchdog import DegradationLevel, TrackingWatchdog, WatchdogConfig
 
 __all__ = [
+    "DegradationLevel",
+    "TrackingWatchdog",
+    "WatchdogConfig",
     "VIVE_PRO_EYE_DELTA_THETA_DEG",
     "VIVE_PRO_EYE_TD_S",
     "vive_pro_eye_profile",

@@ -1,0 +1,75 @@
+"""Circuit-breaker state machine: open, cooldown, half-open probe."""
+
+import pytest
+
+from repro.faults import BreakerState, CircuitBreaker
+
+
+def tripped(threshold=3, cooldown=0.25):
+    """A breaker driven to OPEN at t=0 by consecutive failures."""
+    breaker = CircuitBreaker(failure_threshold=threshold, cooldown_s=cooldown)
+    for _ in range(threshold):
+        breaker.record_failure(0.0)
+    return breaker
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state(0.2) is BreakerState.CLOSED
+        assert breaker.allow(0.2)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state(0.5) is BreakerState.CLOSED
+
+    def test_opens_at_threshold_and_blocks(self):
+        breaker = tripped(threshold=3, cooldown=0.25)
+        assert breaker.state(0.1) is BreakerState.OPEN
+        assert not breaker.allow(0.1)
+        assert breaker.reopen_s == pytest.approx(0.25)
+
+    def test_half_open_after_cooldown_allows_single_probe(self):
+        breaker = tripped(cooldown=0.25)
+        assert breaker.state(0.3) is BreakerState.HALF_OPEN
+        assert breaker.allow(0.3)
+        breaker.note_dispatch(0.3)
+        # The probe is in flight: no second batch until it resolves.
+        assert not breaker.allow(0.31)
+
+    def test_probe_success_closes(self):
+        breaker = tripped(cooldown=0.25)
+        breaker.note_dispatch(0.3)
+        breaker.record_success(0.32)
+        assert breaker.state(0.32) is BreakerState.CLOSED
+        assert breaker.allow(0.32)
+
+    def test_probe_failure_reopens(self):
+        breaker = tripped(cooldown=0.25)
+        breaker.note_dispatch(0.3)
+        breaker.record_failure(0.35)
+        assert breaker.state(0.35) is BreakerState.OPEN
+        assert breaker.reopen_s == pytest.approx(0.60)
+
+    def test_transition_log_is_ordered_and_complete(self):
+        breaker = tripped(cooldown=0.25)
+        breaker.note_dispatch(0.3)
+        breaker.record_success(0.32)
+        assert breaker.transitions == [
+            (0.0, "CLOSED", "OPEN"),
+            (0.25, "OPEN", "HALF_OPEN"),  # recorded at cooldown expiry
+            (0.32, "HALF_OPEN", "CLOSED"),
+        ]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            CircuitBreaker(cooldown_s=0.0)

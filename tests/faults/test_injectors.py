@@ -1,0 +1,156 @@
+"""Input-fault injectors: sensor drops, MIPI bit errors, track perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eye import OculomotorModel
+from repro.eye.events import MovementType
+from repro.faults import (
+    OCCLUSION_BLIND_OPENNESS,
+    FaultyMipiLink,
+    FaultySensor,
+    InputFaultConfig,
+    inject_input_faults,
+)
+from repro.hw.mipi import MipiLink
+from repro.hw.sensor import CameraSensor
+
+
+@pytest.fixture(scope="module")
+def track():
+    return OculomotorModel(seed=11).generate(500)
+
+
+class TestFaultySensor:
+    def test_zero_rate_never_drops(self):
+        sensor = FaultySensor(drop_rate=0.0, seed=1)
+        assert all(sensor.acquire() for _ in range(100))
+        assert sensor.frames_dropped == 0
+        assert sensor.frames_total == 100
+
+    def test_unit_rate_drops_everything(self):
+        sensor = FaultySensor(drop_rate=1.0, seed=1)
+        assert not any(sensor.acquire() for _ in range(50))
+        assert sensor.frames_dropped == 50
+
+    def test_seeded_reproducibility(self):
+        first = FaultySensor(drop_rate=0.3, seed=7)
+        second = FaultySensor(drop_rate=0.3, seed=7)
+        a = [first.acquire() for _ in range(200)]
+        b = [second.acquire() for _ in range(200)]
+        # Same seed, same drop pattern; and the rate is roughly honoured.
+        assert a == b
+        assert 0.15 < a.count(False) / 200 < 0.45
+
+    def test_passthrough_of_wrapped_sensor(self):
+        base = CameraSensor()
+        sensor = FaultySensor(sensor=base, drop_rate=0.1)
+        assert sensor.acquisition_s == base.acquisition_s
+        assert sensor.frame_bits == base.frame_bits
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultySensor(drop_rate=1.5)
+
+
+class TestFaultyMipiLink:
+    def test_zero_ber_is_clean(self):
+        link = FaultyMipiLink(bit_error_rate=0.0, seed=3)
+        latency, errors = link.transfer(10_000)
+        assert errors == 0
+        assert latency == pytest.approx(link.link.transfer_latency_s(10_000))
+        assert link.frames_corrupted == 0
+
+    def test_corruption_probability_monotone_in_bits(self):
+        link = FaultyMipiLink(bit_error_rate=1e-6)
+        p_small = link.frame_corruption_probability(1_000)
+        p_large = link.frame_corruption_probability(1_000_000)
+        assert 0.0 < p_small < p_large < 1.0
+        assert link.frame_corruption_probability(0) == 0.0
+        with pytest.raises(ValueError, match="bits"):
+            link.frame_corruption_probability(-1)
+
+    def test_corrupted_frame_pays_one_retransmission(self):
+        base = MipiLink()
+        link = FaultyMipiLink(link=base, bit_error_rate=1.0, seed=3)
+        bits = 50_000
+        latency, errors = link.transfer(bits)
+        assert errors >= 1
+        assert latency == pytest.approx(2.0 * base.transfer_latency_s(bits))
+        assert link.frames_corrupted == 1
+
+
+class TestInjectInputFaults:
+    def test_no_faults_is_identity(self, track):
+        faulted, trace = inject_input_faults(track, InputFaultConfig(), seed=0)
+        np.testing.assert_array_equal(faulted.gaze_deg, track.gaze_deg)
+        np.testing.assert_array_equal(faulted.openness, track.openness)
+        np.testing.assert_array_equal(faulted.labels, track.labels)
+        assert trace.n_dropped == 0
+        assert trace.n_noise_frames == 0
+        assert trace.n_occluded == 0
+        assert trace.n_corrupted == 0
+
+    def test_frame_drops_roughly_match_rate(self, track):
+        config = InputFaultConfig(frame_drop_rate=0.2)
+        _, trace = inject_input_faults(track, config, seed=5)
+        assert 0.1 < trace.n_dropped / trace.n_frames < 0.35
+
+    def test_noise_bursts_perturb_gaze_only_inside_windows(self, track):
+        config = InputFaultConfig(noise_burst_rate_hz=1.0, noise_burst_std_deg=4.0)
+        faulted, trace = inject_input_faults(track, config, seed=5)
+        noisy = trace.noise_deg > 0
+        assert noisy.any() and not noisy.all()
+        moved = np.linalg.norm(faulted.gaze_deg - track.gaze_deg, axis=1)
+        np.testing.assert_allclose(moved, trace.noise_deg, atol=1e-12)
+        assert (moved[~noisy] == 0).all()
+
+    def test_noise_recomputes_velocities(self, track):
+        config = InputFaultConfig(noise_burst_rate_hz=2.0, noise_burst_std_deg=6.0)
+        faulted, trace = inject_input_faults(track, config, seed=5)
+        assert trace.n_noise_frames > 0
+        assert not np.array_equal(faulted.velocity_deg_s, track.velocity_deg_s)
+
+    def test_occlusion_reduces_openness_and_relabels_blind_frames(self, track):
+        config = InputFaultConfig(
+            occlusion_rate_hz=2.0, occlusion_duration_s=0.3,
+            occlusion_level=(0.9, 1.0),
+        )
+        faulted, trace = inject_input_faults(track, config, seed=5)
+        assert trace.n_occluded > 0
+        assert (faulted.openness <= track.openness + 1e-12).all()
+        blind = faulted.openness < OCCLUSION_BLIND_OPENNESS
+        assert blind.any()
+        assert (faulted.labels[blind] == MovementType.BLINK).all()
+
+    def test_bit_errors_cost_a_retransmission(self, track):
+        # A per-bit rate high enough that most frames are corrupted.
+        config = InputFaultConfig(bit_error_rate=1e-5)
+        _, trace = inject_input_faults(track, config, seed=5)
+        assert trace.n_corrupted > 0
+        assert (trace.retransmit_s[trace.corrupted] > 0).all()
+        assert (trace.retransmit_s[~trace.corrupted] == 0).all()
+
+    def test_seeded_trace_is_reproducible(self, track):
+        config = InputFaultConfig(
+            frame_drop_rate=0.1, noise_burst_rate_hz=0.5,
+            occlusion_rate_hz=0.5, bit_error_rate=1e-6,
+        )
+        _, a = inject_input_faults(track, config, seed=42)
+        _, b = inject_input_faults(track, config, seed=42)
+        _, c = inject_input_faults(track, config, seed=43)
+        for name in ("dropped", "noise_deg", "occlusion", "corrupted", "retransmit_s"):
+            np.testing.assert_array_equal(getattr(a, name), getattr(b, name))
+        assert not np.array_equal(a.dropped, c.dropped) or not np.array_equal(
+            a.noise_deg, c.noise_deg
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="frame_drop_rate"):
+            InputFaultConfig(frame_drop_rate=2.0)
+        with pytest.raises(ValueError, match="occlusion_level"):
+            InputFaultConfig(occlusion_level=(0.8, 0.2))
+        with pytest.raises(ValueError, match="noise_burst_duration_s"):
+            InputFaultConfig(noise_burst_duration_s=0.0)

@@ -56,3 +56,44 @@ class TestDynamicBatcher:
             DynamicBatcher(max_batch=0)
         with pytest.raises(ValueError, match="window_s"):
             DynamicBatcher(max_batch=1, window_s=-1.0)
+
+
+class TestBatcherAccounting:
+    def test_ledger_tracks_enqueue_requeue_take(self):
+        batcher = DynamicBatcher(max_batch=2, window_s=0.0)
+        for i in range(3):
+            batcher.enqueue(request(i))
+        taken = batcher.take()
+        batcher.requeue(taken)  # the batch failed, frames come back
+        assert batcher.admitted_total == 3
+        assert batcher.requeued_total == 2
+        assert batcher.taken_total == 2
+        batcher.check_accounting()  # 3 + 2 == 2 + 3 pending
+
+    def test_requeued_frames_keep_fifo_order_and_dispatch_promptly(self):
+        batcher = DynamicBatcher(max_batch=2, window_s=5.0)
+        for i in range(3):
+            batcher.enqueue(request(i, arrival_s=0.0))
+        failed = batcher.take()  # [0, 1]
+        batcher.requeue(failed)
+        # Queue is now [2, 0, 1]; the old arrival time of frame 2 makes
+        # the window rule fire immediately despite the long window.
+        assert batcher.ready(now=10.0)
+        assert [r.seq for r in batcher.take()] == [2, 0]
+        assert [r.seq for r in batcher.take()] == [1]
+
+    def test_drain_returns_leftovers_and_closes_ledger(self):
+        batcher = DynamicBatcher(max_batch=8, window_s=1.0)
+        for i in range(3):
+            batcher.enqueue(request(i))
+        leftovers = batcher.drain()
+        assert [r.seq for r in leftovers] == [0, 1, 2]
+        assert len(batcher) == 0
+        batcher.check_accounting()  # admitted 3 == taken 3 + pending 0
+
+    def test_leak_is_detected(self):
+        batcher = DynamicBatcher(max_batch=2, window_s=0.0)
+        batcher.enqueue(request(0))
+        batcher._queue.clear()  # simulate a silent drop
+        with pytest.raises(RuntimeError, match="batcher leak"):
+            batcher.check_accounting()

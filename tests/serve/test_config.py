@@ -63,3 +63,22 @@ class TestServeConfig:
         assert AdmissionPolicy("degrade") is AdmissionPolicy.DEGRADE
         assert AdmissionPolicy("shed") is AdmissionPolicy.SHED
         assert AdmissionPolicy("always") is AdmissionPolicy.ALWAYS
+
+    def test_rejects_negative_bypass_latencies(self):
+        with pytest.raises(ValueError, match="saccade_bypass_s"):
+            ServeConfig(saccade_bypass_s=-1e-6)
+        with pytest.raises(ValueError, match="reuse_bypass_s"):
+            ServeConfig(reuse_bypass_s=-1e-6)
+
+    def test_rejects_nonpositive_reuse_displacement(self):
+        with pytest.raises(ValueError, match="reuse_displacement_deg"):
+            ServeConfig(reuse_displacement_deg=0.0)
+
+    def test_rejects_non_enum_admission(self):
+        # A raw string is an easy mistake; the error must name the field.
+        with pytest.raises(ValueError, match="admission"):
+            ServeConfig(admission="degrade")
+
+    def test_rejects_negative_stagger(self):
+        with pytest.raises(ValueError, match="stagger_s"):
+            ServeConfig(stagger_s=-1.0)

@@ -1,12 +1,28 @@
-"""WorkerPool dispatch bookkeeping."""
+"""WorkerPool dispatch bookkeeping and fault-injection semantics."""
 
 import pytest
 
-from repro.serve import BatchServiceModel, WorkerPool
+from repro.serve import (
+    BatchServiceModel,
+    FaultyWorkerPool,
+    LatencySpike,
+    WorkerCrash,
+    WorkerFaultSchedule,
+    WorkerPool,
+    WorkerStall,
+)
+
+SERVICE = BatchServiceModel(fixed_s=2e-3, per_sample_s=1e-3)
 
 
 def pool(n=2):
-    return WorkerPool(n, BatchServiceModel(fixed_s=2e-3, per_sample_s=1e-3))
+    return WorkerPool(n, SERVICE)
+
+
+def faulty_pool(schedule, n=1, stall_timeout_s=0.05):
+    return FaultyWorkerPool(
+        n, SERVICE, schedule=schedule, stall_timeout_s=stall_timeout_s
+    )
 
 
 class TestWorkerPool:
@@ -51,3 +67,95 @@ class TestWorkerPool:
     def test_rejects_empty_pool(self):
         with pytest.raises(ValueError, match="n_workers"):
             WorkerPool(0, BatchServiceModel())
+
+
+class TestWorkerFaultSchedule:
+    def test_spike_factor_composes_and_windows(self):
+        schedule = WorkerFaultSchedule(
+            spikes=(
+                LatencySpike(start_s=1.0, stop_s=2.0, factor=2.0),  # pool-wide
+                LatencySpike(start_s=1.5, stop_s=2.0, factor=3.0, worker_id=1),
+            )
+        )
+        assert schedule.spike_factor(0, 0.5) == 1.0
+        assert schedule.spike_factor(0, 1.5) == 2.0
+        assert schedule.spike_factor(1, 1.7) == 6.0  # both windows apply
+        assert schedule.spike_factor(1, 2.0) == 1.0  # stop is exclusive
+
+    def test_crash_windows(self):
+        crash = WorkerCrash(worker_id=0, at_s=1.0, down_s=0.5)
+        schedule = WorkerFaultSchedule(crashes=(crash,))
+        assert schedule.crash_during(0, 0.9, 1.1) is crash
+        assert schedule.crash_during(0, 1.1, 2.0) is None
+        assert schedule.crash_during(1, 0.9, 1.1) is None
+        assert schedule.down_until(0, 1.2) == pytest.approx(1.5)
+        assert schedule.down_until(0, 1.5) is None
+
+    def test_empty_flag(self):
+        assert WorkerFaultSchedule().empty
+        assert not WorkerFaultSchedule(
+            stalls=(WorkerStall(worker_id=0, start_s=0.0, stop_s=1.0),)
+        ).empty
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError, match="stall window"):
+            WorkerStall(worker_id=0, start_s=1.0, stop_s=0.5)
+        with pytest.raises(ValueError, match="factor"):
+            LatencySpike(start_s=0.0, stop_s=1.0, factor=0.5)
+        with pytest.raises(ValueError, match="down_s"):
+            WorkerCrash(worker_id=0, at_s=0.0, down_s=0.0)
+
+
+class TestFaultyWorkerPool:
+    def test_clean_dispatch_matches_base_pool(self):
+        p = faulty_pool(WorkerFaultSchedule())
+        outcome = p.dispatch_faulty(p.workers[0], 4, now=0.0)
+        assert outcome.ok
+        assert outcome.done_s == pytest.approx(6e-3)
+        assert p.workers[0].batches_served == 1
+        assert p.failed_batches == 0
+
+    def test_crash_fails_inflight_batch_and_holds_downtime(self):
+        schedule = WorkerFaultSchedule(
+            crashes=(WorkerCrash(worker_id=0, at_s=1.001, down_s=0.5),)
+        )
+        p = faulty_pool(schedule)
+        worker = p.workers[0]
+        outcome = p.dispatch_faulty(worker, 2, now=1.0)  # service 4 ms
+        assert not outcome.ok
+        assert outcome.cause == "crash"
+        assert outcome.done_s == pytest.approx(1.001)  # fails at the crash
+        assert worker.busy_until_s == pytest.approx(1.501)  # whole downtime
+        assert worker.batches_served == 0
+        assert p.failed_batches == 1 and p.failed_frames == 2
+        # Unavailable while down, available again once restarted.
+        assert not p.available(worker, 1.2)
+        assert p.available(worker, 1.501)
+
+    def test_stall_fails_at_dispatch_timeout(self):
+        schedule = WorkerFaultSchedule(
+            stalls=(WorkerStall(worker_id=0, start_s=0.0, stop_s=1.0),)
+        )
+        p = faulty_pool(schedule, stall_timeout_s=0.02)
+        outcome = p.dispatch_faulty(p.workers[0], 3, now=0.5)
+        assert not outcome.ok
+        assert outcome.cause == "stall"
+        assert outcome.done_s == pytest.approx(0.52)
+
+    def test_spike_stretches_service_time(self):
+        schedule = WorkerFaultSchedule(
+            spikes=(LatencySpike(start_s=0.0, stop_s=1.0, factor=2.0),)
+        )
+        p = faulty_pool(schedule)
+        outcome = p.dispatch_faulty(p.workers[0], 4, now=0.5)
+        assert outcome.ok
+        assert outcome.done_s == pytest.approx(0.5 + 2.0 * 6e-3)
+
+    def test_next_available_accounts_for_downtime(self):
+        schedule = WorkerFaultSchedule(
+            crashes=(WorkerCrash(worker_id=0, at_s=0.0, down_s=1.0),)
+        )
+        p = faulty_pool(schedule)
+        assert p.idle_worker(0.5) is None
+        assert p.next_available_s(0.5) == pytest.approx(1.0)
+        assert p.next_available_s(1.0) is None  # available right now

@@ -6,10 +6,29 @@ import numpy as np
 import pytest
 
 from repro.eye import OculomotorModel
+from repro.eye.events import EventMix, MovementType
+from repro.eye.motion import GazeTrack, velocities_from_gaze
 from repro.render import RES_1080P, RES_720P, scene_by_name
-from repro.eye.events import EventMix
 from repro.system import Schedule, TrackerSystemProfile, decide_paths
 from repro.system.session import SessionConfig, SessionReport, simulate_session
+
+
+def make_track(gaze, labels=None, openness=None, fps=100.0):
+    gaze = np.asarray(gaze, dtype=float)
+    n = gaze.shape[0]
+    labels = (
+        np.full(n, MovementType.FIXATION, dtype=np.int64)
+        if labels is None
+        else np.asarray(labels, dtype=np.int64)
+    )
+    openness = np.ones(n) if openness is None else np.asarray(openness, dtype=float)
+    return GazeTrack(
+        gaze_deg=gaze,
+        labels=labels,
+        openness=openness,
+        velocity_deg_s=velocities_from_gaze(gaze, 1.0 / fps),
+        fps=fps,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -140,3 +159,94 @@ class TestDecidePaths:
     def test_no_event_gating_means_all_predict(self, track):
         decisions = decide_paths(track, supports_event_gating=False)
         assert set(decisions) == {"predict"}
+
+
+class TestDecidePathsEdgeCases:
+    def test_first_frame_always_predicts(self):
+        # No anchor exists yet, so even a perfectly still eye pays one
+        # fresh prediction up front.
+        track = make_track(np.zeros((4, 2)))
+        decisions = decide_paths(track, SessionConfig(reuse_displacement_deg=1.0))
+        assert decisions == ["predict", "reuse", "reuse", "reuse"]
+
+    def test_displacement_exactly_at_threshold_predicts(self):
+        # The reuse test is strict (<): landing exactly on the boundary
+        # is out of budget and must refresh the prediction.
+        config = SessionConfig(reuse_displacement_deg=1.0)
+        at_boundary = make_track([[0.0, 0.0], [1.0, 0.0]])
+        assert decide_paths(at_boundary, config) == ["predict", "predict"]
+        inside = make_track([[0.0, 0.0], [1.0 - 1e-9, 0.0]])
+        assert decide_paths(inside, config) == ["predict", "reuse"]
+
+    def test_anchor_is_last_prediction_not_last_frame(self):
+        # Drift of 0.6°/frame with a 1° budget: reuse holds only while
+        # the *cumulative* displacement from the anchor stays inside.
+        config = SessionConfig(reuse_displacement_deg=1.0)
+        track = make_track([[0.0, 0.0], [0.6, 0.0], [1.2, 0.0]])
+        assert decide_paths(track, config) == ["predict", "reuse", "predict"]
+
+    def test_blink_occluded_frames_follow_anchor_logic(self):
+        # A blink is not a saccade: near the anchor it reuses, far from
+        # it (eye reopened elsewhere) it refreshes.
+        config = SessionConfig(reuse_displacement_deg=1.0)
+        labels = [MovementType.FIXATION, MovementType.BLINK, MovementType.BLINK]
+        near = make_track(
+            [[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]], labels=labels,
+            openness=[1.0, 0.05, 0.05],
+        )
+        assert decide_paths(near, config) == ["predict", "reuse", "reuse"]
+        far = make_track(
+            [[0.0, 0.0], [0.1, 0.0], [5.0, 0.0]], labels=labels,
+            openness=[1.0, 0.05, 0.05],
+        )
+        assert decide_paths(far, config) == ["predict", "reuse", "predict"]
+
+    def test_saccade_onset_wins_over_reuse_at_zero_displacement(self):
+        # Frame 2 is labelled saccade while still at the anchor: the
+        # saccade path takes priority over an in-budget displacement.
+        labels = [MovementType.FIXATION, MovementType.FIXATION, MovementType.SACCADE]
+        track = make_track(np.zeros((3, 2)), labels=labels)
+        decisions = decide_paths(track, SessionConfig(reuse_displacement_deg=1.0))
+        assert decisions == ["predict", "reuse", "saccade"]
+
+    def test_post_saccade_window_respects_flag(self):
+        # One saccade frame, then stillness: with the 50 ms low-acuity
+        # window on, the following frames ride the saccade path; with it
+        # off they fall back to the displacement rule.
+        labels = [MovementType.SACCADE] + [MovementType.FIXATION] * 6
+        track = make_track(np.zeros((7, 2)), labels=labels)
+        on = decide_paths(track, SessionConfig(post_saccade_low_res=True))
+        assert on[:6] == ["saccade"] * 6  # saccade + 5-frame window at 100 fps
+        assert on[6] == "predict"  # first ungated frame, no anchor yet
+        off = decide_paths(track, SessionConfig(post_saccade_low_res=False))
+        assert off == ["saccade", "predict"] + ["reuse"] * 5
+
+    def test_empty_track_rejected(self):
+        empty = GazeTrack(
+            gaze_deg=np.zeros((0, 2)),
+            labels=np.zeros(0, dtype=np.int64),
+            openness=np.zeros(0),
+            velocity_deg_s=np.zeros(0),
+            fps=100.0,
+        )
+        with pytest.raises(ValueError, match="empty gaze track"):
+            decide_paths(empty)
+
+
+class TestSessionReportDegradedMix:
+    def test_report_with_degraded_path_frames(self):
+        # A chaos-style timeline: some frames served full-res (no gaze
+        # stage) and some degraded to reuse; the aggregates must hold.
+        latencies = np.array([1e-4, 1e-4, 5e-3, 1.2e-2, 1e-4])
+        report = SessionReport(
+            frame_latency_s=latencies,
+            decisions=["reuse", "full_res", "predict", "predict", "reuse"],
+            event_mix=EventMix.from_counts(0, 3, 2),
+            deadline_s=0.01,
+            fps=100.0,
+        )
+        assert report.deadline_miss_rate == pytest.approx(0.2)
+        assert report.mean_latency_s == pytest.approx(latencies.mean())
+        summary = report.summary()
+        assert summary["miss_rate"] == pytest.approx(0.2)
+        assert summary["p_predict"] == pytest.approx(0.4)

@@ -1,0 +1,152 @@
+"""Tracking-quality watchdog: escalation, hysteresis, Eq. 1 coupling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import (
+    DegradationLevel,
+    TrackerSystemProfile,
+    TrackingWatchdog,
+    WatchdogConfig,
+)
+
+PROFILE = TrackerSystemProfile(
+    "POLO", 0.0024, 2.92, td_saccade_s=1.2e-4, td_reuse_s=1.2e-4
+)
+# Small window so tests can flush it quickly; dwell of 0.1 s.
+FAST = WatchdogConfig(window=8, min_samples=4, recovery_dwell_s=0.1)
+
+
+def feed(watchdog, start_s, n, error_deg, confidence=1.0, dt=0.01):
+    level = watchdog.level
+    for i in range(n):
+        level = watchdog.observe(
+            start_s + i * dt, error_deg=error_deg, confidence=confidence
+        )
+    return level
+
+
+class TestEscalation:
+    def test_nominal_stream_stays_nominal(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        level = feed(watchdog, 0.0, 64, error_deg=PROFILE.delta_theta_deg * 0.5)
+        assert level is DegradationLevel.NOMINAL
+        assert watchdog.profile_now() is PROFILE
+        assert watchdog.transitions == []
+
+    def test_no_escalation_before_min_samples(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        level = feed(watchdog, 0.0, FAST.min_samples - 1, error_deg=100.0)
+        assert level is DegradationLevel.NOMINAL
+        assert watchdog.online_p95_deg() is None
+
+    def test_inflated_error_widens(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        level = feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 2.0)
+        assert level is DegradationLevel.WIDENED
+
+    def test_severe_error_escalates_straight_to_full_res(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        level = feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 10.0)
+        assert level is DegradationLevel.FULL_RES
+        # The ladder was entered directly, not walked level by level.
+        assert watchdog.transitions[-1][2] == "FULL_RES"
+
+    def test_low_confidence_forces_reuse_even_without_errors(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        level = DegradationLevel.NOMINAL
+        for i in range(16):
+            level = watchdog.observe(i * 0.01, error_deg=None, confidence=0.1)
+        assert level >= DegradationLevel.REUSE_ONLY
+        assert watchdog.online_p95_deg() is None  # no error samples at all
+
+    def test_rejects_negative_error(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        with pytest.raises(ValueError, match="error_deg"):
+            watchdog.observe(0.0, error_deg=-1.0)
+
+
+class TestEq1Coupling:
+    def test_widened_delta_theta_tracks_online_p95_with_margin(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 2.0)
+        p95 = watchdog.online_p95_deg()
+        assert p95 == pytest.approx(PROFILE.delta_theta_deg * 2.0)
+        assert watchdog.widened_delta_theta_deg() == pytest.approx(
+            FAST.widen_margin * p95
+        )
+        profile = watchdog.profile_now()
+        assert profile.delta_theta_deg == pytest.approx(FAST.widen_margin * p95)
+        assert profile.delta_theta_deg > PROFILE.delta_theta_deg
+
+    def test_widened_delta_theta_never_below_nominal(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        feed(watchdog, 0.0, 8, error_deg=0.01)
+        assert watchdog.widened_delta_theta_deg() == PROFILE.delta_theta_deg
+
+    def test_max_widened_records_worst_operating_point(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 3.0)
+        worst = watchdog.max_widened_delta_theta_deg
+        assert worst == pytest.approx(
+            FAST.widen_margin * PROFILE.delta_theta_deg * 3.0
+        )
+        # Recovery does not erase the recorded worst case.
+        feed(watchdog, 1.0, 100, error_deg=0.1)
+        assert watchdog.level is DegradationLevel.NOMINAL
+        assert watchdog.max_widened_delta_theta_deg == worst
+
+
+class TestHystereticRecovery:
+    def test_recovery_steps_down_one_level_per_dwell(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 3.0)
+        assert watchdog.level is DegradationLevel.REUSE_ONLY
+        level = feed(watchdog, 0.08, 60, error_deg=0.1)
+        assert level is DegradationLevel.NOMINAL
+        down = [t for t in watchdog.transitions if t[2] != t[1]][-2:]
+        assert [t[1:] for t in down] == [
+            ("REUSE_ONLY", "WIDENED"),
+            ("WIDENED", "NOMINAL"),
+        ]
+        # Consecutive step-downs are separated by at least one dwell.
+        assert down[1][0] - down[0][0] >= FAST.recovery_dwell_s - 1e-9
+
+    def test_relapse_resets_the_recovery_clock(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 3.0)
+        # Healthy long enough to start the recovery clock, not to finish it.
+        feed(watchdog, 0.08, 8, error_deg=0.1)
+        assert watchdog.level is DegradationLevel.REUSE_ONLY
+        # Relapse: the error stream degrades again (clock must reset).
+        feed(watchdog, 0.16, 8, error_deg=PROFILE.delta_theta_deg * 3.0)
+        # A short healthy stretch after the relapse: had the clock kept
+        # running from before the relapse, this would step down.
+        level = feed(watchdog, 0.24, 8, error_deg=0.1)
+        assert level is DegradationLevel.REUSE_ONLY
+
+    def test_dwell_ledger_closes_to_total_span(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST, start_s=0.0)
+        feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 2.0)
+        watchdog.finalize(2.0)
+        dwell = watchdog.dwell_s()
+        assert sum(dwell.values()) == pytest.approx(2.0)
+        assert dwell["WIDENED"] > 0
+        # finalize is idempotent: a later call must not inflate the ledger.
+        watchdog.finalize(5.0)
+        assert sum(watchdog.dwell_s().values()) == pytest.approx(2.0)
+
+
+class TestWatchdogConfig:
+    def test_rejects_unordered_thresholds(self):
+        with pytest.raises(ValueError, match="widen_factor"):
+            WatchdogConfig(widen_factor=3.0, reuse_factor=2.0)
+
+    def test_rejects_min_samples_above_window(self):
+        with pytest.raises(ValueError, match="min_samples"):
+            WatchdogConfig(window=8, min_samples=9)
+
+    def test_rejects_bad_confidence_floor(self):
+        with pytest.raises(ValueError, match="confidence_floor"):
+            WatchdogConfig(confidence_floor=1.5)

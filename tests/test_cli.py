@@ -50,3 +50,40 @@ class TestServeCli:
     def test_serve_rejects_bad_admission(self):
         with pytest.raises(SystemExit):
             main(["serve", "--admission", "panic"])
+
+
+class TestChaosCli:
+    def test_chaos_subcommand(self, capsys):
+        assert main(["chaos", "--sessions", "4", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet: 4 sessions" in out
+        assert "Faults injected" in out
+        assert "Recovery" in out
+
+    def test_chaos_fault_free_runs_clean(self, capsys):
+        assert main([
+            "chaos", "--sessions", "4", "--duration", "0.5", "--fault-free",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 frames dropped at sensor" in out
+        assert "0 batch failures" in out
+
+    def test_chaos_compare_fault_free(self, capsys):
+        assert main([
+            "chaos", "--sessions", "4", "--duration", "0.5",
+            "--no-worker-faults", "--compare-fault-free",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free baseline" in out
+        assert "Deadline misses under faults" in out
+
+    def test_chaos_output_is_deterministic(self, capsys):
+        args = ["chaos", "--sessions", "4", "--duration", "0.5", "--seed", "2"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_rejects_bad_rate(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--drop-rate", "1.5"])
