@@ -1,0 +1,102 @@
+"""Observability overhead: tracing must not tax the serving runtime.
+
+The tracer's contract is twofold.  First, tracing is *read-only*: a traced
+run observes the same simulated fleet the untraced run produced, so every
+simulated metric (goodput, miss rate, frame accounting) is bit-identical —
+the "< 5% goodput regression" budget is met with exactly 0%.  Second, the
+bookkeeping itself is cheap: recording spans into the ring buffer adds
+only a small wall-clock cost on top of the event loop, measured here
+best-of-N against the untraced baseline with a deliberately loose guard
+(wall time on shared CI is noisy; the sim-side equality is the hard gate).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.obs import NULL_OBS, Obs, ObsConfig
+from repro.serve import ServeConfig, serve_fleet
+from repro.system import table_to_text
+
+#: Same predict-heavy regime as the serve-scaling bench: small reuse
+#: threshold keeps the inference pool busy so span volume is realistic.
+CONFIG = ServeConfig(
+    n_sessions=32,
+    duration_s=1.0,
+    n_workers=2,
+    reuse_displacement_deg=0.05,
+    queue_budget_deadlines=0.8,
+    seed=0,
+)
+
+#: Hard budget from the design doc: the enabled tracer may not cost the
+#: runtime more than 5% of its goodput.  Simulated goodput is computed
+#: from sim-time alone, so the regression is exactly zero by construction
+#: — this bench is the regression test that keeps it that way.
+GOODPUT_BUDGET = 0.05
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+@pytest.mark.benchmark(group="obs")
+def test_enabled_tracer_goodput_regression_under_budget(benchmark):
+    plain = serve_fleet(CONFIG)
+    null_obs = serve_fleet(CONFIG, obs=NULL_OBS)
+    traced_obs = Obs(ObsConfig())
+    traced = benchmark.pedantic(
+        lambda: serve_fleet(CONFIG, obs=traced_obs), rounds=1, iterations=1
+    )
+
+    rows = [
+        ["untraced", f"{plain.predict_goodput_fps:.2f}",
+         f"{plain.deadline_miss_rate:.2%}", str(plain.total_frames)],
+        ["null-obs", f"{null_obs.predict_goodput_fps:.2f}",
+         f"{null_obs.deadline_miss_rate:.2%}", str(null_obs.total_frames)],
+        ["traced", f"{traced.predict_goodput_fps:.2f}",
+         f"{traced.deadline_miss_rate:.2%}", str(traced.total_frames)],
+    ]
+    emit(table_to_text(["Mode", "Goodput/s", "Miss", "Frames"], rows))
+
+    budget_floor = plain.predict_goodput_fps * (1.0 - GOODPUT_BUDGET)
+    assert traced.predict_goodput_fps >= budget_floor
+    # Read-only invariant: tracing never perturbs the simulation, so the
+    # budget is met with zero regression, not merely within 5%.
+    assert traced.predict_goodput_fps == plain.predict_goodput_fps
+    assert null_obs.predict_goodput_fps == plain.predict_goodput_fps
+    assert traced.summary() == plain.summary()
+    assert len(traced_obs.tracer) > 0  # the traced run did record spans
+
+
+@pytest.mark.benchmark(group="obs")
+def test_tracer_wall_clock_overhead_is_modest(benchmark):
+    def untraced():
+        return serve_fleet(CONFIG)
+
+    def traced():
+        return serve_fleet(CONFIG, obs=Obs(ObsConfig()))
+
+    benchmark.pedantic(traced, rounds=1, iterations=1)
+    base_s = _best_of(untraced)
+    traced_s = _best_of(traced)
+    ratio = traced_s / base_s
+
+    emit(table_to_text(
+        ["Mode", "Wall(ms)", "Ratio"],
+        [
+            ["untraced", f"{base_s * 1e3:.1f}", "1.00x"],
+            ["traced", f"{traced_s * 1e3:.1f}", f"{ratio:.2f}x"],
+        ],
+    ))
+    # Loose guard: span recording is a few dict/list ops per event, far
+    # below the event-loop cost; 2x headroom absorbs shared-CI noise.
+    assert ratio < 2.0

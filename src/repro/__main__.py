@@ -5,9 +5,11 @@ without going through pytest.  Training-dependent experiments accept a
 ``--scale`` flag; everything prints the same rows the paper reports.
 
 ``python -m repro serve [...]`` runs the multi-session serving simulator
-instead (see ``repro.serve.cli`` for its flags), and
+instead (see ``repro.serve.cli`` for its flags),
 ``python -m repro chaos [...]`` runs a seeded fault-injection scenario on
-it (see ``repro.faults.cli``).
+it (see ``repro.faults.cli``), and ``python -m repro trace [...]`` runs a
+traced workload and exports trace.json / metrics.prom
+(see ``repro.obs.cli``).
 """
 
 from __future__ import annotations
@@ -83,6 +85,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.faults.cli import main as chaos_main
 
         return chaos_main(raw[1:])
+    if raw and raw[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

@@ -24,6 +24,7 @@ from repro.nn import (
     quantize_weights,
 )
 from repro.nn.transformer import BatchTokenTrace, TokenTrace
+from repro.obs.profile import profiled
 from repro.utils.image import resize_bilinear
 
 
@@ -100,6 +101,7 @@ class PoloViT(Module):
         resized = resize_bilinear(images, c.image_size, c.image_size)
         return resized - 0.5
 
+    @profiled(name="vit.predict", cat="nn")
     def predict(
         self, images: np.ndarray, prune: bool = True, chunk: int = 64
     ) -> np.ndarray:

@@ -20,6 +20,7 @@ from repro.faults.config import (
     default_chaos_scenario,
 )
 from repro.faults.runtime import run_chaos
+from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
 from repro.serve.telemetry import format_fleet_report
 
 
@@ -55,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the zero-fault baseline and print the "
                         "degradation budget consumed")
     parser.add_argument("--max-session-rows", type=int, default=8)
+    add_obs_arguments(parser)
     return parser
 
 
@@ -99,8 +101,11 @@ def main(argv: "list[str] | None" = None) -> int:
         config = config_from_args(args)
     except ValueError as err:
         parser.error(str(err))
-    report = run_chaos(config)
+    obs = obs_from_args(args)
+    report = run_chaos(config, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
+    if obs is not None:
+        emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)
     if args.compare_fault_free and not args.fault_free:
         baseline = run_chaos(config.fault_free())
         print("\n--- fault-free baseline ---\n")

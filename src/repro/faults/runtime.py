@@ -39,6 +39,7 @@ from repro.faults.injectors import (
     InputFaultTrace,
     inject_input_faults,
 )
+from repro.obs import Obs, PID_WORKERS, session_pid
 from repro.serve.config import AdmissionPolicy, BatchServiceModel
 from repro.serve.request import ClientSession, FrameRequest, build_fleet
 from repro.serve.runtime import _ARRIVAL, _COMPLETE, _WINDOW, InferenceFn, ServeRuntime
@@ -96,9 +97,12 @@ class ChaosRuntime(ServeRuntime):
         chaos: ChaosConfig,
         service: "BatchServiceModel | None" = None,
         inference: "InferenceFn | None" = None,
+        obs: "Obs | None" = None,
     ):
         fleet, traces = build_chaos_fleet(chaos)
-        super().__init__(chaos.serve, service=service, inference=inference, fleet=fleet)
+        super().__init__(
+            chaos.serve, service=service, inference=inference, fleet=fleet, obs=obs
+        )
         self.chaos = chaos
         self.traces = traces
         self.pool = FaultyWorkerPool(
@@ -115,7 +119,12 @@ class ChaosRuntime(ServeRuntime):
             for _ in range(chaos.serve.n_workers)
         ]
         self.watchdogs = [
-            TrackingWatchdog(chaos.profile, chaos.watchdog, start_s=s.start_s)
+            TrackingWatchdog(
+                chaos.profile,
+                chaos.watchdog,
+                start_s=s.start_s,
+                on_transition=self._watchdog_hook(s.session_id),
+            )
             for s in self.fleet
         ]
         self.faults = FaultReport()
@@ -134,21 +143,27 @@ class ChaosRuntime(ServeRuntime):
         self._pending_wake_s: "float | None" = None
 
     # ------------------------------------------------------------------
-    # Degradation bookkeeping
+    # Observability hooks (no-ops unless ``obs`` is enabled)
     # ------------------------------------------------------------------
-    def _degrade_now(self, request: FrameRequest, now: float) -> None:
-        """Serve the frame from the buffered gaze (Algorithm-1 reuse).
+    def _watchdog_hook(self, session_id: int):
+        """Per-session ``on_transition`` callback emitting trace instants
+        (``watchdog.NOMINAL->WIDENED`` style) + a transition counter."""
+        if not self.obs.enabled:
+            return None
 
-        Degradation means the renderer shipped the frame on time with a
-        *stale* gaze — the cost is staleness (counted in ``degraded`` and
-        the fault telemetry), not lateness, so the recorded latency is
-        the reuse bypass just as for admission-control degradation.
-        """
-        done = now + self.config.reuse_bypass_s
-        self.stats[request.session_id].record_degraded(
-            self.config.reuse_bypass_s, self.config.deadline_s
-        )
-        self._makespan_s = max(self._makespan_s, done)
+        def hook(now_s: float, src: str, dst: str) -> None:
+            self.obs.tracer.instant(
+                f"watchdog.{src}->{dst}", now_s, cat="watchdog",
+                pid=session_pid(session_id),
+                args={"from": src, "to": dst},
+            )
+            self.obs.metrics.counter(
+                "watchdog_transitions_total",
+                help="Watchdog degradation-ladder transitions.",
+                to=dst,
+            ).inc()
+
+        return hook
 
     # ------------------------------------------------------------------
     # Admission (capacity-aware: breaker-evicted and crashed workers do
@@ -177,9 +192,17 @@ class ChaosRuntime(ServeRuntime):
         if wait <= self.config.queue_budget_s:
             return True
         if self.config.admission is AdmissionPolicy.DEGRADE:
-            self._degrade_now(request, now)
+            self._degrade_now(request, now, cause="admission")
         else:  # SHED
             self.stats[request.session_id].record_shed(request.path)
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "shed", now, cat="serve",
+                    pid=session_pid(request.session_id),
+                    args={"frame": request.frame_index},
+                )
+                assert self._instruments is not None
+                self._instruments.shed.inc()
         return False
 
     # ------------------------------------------------------------------
@@ -237,6 +260,10 @@ class ChaosRuntime(ServeRuntime):
                 assert self.predictions is not None
                 for request, gaze in zip(batch, outputs):
                     self.predictions[(request.session_id, request.frame_index)] = gaze
+            if self.obs.enabled:
+                self._trace_batch(
+                    worker.worker_id, batch, now, outcome.done_s, ok=outcome.ok
+                )
             self._push(outcome.done_s, _COMPLETE, (worker, batch, outcome))
 
     # ------------------------------------------------------------------
@@ -250,14 +277,20 @@ class ChaosRuntime(ServeRuntime):
         expected_done = retry_at + self.service.service_s(self.config.max_batch)
         if next_attempt > recovery.max_retries:
             self.faults.retry_exhausted_degraded += 1
-            self._degrade_now(request, now)
+            self._degrade_now(request, now, cause="retry_exhausted")
         elif expected_done > request.deadline_s:
             # The retry cannot beat the deadline: degrade immediately —
             # a stale-but-on-time gaze beats a fresh-but-late one.
             self.faults.deadline_degraded += 1
-            self._degrade_now(request, now)
+            self._degrade_now(request, now, cause="deadline")
         else:
             self.faults.retries_scheduled += 1
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "retry.scheduled", now, cat="faults",
+                    pid=session_pid(request.session_id),
+                    args={"frame": request.frame_index, "attempt": next_attempt},
+                )
             self._push(retry_at, _ARRIVAL, replace(request, retries=next_attempt))
 
     # ------------------------------------------------------------------
@@ -277,12 +310,22 @@ class ChaosRuntime(ServeRuntime):
         if trace.dropped[i]:
             self.faults.input_dropped += 1
             self.stats[sid].record_lost_input()
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "input.dropped", now, cat="faults",
+                    pid=session_pid(sid), args={"frame": i},
+                )
             return
         if trace.corrupted[i] and (sid, i) not in self._retransmitted:
             # Link-layer CRC caught a transient: the frame arrives one
             # retransmission later (its deadline does not move).
             self._retransmitted.add((sid, i))
             self.faults.mipi_corrupted_frames += 1
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "input.retransmit", now, cat="faults",
+                    pid=session_pid(sid), args={"frame": i},
+                )
             self._push(now + float(trace.retransmit_s[i]), _ARRIVAL, request)
             return
 
@@ -306,6 +349,8 @@ class ChaosRuntime(ServeRuntime):
                 "full_res", now - request.arrival_s, self.config.deadline_s
             )
             self._makespan_s = max(self._makespan_s, now)
+            if self.obs.enabled:
+                self._trace_frame(request, "full_res", now - request.arrival_s)
             return
         if request.path == "saccade":
             self._record_completion(request, now + self.config.saccade_bypass_s)
@@ -316,11 +361,11 @@ class ChaosRuntime(ServeRuntime):
         # Predict path.
         if blind:
             self.faults.occlusion_degraded += 1
-            self._degrade_now(request, now)
+            self._degrade_now(request, now, cause="occlusion")
             return
         if level >= DegradationLevel.REUSE_ONLY:
             self.faults.watchdog_reuse_frames += 1
-            self._degrade_now(request, now)
+            self._degrade_now(request, now, cause="watchdog")
             return
         if not self._admit(request, now):
             return
@@ -346,6 +391,17 @@ class ChaosRuntime(ServeRuntime):
                 self.faults.worker_crash_failures += 1
             else:
                 self.faults.worker_stall_timeouts += 1
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    f"batch.failed.{outcome.cause}", now, cat="faults",
+                    pid=PID_WORKERS, tid=worker.worker_id,
+                    args={"batch_size": len(batch)},
+                )
+                self.obs.metrics.counter(
+                    "serve_batch_failures_total",
+                    help="Dispatched batches that failed, by fault cause.",
+                    cause=outcome.cause,
+                ).inc()
             for request in batch:
                 self._retry_or_degrade(request, now)
         self._try_dispatch(now)
@@ -386,6 +442,7 @@ def run_chaos(
     chaos: ChaosConfig,
     service: "BatchServiceModel | None" = None,
     inference: "InferenceFn | None" = None,
+    obs: "Obs | None" = None,
 ) -> FleetReport:
     """Run one seeded chaos scenario; the report carries ``.faults``."""
-    return ChaosRuntime(chaos, service=service, inference=inference).run()
+    return ChaosRuntime(chaos, service=service, inference=inference, obs=obs).run()

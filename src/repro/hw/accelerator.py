@@ -227,9 +227,21 @@ class PoloAcceleratorModel:
         saccade_ops: list,
         vit_ops: "list | None" = None,
         binary_map: "np.ndarray | None" = None,
+        tracer=None,
+        t0_s: float = 0.0,
     ) -> PathReport:
-        """Latency/energy of one frame on 'saccade', 'reuse', or 'predict'."""
+        """Latency/energy of one frame on 'saccade', 'reuse', or 'predict'.
+
+        With a ``tracer`` (see :mod:`repro.obs`), emits sim-clock
+        per-stage spans on the accelerator track starting at ``t0_s``:
+        the IPU datapath stages, the saccade RNN, and — on the predict
+        path — the gaze ViT broken down into systolic / SFU /
+        token-selector cycle shares from the mapper's schedule.  Tracing
+        is read-only: the returned report is identical with or without a
+        tracer.
+        """
         acc = self.accelerator
+        clock = acc.config.clock_hz
         if binary_map is None and path == "predict":
             # Worst-case white-pixel population for the pupil search: the
             # pupil disc occupies ~2% of the pooled map.
@@ -237,12 +249,67 @@ class PoloAcceleratorModel:
             binary_map = np.zeros((h, w), dtype=np.uint8)
             n_white = max(1, int(0.02 * h * w))
             binary_map.reshape(-1)[:n_white] = 1
-        ipu_report = acc.ipu.frame_cost(
+        stage_reports = acc.ipu.frame_stage_costs(
             self.frame_shape, self.pool_m, binary_map, self.pupil_window, path
         )
-        total = acc.run_ipu(ipu_report) + acc.run(saccade_ops)
+        cycles = sum(r.cycles for r in stage_reports)
+        energy = EnergyBreakdown()
+        for r in stage_reports:
+            energy = energy + r.energy
+        ipu_report = IpuReport(path, cycles, energy)
+        saccade_exec = acc.run(saccade_ops)
+        total = acc.run_ipu(ipu_report) + saccade_exec
+        vit_exec = None
         if path == "predict":
             if vit_ops is None:
                 raise ValueError("predict path requires the gaze ViT workload")
-            total = total + acc.run(vit_ops)
+            vit_exec = acc.run(vit_ops)
+            total = total + vit_exec
+        if tracer is not None and tracer.enabled:
+            self._trace_stages(tracer, t0_s, clock, stage_reports, saccade_exec, vit_exec)
         return PathReport(path=path, latency_s=total.latency_s, energy=total.energy)
+
+    def _trace_stages(
+        self,
+        tracer,
+        t0_s: float,
+        clock_hz: float,
+        stage_reports: list,
+        saccade_exec: ExecutionReport,
+        vit_exec: "ExecutionReport | None",
+    ) -> None:
+        from repro.obs import PID_ACCEL
+
+        t = t0_s
+        for report in stage_reports:
+            dur = report.cycles / clock_hz
+            tracer.record_span(
+                f"ipu.{report.task}", t, dur, cat="accel", pid=PID_ACCEL,
+                args={"cycles": report.cycles},
+            )
+            t += dur
+        tracer.record_span(
+            "array.saccade_rnn", t, saccade_exec.latency_s, cat="accel",
+            pid=PID_ACCEL, args={"cycles": saccade_exec.cycles},
+        )
+        t += saccade_exec.latency_s
+        if vit_exec is None:
+            return
+        tracer.record_span(
+            "array.gaze_vit", t, vit_exec.latency_s, cat="accel",
+            pid=PID_ACCEL, args={"cycles": vit_exec.cycles},
+        )
+        schedule = vit_exec.schedule
+        if schedule is not None:
+            sub = t
+            for name, cycles in (
+                ("systolic", schedule.matmul_cycles),
+                ("sfu", schedule.sfu_cycles),
+                ("token_selector", schedule.elementwise_cycles),
+            ):
+                dur = cycles / clock_hz
+                tracer.record_span(
+                    f"array.gaze_vit.{name}", sub, dur, cat="accel",
+                    pid=PID_ACCEL, tid=1, args={"cycles": cycles},
+                )
+                sub += dur

@@ -88,6 +88,31 @@ class IpuModel:
     # ------------------------------------------------------------------
     # Combined per-frame costs for the three POLONet paths
     # ------------------------------------------------------------------
+    def frame_stage_costs(
+        self,
+        frame_shape: tuple[int, int],
+        pool_m: int,
+        binary_map: "np.ndarray | None",
+        window: int,
+        path: str,
+    ) -> list[IpuReport]:
+        """Per-stage IPU reports for one frame, in datapath order.
+
+        The stage list is what per-stage profiling traces; summing it in
+        order reproduces :meth:`frame_cost` exactly.
+        """
+        if path not in ("saccade", "reuse", "predict"):
+            raise ValueError(f"unknown path {path!r}")
+        reports = [self.pool_binarize_cost(frame_shape, pool_m)]
+        map_shape = (frame_shape[0] // pool_m, frame_shape[1] // pool_m)
+        if path in ("reuse", "predict"):
+            reports.append(self.reuse_check_cost(map_shape))
+        if path == "predict":
+            if binary_map is None:
+                binary_map = np.ones(map_shape, dtype=np.uint8) * 0  # worst case none
+            reports.append(self.pupil_search_cost(binary_map, window))
+        return reports
+
     def frame_cost(
         self,
         frame_shape: tuple[int, int],
@@ -101,16 +126,7 @@ class IpuModel:
         ``path``: 'saccade' runs pooling/binarization only; 'reuse' adds the
         XOR difference; 'predict' additionally runs the pupil search.
         """
-        reports = [self.pool_binarize_cost(frame_shape, pool_m)]
-        map_shape = (frame_shape[0] // pool_m, frame_shape[1] // pool_m)
-        if path in ("reuse", "predict"):
-            reports.append(self.reuse_check_cost(map_shape))
-        if path == "predict":
-            if binary_map is None:
-                binary_map = np.ones(map_shape, dtype=np.uint8) * 0  # worst case none
-            reports.append(self.pupil_search_cost(binary_map, window))
-        if path not in ("saccade", "reuse", "predict"):
-            raise ValueError(f"unknown path {path!r}")
+        reports = self.frame_stage_costs(frame_shape, pool_m, binary_map, window, path)
         cycles = sum(r.cycles for r in reports)
         energy = EnergyBreakdown()
         for r in reports:

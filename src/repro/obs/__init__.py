@@ -1,0 +1,83 @@
+"""Observability: structured tracing, metrics, and per-stage profiling.
+
+Zero-dependency subsystem threaded through the serving + accelerator
+stack.  Three pieces:
+
+* **Tracer** (:mod:`repro.obs.tracer`) — hierarchical spans (session ->
+  frame -> stage) in two clock domains: deterministic sim-time spans
+  from the event loops / hardware models, wall-time spans from real
+  compute.  The default is a no-op tracer; :class:`ObsConfig` enables
+  the real ring-buffer one.
+* **Metrics** (:mod:`repro.obs.metrics`) — a counters/gauges/histograms
+  registry with exact percentiles, a Prometheus text exporter, and an
+  aligned-table snapshot.
+* **Profiling hooks** (:mod:`repro.obs.profile`) — the ``@profiled``
+  decorator and the global tracer that library hot paths record into.
+
+``python -m repro trace`` runs a traced fleet and writes ``trace.json``
+(Perfetto / chrome://tracing), ``trace.jsonl``, and ``metrics.prom``.
+"""
+
+from repro.obs.config import NULL_OBS, Obs, ObsConfig
+from repro.obs.export import (
+    chrome_trace,
+    slowest_spans_table,
+    spans_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import get_global_tracer, profiled, set_global_tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PID_ACCEL,
+    PID_BATCHER,
+    PID_SESSION_BASE,
+    PID_TFR,
+    PID_WALL,
+    PID_WORKERS,
+    SIM_CLOCK,
+    WALL_CLOCK,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    session_pid,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Obs",
+    "ObsConfig",
+    "PID_ACCEL",
+    "PID_BATCHER",
+    "PID_SESSION_BASE",
+    "PID_TFR",
+    "PID_WALL",
+    "PID_WORKERS",
+    "SIM_CLOCK",
+    "SpanRecord",
+    "Tracer",
+    "WALL_CLOCK",
+    "chrome_trace",
+    "get_global_tracer",
+    "profiled",
+    "session_pid",
+    "set_global_tracer",
+    "slowest_spans_table",
+    "spans_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,199 @@
+"""``python -m repro trace`` — run a traced workload and export artifacts.
+
+Runs a fleet-serving simulation (optionally the chaos scenario) with
+observability enabled, plus one exemplar per-path accelerator stage
+trace and one TFR frame layout, then writes:
+
+* ``trace.json``  — Chrome ``trace_event`` JSON; load it in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+* ``trace.jsonl`` — one span per line for grep/jq.
+* ``metrics.prom`` — the metrics registry in Prometheus text format.
+
+and prints the top-K slowest spans.  Every span in this run is
+sim-clock (the CLI never installs the global wall tracer), so the
+artifacts are byte-identical across runs of the same flags — the
+obs-smoke CI job diffs two runs to prove it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.obs.config import Obs, ObsConfig
+from repro.obs.export import slowest_spans_table, write_chrome_trace, write_jsonl
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--obs`` flags shared by the serve / chaos CLIs."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--obs", action="store_true",
+                       help="enable tracing + metrics for this run")
+    group.add_argument("--obs-out", type=Path, default=Path("obs-out"),
+                       metavar="DIR",
+                       help="directory for trace.json / trace.jsonl / "
+                       "metrics.prom (with --obs)")
+    group.add_argument("--obs-top", type=int, default=10, metavar="K",
+                       help="print the K slowest spans (with --obs)")
+
+
+def obs_from_args(args: argparse.Namespace) -> "Obs | None":
+    return Obs(ObsConfig(top_k=args.obs_top)) if args.obs else None
+
+
+def emit_obs_artifacts(obs: Obs, out_dir: Path, top_k: int = 10) -> None:
+    """Write the three artifacts and print the slowest-spans table."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(obs.tracer, out_dir / "trace.json")
+    jsonl_path = write_jsonl(obs.tracer, out_dir / "trace.jsonl")
+    prom_path = out_dir / "metrics.prom"
+    prom_path.write_text(obs.metrics.to_prometheus())
+    n_spans = len(obs.tracer.spans())
+    print(f"\n--- obs: {n_spans} spans "
+          f"({obs.tracer.dropped} dropped at ring capacity) ---")
+    print(f"wrote {trace_path}  (Perfetto / chrome://tracing)")
+    print(f"wrote {jsonl_path}")
+    print(f"wrote {prom_path}")
+    print(f"\nTop {top_k} slowest spans:")
+    print(slowest_spans_table(obs.tracer, k=top_k))
+
+
+def _trace_accelerator_and_tfr(obs: Obs) -> None:
+    """One exemplar per-path accelerator stage trace + TFR frame layout.
+
+    Purely analytic (paper-scale workloads, no training), so the spans
+    are deterministic; they showcase the accel/tfr span taxonomy on
+    their own tracks alongside the serving trace.
+    """
+    from repro.core import GazeViTConfig, SaccadeDetector
+    from repro.experiments.profiles import (
+        PAPER_FRAME_SHAPE,
+        PAPER_MAP_SHAPE,
+        PAPER_POOL_M,
+        pruned_vit_workload,
+    )
+    from repro.hw import PoloAcceleratorModel, polo_accelerator
+    from repro.obs import PID_ACCEL, PID_TFR
+    from repro.render.scene import RES_1080P, scene_by_name
+    from repro.system import Schedule, TfrSystem, TrackerSystemProfile
+
+    tracer = obs.tracer
+    tracer.declare_track(PID_ACCEL, "accelerator", thread_name="stages")
+    tracer.declare_track(PID_ACCEL, "accelerator", tid=1, thread_name="vit-engines")
+    tracer.declare_track(PID_TFR, "tfr", thread_name="chain")
+    tracer.declare_track(PID_TFR, "tfr", tid=1, thread_name="render")
+
+    detector = SaccadeDetector(PAPER_MAP_SHAPE)
+    saccade_ops = detector.workload(PAPER_MAP_SHAPE)
+    vit_ops = pruned_vit_workload(GazeViTConfig.paper(), 0.2)
+    model = PoloAcceleratorModel(
+        polo_accelerator(), frame_shape=PAPER_FRAME_SHAPE, pool_m=PAPER_POOL_M
+    )
+    # Lay the three paths out back-to-back on the accelerator track.
+    t = 0.0
+    reports = {}
+    for path in ("saccade", "reuse", "predict"):
+        report = model.path_report(
+            path,
+            saccade_ops,
+            vit_ops if path == "predict" else None,
+            tracer=tracer,
+            t0_s=t,
+        )
+        reports[path] = report
+        t += report.latency_s
+
+    profile = TrackerSystemProfile(
+        name="POLO",
+        td_predict_s=reports["predict"].latency_s,
+        delta_theta_deg=1.15,
+        td_saccade_s=reports["saccade"].latency_s,
+        td_reuse_s=reports["reuse"].latency_s,
+    )
+    tfr = TfrSystem()
+    scene = scene_by_name("D")
+    t = 0.0
+    for path in ("saccade", "reuse", "predict"):
+        latency = tfr.frame_latency(
+            profile, scene, RES_1080P, path, Schedule.PARALLEL,
+            tracer=tracer, t0_s=t,
+        )
+        t += latency.total_s
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run a traced serving simulation and export "
+        "trace.json / trace.jsonl / metrics.prom.",
+    )
+    parser.add_argument("--frames", type=int, default=200,
+                        help="frames per session (duration = frames / fps)")
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chaos", action="store_true",
+                        help="trace the fault-injection scenario instead of "
+                        "the clean serving loop")
+    parser.add_argument("--out", type=Path, default=Path("obs-out"),
+                        metavar="DIR")
+    parser.add_argument("--top", type=int, default=10, metavar="K",
+                        help="print the K slowest spans")
+    parser.add_argument("--no-hw", action="store_true",
+                        help="skip the exemplar accelerator/TFR stage traces")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    obs = Obs(ObsConfig(top_k=args.top))
+    try:
+        if args.chaos:
+            from dataclasses import replace
+
+            from repro.faults.config import default_chaos_scenario
+            from repro.faults.runtime import run_chaos
+
+            base = default_chaos_scenario(seed=args.seed)
+            duration = args.frames / base.serve.fps
+            chaos = replace(
+                base,
+                serve=replace(
+                    base.serve,
+                    n_sessions=args.sessions,
+                    n_workers=args.workers,
+                    duration_s=duration,
+                ),
+                fault_seed=args.seed,
+            )
+            report = run_chaos(chaos, obs=obs)
+        else:
+            from repro.serve.config import ServeConfig
+            from repro.serve.runtime import serve_fleet
+
+            defaults = ServeConfig()
+            config = ServeConfig(
+                n_sessions=args.sessions,
+                n_workers=args.workers,
+                duration_s=args.frames / defaults.fps,
+                seed=args.seed,
+            )
+            report = serve_fleet(config, obs=obs)
+        if not args.no_hw:
+            _trace_accelerator_and_tfr(obs)
+    except ValueError as err:
+        parser.error(str(err))
+    summary = report.summary()
+    print(
+        f"traced {args.sessions} sessions x {args.frames} frames "
+        f"({'chaos' if args.chaos else 'serve'}): "
+        f"goodput {summary['predict_goodput_fps']:.0f} fresh predictions/s, "
+        f"p95 {summary['p95_ms']:.2f} ms"
+    )
+    emit_obs_artifacts(obs, args.out, top_k=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

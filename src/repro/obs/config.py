@@ -1,0 +1,50 @@
+"""Observability configuration and the per-run Obs bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Knobs of one observability session.
+
+    ``enabled=False`` (the library default) makes every tracer call a
+    no-op; enabling it swaps in the real ring-buffer tracer.  The
+    metrics registry always exists — counters are cheap and reports can
+    publish into it unconditionally — but runtimes only feed it live
+    when ``enabled``.
+    """
+
+    enabled: bool = True
+    ring_capacity: int = 1 << 16
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        check_positive("ring_capacity", self.ring_capacity)
+        check_positive("top_k", self.top_k)
+
+
+class Obs:
+    """One run's tracer + metrics registry, built from an ObsConfig."""
+
+    def __init__(self, config: "ObsConfig | None" = None):
+        self.config = config or ObsConfig()
+        self.tracer: "Tracer | NullTracer" = (
+            Tracer(self.config.ring_capacity) if self.config.enabled else NULL_TRACER
+        )
+        self.metrics = MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+
+#: Shared disabled bundle — the default ``obs`` of every runtime.  Its
+#: registry is intentionally shared-and-ignored: disabled runtimes never
+#: publish into it.
+NULL_OBS = Obs(ObsConfig(enabled=False))

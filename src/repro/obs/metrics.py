@@ -1,0 +1,259 @@
+"""Metrics registry: counters, gauges, and histograms with exporters.
+
+One :class:`MetricsRegistry` per run collects everything the runtimes
+publish — frame counters by path, latency/queue-wait histograms, fault
+counters, end-of-run gauges — and renders it two ways:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` headers, ``name{labels} value``
+  samples, cumulative ``_bucket`` series for histograms);
+* :meth:`MetricsRegistry.snapshot_table` — an aligned text table reusing
+  :func:`repro.system.metrics.table_to_text`, the same renderer every
+  benchmark report uses.
+
+Histograms keep **both** representations: fixed cumulative buckets for
+the Prometheus export and the raw sample list for *exact* percentiles
+via :func:`repro.system.metrics.percentile_summary` (linear
+interpolation) — bucket-quantile estimation error never leaks into the
+P50/P95/P99 numbers the reports print.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+
+from repro.system.metrics import percentile_key, percentile_summary, table_to_text
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for latencies in seconds (sub-ms to 100 ms —
+#: the range the frame deadline lives in), plus +Inf implicitly.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers render bare, floats as repr."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: dict[str, str], extra: "dict[str, str] | None" = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: dict[str, str], help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value (set, not accumulated)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: dict[str, str], help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram that also keeps its raw samples.
+
+    Buckets are cumulative upper bounds (Prometheus ``le`` semantics);
+    percentiles are computed exactly from the stored samples.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "buckets", "bucket_counts", "_samples", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be non-empty and sorted, got {buckets}")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self._samples: list[float] = []
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self._samples.append(float(value))
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile of the observed samples."""
+        return percentile_summary(self._samples, (p,))[percentile_key(p)]
+
+    def summary(self, ps: tuple[float, ...] = (50, 95, 99)) -> dict[str, float]:
+        """Mean + exact percentiles (empty histogram -> zeros)."""
+        if not self._samples:
+            return {"mean": 0.0, **{percentile_key(p): 0.0 for p in ps}}
+        return percentile_summary(self._samples, ps)
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument in one run.
+
+    Instruments are keyed by ``(name, sorted labels)``; asking twice
+    returns the same object, asking with a different kind is an error —
+    the registry is the single source of truth the exporters walk.
+    """
+
+    def __init__(self):
+        self._instruments: dict[tuple, object] = {}
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        _check_name(name)
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        labels = {k: str(v) for k, v in labels.items()}
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels, help, **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def instruments(self) -> list:
+        """All instruments ordered by (name, labels) — deterministic."""
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def get(self, name: str, **labels) -> "Counter | Gauge | Histogram | None":
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self._instruments.get(key)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for instrument in self.instruments():
+            name = instrument.name
+            if name not in seen_headers:
+                seen_headers.add(name)
+                if instrument.help:
+                    lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(f"# TYPE {name} {instrument.kind}")
+            labels = instrument.labels
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(instrument.buckets, instrument.bucket_counts):
+                    cumulative += count
+                    le = _label_str(labels, {"le": f"{bound:g}"})
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += instrument.bucket_counts[-1]
+                le = _label_str(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} {_format_value(instrument.sum)}"
+                )
+                lines.append(f"{name}_count{_label_str(labels)} {instrument.count}")
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} {_format_value(instrument.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot_table(self) -> str:
+        """Aligned-table snapshot (benchmark-report style)."""
+        headers = ["Metric", "Type", "Value/Count", "p50", "p95", "p99"]
+        rows = []
+        for instrument in self.instruments():
+            label = instrument.name + _label_str(instrument.labels)
+            if isinstance(instrument, Histogram):
+                s = instrument.summary((50, 95, 99))
+                rows.append(
+                    [
+                        label,
+                        instrument.kind,
+                        instrument.count,
+                        f"{s['p50']:.6g}",
+                        f"{s['p95']:.6g}",
+                        f"{s['p99']:.6g}",
+                    ]
+                )
+            else:
+                rows.append(
+                    [label, instrument.kind, _format_value(instrument.value), "-", "-", "-"]
+                )
+        return table_to_text(headers, rows, min_width=4)

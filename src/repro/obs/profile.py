@@ -1,0 +1,55 @@
+"""Profiling hooks: the ``@profiled`` decorator and the global tracer.
+
+Library hot paths (POLOViT batch inference, the workload mapper, the
+POLONet per-frame pipeline) are instrumented against a *module-global*
+tracer so they need no plumbing through every call signature.  The
+global tracer is the no-op :data:`~repro.obs.tracer.NULL_TRACER` until
+something (a CLI ``--obs`` flag, a test, an experiment harness) installs
+a real one via :func:`set_global_tracer` — the decorator's fast path is
+one attribute check.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+_global_tracer: "Tracer | NullTracer" = NULL_TRACER
+
+
+def set_global_tracer(tracer: "Tracer | NullTracer | None") -> None:
+    """Install the process-wide tracer (None restores the no-op one)."""
+    global _global_tracer
+    _global_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+def get_global_tracer() -> "Tracer | NullTracer":
+    return _global_tracer
+
+
+def profiled(fn=None, *, name: "str | None" = None, cat: str = "wall"):
+    """Record a wall-clock span around every call of ``fn``.
+
+    Usable bare (``@profiled``) or parameterized
+    (``@profiled(name="PoloViT.predict")``).  With the default no-op
+    global tracer the wrapper short-circuits to the original call.
+    """
+
+    def decorate(func):
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            tracer = _global_tracer
+            if not tracer.enabled:
+                return func(*args, **kwargs)
+            with tracer.span(span_name, cat=cat):
+                return func(*args, **kwargs)
+
+        wrapper.__profiled_name__ = span_name
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

@@ -1,0 +1,294 @@
+"""Span-based tracer with two clock domains and a bounded ring buffer.
+
+Every span lives on a *track*, identified Chrome-trace-style by a
+``(pid, tid)`` pair: sessions are processes (one frame track each),
+the worker pool is a process with one thread per worker, and the
+accelerator / TFR stage models get processes of their own (see the
+``PID_*`` constants).  Two clock domains coexist:
+
+* ``sim`` — timestamps come from a simulation's own clock (the serving
+  event loop, the accelerator cycle model, the TFR latency composition).
+  Sim spans are recorded retroactively via :meth:`Tracer.record_span`
+  with explicit start/duration, so two same-seed runs produce identical
+  span streams (the obs-smoke CI job diffs them byte-for-byte).
+* ``wall`` — timestamps come from ``time.perf_counter()`` relative to
+  the tracer's creation, recorded via the :meth:`Tracer.span` context
+  manager around real compute (POLOViT forwards, workload mapping).
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose every method
+is a no-op — instrumentation stays in the code at zero configuration and
+near-zero cost until an :class:`~repro.obs.config.ObsConfig` enables the
+real one.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Clock-domain names stamped on every record.
+SIM_CLOCK = "sim"
+WALL_CLOCK = "wall"
+
+#: Chrome-trace process ids of the fixed tracks.  Sessions map to
+#: ``PID_SESSION_BASE + session_id`` so per-session frame streams render
+#: as separate processes in Perfetto.
+PID_WORKERS = 1
+PID_BATCHER = 2
+PID_ACCEL = 3
+PID_TFR = 4
+PID_WALL = 5
+PID_SESSION_BASE = 100
+
+
+def session_pid(session_id: int) -> int:
+    """Track (process) id of one client session."""
+    return PID_SESSION_BASE + session_id
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span or instant event.
+
+    ``ph`` follows the Chrome ``trace_event`` phase vocabulary: ``"X"``
+    for complete spans, ``"i"`` for instant events (``dur_s == 0``).
+    """
+
+    name: str
+    cat: str
+    ts_s: float
+    dur_s: float
+    pid: int
+    tid: int
+    clock: str
+    ph: str = "X"
+    args: "dict | None" = None
+
+    @property
+    def end_s(self) -> float:
+        return self.ts_s + self.dur_s
+
+    def contains(self, other: "SpanRecord", tol: float = 1e-12) -> bool:
+        """Temporal containment on the same track (the nesting relation
+        Chrome's flame view infers from ts/dur)."""
+        return (
+            self.pid == other.pid
+            and self.tid == other.tid
+            and other.ts_s >= self.ts_s - tol
+            and other.end_s <= self.end_s + tol
+        )
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    Shares the :class:`Tracer` surface so instrumented code never
+    branches on configuration beyond the cheap ``enabled`` check.
+    """
+
+    enabled = False
+    dropped = 0
+
+    def record_span(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def span(self, *args, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def declare_track(self, *args, **kwargs) -> None:
+        pass
+
+    def spans(self) -> list[SpanRecord]:
+        return []
+
+    def slowest(self, k: int = 10, clock: "str | None" = None) -> list[SpanRecord]:
+        return []
+
+    @property
+    def tracks(self) -> dict:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+class _WallSpan:
+    """Context manager measuring one wall-clock span."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_pid", "_tid", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, pid: int, tid: int, args):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._pid = pid
+        self._tid = tid
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_WallSpan":
+        self._t0 = self._tracer._wall_now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = self._tracer._wall_now()
+        self._tracer.record_span(
+            self._name,
+            self._t0,
+            t1 - self._t0,
+            cat=self._cat,
+            pid=self._pid,
+            tid=self._tid,
+            clock=WALL_CLOCK,
+            args=self._args,
+        )
+        return False
+
+
+@dataclass
+class TrackInfo:
+    """Display metadata of one (pid, tid) track."""
+
+    process_name: str
+    thread_names: dict[int, str] = field(default_factory=dict)
+
+
+class Tracer:
+    """In-memory span recorder with a fixed-capacity ring buffer.
+
+    When the buffer is full the *oldest* spans are dropped (``dropped``
+    counts them) — tracing a long run degrades to a tail window instead
+    of growing without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._spans: deque[SpanRecord] = deque(maxlen=capacity)
+        self._tracks: dict[int, TrackInfo] = {}
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _wall_now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _append(self, record: SpanRecord) -> None:
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(record)
+
+    def record_span(
+        self,
+        name: str,
+        ts_s: float,
+        dur_s: float,
+        *,
+        cat: str = "sim",
+        pid: int = 0,
+        tid: int = 0,
+        clock: str = SIM_CLOCK,
+        args: "dict | None" = None,
+    ) -> None:
+        """Record one completed span with explicit timestamps."""
+        if dur_s < 0:
+            raise ValueError(f"span {name!r} has negative duration {dur_s}")
+        self._append(SpanRecord(name, cat, ts_s, dur_s, pid, tid, clock, "X", args))
+
+    def instant(
+        self,
+        name: str,
+        ts_s: float,
+        *,
+        cat: str = "sim",
+        pid: int = 0,
+        tid: int = 0,
+        clock: str = SIM_CLOCK,
+        args: "dict | None" = None,
+    ) -> None:
+        """Record a zero-duration instant event (e.g. a state transition)."""
+        self._append(SpanRecord(name, cat, ts_s, 0.0, pid, tid, clock, "i", args))
+
+    def span(
+        self,
+        name: str,
+        *,
+        cat: str = "wall",
+        pid: int = PID_WALL,
+        tid: int = 0,
+        args: "dict | None" = None,
+    ) -> _WallSpan:
+        """Context manager measuring a wall-clock span around real compute."""
+        return _WallSpan(self, name, cat, pid, tid, args)
+
+    # ------------------------------------------------------------------
+    # Track metadata
+    # ------------------------------------------------------------------
+    def declare_track(
+        self,
+        pid: int,
+        process_name: str,
+        tid: int = 0,
+        thread_name: "str | None" = None,
+    ) -> None:
+        """Name a (pid, tid) track for the trace viewers."""
+        info = self._tracks.setdefault(pid, TrackInfo(process_name))
+        info.process_name = process_name
+        if thread_name is not None:
+            info.thread_names[tid] = thread_name
+
+    @property
+    def tracks(self) -> dict[int, TrackInfo]:
+        return self._tracks
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self._spans)
+
+    def slowest(self, k: int = 10, clock: "str | None" = None) -> list[SpanRecord]:
+        """The k longest spans (ties broken by start time then name, so
+        the ranking is deterministic)."""
+        pool = [
+            s
+            for s in self._spans
+            if s.ph == "X" and (clock is None or s.clock == clock)
+        ]
+        pool.sort(key=lambda s: (-s.dur_s, s.ts_s, s.name, s.pid, s.tid))
+        return pool[:k]
+
+
+#: Shared no-op tracer (the default everywhere).
+NULL_TRACER = NullTracer()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
 from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
 from repro.serve.request import build_fleet
 from repro.serve.runtime import serve_fleet
@@ -56,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the max_batch=1 baseline on the same fleet")
     parser.add_argument("--max-session-rows", type=int, default=8)
+    add_obs_arguments(parser)
     return parser
 
 
@@ -87,8 +89,11 @@ def main(argv: "list[str] | None" = None) -> int:
     except ValueError as err:
         parser.error(str(err))
     fleet = build_fleet(config)
-    report = serve_fleet(config, service=service, fleet=fleet)
+    obs = obs_from_args(args)
+    report = serve_fleet(config, service=service, fleet=fleet, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
+    if obs is not None:
+        emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)
     if args.compare_sequential:
         baseline = serve_fleet(
             config.sequential_baseline(), service=service, fleet=fleet

@@ -30,10 +30,16 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import NULL_OBS, Obs, PID_BATCHER, PID_WORKERS, session_pid
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
 from repro.serve.request import ClientSession, FrameRequest, build_fleet, fleet_requests
-from repro.serve.telemetry import FleetReport, SessionStats
+from repro.serve.telemetry import (
+    FleetReport,
+    ServeInstruments,
+    SessionStats,
+    publish_fleet_metrics,
+)
 from repro.serve.workers import WorkerPool
 
 # Event-kind priorities: at equal timestamps, completions free workers
@@ -56,6 +62,7 @@ class ServeRuntime:
         service: "BatchServiceModel | None" = None,
         inference: "InferenceFn | None" = None,
         fleet: "list[ClientSession] | None" = None,
+        obs: "Obs | None" = None,
     ):
         self.config = config
         self.service = service if service is not None else BatchServiceModel()
@@ -74,6 +81,97 @@ class ServeRuntime:
         self._heap: list[tuple[float, int, int, object]] = []
         self._event_seq = 0
         self._makespan_s = 0.0
+        # Observability is read-only over the simulation: spans carry
+        # sim-clock timestamps the event loop already computed, so a
+        # traced run is bit-identical to an untraced one.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._instruments: "ServeInstruments | None" = None
+        if self.obs.enabled:
+            self._instruments = ServeInstruments(self.obs.metrics)
+            self._declare_tracks()
+
+    # ------------------------------------------------------------------
+    # Tracing (no-ops unless ``obs`` is enabled)
+    # ------------------------------------------------------------------
+    def _declare_tracks(self) -> None:
+        tracer = self.obs.tracer
+        tracer.declare_track(PID_WORKERS, "serve.workers")
+        for worker_id in range(self.config.n_workers):
+            tracer.declare_track(
+                PID_WORKERS, "serve.workers", tid=worker_id,
+                thread_name=f"worker-{worker_id}",
+            )
+        tracer.declare_track(PID_BATCHER, "serve.batcher", thread_name="assemble")
+        for session in self.fleet:
+            tracer.declare_track(
+                session_pid(session.session_id),
+                f"session-{session.session_id}",
+                thread_name="frames",
+            )
+
+    def _trace_frame(self, request: FrameRequest, path: str, latency_s: float) -> None:
+        """Session-track frame span (arrival -> completion) + counters."""
+        self.obs.tracer.record_span(
+            "frame",
+            request.arrival_s,
+            latency_s,
+            cat="serve",
+            pid=session_pid(request.session_id),
+            args={"path": path, "frame": request.frame_index},
+        )
+        assert self._instruments is not None
+        self._instruments.frame_counter(path).inc()
+        self._instruments.latency.observe(latency_s)
+        if latency_s > self.config.deadline_s:
+            self._instruments.misses.inc()
+
+    def _trace_batch(
+        self,
+        worker_id: int,
+        batch: list[FrameRequest],
+        now: float,
+        done_s: float,
+        ok: bool = True,
+    ) -> None:
+        """Batcher/worker/session spans of one dispatched batch."""
+        tracer = self.obs.tracer
+        instruments = self._instruments
+        assert instruments is not None
+        oldest = batch[0].arrival_s
+        tracer.record_span(
+            "batch.assemble", oldest, now - oldest, cat="serve",
+            pid=PID_BATCHER, args={"batch_size": len(batch)},
+        )
+        tracer.record_span(
+            "batch.service", now, done_s - now, cat="serve",
+            pid=PID_WORKERS, tid=worker_id,
+            args={"batch_size": len(batch), "ok": ok},
+        )
+        for request in batch:
+            pid = session_pid(request.session_id)
+            wait = now - request.arrival_s
+            tracer.record_span(
+                "queue.wait", request.arrival_s, wait, cat="serve",
+                pid=pid, args={"frame": request.frame_index},
+            )
+            tracer.record_span(
+                "service", now, done_s - now, cat="serve",
+                pid=pid, args={"frame": request.frame_index, "worker": worker_id},
+            )
+            instruments.queue_wait.observe(wait)
+        instruments.batches.inc()
+        instruments.batch_size.observe(len(batch))
+
+    def _trace_degraded(self, request: FrameRequest, now: float, cause: str) -> None:
+        done = now + self.config.reuse_bypass_s
+        self.obs.tracer.instant(
+            f"degrade.{cause}", now, cat="serve",
+            pid=session_pid(request.session_id),
+            args={"frame": request.frame_index},
+        )
+        assert self._instruments is not None
+        self._instruments.degraded.inc()
+        self._trace_frame(request, "degraded", done - request.arrival_s)
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -91,6 +189,22 @@ class ServeRuntime:
             request.path, latency, self.config.deadline_s
         )
         self._makespan_s = max(self._makespan_s, done_s)
+        if self.obs.enabled:
+            self._trace_frame(request, request.path, latency)
+
+    def _degrade_now(
+        self, request: FrameRequest, now: float, cause: str = "admission"
+    ) -> None:
+        """Serve the frame from the buffered gaze (Algorithm-1 reuse
+        mechanism): on time but stale, recorded in the explicit
+        ``degraded`` bucket."""
+        done = now + self.config.reuse_bypass_s
+        self.stats[request.session_id].record_degraded(
+            self.config.reuse_bypass_s, self.config.deadline_s
+        )
+        self._makespan_s = max(self._makespan_s, done)
+        if self.obs.enabled:
+            self._trace_degraded(request, now, cause)
 
     # ------------------------------------------------------------------
     # Admission control
@@ -111,13 +225,18 @@ class ServeRuntime:
             return True
         if self.estimated_wait_s() <= self.config.queue_budget_s:
             return True
-        stats = self.stats[request.session_id]
         if self.config.admission is AdmissionPolicy.DEGRADE:
-            done = now + self.config.reuse_bypass_s
-            stats.record_degraded(self.config.reuse_bypass_s, self.config.deadline_s)
-            self._makespan_s = max(self._makespan_s, done)
+            self._degrade_now(request, now, cause="admission")
         else:  # SHED
-            stats.record_shed(request.path)
+            self.stats[request.session_id].record_shed(request.path)
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "shed", now, cat="serve",
+                    pid=session_pid(request.session_id),
+                    args={"frame": request.frame_index},
+                )
+                assert self._instruments is not None
+                self._instruments.shed.inc()
         return False
 
     # ------------------------------------------------------------------
@@ -140,6 +259,8 @@ class ServeRuntime:
                 assert self.predictions is not None
                 for request, gaze in zip(batch, outputs):
                     self.predictions[(request.session_id, request.frame_index)] = gaze
+            if self.obs.enabled:
+                self._trace_batch(worker.worker_id, batch, now, done_s)
             self._push(done_s, _COMPLETE, (worker, batch))
 
     # ------------------------------------------------------------------
@@ -190,6 +311,12 @@ class ServeRuntime:
             self.stats[request.session_id].record_pending(request.path)
         self.batcher.check_accounting()
         duration = max(self.config.duration_s, self._makespan_s)
+        report = self._build_report(duration)
+        if self.obs.enabled:
+            publish_fleet_metrics(report, self.obs.metrics)
+        return report
+
+    def _build_report(self, duration: float) -> FleetReport:
         return FleetReport(
             sessions=self.stats,
             duration_s=duration,
@@ -213,6 +340,9 @@ def serve_fleet(
     service: "BatchServiceModel | None" = None,
     inference: "InferenceFn | None" = None,
     fleet: "list[ClientSession] | None" = None,
+    obs: "Obs | None" = None,
 ) -> FleetReport:
     """Run one serving simulation and return its :class:`FleetReport`."""
-    return ServeRuntime(config, service=service, inference=inference, fleet=fleet).run()
+    return ServeRuntime(
+        config, service=service, inference=inference, fleet=fleet, obs=obs
+    ).run()

@@ -1,8 +1,15 @@
 """Per-session and fleet-level telemetry of a serving run.
 
 Reuses the system layer's metric conventions: latencies in seconds with
-millisecond formatting (``repro.system.metrics``), percentile summaries,
-and the aligned-text table renderer for reports.
+millisecond formatting (``repro.system.metrics``), the shared
+:func:`~repro.system.metrics.percentile_summary` implementation for
+every percentile in a report, and the aligned-text table renderer.
+
+When a run is observed (``repro.obs``), the runtime publishes live into
+a :class:`~repro.obs.metrics.MetricsRegistry` through
+:class:`ServeInstruments`; :func:`publish_fleet_metrics` adds the
+end-of-run aggregates so the registry — not a re-walk of these
+accumulators — is the single source of the exported ``metrics.prom``.
 """
 
 from __future__ import annotations
@@ -11,7 +18,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.system.metrics import fmt_ms, table_to_text
+from repro.obs.metrics import MetricsRegistry
+from repro.system.metrics import (
+    fmt_ms,
+    percentile_key,
+    percentile_summary,
+    table_to_text,
+)
 
 
 @dataclass
@@ -31,8 +44,18 @@ class SessionStats:
     degraded: int = 0
     pending: int = 0
     lost_input: int = 0
+    #: Per-path frame counts.  Degraded frames get their *own* bucket —
+    #: they are served by the reuse mechanism but are not reuse-path
+    #: decisions, so attributing them to "reuse" would over-count that
+    #: path in every report.  Invariant (asserted by tests):
+    #: ``sum(counts.values()) == completed + shed + pending``.
     counts: dict[str, int] = field(
-        default_factory=lambda: {"saccade": 0, "reuse": 0, "predict": 0}
+        default_factory=lambda: {
+            "saccade": 0,
+            "reuse": 0,
+            "predict": 0,
+            "degraded": 0,
+        }
     )
 
     @property
@@ -50,8 +73,14 @@ class SessionStats:
             self.misses += 1
 
     def record_degraded(self, latency_s: float, deadline_s: float) -> None:
+        """A frame served from the buffered gaze instead of a fresh
+        prediction (admission pressure, retry exhaustion, watchdog).
+
+        Lands in the explicit ``"degraded"`` path bucket, not
+        ``"reuse"`` — path-count sums stay exact.
+        """
         self.degraded += 1
-        self.record("reuse", latency_s, deadline_s)
+        self.record("degraded", latency_s, deadline_s)
 
     def record_shed(self, path: str) -> None:
         self.counts[path] = self.counts.get(path, 0) + 1
@@ -69,7 +98,7 @@ class SessionStats:
     def percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
             raise ValueError(f"session {self.session_id} has no completed frames")
-        return float(np.percentile(np.asarray(self.latencies_s), q)) * 1e3
+        return percentile_summary(self.latencies_s, (q,))[percentile_key(q)] * 1e3
 
     @property
     def miss_rate(self) -> float:
@@ -178,9 +207,9 @@ class FleetReport:
 
     @property
     def served_predict_frames(self) -> int:
-        """Fresh predictions actually served (degraded frames count as
-        reuse; shed and pending-at-shutdown predict frames are not
-        served)."""
+        """Fresh predictions actually served (degraded frames sit in
+        their own bucket; shed and pending-at-shutdown predict frames
+        are not served)."""
         return (
             sum(s.counts["predict"] for s in self.sessions)
             - sum(s.shed for s in self.sessions)
@@ -202,7 +231,7 @@ class FleetReport:
         latencies = self.all_latencies_s
         if latencies.size == 0:
             raise ValueError("no completed frames in the fleet")
-        return float(np.percentile(latencies, q)) * 1e3
+        return percentile_summary(latencies, (q,))[percentile_key(q)] * 1e3
 
     @property
     def deadline_miss_rate(self) -> float:
@@ -220,19 +249,120 @@ class FleetReport:
         return sum(s.degraded for s in self.sessions) / total if total else 0.0
 
     def summary(self) -> dict[str, float]:
+        tails = percentile_summary(self.all_latencies_s, (50, 95, 99))
         return {
             "sessions": float(len(self.sessions)),
             "throughput_fps": self.throughput_fps,
             "predict_goodput_fps": self.predict_goodput_fps,
-            "p50_ms": self.latency_percentile_ms(50),
-            "p95_ms": self.latency_percentile_ms(95),
-            "p99_ms": self.latency_percentile_ms(99),
+            "p50_ms": tails["p50"] * 1e3,
+            "p95_ms": tails["p95"] * 1e3,
+            "p99_ms": tails["p99"] * 1e3,
             "miss_rate": self.deadline_miss_rate,
             "shed_rate": self.shed_rate,
             "degrade_rate": self.degrade_rate,
             "worker_utilization": self.worker_utilization,
             "mean_batch": self.mean_batch_size,
         }
+
+
+# ----------------------------------------------------------------------
+# Metrics-registry publishing (repro.obs)
+# ----------------------------------------------------------------------
+#: Batch sizes are small integers; these buckets resolve them exactly up
+#: to 8 and coarsely beyond.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class ServeInstruments:
+    """The live instruments an observed serving run publishes into.
+
+    Created once per run so the hot loop increments pre-resolved
+    instruments instead of re-keying the registry per frame.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.metrics = metrics
+        self.frames = {
+            path: metrics.counter(
+                "serve_frames_total", "Completed frames by serving path", path=path
+            )
+            for path in ("saccade", "reuse", "predict", "degraded", "full_res")
+        }
+        self.latency = metrics.histogram(
+            "serve_frame_latency_seconds", "End-to-end frame latency"
+        )
+        self.queue_wait = metrics.histogram(
+            "serve_queue_wait_seconds", "Batcher wait of dispatched predict frames"
+        )
+        self.batch_size = metrics.histogram(
+            "serve_batch_size", "Dispatched batch sizes", buckets=BATCH_SIZE_BUCKETS
+        )
+        self.batches = metrics.counter("serve_batches_total", "Batches dispatched")
+        self.misses = metrics.counter(
+            "serve_deadline_miss_total", "Frames completed past their deadline"
+        )
+        self.shed = metrics.counter(
+            "serve_shed_total", "Frames shed by admission control"
+        )
+        self.degraded = metrics.counter(
+            "serve_degraded_total", "Frames degraded to the buffered gaze"
+        )
+
+    def frame_counter(self, path: str):
+        counter = self.frames.get(path)
+        if counter is None:
+            counter = self.metrics.counter(
+                "serve_frames_total", "Completed frames by serving path", path=path
+            )
+            self.frames[path] = counter
+        return counter
+
+
+def publish_fault_metrics(faults: FaultReport, metrics: MetricsRegistry) -> None:
+    """Fault/degradation telemetry -> registry (counters + dwell gauges)."""
+    for key, value in faults.summary().items():
+        if key == "widened_delta_theta_deg":
+            metrics.gauge(
+                "faults_widened_delta_theta_deg",
+                "Worst foveal-radius operating point the watchdog commanded",
+            ).set(value)
+        else:
+            counter = metrics.counter(f"faults_{key}_total")
+            counter.inc(value - counter.value)
+    for level, seconds in faults.degradation_dwell_s.items():
+        metrics.gauge(
+            "watchdog_dwell_seconds",
+            "Fleet-total seconds spent at each degradation level",
+            level=level,
+        ).set(seconds)
+
+
+def publish_fleet_metrics(report: FleetReport, metrics: MetricsRegistry) -> None:
+    """End-of-run aggregates -> registry.
+
+    Together with the live :class:`ServeInstruments` stream this makes
+    the registry the single source of the ``metrics.prom`` export.
+    """
+    gauges = (
+        ("serve_sessions", float(len(report.sessions))),
+        ("serve_duration_seconds", report.duration_s),
+        ("serve_worker_utilization", report.worker_utilization),
+        ("serve_mean_batch_size", report.mean_batch_size),
+        ("serve_throughput_fps", report.throughput_fps),
+        ("serve_predict_goodput_fps", report.predict_goodput_fps),
+    )
+    for name, value in gauges:
+        metrics.gauge(name).set(value)
+    pending = metrics.counter(
+        "serve_pending_total", "Frames still queued at shutdown"
+    )
+    pending.inc(report.pending_at_shutdown - pending.value)
+    lost = metrics.counter(
+        "serve_lost_input_total", "Frames the sensors never delivered"
+    )
+    lost.inc(report.lost_input_frames - lost.value)
+    if report.faults is not None:
+        publish_fault_metrics(report.faults, metrics)
 
 
 def format_fault_report(faults: FaultReport) -> str:

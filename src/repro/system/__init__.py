@@ -12,6 +12,7 @@ from repro.system.metrics import (
     is_close_factor,
     log_ratio,
     ms,
+    percentile_key,
     percentile_summary,
     speedup,
     table_to_text,
@@ -37,6 +38,7 @@ __all__ = [
     "is_close_factor",
     "log_ratio",
     "ms",
+    "percentile_key",
     "percentile_summary",
     "speedup",
     "table_to_text",

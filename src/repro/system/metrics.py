@@ -49,16 +49,32 @@ def table_to_text(headers: list[str], rows: list[list], min_width: int = 10) -> 
     return "\n".join(lines)
 
 
-def percentile_summary(errors: np.ndarray) -> dict[str, float]:
-    """Mean / P90 / P95 summary in the Table 1 format."""
-    errors = np.asarray(errors, dtype=np.float64)
-    if errors.size == 0:
-        raise ValueError("no errors")
-    return {
-        "mean": float(errors.mean()),
-        "p90": float(np.percentile(errors, 90)),
-        "p95": float(np.percentile(errors, 95)),
-    }
+def percentile_key(p: float) -> str:
+    """Canonical summary key of one percentile (``50 -> "p50"``,
+    ``99.9 -> "p99.9"``)."""
+    return f"p{int(p)}" if float(p).is_integer() else f"p{p:g}"
+
+
+def percentile_summary(
+    values: np.ndarray, ps: "Iterable[float]" = (90, 95)
+) -> dict[str, float]:
+    """Mean plus the requested percentiles (defaults to the Table 1 format).
+
+    Interpolation is explicitly *linear* between closest ranks (numpy's
+    default), chosen so small samples interpolate instead of snapping to
+    an observed order statistic — the single implementation shared by the
+    gaze-error tables, serving telemetry, and the ``repro.obs`` metrics
+    registry.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no values")
+    ps = list(ps)
+    summary = {"mean": float(values.mean())}
+    quantiles = np.percentile(values, ps, method="linear")
+    for p, q in zip(ps, quantiles):
+        summary[percentile_key(p)] = float(q)
+    return summary
 
 
 def is_close_factor(measured: float, expected: float, factor: float = 2.0) -> bool:

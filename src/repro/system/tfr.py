@@ -134,8 +134,17 @@ class TfrSystem:
         resolution: Resolution,
         path: str = "predict",
         schedule: Schedule = Schedule.SEQUENTIAL,
+        tracer=None,
+        t0_s: float = 0.0,
     ) -> FrameLatency:
-        """One frame's end-to-end latency on the given Algorithm-1 path."""
+        """One frame's end-to-end latency on the given Algorithm-1 path.
+
+        With a ``tracer`` (see :mod:`repro.obs`), the stage decomposition
+        is also emitted as sim-clock spans on the TFR track starting at
+        ``t0_s``, laid out exactly as the schedule composes them
+        (sequential chain, or the Fig.-11c overlap with R1 starting at
+        frame start).  Tracing never changes the returned latencies.
+        """
         td = profile.td_for_path(path)
         if path == "saccade":
             # Uniform low-resolution rendering; no foveal pass exists, so
@@ -146,14 +155,16 @@ class TfrSystem:
                 total = max(self.ts + self.tc + td, tr)
             else:
                 total = self.ts + self.tc + td + tr
-            return FrameLatency(total, self.ts, self.tc, td, tr, r1_s=tr)
+            latency = FrameLatency(total, self.ts, self.tc, td, tr, r1_s=tr)
+            self._trace_frame(tracer, t0_s, latency, path, schedule)
+            return latency
 
         fov = self.pipeline.foveated_latency(scene, resolution, profile.delta_theta_deg)
         if schedule is Schedule.PARALLEL:
             total = max(self.ts + self.tc + td, fov.r1_s) + fov.r2_s
         else:
             total = self.ts + self.tc + td + fov.total_s
-        return FrameLatency(
+        latency = FrameLatency(
             total,
             self.ts,
             self.tc,
@@ -162,6 +173,43 @@ class TfrSystem:
             r1_s=fov.r1_s,
             r2_s=fov.r2_s,
         )
+        self._trace_frame(tracer, t0_s, latency, path, schedule)
+        return latency
+
+    def _trace_frame(
+        self,
+        tracer,
+        t0_s: float,
+        latency: FrameLatency,
+        path: str,
+        schedule: Schedule,
+    ) -> None:
+        """Emit the stage layout of one TFR frame as sim-clock spans."""
+        if tracer is None or not tracer.enabled:
+            return
+        from repro.obs import PID_TFR
+
+        def span(name: str, start: float, dur: float, tid: int = 0) -> None:
+            tracer.record_span(
+                name, start, dur, cat="tfr", pid=PID_TFR, tid=tid,
+                args={"path": path, "schedule": schedule.value},
+            )
+
+        gaze_done = t0_s + latency.sensing_s + latency.communication_s + latency.gaze_s
+        span("tfr.sensing", t0_s, latency.sensing_s)
+        span("tfr.communication", t0_s + latency.sensing_s, latency.communication_s)
+        span("tfr.gaze", t0_s + latency.sensing_s + latency.communication_s, latency.gaze_s)
+        if schedule is Schedule.PARALLEL:
+            # R1 overlaps the sensing chain on its own row; R2 starts when
+            # both the gaze and R1 are done (Fig. 11c).
+            span("tfr.render.r1", t0_s, latency.r1_s, tid=1)
+            if latency.r2_s > 0:
+                r2_start = max(gaze_done, t0_s + latency.r1_s)
+                span("tfr.render.r2", r2_start, latency.r2_s, tid=1)
+        else:
+            span("tfr.render.r1", gaze_done, latency.r1_s)
+            if latency.r2_s > 0:
+                span("tfr.render.r2", gaze_done + latency.r1_s, latency.r2_s)
 
     def full_resolution_latency(
         self, scene: SceneProfile, resolution: Resolution

@@ -94,9 +94,13 @@ class TrackingWatchdog:
         profile: TrackerSystemProfile,
         config: "WatchdogConfig | None" = None,
         start_s: float = 0.0,
+        on_transition=None,
     ):
         self.profile = profile
         self.config = config or WatchdogConfig()
+        #: Optional ``(now_s, from_name, to_name)`` callback fired on every
+        #: ladder transition — used by observability to emit trace instants.
+        self.on_transition = on_transition
         self.level = DegradationLevel.NOMINAL
         self.transitions: list[tuple[float, str, str]] = []
         self._errors: deque[float] = deque(maxlen=self.config.window)
@@ -181,6 +185,8 @@ class TrackingWatchdog:
     def _transition(self, now_s: float, to: DegradationLevel) -> None:
         self._dwell_s[self.level.name] += max(0.0, now_s - self._level_entered_s)
         self.transitions.append((now_s, self.level.name, to.name))
+        if self.on_transition is not None:
+            self.on_transition(now_s, self.level.name, to.name)
         self.level = to
         self._level_entered_s = now_s
 

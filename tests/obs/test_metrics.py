@@ -1,0 +1,136 @@
+"""Metrics registry: instruments, exact percentiles, Prometheus export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.lint import PROM_HELP_RE, PROM_SAMPLE_RE, PROM_TYPE_RE
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("frames_total", path="predict")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_gauge_sets(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("utilization")
+        g.set(0.75)
+        g.set(0.5)
+        assert g.value == 0.5
+
+    def test_histogram_buckets_are_cumulative_in_export(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.005, 0.05, 1.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'latency_seconds_bucket{le="0.001"} 1' in text
+        assert 'latency_seconds_bucket{le="0.01"} 3' in text
+        assert 'latency_seconds_bucket{le="0.1"} 4' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 5' in text
+        assert "latency_seconds_count 5" in text
+
+    def test_histogram_exact_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds", buckets=(1.0,))
+        for v in range(101):
+            h.observe(float(v))
+        # Exact (sample-based), not bucket-estimated: with one bucket a
+        # bucket-quantile estimate would be wildly off.
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(95) == pytest.approx(95.0)
+        s = h.summary((50, 95, 99))
+        assert s["p99"] == pytest.approx(99.0)
+
+    def test_empty_histogram_summary_is_zeros(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds")
+        assert h.summary() == {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            reg.histogram("h", buckets=(0.1, 0.01))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("frames_total", path="reuse")
+        b = reg.counter("frames_total", path="reuse")
+        assert a is b
+        assert reg.counter("frames_total", path="predict") is not a
+        assert len(reg) == 2
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            reg.counter("ok_name", **{"bad-label": "v"})
+
+    def test_get_finds_registered_instrument(self):
+        reg = MetricsRegistry()
+        c = reg.counter("frames_total", path="saccade")
+        assert reg.get("frames_total", path="saccade") is c
+        assert reg.get("frames_total", path="other") is None
+
+
+class TestPrometheusExport:
+    def test_every_line_matches_the_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("frames_total", help="Frames by path.", path="predict").inc(7)
+        reg.gauge("utilization", help="Pool busy fraction.").set(0.625)
+        h = reg.histogram("latency_seconds", help="Frame latency.")
+        h.observe(0.004)
+        for line in reg.to_prometheus().splitlines():
+            assert (
+                PROM_SAMPLE_RE.match(line)
+                or PROM_HELP_RE.match(line)
+                or PROM_TYPE_RE.match(line)
+            ), line
+
+    def test_headers_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("frames_total", help="Frames.", path="a").inc()
+        reg.counter("frames_total", help="Frames.", path="b").inc()
+        text = reg.to_prometheus()
+        assert text.count("# TYPE frames_total counter") == 1
+        assert 'frames_total{path="a"} 1' in text
+        assert 'frames_total{path="b"} 1' in text
+
+    def test_deterministic_ordering(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b_total").inc()
+            reg.counter("a_total").inc(2)
+            reg.gauge("m", k="2").set(1)
+            reg.gauge("m", k="1").set(2)
+            return reg.to_prometheus()
+
+        assert build() == build()
+        lines = build().splitlines()
+        assert lines.index("a_total 2") < lines.index("b_total 1")
+
+    def test_snapshot_table_lists_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("frames_total", path="predict").inc(3)
+        h = reg.histogram("latency_seconds")
+        h.observe(0.002)
+        table = reg.snapshot_table()
+        assert "Metric" in table and "p95" in table
+        assert 'frames_total{path="predict"}' in table
+        assert "latency_seconds" in table

@@ -1,0 +1,98 @@
+"""@profiled decorator and the global-tracer install point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_global_tracer,
+    profiled,
+    set_global_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    yield
+    set_global_tracer(None)
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_global_tracer() is NULL_TRACER
+
+    def test_install_and_restore(self):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        assert get_global_tracer() is tracer
+        set_global_tracer(None)
+        assert get_global_tracer() is NULL_TRACER
+
+
+class TestProfiled:
+    def test_bare_decorator_preserves_function(self):
+        @profiled
+        def add(a, b):
+            """Adds."""
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add.__doc__ == "Adds."
+        assert add.__profiled_name__.endswith("add")
+
+    def test_parameterized_name_and_category(self):
+        @profiled(name="vit.predict", cat="nn")
+        def forward():
+            return 42
+
+        set_global_tracer(Tracer())
+        assert forward() == 42
+        (span,) = get_global_tracer().spans()
+        assert span.name == "vit.predict"
+        assert span.cat == "nn"
+        assert span.clock == "wall"
+
+    def test_no_spans_recorded_without_tracer(self):
+        calls = []
+
+        @profiled
+        def work():
+            calls.append(1)
+
+        work()
+        assert calls == [1]
+        assert get_global_tracer().spans() == []
+
+    def test_exceptions_propagate_and_span_still_recorded(self):
+        @profiled(name="boom")
+        def explode():
+            raise RuntimeError("boom")
+
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        with pytest.raises(RuntimeError, match="boom"):
+            explode()
+        assert [s.name for s in tracer.spans()] == ["boom"]
+
+
+class TestLibraryHotPaths:
+    def test_vit_predict_and_mapper_are_profiled(self):
+        from repro.core.gaze_vit import PoloViT
+        from repro.hw.mapper import WorkloadMapper
+
+        assert PoloViT.predict.__profiled_name__ == "vit.predict"
+        assert WorkloadMapper.map.__profiled_name__ == "mapper.map"
+
+    def test_polonet_emits_stage_spans(self, tiny_bundle, tiny_val_dataset):
+        import numpy as np
+
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        net = tiny_bundle.polonet
+        net.reset()
+        frame = tiny_val_dataset.sequences[0].images[0].astype(np.float64)
+        net.process_frame(frame)
+        names = {s.name for s in tracer.spans()}
+        assert {"polonet.binarize", "polonet.saccade", "polonet.reuse_check"} <= names

@@ -26,8 +26,18 @@ class TestSessionStats:
         assert stats.miss_rate == pytest.approx(0.25)
         assert stats.degraded == 1
         assert stats.shed == 1
-        # degraded frames count as reuse, shed keeps its original path
-        assert stats.counts == {"saccade": 0, "reuse": 2, "predict": 3}
+        # degraded frames land in their own bucket (they are stale-gaze
+        # serves, not true reuse hits); shed keeps its original path
+        assert stats.counts == {
+            "saccade": 0, "reuse": 1, "predict": 3, "degraded": 1,
+        }
+
+    def test_counts_invariant(self):
+        # Every frame is in exactly one path bucket: degraded frames must
+        # not double-count (once as degraded, once as reuse).
+        stats = make_stats()
+        stats.record_pending("predict")
+        assert sum(stats.counts.values()) == stats.completed + stats.shed + stats.pending
 
     def test_percentiles_need_samples(self):
         empty = SessionStats(7)

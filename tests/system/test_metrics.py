@@ -11,6 +11,7 @@ from repro.system import (
     is_close_factor,
     log_ratio,
     ms,
+    percentile_key,
     percentile_summary,
     speedup,
     table_to_text,
@@ -53,6 +54,21 @@ class TestAggregation:
         assert s["p95"] == pytest.approx(95.0)
         with pytest.raises(ValueError):
             percentile_summary(np.array([]))
+
+    def test_percentile_summary_custom_ps(self):
+        s = percentile_summary(np.arange(101.0), (50, 99))
+        assert set(s) == {"mean", "p50", "p99"}
+        assert s["p50"] == pytest.approx(50.0)
+        assert s["p99"] == pytest.approx(99.0)
+
+    def test_percentile_summary_linear_interpolation(self):
+        # Two samples: p50 must interpolate linearly between them.
+        s = percentile_summary([0.0, 10.0], (50,))
+        assert s["p50"] == pytest.approx(5.0)
+
+    def test_percentile_key_formats_fractional(self):
+        assert percentile_key(95) == "p95"
+        assert percentile_key(99.9) == "p99.9"
 
 
 class TestShapeChecks:
