@@ -7,9 +7,10 @@ without going through pytest.  Training-dependent experiments accept a
 ``python -m repro serve [...]`` runs the multi-session serving simulator
 instead (see ``repro.serve.cli`` for its flags),
 ``python -m repro chaos [...]`` runs a seeded fault-injection scenario on
-it (see ``repro.faults.cli``), and ``python -m repro trace [...]`` runs a
+it (see ``repro.faults.cli``), ``python -m repro trace [...]`` runs a
 traced workload and exports trace.json / metrics.prom
-(see ``repro.obs.cli``).
+(see ``repro.obs.cli``), and ``python -m repro recover [...]`` warm-restarts
+a killed checkpointed run (see ``repro.recover.cli``).
 """
 
 from __future__ import annotations
@@ -89,6 +90,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(raw[1:])
+    if raw and raw[0] == "recover":
+        from repro.recover.cli import main as recover_main
+
+        return recover_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

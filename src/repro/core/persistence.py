@@ -20,12 +20,29 @@ from repro.core.config import GazeViTConfig, PolonetConfig, SaccadeNetConfig
 from repro.core.gaze_vit import PoloViT
 from repro.core.polonet import PoloNet
 from repro.core.saccade import SaccadeDetector
-from repro.nn import load_weights, save_weights
+from repro.nn import PersistenceError, load_weights, save_weights
 
 _MANIFEST = "polonet.json"
 _VIT_WEIGHTS = "gaze_vit.npz"
 _DETECTOR_WEIGHTS = "saccade_detector.npz"
 _FORMAT_VERSION = 1
+
+#: Exactly the keys :func:`save_polonet` writes — a manifest with keys
+#: missing or unknown is rejected before any model is constructed.
+_MANIFEST_KEYS = frozenset(
+    {
+        "format_version",
+        "polonet_config",
+        "vit_config",
+        "saccade_config",
+        "saccade_input_shape",
+        "saccade_threshold",
+        "prune",
+        "prune_threshold",
+        "int8",
+        "input_quant_peak",
+    }
+)
 
 
 def save_polonet(polonet: PoloNet, directory: "str | os.PathLike") -> None:
@@ -54,16 +71,56 @@ def save_polonet(polonet: PoloNet, directory: "str | os.PathLike") -> None:
 
 
 def load_polonet(directory: "str | os.PathLike") -> PoloNet:
-    """Reconstruct a POLONet saved by :func:`save_polonet`."""
+    """Reconstruct a POLONet saved by :func:`save_polonet`.
+
+    Every validation — manifest schema, format version, and the presence
+    of both weight files — happens *before* any model is constructed, so
+    a bad directory fails fast with :class:`PersistenceError` (or
+    :class:`FileNotFoundError` for a missing manifest) and never leaves
+    a half-initialized pipeline behind.
+    """
     path = Path(directory)
     manifest_path = path / _MANIFEST
     if not manifest_path.exists():
         raise FileNotFoundError(f"no POLONet manifest at {manifest_path}")
     with open(manifest_path, encoding="utf-8") as handle:
-        manifest = json.load(handle)
-    version = manifest.get("format_version")
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise PersistenceError(
+                f"corrupt POLONet manifest {manifest_path}: {err}"
+            ) from err
+    if not isinstance(manifest, dict):
+        raise PersistenceError(
+            f"POLONet manifest {manifest_path} is not a JSON object"
+        )
+    missing = _MANIFEST_KEYS - manifest.keys()
+    unknown = manifest.keys() - _MANIFEST_KEYS
+    if missing or unknown:
+        raise PersistenceError(
+            f"POLONet manifest {manifest_path} schema mismatch: "
+            f"missing={sorted(missing)}, unknown={sorted(unknown)}"
+        )
+    version = manifest["format_version"]
+    if isinstance(version, int) and version > _FORMAT_VERSION:
+        raise PersistenceError(
+            f"POLONet directory {path} uses format version {version}, newer "
+            f"than the supported {_FORMAT_VERSION} — upgrade repro to load it"
+        )
     if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported POLONet format version {version!r}")
+        raise PersistenceError(
+            f"unsupported POLONet format version {version!r}"
+        )
+    absent = [
+        name
+        for name in (_VIT_WEIGHTS, _DETECTOR_WEIGHTS)
+        if not (path / name).exists()
+    ]
+    if absent:
+        raise PersistenceError(
+            f"POLONet directory {path} is missing weight file(s): "
+            f"{', '.join(absent)}"
+        )
 
     vit = PoloViT(GazeViTConfig(**manifest["vit_config"]))
     load_weights(vit, path / _VIT_WEIGHTS)

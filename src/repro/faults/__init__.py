@@ -26,6 +26,8 @@ from repro.faults.injectors import (
     FaultyMipiLink,
     FaultySensor,
     InputFaultTrace,
+    ProcessKill,
+    SimulatedCrash,
     inject_input_faults,
 )
 from repro.faults.runtime import ChaosRuntime, build_chaos_fleet, run_chaos
@@ -42,7 +44,9 @@ __all__ = [
     "InputFaultTrace",
     "LatencySpike",
     "OCCLUSION_BLIND_OPENNESS",
+    "ProcessKill",
     "RecoveryConfig",
+    "SimulatedCrash",
     "WorkerCrash",
     "WorkerFaultSchedule",
     "WorkerStall",

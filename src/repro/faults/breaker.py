@@ -96,3 +96,24 @@ class CircuitBreaker:
     def reopen_s(self) -> "float | None":
         """When an OPEN breaker re-admits its worker (None otherwise)."""
         return self._open_until_s if self._state is BreakerState.OPEN else None
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "state": self._state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "open_until_s": self._open_until_s,
+            "probe_in_flight": self._probe_in_flight,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._state = BreakerState(state["state"])
+        self._consecutive_failures = int(state["consecutive_failures"])
+        self._open_until_s = float(state["open_until_s"])
+        self._probe_in_flight = bool(state["probe_in_flight"])
+        self.transitions = [
+            (float(t), str(src), str(dst)) for t, src, dst in state["transitions"]
+        ]

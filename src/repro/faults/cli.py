@@ -19,9 +19,10 @@ from repro.faults.config import (
     WorkerFaultSchedule,
     default_chaos_scenario,
 )
-from repro.faults.runtime import run_chaos
+from repro.faults.runtime import ChaosRuntime, run_chaos
 from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
-from repro.serve.telemetry import format_fleet_report
+from repro.recover.cli import add_checkpoint_arguments, run_checkpointed_cli
+from repro.serve.telemetry import FleetReport, format_fleet_report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the zero-fault baseline and print the "
                         "degradation budget consumed")
     parser.add_argument("--max-session-rows", type=int, default=8)
+    add_checkpoint_arguments(parser)
     add_obs_arguments(parser)
     return parser
 
@@ -101,8 +103,16 @@ def main(argv: "list[str] | None" = None) -> int:
         config = config_from_args(args)
     except ValueError as err:
         parser.error(str(err))
+    if args.kill_at_event is not None and args.checkpoint_dir is None:
+        parser.error("--kill-at-event requires --checkpoint-dir")
     obs = obs_from_args(args)
-    report = run_chaos(config, obs=obs)
+    if args.checkpoint_dir is not None:
+        runtime = ChaosRuntime(config, obs=obs)
+        report = run_checkpointed_cli(runtime, args, parser)
+        if not isinstance(report, FleetReport):
+            return report  # simulated crash exit code
+    else:
+        report = run_chaos(config, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
     if obs is not None:
         emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)

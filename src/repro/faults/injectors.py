@@ -36,6 +36,39 @@ from repro.utils.validation import check_probability
 OCCLUSION_BLIND_OPENNESS = 0.2
 
 
+class SimulatedCrash(RuntimeError):
+    """The serving process died mid-run (raised by :class:`ProcessKill`).
+
+    Escapes the checkpointed event loop exactly like a SIGKILL would end
+    the real process: no cleanup handlers run inside the runtime, and
+    whatever the durability layer already fsynced is all that survives.
+    """
+
+
+@dataclass(frozen=True)
+class ProcessKill:
+    """Kill the runtime process after ``at_event`` events have applied.
+
+    The process itself is the fault domain here — unlike the worker
+    crash/stall schedule, nothing inside the run survives; recovery is
+    ``repro.recover``'s checkpoint-plus-journal warm restart.  Firing on
+    an event *index* (not a timestamp) keeps kills exact under any
+    config: the same index always interrupts the same prefix of the
+    deterministic event stream.
+    """
+
+    at_event: int
+
+    def __post_init__(self) -> None:
+        if self.at_event <= 0:
+            raise ValueError(
+                f"at_event must be a positive event index, got {self.at_event}"
+            )
+
+    def fires_at(self, events_processed: int) -> bool:
+        return events_processed == self.at_event
+
+
 class FaultySensor:
     """Camera sensor with transient frame drops."""
 

@@ -44,7 +44,7 @@ from repro.serve.config import AdmissionPolicy, BatchServiceModel
 from repro.serve.request import ClientSession, FrameRequest, build_fleet
 from repro.serve.runtime import _ARRIVAL, _COMPLETE, _WINDOW, InferenceFn, ServeRuntime
 from repro.serve.telemetry import FaultReport, FleetReport
-from repro.serve.workers import FaultyWorkerPool, WorkerState
+from repro.serve.workers import DispatchOutcome, FaultyWorkerPool, WorkerState
 from repro.system.session import SessionConfig, decide_paths
 from repro.system.watchdog import DegradationLevel, TrackingWatchdog
 
@@ -405,6 +405,67 @@ class ChaosRuntime(ServeRuntime):
             for request in batch:
                 self._retry_or_degrade(request, now)
         self._try_dispatch(now)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    RUNTIME_KIND = "chaos"
+
+    def _encode_payload(self, kind: int, payload: object) -> object:
+        if kind == _COMPLETE:
+            worker, batch, outcome = payload  # type: ignore[misc]
+            return {
+                "worker": worker.worker_id,
+                "batch": [request.to_dict() for request in batch],
+                "outcome": {
+                    "done_s": outcome.done_s,
+                    "ok": outcome.ok,
+                    "cause": outcome.cause,
+                },
+            }
+        return super()._encode_payload(kind, payload)
+
+    def _decode_payload(self, kind: int, data: object) -> object:
+        if kind == _COMPLETE:
+            worker = self.pool.workers[int(data["worker"])]  # type: ignore[index]
+            batch = [FrameRequest.from_dict(r) for r in data["batch"]]  # type: ignore[index]
+            saved = data["outcome"]  # type: ignore[index]
+            outcome = DispatchOutcome(
+                done_s=float(saved["done_s"]),
+                ok=bool(saved["ok"]),
+                cause=None if saved["cause"] is None else str(saved["cause"]),
+            )
+            return (worker, batch, outcome)
+        return super()._decode_payload(kind, data)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["faults"] = self.faults.state_dict()
+        state["retransmitted"] = sorted(list(pair) for pair in self._retransmitted)
+        state["pending_wake_s"] = self._pending_wake_s
+        state["breakers"] = [b.state_dict() for b in self.breakers]
+        state["watchdogs"] = [w.state_dict() for w in self.watchdogs]
+        return state
+
+    def load_state(self, state: dict) -> None:
+        # Input-fault traces and the per-session error streams are pure
+        # functions of the (seeded) config and were rebuilt by __init__;
+        # only the mutable recovery-stack state needs restoring.
+        super().load_state(state)
+        self.faults.load_state(state["faults"])
+        self._retransmitted = {
+            (int(sid), int(frame)) for sid, frame in state["retransmitted"]
+        }
+        wake = state["pending_wake_s"]
+        self._pending_wake_s = None if wake is None else float(wake)
+        if len(state["breakers"]) != len(self.breakers) or len(
+            state["watchdogs"]
+        ) != len(self.watchdogs):
+            raise ValueError("snapshot breaker/watchdog counts do not match config")
+        for breaker, saved in zip(self.breakers, state["breakers"]):
+            breaker.load_state(saved)
+        for watchdog, saved in zip(self.watchdogs, state["watchdogs"]):
+            watchdog.load_state(saved)
 
     # ------------------------------------------------------------------
     # Telemetry assembly

@@ -26,7 +26,7 @@ from repro.nn.layers import (
 from repro.nn.optim import Adam, CosineSchedule, Optimizer, SGD
 from repro.nn.quantization import ActivationQuantizer, QuantSpec, quantize_weights
 from repro.nn.recurrent import LeakyRecurrentCell
-from repro.nn.serialization import load_weights, save_weights
+from repro.nn.serialization import PersistenceError, load_weights, save_weights
 from repro.nn.tensor import Tensor, concatenate, no_grad, stack, where
 from repro.nn.transformer import (
     BatchTokenTrace,
@@ -61,6 +61,7 @@ __all__ = [
     "QuantSpec",
     "quantize_weights",
     "LeakyRecurrentCell",
+    "PersistenceError",
     "load_weights",
     "save_weights",
     "Tensor",

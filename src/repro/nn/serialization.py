@@ -1,12 +1,25 @@
-"""Saving and loading model weights as ``.npz`` archives."""
+"""Saving and loading model weights as ``.npz`` archives.
+
+Loading is *strict* by default: the archive must carry exactly the
+model's parameter set, every tensor must match in shape and dtype, and
+no tensor may contain NaN/Inf.  Violations raise
+:class:`PersistenceError` naming the offending tensor — a corrupt or
+mismatched weight file fails at load time, not as silent garbage at
+inference time.
+"""
 
 from __future__ import annotations
 
 import os
+import zipfile
 
 import numpy as np
 
 from repro.nn.layers import Module
+
+
+class PersistenceError(ValueError):
+    """A weight archive or model directory failed validation."""
 
 
 def save_weights(model: Module, path: "str | os.PathLike") -> None:
@@ -15,8 +28,57 @@ def save_weights(model: Module, path: "str | os.PathLike") -> None:
     np.savez(path, **state)
 
 
-def load_weights(model: Module, path: "str | os.PathLike") -> None:
-    """Load an ``.npz`` archive produced by :func:`save_weights`."""
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    model.load_state_dict(state)
+def _read_archive(path: "str | os.PathLike") -> dict[str, np.ndarray]:
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError, EOFError) as err:
+        raise PersistenceError(
+            f"corrupt or truncated weight archive {os.fspath(path)}: {err}"
+        ) from err
+
+
+def load_weights(
+    model: Module, path: "str | os.PathLike", strict: bool = True
+) -> None:
+    """Load an ``.npz`` archive produced by :func:`save_weights`.
+
+    With ``strict=True`` (the default) the archive's key set must equal
+    the model's parameter set exactly.  ``strict=False`` loads the
+    intersection (a deliberate partial restore, e.g. a backbone);
+    shape/dtype/finiteness are validated either way.
+    """
+    state = _read_archive(path)
+    own = dict(model.named_parameters())
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if strict and (missing or unexpected):
+        raise PersistenceError(
+            f"weight archive {os.fspath(path)} does not match the model: "
+            f"missing={missing}, unexpected={unexpected}"
+        )
+    for name, param in own.items():
+        if name not in state:
+            continue
+        value = state[name]
+        if value.shape != param.data.shape:
+            raise PersistenceError(
+                f"tensor {name!r} in {os.fspath(path)}: shape {value.shape} "
+                f"does not match the model's {param.data.shape}"
+            )
+        if value.dtype != param.data.dtype:
+            raise PersistenceError(
+                f"tensor {name!r} in {os.fspath(path)}: dtype {value.dtype} "
+                f"does not match the model's {param.data.dtype}"
+            )
+        if np.issubdtype(value.dtype, np.floating) and not np.all(
+            np.isfinite(value)
+        ):
+            bad = int(np.size(value) - np.count_nonzero(np.isfinite(value)))
+            raise PersistenceError(
+                f"tensor {name!r} in {os.fspath(path)} contains {bad} "
+                "non-finite value(s) (NaN/Inf)"
+            )
+        param.data = value.copy()

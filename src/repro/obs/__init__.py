@@ -38,6 +38,7 @@ from repro.obs.tracer import (
     NULL_TRACER,
     PID_ACCEL,
     PID_BATCHER,
+    PID_RECOVER,
     PID_SESSION_BASE,
     PID_TFR,
     PID_WALL,
@@ -63,6 +64,7 @@ __all__ = [
     "ObsConfig",
     "PID_ACCEL",
     "PID_BATCHER",
+    "PID_RECOVER",
     "PID_SESSION_BASE",
     "PID_TFR",
     "PID_WALL",

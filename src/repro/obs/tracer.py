@@ -40,6 +40,7 @@ PID_BATCHER = 2
 PID_ACCEL = 3
 PID_TFR = 4
 PID_WALL = 5
+PID_RECOVER = 6
 PID_SESSION_BASE = 100
 
 

@@ -1,0 +1,63 @@
+"""Durable checkpointing, write-ahead journaling, and crash recovery.
+
+The serving fleet (``repro.serve`` / ``repro.faults``) is a deterministic
+discrete-event simulation, which makes *bit-identical* crash recovery a
+testable property rather than an aspiration: snapshot the full runtime
+state atomically (:class:`CheckpointStore`), journal every event before
+applying it (:class:`JournalWriter`), and after a kill rebuild from the
+latest valid checkpoint and replay the journal tail
+(:func:`restore_runtime`).  The recovered run's final
+:class:`~repro.serve.telemetry.FleetReport` is byte-equal — via
+:func:`fleet_report_bytes` — to the report of the same seed run
+uninterrupted.
+
+Entry points: :func:`run_with_checkpoints` wraps a runtime's event loop
+with durability (and an optional
+:class:`~repro.faults.injectors.ProcessKill`), :func:`resume` restores
+and runs to completion, and ``python -m repro recover`` does the same
+from the command line.
+"""
+
+from repro.recover.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+)
+from repro.recover.codec import (
+    canonical_bytes,
+    canonical_json,
+    crc32,
+    fleet_report_bytes,
+)
+from repro.recover.errors import CheckpointError, JournalError, RecoveryError
+from repro.recover.journal import JOURNAL_NAME, JournalWriter, read_journal
+from repro.recover.manager import (
+    DEFAULT_CHECKPOINT_EVERY,
+    RestoredRuntime,
+    build_runtime,
+    restore_runtime,
+    resume,
+    run_with_checkpoints,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "JOURNAL_NAME",
+    "JournalError",
+    "JournalWriter",
+    "RecoveryError",
+    "RestoredRuntime",
+    "build_runtime",
+    "canonical_bytes",
+    "canonical_json",
+    "crc32",
+    "fleet_report_bytes",
+    "read_journal",
+    "restore_runtime",
+    "resume",
+    "run_with_checkpoints",
+]

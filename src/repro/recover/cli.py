@@ -1,0 +1,152 @@
+"""``python -m repro recover`` — warm-restart a killed serving run.
+
+Given a checkpoint directory written by ``python -m repro serve
+--checkpoint-dir`` (or ``chaos --checkpoint-dir``), restores the latest
+valid checkpoint, replays the write-ahead journal tail, runs the fleet
+to completion, and prints the final report to stdout.  The recovery
+summary (checkpoint used, events replayed, corrupt checkpoints skipped)
+goes to stderr so the stdout report stays byte-comparable against an
+uninterrupted run — exactly what ``--verify`` and the ``recover-smoke``
+CI job do.
+
+This module also owns the shared ``--checkpoint-dir`` /
+``--checkpoint-every`` / ``--kill-at-event`` flags the serve and chaos
+CLIs import, plus the :data:`EXIT_SIMULATED_CRASH` code a killed run
+exits with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.injectors import ProcessKill, SimulatedCrash
+from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
+from repro.recover.codec import fleet_report_bytes
+from repro.recover.errors import RecoveryError
+from repro.recover.manager import (
+    DEFAULT_CHECKPOINT_EVERY,
+    build_runtime,
+    restore_runtime,
+    run_with_checkpoints,
+)
+from repro.serve.runtime import ServeRuntime
+from repro.serve.telemetry import format_fleet_report
+
+#: Exit code of a run terminated by an injected :class:`ProcessKill` —
+#: distinguishable from success (0) and argparse/usage errors (2).
+EXIT_SIMULATED_CRASH = 17
+
+
+# ----------------------------------------------------------------------
+# Shared checkpoint flags (imported by the serve and chaos CLIs)
+# ----------------------------------------------------------------------
+def add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("durability")
+    group.add_argument("--checkpoint-dir", default=None,
+                       help="directory for checkpoints + write-ahead journal "
+                       "(enables durable execution)")
+    group.add_argument("--checkpoint-every", type=int,
+                       default=DEFAULT_CHECKPOINT_EVERY, metavar="N",
+                       help="events between checkpoints "
+                       f"(default {DEFAULT_CHECKPOINT_EVERY})")
+    group.add_argument("--kill-at-event", type=int, default=None, metavar="N",
+                       help="chaos mode: kill the process after exactly N "
+                       f"events (exit code {EXIT_SIMULATED_CRASH}); requires "
+                       "--checkpoint-dir")
+
+
+def run_checkpointed_cli(
+    runtime: ServeRuntime, args: argparse.Namespace, parser: argparse.ArgumentParser
+):
+    """Drive ``runtime`` under the shared checkpoint flags.
+
+    Returns the :class:`~repro.serve.telemetry.FleetReport`, or
+    ``EXIT_SIMULATED_CRASH`` when ``--kill-at-event`` fired.
+    """
+    kill = None
+    if args.kill_at_event is not None:
+        try:
+            kill = ProcessKill(at_event=args.kill_at_event)
+        except ValueError as err:
+            parser.error(str(err))
+    try:
+        return run_with_checkpoints(
+            runtime, args.checkpoint_dir, every=args.checkpoint_every, kill=kill
+        )
+    except ValueError as err:
+        parser.error(str(err))
+    except SimulatedCrash as err:
+        print(f"simulated crash: {err}", file=sys.stderr)
+        print(f"recover with: python -m repro recover --dir {args.checkpoint_dir}",
+              file=sys.stderr)
+        return EXIT_SIMULATED_CRASH
+
+
+# ----------------------------------------------------------------------
+# python -m repro recover
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro recover",
+        description="Restore a killed serving run from its checkpoint "
+        "directory and run it to completion.",
+    )
+    parser.add_argument("--dir", required=True,
+                        help="checkpoint directory of the interrupted run")
+    parser.add_argument("--every", type=int, default=None, metavar="N",
+                        help="checkpoint cadence for the resumed leg "
+                        "(default: the cadence recorded in the manifest)")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run the same config uninterrupted from "
+                        "scratch and byte-compare the two reports")
+    parser.add_argument("--max-session-rows", type=int, default=8)
+    add_obs_arguments(parser)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    obs = obs_from_args(args)
+    try:
+        restored = restore_runtime(args.dir, obs=obs)
+    except RecoveryError as err:
+        print(f"recovery failed: {err}", file=sys.stderr)
+        return 1
+    checkpoint = restored.checkpoint
+    for index, reason in restored.skipped_checkpoints:
+        print(f"skipped corrupt checkpoint {index}: {reason}", file=sys.stderr)
+    print(
+        f"restored {checkpoint.kind} run from checkpoint "
+        f"{checkpoint.event_index} (+{restored.replayed_events} journal "
+        "events replayed)",
+        file=sys.stderr,
+    )
+    every = args.every
+    if every is None:
+        every = checkpoint.checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    try:
+        report = run_with_checkpoints(
+            restored.runtime, args.dir, every=every, _resume=True
+        )
+    except (RecoveryError, ValueError) as err:
+        print(f"recovery failed: {err}", file=sys.stderr)
+        return 1
+    print(format_fleet_report(report, max_session_rows=args.max_session_rows))
+    if obs is not None:
+        emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)
+    if args.verify:
+        baseline = build_runtime(checkpoint, None, None, None).run()
+        if fleet_report_bytes(report) == fleet_report_bytes(baseline):
+            print("verify: recovered report is bit-identical to the "
+                  "uninterrupted run", file=sys.stderr)
+        else:
+            print("verify: RECOVERED REPORT DIVERGES from the uninterrupted "
+                  "run", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

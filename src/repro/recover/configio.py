@@ -1,0 +1,80 @@
+"""Config <-> dict codecs for the checkpoint manifest.
+
+A checkpoint must be restorable from the directory alone, so the
+manifest embeds the *complete* run configuration — the serve or chaos
+config and the batch service model.  These codecs are explicit (not a
+generic pickle) so the on-disk format stays a documented, versioned
+JSON schema: enums go by value, tuples round-trip through lists, and
+reconstruction re-runs every dataclass validator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.faults.config import ChaosConfig, InputFaultConfig, RecoveryConfig
+from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
+from repro.serve.workers import (
+    LatencySpike,
+    WorkerCrash,
+    WorkerFaultSchedule,
+    WorkerStall,
+)
+from repro.system.tfr import TrackerSystemProfile
+from repro.system.watchdog import WatchdogConfig
+
+
+def serve_config_to_dict(config: ServeConfig) -> dict:
+    state = asdict(config)
+    state["admission"] = config.admission.value
+    return state
+
+
+def serve_config_from_dict(state: dict) -> ServeConfig:
+    kwargs = dict(state)
+    kwargs["admission"] = AdmissionPolicy(kwargs["admission"])
+    return ServeConfig(**kwargs)
+
+
+def service_model_to_dict(service: BatchServiceModel) -> dict:
+    return asdict(service)
+
+
+def service_model_from_dict(state: dict) -> BatchServiceModel:
+    return BatchServiceModel(**state)
+
+
+def chaos_config_to_dict(config: ChaosConfig) -> dict:
+    faults = config.worker_faults
+    return {
+        "serve": serve_config_to_dict(config.serve),
+        "input_faults": asdict(config.input_faults),
+        "worker_faults": {
+            "crashes": [asdict(c) for c in faults.crashes],
+            "stalls": [asdict(s) for s in faults.stalls],
+            "spikes": [asdict(s) for s in faults.spikes],
+        },
+        "recovery": asdict(config.recovery),
+        "watchdog": asdict(config.watchdog),
+        "profile": asdict(config.profile),
+        "fault_seed": config.fault_seed,
+    }
+
+
+def chaos_config_from_dict(state: dict) -> ChaosConfig:
+    input_faults = dict(state["input_faults"])
+    input_faults["occlusion_level"] = tuple(input_faults["occlusion_level"])
+    faults = state["worker_faults"]
+    return ChaosConfig(
+        serve=serve_config_from_dict(state["serve"]),
+        input_faults=InputFaultConfig(**input_faults),
+        worker_faults=WorkerFaultSchedule(
+            crashes=tuple(WorkerCrash(**c) for c in faults["crashes"]),
+            stalls=tuple(WorkerStall(**s) for s in faults["stalls"]),
+            spikes=tuple(LatencySpike(**s) for s in faults["spikes"]),
+        ),
+        recovery=RecoveryConfig(**state["recovery"]),
+        watchdog=WatchdogConfig(**state["watchdog"]),
+        profile=TrackerSystemProfile(**state["profile"]),
+        fault_seed=int(state["fault_seed"]),
+    )

@@ -1,0 +1,25 @@
+"""Typed failures of the durability layer.
+
+Everything the checkpoint/journal/restore path can reject raises a
+:class:`RecoveryError` subclass, so callers distinguish "this artifact
+is damaged" from programming errors.  Corruption is always reported
+*fast* — at artifact-validation time, before any state is mutated — and
+named precisely (which file, which check failed).
+"""
+
+from __future__ import annotations
+
+
+class RecoveryError(RuntimeError):
+    """Base class: a checkpoint/journal/restore operation failed."""
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint manifest or payload failed validation (missing or
+    unknown manifest keys, unsupported format version, CRC mismatch,
+    unparseable JSON)."""
+
+
+class JournalError(RecoveryError):
+    """The write-ahead journal is damaged beyond its torn tail (an
+    interior record failed its CRC or did not parse)."""

@@ -1,0 +1,121 @@
+"""Write-ahead frame journal (JSONL).
+
+Between checkpoints the runtime logs every event *before* applying it:
+one canonical-JSON line per event carrying the event index ``i``, its
+sim-clock time ``t``, heap kind ``k``, insertion sequence ``seq``, and a
+CRC32 of the record.  Because the event loop is deterministic, the
+journal does not need to store effects — replaying from the last
+checkpoint regenerates them — but it pins the exact event stream the
+crashed process committed to, so restore can cross-check each replayed
+event and fail loudly on any divergence instead of silently forking
+history.
+
+Crash tolerance at read time is asymmetric by design: a torn *final*
+line is exactly what a kill mid-append produces, so it is discarded; a
+damaged *interior* line cannot happen under append-only writes and
+raises :class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.recover.codec import canonical_bytes, canonical_json, crc32
+from repro.recover.errors import JournalError
+
+#: File name of the journal inside a checkpoint directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JournalWriter:
+    """Append-only writer; ``resume=True`` continues an existing file."""
+
+    def __init__(self, path: "str | os.PathLike", resume: bool = False):
+        self.path = Path(path)
+        self._handle = open(
+            self.path, "a" if resume else "w", encoding="utf-8"
+        )
+
+    def append(self, record: dict) -> None:
+        """Log one event record, sealed with its own CRC32.
+
+        The seal is spliced into the record's canonical JSON directly
+        (``"crc"`` sorts before every event field, so the sealed line is
+        still canonical) — one serialization per event, not two, on the
+        hottest durability path.
+        """
+        body = canonical_json(record)
+        crc = crc32(body.encode("utf-8"))
+        if body == "{}":
+            line = '{"crc":%d}' % crc
+        else:
+            line = '{"crc":%d,%s' % (crc, body[1:])
+        self._handle.write(line + "\n")
+
+    def sync(self) -> None:
+        """Flush to the OS and fsync — the group-commit barrier taken
+        before every checkpoint and simulated kill."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def _verify_line(line: str, path: Path, lineno: int) -> dict:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise JournalError(
+            f"journal {path} line {lineno}: unparseable record ({err})"
+        ) from err
+    if not isinstance(record, dict) or "crc" not in record:
+        raise JournalError(f"journal {path} line {lineno}: record has no CRC")
+    sealed = dict(record)
+    stored = sealed.pop("crc")
+    if crc32(canonical_bytes(sealed)) != stored:
+        raise JournalError(
+            f"journal {path} line {lineno}: CRC mismatch (corrupt record)"
+        )
+    return sealed
+
+
+def read_journal(
+    path: "str | os.PathLike", after_index: int = 0
+) -> list[dict]:
+    """Read and verify the journal; return records with ``i > after_index``.
+
+    A torn final line (the signature of a crash mid-append) is dropped;
+    any other damage raises :class:`JournalError`.  Record indices must
+    be strictly increasing — an out-of-order journal is corrupt.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records: list[dict] = []
+    last_index = None
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = _verify_line(line, path, lineno)
+        except JournalError:
+            if lineno == len(lines):
+                break  # torn tail from the crash — tolerated
+            raise
+        index = record.get("i")
+        if not isinstance(index, int):
+            raise JournalError(
+                f"journal {path} line {lineno}: missing event index"
+            )
+        if last_index is not None and index <= last_index:
+            raise JournalError(
+                f"journal {path} line {lineno}: event index {index} not "
+                f"after {last_index}"
+            )
+        last_index = index
+        records.append(record)
+    return [record for record in records if record["i"] > after_index]

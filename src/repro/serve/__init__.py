@@ -20,9 +20,14 @@ from repro.serve.telemetry import (
     FaultReport,
     FleetReport,
     SessionStats,
+    fleet_report_state,
     format_fault_report,
     format_fleet_report,
 )
+
+#: Fleet-facing alias: the serving runtime *is* the fleet runtime
+#: (``FleetRuntime.restore(dir)`` warm-restarts a checkpointed run).
+FleetRuntime = ServeRuntime
 from repro.serve.workers import (
     DispatchOutcome,
     FaultyWorkerPool,
@@ -45,6 +50,7 @@ __all__ = [
     "FaultReport",
     "FaultyWorkerPool",
     "FleetReport",
+    "FleetRuntime",
     "FrameRequest",
     "LatencySpike",
     "ServeConfig",
@@ -56,6 +62,7 @@ __all__ = [
     "WorkerStall",
     "WorkerState",
     "build_fleet",
+    "fleet_report_state",
     "fleet_requests",
     "format_fault_report",
     "format_fleet_report",

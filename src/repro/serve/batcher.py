@@ -97,6 +97,27 @@ class DynamicBatcher:
         self.taken_total += len(leftovers)
         return leftovers
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the queue and conservation counters."""
+        return {
+            "queue": [request.to_dict() for request in self._queue],
+            "admitted_total": self.admitted_total,
+            "requeued_total": self.requeued_total,
+            "taken_total": self.taken_total,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (FIFO order preserved)."""
+        self._queue = deque(
+            FrameRequest.from_dict(entry) for entry in state["queue"]
+        )
+        self.admitted_total = int(state["admitted_total"])
+        self.requeued_total = int(state["requeued_total"])
+        self.taken_total = int(state["taken_total"])
+
     def check_accounting(self) -> None:
         """Assert the conservation invariant; raises on a leak."""
         entered = self.admitted_total + self.requeued_total

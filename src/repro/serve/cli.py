@@ -11,10 +11,11 @@ from __future__ import annotations
 import argparse
 
 from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
+from repro.recover.cli import add_checkpoint_arguments, run_checkpointed_cli
 from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
 from repro.serve.request import build_fleet
-from repro.serve.runtime import serve_fleet
-from repro.serve.telemetry import format_fleet_report
+from repro.serve.runtime import ServeRuntime, serve_fleet
+from repro.serve.telemetry import FleetReport, format_fleet_report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the max_batch=1 baseline on the same fleet")
     parser.add_argument("--max-session-rows", type=int, default=8)
+    add_checkpoint_arguments(parser)
     add_obs_arguments(parser)
     return parser
 
@@ -88,9 +90,17 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     except ValueError as err:
         parser.error(str(err))
+    if args.kill_at_event is not None and args.checkpoint_dir is None:
+        parser.error("--kill-at-event requires --checkpoint-dir")
     fleet = build_fleet(config)
     obs = obs_from_args(args)
-    report = serve_fleet(config, service=service, fleet=fleet, obs=obs)
+    if args.checkpoint_dir is not None:
+        runtime = ServeRuntime(config, service=service, fleet=fleet, obs=obs)
+        report = run_checkpointed_cli(runtime, args, parser)
+        if not isinstance(report, FleetReport):
+            return report  # simulated crash exit code
+    else:
+        report = serve_fleet(config, service=service, fleet=fleet, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
     if obs is not None:
         emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)

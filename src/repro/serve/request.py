@@ -31,6 +31,30 @@ class FrameRequest:
     seq: int  # global arrival order (deterministic tie-break)
     retries: int = 0  # dispatch attempts already failed (chaos runtime)
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (exact float round-trip via repr)."""
+        return {
+            "session_id": self.session_id,
+            "frame_index": self.frame_index,
+            "arrival_s": self.arrival_s,
+            "deadline_s": self.deadline_s,
+            "path": self.path,
+            "seq": self.seq,
+            "retries": self.retries,
+        }
+
+    @staticmethod
+    def from_dict(state: dict) -> "FrameRequest":
+        return FrameRequest(
+            session_id=int(state["session_id"]),
+            frame_index=int(state["frame_index"]),
+            arrival_s=float(state["arrival_s"]),
+            deadline_s=float(state["deadline_s"]),
+            path=str(state["path"]),
+            seq=int(state["seq"]),
+            retries=int(state["retries"]),
+        )
+
 
 @dataclass
 class ClientSession:

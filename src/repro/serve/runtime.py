@@ -20,6 +20,13 @@ or sheds it per :class:`~repro.serve.config.AdmissionPolicy`.
 
 Everything is seeded and tie-broken explicitly: two runs of the same
 config produce byte-identical reports.
+
+The loop is exposed as ``start()`` / ``step()`` / ``finish()`` so the
+durability layer (``repro.recover``) can checkpoint between events and
+journal each event before applying it; :meth:`ServeRuntime.state_dict`
+captures the complete serving state (heap, batcher, pool, per-session
+stats) and :meth:`ServeRuntime.restore` warm-restarts from disk with a
+bit-identical final report.
 """
 
 from __future__ import annotations
@@ -81,6 +88,10 @@ class ServeRuntime:
         self._heap: list[tuple[float, int, int, object]] = []
         self._event_seq = 0
         self._makespan_s = 0.0
+        #: Events applied so far — the index the checkpoint/journal layer
+        #: (``repro.recover``) keys its snapshots and replay cursor on.
+        self.events_processed = 0
+        self._started = False
         # Observability is read-only over the simulation: spans carry
         # sim-clock timestamps the event loop already computed, so a
         # traced run is bit-identical to an untraced one.
@@ -294,17 +305,50 @@ class ServeRuntime:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> FleetReport:
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        """Seed the event heap with every frame arrival (idempotent)."""
+        if self._started:
+            return
         for request in fleet_requests(self.fleet, self.config.deadline_s):
             self._push(request.arrival_s, _ARRIVAL, request)
-        while self._heap:
-            now, kind, _, payload = heapq.heappop(self._heap)
-            if kind == _ARRIVAL:
-                self._on_arrival(payload, now)  # type: ignore[arg-type]
-            elif kind == _COMPLETE:
-                self._on_complete(payload, now)  # type: ignore[arg-type]
-            else:  # _WINDOW
-                self._try_dispatch(now)
+        self._started = True
+
+    def peek_event(self) -> "tuple[float, int, int] | None":
+        """``(time_s, kind, seq)`` of the next event, or None when done.
+
+        The write-ahead journal logs this triple *before* the event is
+        applied; on restore the replay cross-checks each journal record
+        against the regenerated event stream.
+        """
+        if not self._heap:
+            return None
+        time_s, kind, seq, _ = self._heap[0]
+        return (time_s, kind, seq)
+
+    def step(self) -> bool:
+        """Apply the next event; False once the heap is empty."""
+        if not self._heap:
+            return False
+        now, kind, _, payload = heapq.heappop(self._heap)
+        if kind == _ARRIVAL:
+            self._on_arrival(payload, now)  # type: ignore[arg-type]
+        elif kind == _COMPLETE:
+            self._on_complete(payload, now)  # type: ignore[arg-type]
+        else:  # _WINDOW
+            self._try_dispatch(now)
+        self.events_processed += 1
+        return True
+
+    def finish(self) -> FleetReport:
+        """Close accounting and build the report (heap must be empty)."""
+        if self._heap:
+            raise RuntimeError(
+                f"finish() with {len(self._heap)} events still pending"
+            )
         # End-of-run flush: anything still queued is accounted explicitly
         # as pending-at-shutdown — admitted work is never silently lost.
         for request in self.batcher.drain():
@@ -315,6 +359,12 @@ class ServeRuntime:
         if self.obs.enabled:
             publish_fleet_metrics(report, self.obs.metrics)
         return report
+
+    def run(self) -> FleetReport:
+        self.start()
+        while self.step():
+            pass
+        return self.finish()
 
     def _build_report(self, duration: float) -> FleetReport:
         return FleetReport(
@@ -333,6 +383,117 @@ class ServeRuntime:
     def _fault_report(self):
         """Fault telemetry attached to the report (None outside chaos runs)."""
         return None
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    #: Checkpoint kind tag; ``repro.recover`` maps it back to the class.
+    RUNTIME_KIND = "serve"
+
+    def _encode_payload(self, kind: int, payload: object) -> object:
+        """JSON-safe form of one heap payload (kind-specific)."""
+        if kind == _ARRIVAL:
+            return payload.to_dict()  # type: ignore[union-attr]
+        if kind == _COMPLETE:
+            worker, batch = payload  # type: ignore[misc]
+            return {
+                "worker": worker.worker_id,
+                "batch": [request.to_dict() for request in batch],
+            }
+        return None  # _WINDOW carries no payload
+
+    def _decode_payload(self, kind: int, data: object) -> object:
+        if kind == _ARRIVAL:
+            return FrameRequest.from_dict(data)  # type: ignore[arg-type]
+        if kind == _COMPLETE:
+            worker = self.pool.workers[int(data["worker"])]  # type: ignore[index]
+            batch = [FrameRequest.from_dict(r) for r in data["batch"]]  # type: ignore[index]
+            return (worker, batch)
+        return None
+
+    def state_dict(self) -> dict:
+        """Full JSON-safe snapshot of the serving state.
+
+        The heap is serialized in its *raw list order* (already a valid
+        binary heap) and restored verbatim, so subsequent pushes and pops
+        reproduce the uninterrupted run's event ordering exactly — the
+        load-bearing detail behind bit-identical recovery.
+        """
+        predictions = None
+        if self.predictions is not None:
+            predictions = [
+                [sid, frame, [float(x) for x in gaze]]
+                for (sid, frame), gaze in sorted(self.predictions.items())
+            ]
+        return {
+            "started": self._started,
+            "events_processed": self.events_processed,
+            "event_seq": self._event_seq,
+            "makespan_s": self._makespan_s,
+            "heap": [
+                [time_s, kind, seq, self._encode_payload(kind, payload)]
+                for time_s, kind, seq, payload in self._heap
+            ],
+            "batcher": self.batcher.state_dict(),
+            "pool": self.pool.state_dict(),
+            "stats": [stats.state_dict() for stats in self.stats],
+            "predictions": predictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a freshly
+        constructed runtime of the same config."""
+        self._started = bool(state["started"])
+        self.events_processed = int(state["events_processed"])
+        self._event_seq = int(state["event_seq"])
+        self._makespan_s = float(state["makespan_s"])
+        self.pool.load_state(state["pool"])  # before heap: COMPLETE payloads
+        self._heap = [
+            (float(time_s), int(kind), int(seq), self._decode_payload(int(kind), data))
+            for time_s, kind, seq, data in state["heap"]
+        ]
+        self.batcher.load_state(state["batcher"])
+        if len(state["stats"]) != len(self.stats):
+            raise ValueError(
+                f"snapshot has {len(state['stats'])} sessions, "
+                f"runtime has {len(self.stats)}"
+            )
+        for stats, saved in zip(self.stats, state["stats"]):
+            stats.load_state(saved)
+        if state["predictions"] is not None:
+            if self.predictions is None:
+                self.predictions = {}
+            self.predictions = {
+                (int(sid), int(frame)): np.asarray(gaze, dtype=np.float64)
+                for sid, frame, gaze in state["predictions"]
+            }
+
+    @classmethod
+    def restore(
+        cls,
+        directory,
+        service: "BatchServiceModel | None" = None,
+        inference: "InferenceFn | None" = None,
+        obs: "Obs | None" = None,
+    ) -> "ServeRuntime":
+        """Warm-restart from the latest valid checkpoint in ``directory``.
+
+        Loads the checkpoint, replays the write-ahead journal tail
+        deterministically, and returns a runtime ready to continue; see
+        :func:`repro.recover.restore_runtime` for the full contract.
+        """
+        from repro.recover.manager import restore_runtime
+
+        restored = restore_runtime(
+            directory, service=service, inference=inference, obs=obs
+        )
+        runtime = restored.runtime
+        if not isinstance(runtime, cls):
+            raise TypeError(
+                f"checkpoint holds a {type(runtime).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return runtime
 
 
 def serve_fleet(

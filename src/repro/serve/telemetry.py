@@ -100,6 +100,35 @@ class SessionStats:
             raise ValueError(f"session {self.session_id} has no completed frames")
         return percentile_summary(self.latencies_s, (q,))[percentile_key(q)] * 1e3
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "latencies_s": list(self.latencies_s),
+            "misses": self.misses,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "pending": self.pending,
+            "lost_input": self.lost_input,
+            "counts": dict(self.counts),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if int(state["session_id"]) != self.session_id:
+            raise ValueError(
+                f"snapshot session {state['session_id']} does not match "
+                f"stats slot {self.session_id}"
+            )
+        self.latencies_s = [float(x) for x in state["latencies_s"]]
+        self.misses = int(state["misses"])
+        self.shed = int(state["shed"])
+        self.degraded = int(state["degraded"])
+        self.pending = int(state["pending"])
+        self.lost_input = int(state["lost_input"])
+        self.counts = {str(k): int(v) for k, v in state["counts"].items()}
+
     @property
     def miss_rate(self) -> float:
         return self.misses / self.completed if self.completed else 0.0
@@ -145,6 +174,52 @@ class FaultReport:
     @property
     def breaker_opens(self) -> int:
         return sum(1 for _, _, _, to in self.breaker_transitions if to == "OPEN")
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    _COUNTER_FIELDS = (
+        "input_dropped",
+        "noise_burst_frames",
+        "occluded_frames",
+        "mipi_corrupted_frames",
+        "batch_failures",
+        "worker_crash_failures",
+        "worker_stall_timeouts",
+        "frames_requeued",
+        "retries_scheduled",
+        "retry_exhausted_degraded",
+        "deadline_degraded",
+        "occlusion_degraded",
+        "watchdog_reuse_frames",
+        "watchdog_full_res_frames",
+    )
+
+    def state_dict(self) -> dict:
+        state = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        state["breaker_transitions"] = [list(t) for t in self.breaker_transitions]
+        state["degradation_transitions"] = [
+            list(t) for t in self.degradation_transitions
+        ]
+        state["degradation_dwell_s"] = dict(self.degradation_dwell_s)
+        state["widened_delta_theta_deg"] = self.widened_delta_theta_deg
+        return state
+
+    def load_state(self, state: dict) -> None:
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, int(state[name]))
+        self.breaker_transitions = [
+            (float(t), int(wid), str(src), str(dst))
+            for t, wid, src, dst in state["breaker_transitions"]
+        ]
+        self.degradation_transitions = [
+            (float(t), int(sid), str(src), str(dst))
+            for t, sid, src, dst in state["degradation_transitions"]
+        ]
+        self.degradation_dwell_s = {
+            str(k): float(v) for k, v in state["degradation_dwell_s"].items()
+        }
+        self.widened_delta_theta_deg = float(state["widened_delta_theta_deg"])
 
     def summary(self) -> dict[str, float]:
         return {
@@ -263,6 +338,34 @@ class FleetReport:
             "worker_utilization": self.worker_utilization,
             "mean_batch": self.mean_batch_size,
         }
+
+
+def fleet_report_state(report: FleetReport) -> dict:
+    """Canonical JSON-safe form of a :class:`FleetReport`.
+
+    Two reports serialize to equal bytes (via ``repro.recover.codec``)
+    iff every session accumulator, pool statistic, prediction, and fault
+    counter is identical — the bit-identity oracle the crash-recovery
+    acceptance tests byte-diff.
+    """
+    predictions = None
+    if report.predictions is not None:
+        predictions = [
+            [sid, frame, [float(x) for x in gaze]]
+            for (sid, frame), gaze in sorted(report.predictions.items())
+        ]
+    return {
+        "sessions": [s.state_dict() for s in report.sessions],
+        "duration_s": report.duration_s,
+        "deadline_s": report.deadline_s,
+        "batch_occupancy": sorted(report.batch_occupancy.items()),
+        "worker_utilization": report.worker_utilization,
+        "mean_batch_size": report.mean_batch_size,
+        "n_workers": report.n_workers,
+        "max_batch": report.max_batch,
+        "predictions": predictions,
+        "faults": None if report.faults is None else report.faults.state_dict(),
+    }
 
 
 # ----------------------------------------------------------------------

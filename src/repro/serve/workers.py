@@ -93,6 +93,47 @@ class WorkerPool:
         count = sum(self.batch_occupancy.values())
         return total / count if count else 0.0
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (int-keyed dicts become pair lists)."""
+        return {
+            "workers": [
+                {
+                    "worker_id": w.worker_id,
+                    "busy_until_s": w.busy_until_s,
+                    "busy_s": w.busy_s,
+                    "batches_served": w.batches_served,
+                    "frames_served": w.frames_served,
+                }
+                for w in self.workers
+            ],
+            "batch_occupancy": sorted(self.batch_occupancy.items()),
+            "in_flight": sorted(self._in_flight.items()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if len(state["workers"]) != self.n_workers:
+            raise ValueError(
+                f"snapshot has {len(state['workers'])} workers, "
+                f"pool has {self.n_workers}"
+            )
+        for worker, saved in zip(self.workers, state["workers"]):
+            if worker.worker_id != int(saved["worker_id"]):
+                raise ValueError(
+                    f"snapshot worker id {saved['worker_id']} does not match "
+                    f"pool slot {worker.worker_id}"
+                )
+            worker.busy_until_s = float(saved["busy_until_s"])
+            worker.busy_s = float(saved["busy_s"])
+            worker.batches_served = int(saved["batches_served"])
+            worker.frames_served = int(saved["frames_served"])
+        self.batch_occupancy = {
+            int(size): int(count) for size, count in state["batch_occupancy"]
+        }
+        self._in_flight = {int(wid): int(size) for wid, size in state["in_flight"]}
+
 
 # ----------------------------------------------------------------------
 # Fault injection
@@ -301,3 +342,17 @@ class FaultyWorkerPool(WorkerPool):
         self.failed_batches += 1
         self.failed_frames += batch_size
         self._in_flight[worker.worker_id] = batch_size
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["failed_batches"] = self.failed_batches
+        state["failed_frames"] = self.failed_frames
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.failed_batches = int(state["failed_batches"])
+        self.failed_frames = int(state["failed_frames"])

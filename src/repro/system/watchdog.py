@@ -229,3 +229,41 @@ class TrackingWatchdog:
         """Seconds spent at each level (call :meth:`finalize` first for a
         closed ledger)."""
         return dict(self._dwell_s)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full monitor state (sliding windows,
+        ladder position, hysteresis clock, dwell ledger)."""
+        return {
+            "level": self.level.name,
+            "transitions": [list(t) for t in self.transitions],
+            "errors": list(self._errors),
+            "confidences": list(self._confidences),
+            "healthy_since": self._healthy_since,
+            "level_entered_s": self._level_entered_s,
+            "dwell_s": dict(self._dwell_s),
+            "max_widened_deg": self._max_widened_deg,
+            "finalized_s": self._finalized_s,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (window caps preserved)."""
+        self.level = DegradationLevel[state["level"]]
+        self.transitions = [
+            (float(t), str(src), str(dst)) for t, src, dst in state["transitions"]
+        ]
+        self._errors = deque(
+            (float(x) for x in state["errors"]), maxlen=self.config.window
+        )
+        self._confidences = deque(
+            (float(x) for x in state["confidences"]), maxlen=self.config.window
+        )
+        healthy = state["healthy_since"]
+        self._healthy_since = None if healthy is None else float(healthy)
+        self._level_entered_s = float(state["level_entered_s"])
+        self._dwell_s = {str(k): float(v) for k, v in state["dwell_s"].items()}
+        self._max_widened_deg = float(state["max_widened_deg"])
+        finalized = state["finalized_s"]
+        self._finalized_s = None if finalized is None else float(finalized)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core import Decision
 from repro.core.persistence import load_polonet, save_polonet
+from repro.nn import PersistenceError
 
 
 @pytest.fixture(scope="module")
@@ -50,5 +51,45 @@ class TestRoundTrip:
         manifest = json.loads(manifest_path.read_text())
         manifest["format_version"] = 999
         manifest_path.write_text(json.dumps(manifest))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="newer"):
+            load_polonet(tmp_path / "model")
+
+
+class TestValidation:
+    def test_corrupt_manifest_json(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        manifest_path = tmp_path / "model" / "polonet.json"
+        manifest_path.write_text(manifest_path.read_text()[:40])
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_polonet(tmp_path / "model")
+
+    def test_unknown_manifest_key_rejected(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        manifest_path = tmp_path / "model" / "polonet.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["surprise"] = True
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="surprise"):
+            load_polonet(tmp_path / "model")
+
+    def test_missing_manifest_key_rejected(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        manifest_path = tmp_path / "model" / "polonet.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["saccade_threshold"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="saccade_threshold"):
+            load_polonet(tmp_path / "model")
+
+    def test_missing_weight_file_rejected(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        (tmp_path / "model" / "gaze_vit.npz").unlink()
+        with pytest.raises(PersistenceError, match="gaze_vit.npz"):
+            load_polonet(tmp_path / "model")
+
+    def test_truncated_weight_archive_rejected(self, tiny_bundle, tmp_path):
+        save_polonet(tiny_bundle.polonet, tmp_path / "model")
+        weights = tmp_path / "model" / "gaze_vit.npz"
+        weights.write_bytes(weights.read_bytes()[:100])
+        with pytest.raises(PersistenceError, match="corrupt or truncated"):
             load_polonet(tmp_path / "model")

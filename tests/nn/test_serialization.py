@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn import Linear, Sequential, Tensor, load_weights, save_weights
+from repro.nn import (
+    Linear,
+    PersistenceError,
+    Sequential,
+    Tensor,
+    load_weights,
+    save_weights,
+)
 
 
 def test_roundtrip(tmp_path):
@@ -24,5 +31,59 @@ def test_load_rejects_architecture_mismatch(tmp_path):
     path = tmp_path / "weights.npz"
     save_weights(model, path)
     wrong = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
-    with pytest.raises(KeyError):
+    with pytest.raises(PersistenceError, match="missing"):
         load_weights(wrong, path)
+
+
+def test_strict_false_loads_intersection(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0))
+    path = tmp_path / "weights.npz"
+    save_weights(model, path)
+    wider = Sequential(Linear(4, 8, seed=7), Linear(8, 2, seed=8))
+    before = wider.state_dict()["layers.1.weight"].copy()
+    load_weights(wider, path, strict=False)
+    state = wider.state_dict()
+    np.testing.assert_allclose(
+        state["layers.0.weight"], model.state_dict()["layers.0.weight"]
+    )
+    np.testing.assert_allclose(state["layers.1.weight"], before)
+
+
+def test_load_rejects_shape_mismatch(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0))
+    state = model.state_dict()
+    state["layers.0.weight"] = state["layers.0.weight"][:, :3]
+    path = tmp_path / "weights.npz"
+    np.savez(path, **state)
+    with pytest.raises(PersistenceError, match="layers.0.weight"):
+        load_weights(Sequential(Linear(4, 8, seed=1)), path)
+
+
+def test_load_rejects_dtype_mismatch(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0))
+    state = model.state_dict()
+    state["layers.0.bias"] = state["layers.0.bias"].astype(np.float32)
+    path = tmp_path / "weights.npz"
+    np.savez(path, **state)
+    with pytest.raises(PersistenceError, match="layers.0.bias"):
+        load_weights(Sequential(Linear(4, 8, seed=1)), path)
+
+
+def test_load_rejects_non_finite_values(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0))
+    state = model.state_dict()
+    state["layers.0.weight"][0, 0] = np.nan
+    path = tmp_path / "weights.npz"
+    np.savez(path, **state)
+    with pytest.raises(PersistenceError, match="layers.0.weight"):
+        load_weights(Sequential(Linear(4, 8, seed=1)), path)
+
+
+def test_load_rejects_truncated_archive(tmp_path):
+    model = Sequential(Linear(4, 8, seed=0))
+    path = tmp_path / "weights.npz"
+    save_weights(model, path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(PersistenceError, match="corrupt or truncated"):
+        load_weights(Sequential(Linear(4, 8, seed=1)), path)

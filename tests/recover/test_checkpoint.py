@@ -1,0 +1,175 @@
+"""Checkpoint store: atomic write, validation chain, corrupt fallback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.recover import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointStore,
+    canonical_bytes,
+    canonical_json,
+    crc32,
+)
+
+STATE = {"heap": [[0.1, 2, 3, None]], "events_processed": 7}
+CONFIG = {"n_sessions": 4}
+SERVICE = {"fixed_s": 0.001}
+
+
+def write_one(store: CheckpointStore, index: int = 7, state=None) -> int:
+    return store.write(
+        state if state is not None else STATE,
+        event_index=index,
+        kind="serve",
+        config=CONFIG,
+        service=SERVICE,
+        checkpoint_every=100,
+    )
+
+
+class TestRoundTrip:
+    def test_write_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        size = write_one(store)
+        checkpoint = store.load(7)
+        assert checkpoint.state == STATE
+        assert checkpoint.kind == "serve"
+        assert checkpoint.config == CONFIG
+        assert checkpoint.service == SERVICE
+        assert checkpoint.checkpoint_every == 100
+        assert size == len(canonical_bytes(STATE))
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_indices_sorted(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for index in (300, 0, 100):
+            write_one(store, index)
+        assert store.indices() == [0, 100, 300]
+
+    def test_float_exactness(self, tmp_path):
+        state = {"t": 0.1 + 0.2, "xs": [1e-17, 3.141592653589793]}
+        store = CheckpointStore(tmp_path)
+        write_one(store, 1, state=state)
+        loaded = store.load(1).state
+        assert loaded["t"] == state["t"]  # same binary64, not approximately
+        assert loaded["xs"] == state["xs"]
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+            CheckpointStore(tmp_path).load(3)
+
+    def test_truncated_payload(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        payload = store.payload_path(7)
+        payload.write_bytes(payload.read_bytes()[:-4])
+        with pytest.raises(CheckpointError, match="truncated"):
+            store.load(7)
+
+    def test_bit_flipped_payload(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        payload = store.payload_path(7)
+        data = bytearray(payload.read_bytes())
+        data[3] ^= 0x40
+        payload.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="CRC32"):
+            store.load(7)
+
+    def test_tampered_manifest_json(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        manifest = store.manifest_path(7)
+        manifest.write_bytes(manifest.read_bytes()[:-10])
+        with pytest.raises(CheckpointError, match="tampered or corrupt"):
+            store.load(7)
+
+    def test_unknown_manifest_key(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        manifest = store.manifest_path(7)
+        doc = json.loads(manifest.read_bytes())
+        doc["extra"] = 1
+        manifest.write_text(canonical_json(doc))
+        with pytest.raises(CheckpointError, match="unknown=\\['extra'\\]"):
+            store.load(7)
+
+    def test_missing_manifest_key(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        manifest = store.manifest_path(7)
+        doc = json.loads(manifest.read_bytes())
+        del doc["payload_crc32"]
+        manifest.write_text(canonical_json(doc))
+        with pytest.raises(CheckpointError, match="missing=\\['payload_crc32'\\]"):
+            store.load(7)
+
+    def test_newer_format_version(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        manifest = store.manifest_path(7)
+        doc = json.loads(manifest.read_bytes())
+        doc["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        manifest.write_text(canonical_json(doc))
+        with pytest.raises(CheckpointError, match="upgrade repro"):
+            store.load(7)
+
+    def test_event_index_mismatch(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        # Renaming both files moves the checkpoint to index 9 but the
+        # manifest still claims 7.
+        store.manifest_path(7).rename(store.manifest_path(9))
+        store.payload_path(7).rename(store.payload_path(9))
+        with pytest.raises(CheckpointError, match="claims event index 7"):
+            store.load(9)
+
+    def test_missing_payload(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        store.payload_path(7).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            store.load(7)
+
+    def test_crc_matches_manifest_pin(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        write_one(store)
+        doc = json.loads(store.manifest_path(7).read_bytes())
+        assert doc["payload_crc32"] == crc32(store.payload_path(7).read_bytes())
+
+
+class TestLatestValid:
+    def test_prefers_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for index in (0, 100, 200):
+            write_one(store, index, state={"at": index})
+        checkpoint, skipped = store.latest_valid()
+        assert checkpoint.event_index == 200
+        assert skipped == []
+
+    def test_falls_back_past_corruption(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for index in (0, 100, 200):
+            write_one(store, index, state={"at": index})
+        payload = store.payload_path(200)
+        data = bytearray(payload.read_bytes())
+        data[0] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        checkpoint, skipped = store.latest_valid()
+        assert checkpoint.event_index == 100
+        assert [index for index, _ in skipped] == [200]
+        assert "CRC32" in skipped[0][1]
+
+    def test_empty_directory(self, tmp_path):
+        checkpoint, skipped = CheckpointStore(tmp_path).latest_valid()
+        assert checkpoint is None and skipped == []

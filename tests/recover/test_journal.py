@@ -1,0 +1,106 @@
+"""Write-ahead journal: CRC-sealed records, torn tails, strict interiors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.recover import (
+    JOURNAL_NAME,
+    JournalError,
+    JournalWriter,
+    canonical_bytes,
+    canonical_json,
+    crc32,
+    read_journal,
+)
+
+
+def write_records(path, records):
+    writer = JournalWriter(path)
+    for record in records:
+        writer.append(record)
+    writer.close()
+
+
+RECORDS = [
+    {"i": 1, "t": 0.0, "k": 2, "seq": 0},
+    {"i": 2, "t": 0.011, "k": 2, "seq": 1},
+    {"i": 3, "t": 0.0125, "k": 1, "seq": 2},
+]
+
+
+class TestRoundTrip:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS)
+        assert read_journal(path) == RECORDS
+
+    def test_after_index_filters(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS)
+        assert read_journal(path, after_index=2) == RECORDS[2:]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_journal(tmp_path / JOURNAL_NAME) == []
+
+    def test_resume_appends(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS[:2])
+        writer = JournalWriter(path, resume=True)
+        writer.append(RECORDS[2])
+        writer.close()
+        assert read_journal(path) == RECORDS
+
+    def test_records_are_crc_sealed(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS[:1])
+        line = json.loads(path.read_text().splitlines()[0])
+        stored = line.pop("crc")
+        assert stored == crc32(canonical_bytes(line))
+
+
+class TestCorruption:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS)
+        text = path.read_text()
+        # A kill mid-append leaves a half-written last line.
+        path.write_text(text[: len(text) - 12])
+        assert read_journal(path) == RECORDS[:2]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-8]  # damage a non-final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            read_journal(path)
+
+    def test_resealed_tamper_with_bad_crc_raises(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, RECORDS)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["t"] = 99.0  # content change without recomputing the CRC
+        lines[1] = canonical_json(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="CRC mismatch"):
+            read_journal(path)
+
+    def test_non_increasing_indices_raise(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        write_records(path, [RECORDS[0], RECORDS[2], RECORDS[1]])
+        with pytest.raises(JournalError, match="not\\s+after"):
+            read_journal(path)
+
+    def test_record_without_index_raises(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        writer = JournalWriter(path)
+        writer.append({"t": 0.0, "k": 2, "seq": 0})
+        writer.append({"i": 1, "t": 0.0, "k": 2, "seq": 0})
+        writer.close()
+        with pytest.raises(JournalError, match="missing event index"):
+            read_journal(path)
