@@ -9,8 +9,10 @@ instead (see ``repro.serve.cli`` for its flags),
 ``python -m repro chaos [...]`` runs a seeded fault-injection scenario on
 it (see ``repro.faults.cli``), ``python -m repro trace [...]`` runs a
 traced workload and exports trace.json / metrics.prom
-(see ``repro.obs.cli``), and ``python -m repro recover [...]`` warm-restarts
-a killed checkpointed run (see ``repro.recover.cli``).
+(see ``repro.obs.cli``), ``python -m repro recover [...]`` warm-restarts
+a killed checkpointed run (see ``repro.recover.cli``), and
+``python -m repro sdc [...]`` runs the soft-error / silent-data-corruption
+resilience campaign (see ``repro.reliability.cli``).
 """
 
 from __future__ import annotations
@@ -94,6 +96,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.recover.cli import main as recover_main
 
         return recover_main(raw[1:])
+    if raw and raw[0] == "sdc":
+        from repro.reliability.cli import main as sdc_main
+
+        return sdc_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

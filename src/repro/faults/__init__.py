@@ -16,6 +16,7 @@ from repro.faults.config import (
     InputFaultConfig,
     LatencySpike,
     RecoveryConfig,
+    SoftErrorConfig,
     WorkerCrash,
     WorkerFaultSchedule,
     WorkerStall,
@@ -47,6 +48,7 @@ __all__ = [
     "ProcessKill",
     "RecoveryConfig",
     "SimulatedCrash",
+    "SoftErrorConfig",
     "WorkerCrash",
     "WorkerFaultSchedule",
     "WorkerStall",

@@ -16,6 +16,7 @@ from dataclasses import replace
 from repro.faults.config import (
     ChaosConfig,
     InputFaultConfig,
+    SoftErrorConfig,
     WorkerFaultSchedule,
     default_chaos_scenario,
 )
@@ -51,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="MIPI per-bit transient error probability")
     parser.add_argument("--no-worker-faults", action="store_true",
                         help="disable the crash/stall/spike schedule")
+    parser.add_argument("--soft-error-fit", type=float, default=0.0,
+                        help="silicon soft-error FIT/Mbit rate composed onto "
+                        "the scenario (0 disables; see repro.reliability)")
+    parser.add_argument("--soft-error-accel", type=float, default=5e10,
+                        help="soft-error acceleration factor (wall-time "
+                        "compression of the FIT rate)")
     parser.add_argument("--fault-free", action="store_true",
                         help="disable every fault (baseline run)")
     parser.add_argument("--compare-fault-free", action="store_true",
@@ -82,6 +89,13 @@ def config_from_args(args: argparse.Namespace) -> ChaosConfig:
         c.worker_id >= args.workers for c in worker_faults.crashes
     ):
         worker_faults = WorkerFaultSchedule()
+    soft_errors = SoftErrorConfig.inactive()
+    if args.soft_error_fit > 0:
+        soft_errors = SoftErrorConfig(
+            fit_per_mbit=args.soft_error_fit,
+            acceleration=args.soft_error_accel,
+            seed=args.seed,
+        )
     config = ChaosConfig(
         serve=serve,
         input_faults=input_faults,
@@ -89,6 +103,7 @@ def config_from_args(args: argparse.Namespace) -> ChaosConfig:
         recovery=base.recovery,
         watchdog=base.watchdog,
         profile=base.profile,
+        soft_errors=soft_errors,
         fault_seed=args.seed,
     )
     if args.fault_free:

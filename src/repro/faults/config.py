@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.reliability.softerror import SoftErrorConfig
 from repro.serve.config import ServeConfig
 from repro.serve.workers import (
     LatencySpike,
@@ -126,6 +127,11 @@ class ChaosConfig:
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
     profile: TrackerSystemProfile = DEFAULT_TRACKER_PROFILE
+    #: Silicon soft errors composed with the sensor/worker fault classes
+    #: (inactive by default; ``python -m repro chaos --soft-error-fit``
+    #: turns them on).  The schedule shares the scenario's determinism:
+    #: same config + seed -> same upsets -> same merged FaultReport.
+    soft_errors: SoftErrorConfig = field(default_factory=SoftErrorConfig.inactive)
     fault_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -149,6 +155,7 @@ class ChaosConfig:
             self,
             input_faults=InputFaultConfig(),
             worker_faults=WorkerFaultSchedule(),
+            soft_errors=SoftErrorConfig.inactive(),
         )
 
 
@@ -191,6 +198,7 @@ __all__ = [
     "InputFaultConfig",
     "LatencySpike",
     "RecoveryConfig",
+    "SoftErrorConfig",
     "WorkerCrash",
     "WorkerFaultSchedule",
     "WorkerStall",

@@ -39,7 +39,9 @@ from repro.faults.injectors import (
     InputFaultTrace,
     inject_input_faults,
 )
-from repro.obs import Obs, PID_WORKERS, session_pid
+from repro.obs import Obs, PID_RELIABILITY, PID_WORKERS, session_pid
+from repro.reliability.guard import GazeVerdict, PlausibilityConfig, PlausibilityGuard
+from repro.reliability.softerror import FaultSite, SoftErrorEvent, SoftErrorModel
 from repro.serve.config import AdmissionPolicy, BatchServiceModel
 from repro.serve.request import ClientSession, FrameRequest, build_fleet
 from repro.serve.runtime import _ARRIVAL, _COMPLETE, _WINDOW, InferenceFn, ServeRuntime
@@ -52,6 +54,10 @@ from repro.system.watchdog import DegradationLevel, TrackingWatchdog
 #: error streams independent of each other and of the oculomotor seeds).
 _FAULT_SEED_STRIDE = 9176
 _ERROR_SEED_STRIDE = 7919
+
+#: Gaze deviation (degrees) beyond which an uncaught corruption counts
+#: as silent data corruption — just above the INT8 quantization grid.
+SDC_THRESHOLD_DEG = 0.05
 
 
 def build_chaos_fleet(
@@ -141,6 +147,33 @@ class ChaosRuntime(ServeRuntime):
         ]
         self._retransmitted: set[tuple[int, int]] = set()
         self._pending_wake_s: "float | None" = None
+        # Silicon soft errors (repro.reliability): one seeded schedule
+        # over the whole window, events dealt round-robin onto sessions
+        # and consumed by each session's next predict-path frame (SRAM
+        # corruption persists until the datapath fetches it).
+        self._sdc_queues: list[list[tuple[int, SoftErrorEvent]]] = [
+            [] for _ in self.fleet
+        ]
+        self._sdc_next: list[int] = [0] * len(self.fleet)
+        self._sdc_persistent = [np.zeros(2) for _ in self.fleet]
+        self._guard_last_frame: list["int | None"] = [None] * len(self.fleet)
+        self.guards: "list[PlausibilityGuard] | None" = None
+        if chaos.soft_errors.active:
+            self.guards = [
+                PlausibilityGuard(PlausibilityConfig(fps=chaos.serve.fps))
+                for _ in self.fleet
+            ]
+            schedule = SoftErrorModel(chaos.soft_errors).schedule(
+                chaos.serve.duration_s
+            )
+            for index, event in enumerate(schedule):
+                sid = index % len(self.fleet)
+                session = self.fleet[sid]
+                frame = int((event.t_s - session.start_s) * chaos.serve.fps)
+                frame = min(max(frame, 0), session.n_frames - 1)
+                self._sdc_queues[sid].append((frame, event))
+            for queue in self._sdc_queues:
+                queue.sort(key=lambda item: item[0])
 
     # ------------------------------------------------------------------
     # Observability hooks (no-ops unless ``obs`` is enabled)
@@ -164,6 +197,117 @@ class ChaosRuntime(ServeRuntime):
             ).inc()
 
         return hook
+
+    # ------------------------------------------------------------------
+    # Silicon soft errors + SDC guard (repro.reliability)
+    # ------------------------------------------------------------------
+    def _sdc_offset(self, event: SoftErrorEvent) -> np.ndarray:
+        """Gaze-space corruption of one upset.
+
+        Magnitude follows the flipped bit's weight on the INT8 activation
+        grid (``2^bit`` codes — low bits are sub-threshold nudges, high
+        bits are wild jumps); direction is a deterministic function of
+        the bit offset so repeated events spread over angles."""
+        assert self.guards is not None
+        config = self.guards[0].config
+        code_scale = config.field_deg / 2.0 / 127.0
+        magnitude = float(1 << (event.bit_offset % 8)) * code_scale
+        theta = math.radians(event.bit_offset % 360)
+        return magnitude * np.array([math.cos(theta), math.sin(theta)])
+
+    def _sdc_obs(self, sid: int, frame: int, now: float, outcome: str) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.tracer.instant(
+            f"sdc.{outcome}", now, cat="reliability", pid=PID_RELIABILITY,
+            args={"session": sid, "frame": frame},
+        )
+        self.obs.metrics.counter(
+            "sdc_outcomes_total",
+            help="SDC-guard outcomes for soft-error-affected frames.",
+            outcome=outcome,
+        ).inc()
+
+    def _sdc_layer(
+        self, request: FrameRequest, sid: int, i: int, now: float, blind: bool
+    ) -> tuple[float, bool]:
+        """Apply pending upsets to this frame's tracker output and gate
+        it through the plausibility guard.
+
+        Returns ``(extra_error_deg, degrade)``: the residual gaze
+        deviation an *escaped* corruption adds to the realized tracking
+        error (which the watchdog then observes — escaped SDC widens the
+        foveal radius exactly like any other tracking error), and
+        whether the guard fell back to gaze reuse for this frame.
+        """
+        assert self.guards is not None
+        guard = self.guards[sid]
+        gaze = np.asarray(self.fleet[sid].track.gaze_deg[i], dtype=np.float64)
+        last = self._guard_last_frame[sid]
+        gap = 1.0 if last is None else float(max(i - last, 1))
+        if blind:
+            return 0.0, False
+        self._guard_last_frame[sid] = i
+        if request.path != "predict":
+            # Bypass paths reuse the buffered gaze — no datapath fetch,
+            # no corruption; just keep the physiological reference warm.
+            guard.check(gaze, frames=gap)
+            return 0.0, False
+        queue, cursor = self._sdc_queues[sid], self._sdc_next[sid]
+        events: list[SoftErrorEvent] = []
+        while cursor < len(queue) and queue[cursor][0] <= i:
+            events.append(queue[cursor][1])
+            cursor += 1
+        self._sdc_next[sid] = cursor
+        persistent = self._sdc_persistent[sid]
+        transient = np.zeros(2)
+        for event in events:
+            offset = self._sdc_offset(event)
+            if event.site is FaultSite.WEIGHT:
+                # Weight-SRAM corruption persists until a scrub reloads
+                # the store; activation/accumulator upsets are transient.
+                persistent += offset
+            else:
+                transient += offset
+            self.faults.soft_errors_injected += 1
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    f"sdc.flip.{event.site.value}", now, cat="reliability",
+                    pid=PID_RELIABILITY,
+                    args={
+                        "session": sid, "frame": i,
+                        "bit": event.bit_offset, "mode": event.mode.value,
+                    },
+                )
+                self.obs.metrics.counter(
+                    "sdc_soft_errors_total",
+                    help="Soft errors injected into the tracker datapath.",
+                    site=event.site.value,
+                ).inc()
+        if not events and not persistent.any():
+            guard.check(gaze, frames=gap)
+            return 0.0, False
+        corrupted = gaze + persistent + transient
+        out, verdict = guard.check(
+            corrupted, recompute=lambda: gaze + persistent, frames=gap
+        )
+        if verdict is GazeVerdict.FALLBACK:
+            self.faults.sdc_detected += 1
+            self.faults.sdc_fallback_degraded += 1
+            # The guard cannot localize the fault, but two implausible
+            # computes in a row say state is corrupted: scrub the store.
+            persistent[:] = 0.0
+            self._sdc_obs(sid, i, now, "fallback")
+            return 0.0, True
+        if verdict is GazeVerdict.RECOMPUTED:
+            self.faults.sdc_detected += 1
+            self.faults.sdc_recomputed += 1
+            self._sdc_obs(sid, i, now, "recomputed")
+        deviation = float(np.linalg.norm(out - gaze))
+        if deviation > SDC_THRESHOLD_DEG:
+            self.faults.sdc_escaped += 1
+            self._sdc_obs(sid, i, now, "escaped")
+        return deviation, False
 
     # ------------------------------------------------------------------
     # Admission (capacity-aware: breaker-evicted and crashed workers do
@@ -335,7 +479,15 @@ class ChaosRuntime(ServeRuntime):
             self.faults.noise_burst_frames += 1
         if trace.occlusion[i] > 0:
             self.faults.occluded_frames += 1
-        error_deg = float(self.base_error[sid][i] + trace.noise_deg[i])
+        sdc_error_deg = 0.0
+        if self.guards is not None:
+            sdc_error_deg, degrade = self._sdc_layer(request, sid, i, now, blind)
+            if degrade:
+                self._degrade_now(request, now, cause="sdc")
+                return
+        error_deg = float(
+            self.base_error[sid][i] + trace.noise_deg[i] + sdc_error_deg
+        )
         confidence = openness * (0.5 if trace.corrupted[i] else 1.0)
         level = self.watchdogs[sid].observe(
             now, error_deg=None if blind else error_deg, confidence=confidence
@@ -445,6 +597,14 @@ class ChaosRuntime(ServeRuntime):
         state["pending_wake_s"] = self._pending_wake_s
         state["breakers"] = [b.state_dict() for b in self.breakers]
         state["watchdogs"] = [w.state_dict() for w in self.watchdogs]
+        state["sdc"] = {
+            "next": list(self._sdc_next),
+            "persistent": [[float(x) for x in p] for p in self._sdc_persistent],
+            "guard_last_frame": list(self._guard_last_frame),
+            "guards": None
+            if self.guards is None
+            else [g.state_dict() for g in self.guards],
+        }
         return state
 
     def load_state(self, state: dict) -> None:
@@ -466,6 +626,18 @@ class ChaosRuntime(ServeRuntime):
             breaker.load_state(saved)
         for watchdog, saved in zip(self.watchdogs, state["watchdogs"]):
             watchdog.load_state(saved)
+        sdc = state.get("sdc")
+        if sdc is not None:
+            self._sdc_next = [int(n) for n in sdc["next"]]
+            self._sdc_persistent = [
+                np.asarray(p, dtype=np.float64) for p in sdc["persistent"]
+            ]
+            self._guard_last_frame = [
+                None if f is None else int(f) for f in sdc["guard_last_frame"]
+            ]
+            if sdc["guards"] is not None and self.guards is not None:
+                for guard, saved in zip(self.guards, sdc["guards"]):
+                    guard.load_state(saved)
 
     # ------------------------------------------------------------------
     # Telemetry assembly

@@ -38,6 +38,10 @@ class AcceleratorConfig:
     weight_buffer_kb: float = 128.0
     has_token_selector: bool = True
     has_ipu: bool = True
+    #: Cost every GEMM in its Huang–Abraham-augmented form (checksum row
+    #: and column are real array work) plus checksum generation and
+    #: verification passes.  See :mod:`repro.reliability.abft`.
+    abft_protected: bool = False
 
     def __post_init__(self) -> None:
         check_positive("clock_hz", self.clock_hz)
@@ -92,6 +96,7 @@ class Accelerator:
             self.energy_table,
             self.act_buffer,
             self.weight_buffer,
+            abft=cfg.abft_protected,
         )
         self.ipu = IpuModel(energy=self.energy_table) if cfg.has_ipu else None
 
@@ -157,10 +162,17 @@ class Accelerator:
 # ----------------------------------------------------------------------
 
 def polo_accelerator(
-    energy: "EnergyTable | None" = None, area: "AreaTable | None" = None
+    energy: "EnergyTable | None" = None,
+    area: "AreaTable | None" = None,
+    abft: bool = False,
 ) -> Accelerator:
-    """The paper's POLO accelerator: 16x16 INT8 @ 1 GHz, 2x128 KB."""
-    return Accelerator(AcceleratorConfig(), energy=energy, area=area)
+    """The paper's POLO accelerator: 16x16 INT8 @ 1 GHz, 2x128 KB.
+
+    With ``abft=True`` every GEMM is costed in its checksum-augmented
+    form so reliability overhead appears in latency/energy/utilization."""
+    return Accelerator(
+        AcceleratorConfig(abft_protected=abft), energy=energy, area=area
+    )
 
 
 def baseline_accelerator(
@@ -194,6 +206,17 @@ class PathReport:
     path: str
     latency_s: float
     energy: EnergyBreakdown
+    cycles: int = 0
+    #: Cycles spent on ABFT checksum work (zero unless the accelerator is
+    #: ``abft_protected``); a subset of ``cycles``.
+    abft_cycles: int = 0
+
+    @property
+    def abft_overhead(self) -> float:
+        """Fraction of total cycles attributable to ABFT protection."""
+        if self.cycles == 0:
+            return 0.0
+        return self.abft_cycles / self.cycles
 
 
 class PoloAcceleratorModel:
@@ -267,7 +290,17 @@ class PoloAcceleratorModel:
             total = total + vit_exec
         if tracer is not None and tracer.enabled:
             self._trace_stages(tracer, t0_s, clock, stage_reports, saccade_exec, vit_exec)
-        return PathReport(path=path, latency_s=total.latency_s, energy=total.energy)
+        abft_cycles = 0
+        for exec_report in (saccade_exec, vit_exec):
+            if exec_report is not None and exec_report.schedule is not None:
+                abft_cycles += exec_report.schedule.abft_cycles
+        return PathReport(
+            path=path,
+            latency_s=total.latency_s,
+            energy=total.energy,
+            cycles=total.cycles,
+            abft_cycles=abft_cycles,
+        )
 
     def _trace_stages(
         self,

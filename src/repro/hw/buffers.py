@@ -31,12 +31,20 @@ class SramBuffer:
         return self.energy.sram_pj_per_byte(self.capacity_kb)
 
     def fits(self, n_bytes: int) -> bool:
+        if n_bytes < 0:
+            raise ValueError(
+                f"n_bytes must be non-negative, got {n_bytes} "
+                f"(capacity check on {self.name!r} buffer)"
+            )
         return n_bytes <= self.capacity_bytes
 
     def access(self, n_bytes: int) -> float:
         """Record ``n_bytes`` of traffic; returns the energy in joules."""
         if n_bytes < 0:
-            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+            raise ValueError(
+                f"n_bytes must be non-negative, got {n_bytes} "
+                f"(access on {self.name!r} buffer)"
+            )
         self._accesses_bytes += n_bytes
         return n_bytes * self.pj_per_byte * 1e-12
 

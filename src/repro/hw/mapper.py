@@ -35,6 +35,11 @@ class ScheduleReport:
     weight_bytes: int = 0
     activation_bytes: int = 0
     peak_macs_per_cycle: int = 1
+    #: Cycles attributable to ABFT protection (checksum rows/columns on
+    #: the array plus checksum generation and verification on the
+    #: elementwise datapath).  Zero on unprotected schedules; always a
+    #: subset of ``cycles`` so overhead fractions are exact.
+    abft_cycles: int = 0
 
     @property
     def utilization(self) -> float:
@@ -54,6 +59,7 @@ class ScheduleReport:
             energy=self.energy + other.energy,
             weight_bytes=self.weight_bytes + other.weight_bytes,
             activation_bytes=self.activation_bytes + other.activation_bytes,
+            abft_cycles=self.abft_cycles + other.abft_cycles,
         )
 
 
@@ -68,6 +74,7 @@ class WorkloadMapper:
         act_buffer: "SramBuffer | None" = None,
         weight_buffer: "SramBuffer | None" = None,
         elementwise_per_cycle: int = 16,
+        abft: bool = False,
     ):
         self.array = array
         self.sfu = sfu or SpecialFunctionUnit()
@@ -75,6 +82,9 @@ class WorkloadMapper:
         self.act_buffer = act_buffer or SramBuffer("activation", 128, self.energy_table)
         self.weight_buffer = weight_buffer or SramBuffer("weight", 128, self.energy_table)
         self.elementwise_per_cycle = elementwise_per_cycle
+        #: Cost every GEMM as its Huang–Abraham-augmented form plus
+        #: checksum generation/verification passes (see :meth:`map`).
+        self.abft = abft
 
     @property
     def bytes_per_elem(self) -> int:
@@ -87,15 +97,17 @@ class WorkloadMapper:
         mac_pj = self.energy_table.mac_pj(self.array.precision)
         for op in ops:
             if isinstance(op, MatMulOp):
-                cycles = self.array.cycles(op)
+                exec_op = self.array.abft_op(op) if self.abft else op
+                cycles = self.array.cycles(exec_op)
                 report.matmul_cycles += cycles
-                report.macs += op.macs
+                report.macs += exec_op.macs
                 report.energy = report.energy + EnergyBreakdown(
-                    mac_j=op.macs * mac_pj * 1e-12
+                    mac_j=exec_op.macs * mac_pj * 1e-12
                 )
-                w_bytes = self.array.weight_loads(op) * self.bytes_per_elem
+                w_bytes = self.array.weight_loads(exec_op) * self.bytes_per_elem
                 a_bytes = (
-                    self.array.activation_reads(op) + self.array.output_writes(op)
+                    self.array.activation_reads(exec_op)
+                    + self.array.output_writes(exec_op)
                 ) * self.bytes_per_elem
                 report.weight_bytes += w_bytes
                 report.activation_bytes += a_bytes
@@ -103,6 +115,35 @@ class WorkloadMapper:
                     buffer_j=self.weight_buffer.access(w_bytes)
                     + self.act_buffer.access(a_bytes)
                 )
+                if self.abft:
+                    # Checksum generation (column sums of A, row sums of
+                    # B) and product verification (row + column sums of
+                    # the augmented C against the stored checksums) run
+                    # on the elementwise adder datapath; the augmented
+                    # GEMM's extra row/column is array work.  All of it
+                    # lands in ``abft_cycles`` so ``path_report`` can
+                    # state the protection overhead exactly.
+                    verify_adds = (
+                        op.m * op.k
+                        + op.k * op.n
+                        + 2 * (op.m + 1) * (op.n + 1)
+                    )
+                    verify_cycles = max(
+                        1, verify_adds // self.elementwise_per_cycle
+                    )
+                    report.elementwise_cycles += verify_cycles
+                    v_bytes = (op.m + 1) * (op.n + 1) * self.bytes_per_elem
+                    report.activation_bytes += v_bytes
+                    report.energy = report.energy + EnergyBreakdown(
+                        buffer_j=self.act_buffer.access(v_bytes),
+                        other_j=verify_adds
+                        * 0.05
+                        * self.energy_table.sfu_op_pj
+                        * 1e-12,
+                    )
+                    report.abft_cycles += (
+                        cycles - self.array.cycles(op) + verify_cycles
+                    )
             elif isinstance(op, NonlinearOp):
                 cycles = self.sfu.cycles(op)
                 report.sfu_cycles += cycles

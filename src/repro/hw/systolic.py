@@ -68,3 +68,15 @@ class SystolicArray:
         """Accumulated outputs written back (partial sums stay in the
         accumulator across K-tiles)."""
         return op.m * op.n
+
+    @staticmethod
+    def abft_op(op: MatMulOp) -> MatMulOp:
+        """The Huang–Abraham-augmented GEMM of ``op``.
+
+        ABFT appends a column-sum row to ``A`` and a row-sum column to
+        ``B``, so the protected product is ``(m+1) x (n+1)`` — one extra
+        row and column of *real* MACs that stream through the array like
+        any other work.  Costing this op instead of the original is what
+        makes the protection overhead show up honestly in cycle, energy,
+        and utilization reports."""
+        return MatMulOp(op.m + 1, op.k, op.n + 1, transposed=op.transposed)

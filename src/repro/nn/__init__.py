@@ -27,7 +27,7 @@ from repro.nn.optim import Adam, CosineSchedule, Optimizer, SGD
 from repro.nn.quantization import ActivationQuantizer, QuantSpec, quantize_weights
 from repro.nn.recurrent import LeakyRecurrentCell
 from repro.nn.serialization import PersistenceError, load_weights, save_weights
-from repro.nn.tensor import Tensor, concatenate, no_grad, stack, where
+from repro.nn.tensor import Tensor, concatenate, matmul_guard, no_grad, stack, where
 from repro.nn.transformer import (
     BatchTokenTrace,
     PatchEmbed,
@@ -66,6 +66,7 @@ __all__ = [
     "save_weights",
     "Tensor",
     "concatenate",
+    "matmul_guard",
     "no_grad",
     "stack",
     "where",

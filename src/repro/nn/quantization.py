@@ -18,6 +18,30 @@ from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 
 
+def _check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Quantizing NaN/Inf must raise, never silently saturate.
+
+    ``np.clip(np.round(nan))`` lands NaN *codes* in the int grid and Inf
+    pins to the rail — both are silent corruption of the stored tensor,
+    and exact bit-level fault injection (``repro.reliability``) relies on
+    codes round-tripping losslessly.  A non-finite input is a bug in the
+    caller; name it."""
+    if not np.isfinite(array).all():
+        bad = np.argwhere(~np.isfinite(np.atleast_1d(array)))[0]
+        raise ValueError(
+            f"{name} contains non-finite values (first at index "
+            f"{tuple(int(i) for i in bad)}); quantization would silently "
+            "saturate or poison the grid"
+        )
+    return array
+
+
+def _check_scale(name: str, scale: float) -> float:
+    if not (np.isfinite(scale) and scale > 0.0):
+        raise ValueError(f"{name} must be a positive finite scale, got {scale!r}")
+    return float(scale)
+
+
 @dataclass(frozen=True)
 class QuantSpec:
     """Symmetric linear quantization grid."""
@@ -30,33 +54,60 @@ class QuantSpec:
 
     def scale_for(self, array: np.ndarray) -> float:
         """Symmetric per-tensor scale covering the array's max magnitude."""
+        _check_finite("array", np.asarray(array))
         peak = float(np.abs(array).max())
         if peak == 0.0:
             return 1.0
-        return peak / self.qmax
+        # A subnormal peak can underflow peak/qmax to exactly 0.0; clamp
+        # to the smallest normal so division stays finite and the codes
+        # (all zero at that magnitude) still round-trip exactly.
+        scale = max(peak / self.qmax, float(np.finfo(np.float64).tiny))
+        # Near float64 max, peak/qmax rounds up just enough that
+        # qmax*scale overflows to inf — nudge down so the rail code
+        # dequantizes to a finite value and round-trips.
+        while not np.isfinite(scale * self.qmax):
+            scale = float(np.nextafter(scale, 0.0))
+        return scale
 
     def quantize(self, array: np.ndarray, scale: "float | None" = None) -> np.ndarray:
         """Map to the int8 grid and back (fake quantization)."""
-        scale = self.scale_for(array) if scale is None else scale
+        array = _check_finite("array", np.asarray(array))
+        scale = self.scale_for(array) if scale is None else _check_scale("scale", scale)
         q = np.clip(np.round(array / scale), -self.qmax - 1, self.qmax)
         return q * scale
 
     def quantize_to_int(self, array: np.ndarray, scale: "float | None" = None):
-        """Return (int codes, scale) — used by storage-size accounting."""
-        scale = self.scale_for(array) if scale is None else scale
+        """Return (int codes, scale) — the exact SRAM image of the tensor.
+
+        Codes round-trip losslessly: requantizing ``dequantize(codes,
+        scale)`` with the same scale reproduces the identical codes, which
+        is what lets :mod:`repro.reliability.softerror` flip real stored
+        bits and reason about the exact value corruption."""
+        array = _check_finite("array", np.asarray(array))
+        scale = self.scale_for(array) if scale is None else _check_scale("scale", scale)
         q = np.clip(np.round(array / scale), -self.qmax - 1, self.qmax)
         return q.astype(np.int8 if self.bits <= 8 else np.int32), scale
+
+    def dequantize(self, codes: np.ndarray, scale: float) -> np.ndarray:
+        """Exact float value of stored int codes (inverse of
+        :meth:`quantize_to_int` up to the grid)."""
+        _check_scale("scale", scale)
+        return codes.astype(np.float64) * scale
 
     def quantize_per_channel(self, array: np.ndarray, axis: int = 0) -> np.ndarray:
         """Fake quantization with one symmetric scale per slice of ``axis``
         (per-output-channel weight quantization — standard INT8 practice,
         and what keeps small models accurate under quantization)."""
+        array = _check_finite("array", np.asarray(array))
         if array.ndim < 2:
             return self.quantize(array)
         moved = np.moveaxis(array, axis, 0)
         flat = moved.reshape(moved.shape[0], -1)
         peaks = np.abs(flat).max(axis=1)
-        scales = np.where(peaks > 0, peaks / self.qmax, 1.0)
+        scales = np.maximum(
+            np.where(peaks > 0, peaks / self.qmax, 1.0),
+            float(np.finfo(np.float64).tiny),
+        )
         q = np.clip(np.round(flat / scales[:, None]), -self.qmax - 1, self.qmax)
         out = (q * scales[:, None]).reshape(moved.shape)
         return np.moveaxis(out, 0, axis)
@@ -110,9 +161,10 @@ class ActivationQuantizer:
     def scale(self) -> float:
         if not self.calibrated:
             raise RuntimeError("activation quantizer used before calibration")
-        return self._peak / self.spec.qmax
+        return max(self._peak / self.spec.qmax, float(np.finfo(np.float64).tiny))
 
     def observe(self, array: np.ndarray) -> None:
+        _check_finite("array", np.asarray(array))
         self._peak = max(self._peak, float(np.abs(array).max()))
 
     def __call__(self, x: "Tensor | np.ndarray"):

@@ -17,6 +17,34 @@ import numpy as np
 
 _GRAD_ENABLED = True
 
+#: Installed matmul hook (see :func:`matmul_guard`).  ``None`` keeps the
+#: product path a plain ``a @ b`` with zero overhead.
+_MATMUL_GUARD: "Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None" = None
+
+
+@contextlib.contextmanager
+def matmul_guard(guard):
+    """Install a hook over every ``Tensor @ Tensor`` product.
+
+    The hook is called as ``guard(a, b, out)`` with the raw operand and
+    product arrays and must return the product to use — the same ``out``
+    object when nothing is wrong (which keeps the guarded path
+    bit-identical to the unguarded one), or a corrected/recomputed array.
+    This is the install point for algorithm-based fault tolerance
+    (:class:`repro.reliability.AbftGuard`): every matmul of a model
+    forward — attention scores, MLPs, patch embeddings — runs through
+    the checksum verifier without the layers knowing.
+
+    Guards nest lexically; the previous guard is restored on exit.
+    """
+    global _MATMUL_GUARD
+    previous = _MATMUL_GUARD
+    _MATMUL_GUARD = guard
+    try:
+        yield guard
+    finally:
+        _MATMUL_GUARD = previous
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -238,6 +266,8 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = _to_tensor(other)
         out_data = self.data @ other.data
+        if _MATMUL_GUARD is not None:
+            out_data = _MATMUL_GUARD(self.data, other.data, out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -39,6 +39,7 @@ from repro.obs.tracer import (
     PID_ACCEL,
     PID_BATCHER,
     PID_RECOVER,
+    PID_RELIABILITY,
     PID_SESSION_BASE,
     PID_TFR,
     PID_WALL,
@@ -65,6 +66,7 @@ __all__ = [
     "PID_ACCEL",
     "PID_BATCHER",
     "PID_RECOVER",
+    "PID_RELIABILITY",
     "PID_SESSION_BASE",
     "PID_TFR",
     "PID_WALL",

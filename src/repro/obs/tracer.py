@@ -41,6 +41,7 @@ PID_ACCEL = 3
 PID_TFR = 4
 PID_WALL = 5
 PID_RECOVER = 6
+PID_RELIABILITY = 7
 PID_SESSION_BASE = 100
 
 

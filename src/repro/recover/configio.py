@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from dataclasses import asdict
 
-from repro.faults.config import ChaosConfig, InputFaultConfig, RecoveryConfig
+from repro.faults.config import (
+    ChaosConfig,
+    InputFaultConfig,
+    RecoveryConfig,
+    SoftErrorConfig,
+)
 from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
 from repro.serve.workers import (
     LatencySpike,
@@ -57,6 +62,7 @@ def chaos_config_to_dict(config: ChaosConfig) -> dict:
         "recovery": asdict(config.recovery),
         "watchdog": asdict(config.watchdog),
         "profile": asdict(config.profile),
+        "soft_errors": asdict(config.soft_errors),
         "fault_seed": config.fault_seed,
     }
 
@@ -76,5 +82,9 @@ def chaos_config_from_dict(state: dict) -> ChaosConfig:
         recovery=RecoveryConfig(**state["recovery"]),
         watchdog=WatchdogConfig(**state["watchdog"]),
         profile=TrackerSystemProfile(**state["profile"]),
+        # Older checkpoints predate soft errors; they ran without them.
+        soft_errors=SoftErrorConfig(**state["soft_errors"])
+        if "soft_errors" in state
+        else SoftErrorConfig.inactive(),
         fault_seed=int(state["fault_seed"]),
     )

@@ -1,0 +1,86 @@
+"""Silicon soft-error injection, ABFT-protected inference, and SDC guards.
+
+POLO's accelerator keeps weights and activations in two 128 KB on-chip
+SRAMs feeding a 16 x 16 systolic array (paper §5.2) — exactly the
+structures where soft errors (particle strikes, voltage droop in a
+battery-powered headset) silently corrupt gaze estimates.  A corrupted
+gaze estimate is not a crash: it is a wrong foveal placement the user
+perceives, because the P95 tracking error sizes the foveal region via
+Eq. 1.  This package closes that gap in three layers:
+
+* :mod:`repro.reliability.softerror` — a deterministic, seeded soft-error
+  model: FIT-rate-driven fault instants derived from the SRAM capacities,
+  with single-bit, multi-bit-burst, and stuck-at flips applied at exact
+  bit positions of int8 weight/activation codes and 32-bit accumulators.
+* :mod:`repro.reliability.abft` — Huang–Abraham row/column-checksum
+  algorithm-based fault tolerance around the matmul path: detect checksum
+  mismatch, locate-and-correct single errors in place (bit-identical in
+  the integer datapath), recompute the tile on multi-error.  The
+  :class:`AbftGuard` installs into ``repro.nn``'s matmul hook so whole
+  model forwards run protected; with no injected faults the output is
+  bit-identical to the unprotected path.
+* :mod:`repro.reliability.guard` — an end-to-end silent-data-corruption
+  gate on tracker outputs: gaze jumps exceeding main-sequence saccade
+  kinematics are physiologically implausible and trigger
+  flag -> recompute-once -> fall-back-to-gaze-reuse.
+
+``python -m repro sdc`` (:mod:`repro.reliability.cli`) sweeps FIT rates
+and compares unprotected vs ABFT-protected vs guard-only configurations
+on accuracy, detection coverage, and cycle overhead — the checksum
+rows/columns are accounted as real systolic-array work, so protection
+overhead shows up honestly in the accelerator's ``path_report``.
+"""
+
+from repro.reliability.abft import (
+    AbftGuard,
+    AbftOutcome,
+    AbftStats,
+    abft_matmul,
+)
+from repro.reliability.campaign import (
+    SdcCampaignConfig,
+    SdcReport,
+    SdcRunResult,
+    default_sdc_campaign,
+    format_sdc_report,
+    run_sdc_campaign,
+)
+from repro.reliability.guard import (
+    GazeVerdict,
+    PlausibilityConfig,
+    PlausibilityGuard,
+)
+from repro.reliability.softerror import (
+    FaultSite,
+    FlipMode,
+    SoftErrorConfig,
+    SoftErrorEvent,
+    SoftErrorModel,
+    flip_accumulator_bit,
+    flip_float32_bit,
+    flip_int_code_bits,
+)
+
+__all__ = [
+    "AbftGuard",
+    "AbftOutcome",
+    "AbftStats",
+    "FaultSite",
+    "FlipMode",
+    "GazeVerdict",
+    "PlausibilityConfig",
+    "PlausibilityGuard",
+    "SdcCampaignConfig",
+    "SdcReport",
+    "SdcRunResult",
+    "SoftErrorConfig",
+    "SoftErrorEvent",
+    "SoftErrorModel",
+    "abft_matmul",
+    "default_sdc_campaign",
+    "flip_accumulator_bit",
+    "flip_float32_bit",
+    "flip_int_code_bits",
+    "format_sdc_report",
+    "run_sdc_campaign",
+]

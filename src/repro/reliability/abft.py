@@ -1,0 +1,255 @@
+"""Algorithm-based fault tolerance (Huang–Abraham checksums) for matmul.
+
+The classic construction: augment ``A`` with a column-sum row and ``B``
+with a row-sum column, so the product carries its own redundancy::
+
+    [ A  ]            [ C        A·rs(B) ]
+    [cs(A)] [B rs(B)] = [ cs(A)·B  cs(A)·rs(B) ]
+
+Row ``r`` of ``C`` must sum to the checksum column entry ``r``; column
+``c`` must sum to the checksum row entry ``c``; everything must sum to
+the corner.  A single corrupted product element shows up as exactly one
+inconsistent row *and* one inconsistent column with equal residuals —
+locating the element and giving the exact delta to subtract.  Corrupted
+*operands* (a flipped weight or activation code) poison a whole row or
+column of residuals instead, which is the multi-error signature: the
+tile is recomputed from refetched operands.
+
+Exactness: POLO's datapath is INT8 with 32-bit accumulation (paper
+§4.3/§5.2), so checksums here are integer arithmetic — detection has
+zero false-positive/negative margin and single-error correction is
+**bit-identical** to the clean product.  The float path (``AbftGuard``
+over :mod:`repro.nn` inference) uses an eps-scaled tolerance for
+detection, and its recompute path is ``np.matmul`` on the original
+operands, which again reproduces the clean product bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Callable
+
+import numpy as np
+
+
+class AbftOutcome(enum.Enum):
+    """What the checksum verification concluded for one product."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    CHECKSUM_REPAIRED = "checksum_repaired"
+    RECOMPUTED = "recomputed"
+
+
+@dataclass
+class AbftStats:
+    """Mutable counters shared across many protected products."""
+
+    products: int = 0
+    skipped: int = 0
+    clean: int = 0
+    detected: int = 0
+    corrected: int = 0
+    checksum_repaired: int = 0
+    recomputed: int = 0
+
+    def record(self, outcome: AbftOutcome) -> None:
+        if outcome is AbftOutcome.CLEAN:
+            self.clean += 1
+            return
+        self.detected += 1
+        if outcome is AbftOutcome.CORRECTED:
+            self.corrected += 1
+        elif outcome is AbftOutcome.CHECKSUM_REPAIRED:
+            self.checksum_repaired += 1
+        else:
+            self.recomputed += 1
+
+    def merge(self, other: "AbftStats") -> None:
+        for field in fields(self):
+            setattr(
+                self, field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def as_dict(self) -> dict[str, int]:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+
+def _widen(array: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Lift operands into the accumulation dtype (int64 or float64)."""
+    if np.issubdtype(array.dtype, np.integer):
+        return array.astype(np.int64), True
+    return np.asarray(array, dtype=np.float64), False
+
+
+def default_tolerance(k: int, a: np.ndarray, b: np.ndarray) -> float:
+    """Detection tolerance for the float path.
+
+    Checksum and direct sums of a length-``k``/-``m`` reduction disagree
+    by at most ~eps per accumulated term; scaling by the operand peak
+    magnitudes bounds that safely below any bit flip worth catching
+    (sign/exponent/high-mantissa flips move values by many orders).
+    """
+    peak = float(np.abs(a).max(initial=0.0)) * float(np.abs(b).max(initial=0.0))
+    return 1e-9 * max(k, 1) * peak + 1e-30
+
+
+def abft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    a_check: "np.ndarray | None" = None,
+    b_check: "np.ndarray | None" = None,
+    corrupt: "Callable[[np.ndarray], None] | None" = None,
+    tolerance: "float | None" = None,
+    recompute: "Callable[[], np.ndarray] | None" = None,
+    stats: "AbftStats | None" = None,
+) -> tuple[np.ndarray, AbftOutcome]:
+    """Checksum-protected 2-D matmul; returns ``(product, outcome)``.
+
+    ``a``/``b`` are the operands as fetched from SRAM (possibly already
+    corrupted).  ``a_check``/``b_check`` are the *stored* checksums —
+    the column sums of clean ``A`` and row sums of clean ``B``, written
+    when the operands were loaded; they default to sums of the given
+    operands (the fault-free case).  ``corrupt`` mutates the assembled
+    augmented product in place before verification, which is how the
+    campaign lands accumulator-file upsets (checksum entries and corner
+    included — they live in the same register file).  ``recompute`` is
+    the multi-error escape hatch; it should refetch clean operands.
+    Integer operands verify and correct exactly; float uses
+    ``tolerance`` (default :func:`default_tolerance`).
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"abft_matmul needs 2-D operands, got {a.shape} @ {b.shape}"
+        )
+    a_w, integer = _widen(a)
+    b_w, _ = _widen(b)
+    m, k = a_w.shape
+    n = b_w.shape[1]
+    a_chk = a_w.sum(axis=0) if a_check is None else _widen(a_check)[0]
+    b_chk = b_w.sum(axis=1) if b_check is None else _widen(b_check)[0]
+
+    c_full = np.empty((m + 1, n + 1), dtype=a_w.dtype)
+    c_full[:m, :n] = a_w @ b_w
+    c_full[:m, n] = a_w @ b_chk
+    c_full[m, :n] = a_chk @ b_w
+    c_full[m, n] = a_chk @ b_chk
+    if corrupt is not None:
+        corrupt(c_full)
+
+    tol = 0 if integer else (
+        default_tolerance(k, a_w, b_w) if tolerance is None else tolerance
+    )
+    data = c_full[:m, :n]
+    row_res = data.sum(axis=1) - c_full[:m, n]
+    col_res = data.sum(axis=0) - c_full[m, :n]
+    corner_res = data.sum() - c_full[m, n]
+    bad_rows = np.flatnonzero(np.abs(row_res) > tol)
+    bad_cols = np.flatnonzero(np.abs(col_res) > tol)
+    corner_bad = abs(corner_res) > tol
+
+    outcome = None
+    if bad_rows.size == 0 and bad_cols.size == 0:
+        # Either fully clean, or only the corner register was hit.
+        outcome = AbftOutcome.CHECKSUM_REPAIRED if corner_bad else AbftOutcome.CLEAN
+    elif (
+        bad_rows.size == 1
+        and bad_cols.size == 1
+        and abs(row_res[bad_rows[0]] - col_res[bad_cols[0]]) <= tol
+        and abs(corner_res - row_res[bad_rows[0]]) <= tol
+    ):
+        # One bad row, one bad column, consistent residuals: a single
+        # corrupted product element.  Subtract the residual — exact in
+        # the integer datapath, so the fix is bit-identical.
+        data[bad_rows[0], bad_cols[0]] -= row_res[bad_rows[0]]
+        outcome = AbftOutcome.CORRECTED
+    elif bad_cols.size == 0 and bad_rows.size == 1 and not corner_bad:
+        # Row-checksum register corrupted, data consistent with the
+        # corner: repair the checksum, data untouched.
+        outcome = AbftOutcome.CHECKSUM_REPAIRED
+    elif bad_rows.size == 0 and bad_cols.size == 1 and not corner_bad:
+        outcome = AbftOutcome.CHECKSUM_REPAIRED
+
+    if outcome is None:
+        # Multi-error signature (including corrupted operands, whose
+        # residuals span a whole row or column): never accept silently.
+        data = recompute() if recompute is not None else np.asarray(a_w @ b_w)
+        data = _widen(data)[0]
+        outcome = AbftOutcome.RECOMPUTED
+    else:
+        data = np.ascontiguousarray(data)
+
+    if stats is not None:
+        stats.products += 1
+        stats.record(outcome)
+    return data, outcome
+
+
+class AbftGuard:
+    """Installable hook protecting every ``Tensor @ Tensor`` product.
+
+    Install via :func:`repro.nn.matmul_guard`::
+
+        guard = AbftGuard()
+        with matmul_guard(guard):
+            gaze = model(frames)
+
+    The hook receives the operands and the already-computed product.
+    With nothing injected it verifies the checksums and hands back the
+    *same* array object — the protected path is bit-identical to the
+    unprotected one by construction.  On mismatch it corrects a single
+    2-D product element in place, and otherwise recomputes with
+    ``np.matmul`` on the original operands (bit-identical to the clean
+    product, since the operands at this layer live in host memory).
+
+    ``inject`` is a test/campaign hook called with the product before
+    verification; mutate it to simulate accumulator upsets.
+    """
+
+    def __init__(
+        self,
+        stats: "AbftStats | None" = None,
+        rtol: float = 1e-9,
+        inject: "Callable[[np.ndarray], None] | None" = None,
+    ):
+        self.stats = AbftStats() if stats is None else stats
+        self.rtol = rtol
+        self.inject = inject
+
+    def __call__(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        self.stats.products += 1
+        if a.ndim < 2 or b.ndim < 2:
+            # Vector products carry no row/column structure to checksum.
+            self.stats.skipped += 1
+            return out
+        if self.inject is not None:
+            self.inject(out)
+        k = a.shape[-1]
+        peak = float(np.abs(a).max(initial=0.0)) * float(np.abs(b).max(initial=0.0))
+        tol = self.rtol * k * peak + 1e-30
+        # cs(A)·B and A·rs(B), batched over leading axes.
+        col_check = np.matmul(a.sum(axis=-2)[..., None, :], b)[..., 0, :]
+        row_check = np.matmul(a, b.sum(axis=-1)[..., None])[..., 0]
+        row_res = out.sum(axis=-1) - row_check
+        col_res = out.sum(axis=-2) - col_check
+        if (np.abs(row_res) <= tol).all() and (np.abs(col_res) <= tol).all():
+            self.stats.record(AbftOutcome.CLEAN)
+            return out
+        if out.ndim == 2:
+            bad_rows = np.flatnonzero(np.abs(row_res) > tol)
+            bad_cols = np.flatnonzero(np.abs(col_res) > tol)
+            if (
+                bad_rows.size == 1
+                and bad_cols.size == 1
+                and abs(row_res[bad_rows[0]] - col_res[bad_cols[0]]) <= tol
+            ):
+                out[bad_rows[0], bad_cols[0]] -= row_res[bad_rows[0]]
+                self.stats.record(AbftOutcome.CORRECTED)
+                return out
+        self.stats.record(AbftOutcome.RECOMPUTED)
+        return np.matmul(a, b)

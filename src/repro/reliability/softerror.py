@@ -1,0 +1,310 @@
+"""Deterministic silicon soft-error model for the POLO accelerator.
+
+The fault population is derived from the real storage the paper puts on
+chip (§5.2): a 128 KB weight SRAM, a 128 KB activation/metadata SRAM,
+and the 16x16 systolic array's 32-bit accumulator file.  Fault instants
+follow a Poisson process whose rate comes from a FIT-per-Mbit figure —
+the unit reliability teams actually quote for SRAM — scaled by an
+acceleration factor so second-long simulations see events at all (a raw
+200 FIT/Mbit part sees ~one upset per three hundred years).
+
+Everything is seeded: the same config and seed produce the same event
+schedule, the same bit offsets, and therefore the same corrupted values,
+which is what makes the SDC campaign and the CI smoke job exact.
+
+Bit-flip helpers operate at real bit positions of the stored
+representation: int8 weight/activation *codes* (what the SRAM holds in
+the INT8 datapath, via :mod:`repro.nn.quantization`), two's-complement
+32-bit accumulator words, and IEEE-754 float32 words.  All three support
+single-bit, multi-bit burst, and stuck-at modes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+#: One Mbit, in bits, as reliability datasheets count it (2**20).
+BITS_PER_MBIT = 1 << 20
+
+#: Seconds in the 10**9 device-hours that define one FIT.
+FIT_HOURS_S = 1e9 * 3600.0
+
+
+class FaultSite(enum.Enum):
+    """Which physical structure the upset lands in."""
+
+    WEIGHT = "weight"
+    ACTIVATION = "activation"
+    ACCUMULATOR = "accumulator"
+
+
+class FlipMode(enum.Enum):
+    """How the upset manifests."""
+
+    SINGLE_BIT = "single_bit"
+    BURST = "burst"
+    STUCK_AT = "stuck_at"
+
+
+@dataclass(frozen=True)
+class SoftErrorEvent:
+    """One scheduled upset: when, where, and which bits."""
+
+    t_s: float
+    site: FaultSite
+    mode: FlipMode
+    bit_offset: int
+    n_bits: int = 1
+    stuck_value: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.t_s < 0:
+            raise ValueError(f"t_s must be >= 0, got {self.t_s!r}")
+        if self.bit_offset < 0:
+            raise ValueError(f"bit_offset must be >= 0, got {self.bit_offset!r}")
+        check_positive("n_bits", self.n_bits)
+        if self.mode is FlipMode.STUCK_AT and self.stuck_value not in (0, 1):
+            raise ValueError("stuck-at events need stuck_value 0 or 1")
+
+
+@dataclass(frozen=True)
+class SoftErrorConfig:
+    """FIT-rate-driven soft-error population over the on-chip storage.
+
+    ``fit_per_mbit`` is the per-Mbit failure-in-time rate (events per
+    10**9 device-hours); typical 16 nm SRAM sits in the hundreds.
+    ``acceleration`` compresses wall time so simulated seconds carry a
+    workable number of events — reported rates stay honest because the
+    derivation is explicit in :attr:`events_per_second`.
+    """
+
+    fit_per_mbit: float = 200.0
+    acceleration: float = 5e9
+    weight_sram_kb: float = 128.0
+    activation_sram_kb: float = 128.0
+    accumulator_bits: int = 16 * 16 * 32
+    p_single: float = 0.90
+    p_burst: float = 0.08
+    p_stuck: float = 0.02
+    burst_bits: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("fit_per_mbit", self.fit_per_mbit, strict=False)
+        check_positive("acceleration", self.acceleration)
+        check_positive("weight_sram_kb", self.weight_sram_kb)
+        check_positive("activation_sram_kb", self.activation_sram_kb)
+        check_positive("accumulator_bits", self.accumulator_bits)
+        check_probability("p_single", self.p_single)
+        check_probability("p_burst", self.p_burst)
+        check_probability("p_stuck", self.p_stuck)
+        total = self.p_single + self.p_burst + self.p_stuck
+        if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-9):
+            raise ValueError(
+                f"mode probabilities must sum to 1, got {total!r} "
+                f"(single={self.p_single}, burst={self.p_burst}, "
+                f"stuck={self.p_stuck})"
+            )
+        if self.burst_bits < 2:
+            raise ValueError(f"burst_bits must be >= 2, got {self.burst_bits!r}")
+
+    @classmethod
+    def inactive(cls) -> "SoftErrorConfig":
+        """A config that schedules no events (the chaos default)."""
+        return cls(fit_per_mbit=0.0)
+
+    @property
+    def active(self) -> bool:
+        return self.fit_per_mbit > 0.0
+
+    @property
+    def weight_bits(self) -> int:
+        return int(self.weight_sram_kb * 1024) * 8
+
+    @property
+    def activation_bits(self) -> int:
+        return int(self.activation_sram_kb * 1024) * 8
+
+    @property
+    def total_bits(self) -> int:
+        return self.weight_bits + self.activation_bits + self.accumulator_bits
+
+    @property
+    def total_mbits(self) -> float:
+        return self.total_bits / BITS_PER_MBIT
+
+    @property
+    def events_per_second(self) -> float:
+        """Accelerated Poisson rate: FIT/Mbit x Mbits / (1e9 h) x accel."""
+        return self.fit_per_mbit * self.total_mbits / FIT_HOURS_S * self.acceleration
+
+    def site_bits(self, site: FaultSite) -> int:
+        if site is FaultSite.WEIGHT:
+            return self.weight_bits
+        if site is FaultSite.ACTIVATION:
+            return self.activation_bits
+        return self.accumulator_bits
+
+
+_SITES = (FaultSite.WEIGHT, FaultSite.ACTIVATION, FaultSite.ACCUMULATOR)
+_MODES = (FlipMode.SINGLE_BIT, FlipMode.BURST, FlipMode.STUCK_AT)
+
+
+class SoftErrorModel:
+    """Seeded generator of :class:`SoftErrorEvent` schedules.
+
+    Sites are weighted by their bit capacity — a weight-SRAM bit is as
+    likely to flip as an activation-SRAM bit, and the tiny accumulator
+    file is hit proportionally rarely (but with outsized consequence,
+    since an accumulator holds a full dot product).
+    """
+
+    def __init__(self, config: SoftErrorConfig, seed: "int | None" = None):
+        self.config = config
+        self.seed = config.seed if seed is None else seed
+
+    def schedule(
+        self, duration_s: float, start_s: float = 0.0
+    ) -> tuple[SoftErrorEvent, ...]:
+        """All events in ``[start_s, start_s + duration_s)``, time-ordered."""
+        check_positive("duration_s", duration_s)
+        rate = self.config.events_per_second
+        if rate <= 0.0:
+            return ()
+        rng = np.random.default_rng(self.seed)
+        site_p = np.array(
+            [self.config.site_bits(s) for s in _SITES], dtype=np.float64
+        )
+        site_p /= site_p.sum()
+        mode_p = (self.config.p_single, self.config.p_burst, self.config.p_stuck)
+        events: list[SoftErrorEvent] = []
+        t = start_s
+        end = start_s + duration_s
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= end:
+                return tuple(events)
+            site = _SITES[int(rng.choice(len(_SITES), p=site_p))]
+            mode = _MODES[int(rng.choice(len(_MODES), p=mode_p))]
+            n_bits = self.config.burst_bits if mode is FlipMode.BURST else 1
+            stuck = int(rng.integers(2)) if mode is FlipMode.STUCK_AT else None
+            events.append(
+                SoftErrorEvent(
+                    t_s=t,
+                    site=site,
+                    mode=mode,
+                    bit_offset=int(rng.integers(self.config.site_bits(site))),
+                    n_bits=n_bits,
+                    stuck_value=stuck,
+                )
+            )
+
+
+def _set_bit(raw: int, bit: int, stuck_value: "int | None") -> int:
+    """XOR-flip a bit, or force it to ``stuck_value`` when given."""
+    mask = 1 << bit
+    if stuck_value is None:
+        return raw ^ mask
+    if stuck_value:
+        return raw | mask
+    return raw & ~mask
+
+
+def flip_int_code_bits(
+    codes: np.ndarray,
+    bit_offset: int,
+    n_bits: int = 1,
+    stuck_value: "int | None" = None,
+) -> np.ndarray:
+    """Flip bits of int8 quantized codes in place (SRAM contents).
+
+    ``bit_offset`` addresses the flattened byte image of the tensor;
+    bursts run over consecutive bits and wrap at the end of the tensor.
+    Returns ``codes`` for chaining.
+    """
+    if codes.dtype != np.int8:
+        raise TypeError(f"codes must be int8, got {codes.dtype}")
+    flat = np.reshape(codes, -1).view(np.uint8)
+    total = flat.size * 8
+    for i in range(n_bits):
+        byte, bit = divmod((bit_offset + i) % total, 8)
+        flat[byte] = np.uint8(_set_bit(int(flat[byte]), bit, stuck_value))
+    return codes
+
+
+def flip_accumulator_bit(
+    acc: np.ndarray,
+    bit_offset: int,
+    n_bits: int = 1,
+    stuck_value: "int | None" = None,
+) -> np.ndarray:
+    """Flip bits of the accumulator file in place.
+
+    Accumulators are physically 32-bit two's-complement words (the
+    systolic array's output registers); the model carries them as int64
+    so numpy matmuls don't overflow, and flips address the low 32 bits
+    of each word exactly as the hardware would see them.
+    """
+    if not np.issubdtype(acc.dtype, np.integer):
+        raise TypeError(f"accumulators must be an integer array, got {acc.dtype}")
+    flat = np.reshape(acc, -1)
+    total = flat.size * 32
+    for i in range(n_bits):
+        word, bit = divmod((bit_offset + i) % total, 32)
+        raw = _set_bit(int(flat[word]) & 0xFFFFFFFF, bit, stuck_value)
+        if raw >= 1 << 31:
+            raw -= 1 << 32
+        flat[word] = raw
+    return acc
+
+
+def flip_float32_bit(
+    arr: np.ndarray,
+    bit_offset: int,
+    n_bits: int = 1,
+    stuck_value: "int | None" = None,
+) -> np.ndarray:
+    """Flip bits of an IEEE-754 float32 tensor in place (fp datapath)."""
+    if arr.dtype != np.float32:
+        raise TypeError(f"array must be float32, got {arr.dtype}")
+    flat = np.reshape(arr, -1).view(np.uint32)
+    total = flat.size * 32
+    for i in range(n_bits):
+        word, bit = divmod((bit_offset + i) % total, 32)
+        flat[word] = np.uint32(_set_bit(int(flat[word]), bit, stuck_value))
+    return arr
+
+
+def apply_event(
+    event: SoftErrorEvent,
+    *,
+    weight_codes: "np.ndarray | None" = None,
+    activation_codes: "np.ndarray | None" = None,
+    accumulator: "np.ndarray | None" = None,
+) -> bool:
+    """Route an event to the live array backing its site.
+
+    Offsets are wrapped modulo the live array's bit footprint — the
+    scheduled offset addresses the full SRAM, of which the resident tile
+    is the active subset (a strike outside the live footprint would be
+    overwritten before use; wrapping keeps every scheduled event
+    observable, which is what a detection-coverage campaign needs).
+    Returns False when the event's site has no array to hit.
+    """
+    stuck = event.stuck_value if event.mode is FlipMode.STUCK_AT else None
+    if event.site is FaultSite.WEIGHT and weight_codes is not None:
+        flip_int_code_bits(weight_codes, event.bit_offset, event.n_bits, stuck)
+        return True
+    if event.site is FaultSite.ACTIVATION and activation_codes is not None:
+        flip_int_code_bits(activation_codes, event.bit_offset, event.n_bits, stuck)
+        return True
+    if event.site is FaultSite.ACCUMULATOR and accumulator is not None:
+        flip_accumulator_bit(accumulator, event.bit_offset, event.n_bits, stuck)
+        return True
+    return False

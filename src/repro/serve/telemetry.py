@@ -170,6 +170,15 @@ class FaultReport:
     watchdog_reuse_frames: int = 0
     watchdog_full_res_frames: int = 0
     widened_delta_theta_deg: float = 0.0
+    # Silicon soft errors and the SDC guard (repro.reliability): upsets
+    # applied to the tracker datapath, how many the plausibility gate
+    # caught (detected), resolved by a clean recompute, degraded to gaze
+    # reuse, or let through as silent data corruption.
+    soft_errors_injected: int = 0
+    sdc_detected: int = 0
+    sdc_recomputed: int = 0
+    sdc_fallback_degraded: int = 0
+    sdc_escaped: int = 0
 
     @property
     def breaker_opens(self) -> int:
@@ -193,6 +202,11 @@ class FaultReport:
         "occlusion_degraded",
         "watchdog_reuse_frames",
         "watchdog_full_res_frames",
+        "soft_errors_injected",
+        "sdc_detected",
+        "sdc_recomputed",
+        "sdc_fallback_degraded",
+        "sdc_escaped",
     )
 
     def state_dict(self) -> dict:
@@ -234,6 +248,11 @@ class FaultReport:
             "breaker_opens": float(self.breaker_opens),
             "watchdog_reuse": float(self.watchdog_reuse_frames),
             "watchdog_full_res": float(self.watchdog_full_res_frames),
+            "soft_errors_injected": float(self.soft_errors_injected),
+            "sdc_detected": float(self.sdc_detected),
+            "sdc_recomputed": float(self.sdc_recomputed),
+            "sdc_fallback_degraded": float(self.sdc_fallback_degraded),
+            "sdc_escaped": float(self.sdc_escaped),
             "widened_delta_theta_deg": self.widened_delta_theta_deg,
         }
 
@@ -492,6 +511,15 @@ def format_fault_report(faults: FaultReport) -> str:
         f"{faults.occlusion_degraded} occlusion-degraded, "
         f"widened delta-theta to {faults.widened_delta_theta_deg:.2f} deg",
     ]
+    if faults.soft_errors_injected:
+        lines.append(
+            "Soft errors: "
+            f"{faults.soft_errors_injected} upsets injected | "
+            f"guard detected {faults.sdc_detected} "
+            f"({faults.sdc_recomputed} recomputed clean, "
+            f"{faults.sdc_fallback_degraded} degraded to reuse), "
+            f"{faults.sdc_escaped} escaped as silent data corruption"
+        )
     if faults.degradation_dwell_s:
         dwell = ", ".join(
             f"{name}:{seconds:.2f}s"

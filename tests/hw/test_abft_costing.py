@@ -1,0 +1,102 @@
+"""ABFT cost accounting in the accelerator model, plus hw input validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    EnergyTable,
+    MatMulOp,
+    SramBuffer,
+    SystolicArray,
+    WorkloadMapper,
+    polo_accelerator,
+)
+
+OPS = (MatMulOp(m=64, k=96, n=96), MatMulOp(m=1, k=96, n=2))
+
+
+class TestAbftOp:
+    def test_augmented_shape(self):
+        op = MatMulOp(m=10, k=16, n=24, transposed=True)
+        aug = SystolicArray.abft_op(op)
+        assert (aug.m, aug.k, aug.n) == (11, 16, 25)
+        assert aug.transposed
+
+    def test_augmentation_costs_cycles(self):
+        array = SystolicArray()
+        for op in OPS:
+            assert array.cycles(SystolicArray.abft_op(op)) >= array.cycles(op)
+
+
+class TestMapperAbft:
+    def test_unprotected_schedule_has_zero_abft_cycles(self):
+        report = WorkloadMapper(SystolicArray()).map(OPS)
+        assert report.abft_cycles == 0
+
+    def test_abft_cycles_are_a_strict_subset(self):
+        plain = WorkloadMapper(SystolicArray()).map(OPS)
+        protected = WorkloadMapper(SystolicArray(), abft=True).map(OPS)
+        assert 0 < protected.abft_cycles < protected.cycles
+        # Total protected work = unprotected work + exactly the accounted
+        # ABFT cycles — nothing is hidden, nothing double-counted.
+        assert protected.cycles == plain.cycles + protected.abft_cycles
+
+    def test_abft_charges_macs_energy_and_traffic(self):
+        plain = WorkloadMapper(SystolicArray()).map(OPS)
+        protected = WorkloadMapper(SystolicArray(), abft=True).map(OPS)
+        assert protected.macs > plain.macs
+        assert protected.energy.total_j > plain.energy.total_j
+        assert protected.activation_bytes > plain.activation_bytes
+        assert protected.weight_bytes > plain.weight_bytes
+
+    def test_schedule_add_propagates_abft_cycles(self):
+        mapper = WorkloadMapper(SystolicArray(), abft=True)
+        one = mapper.map(OPS[:1])
+        both = mapper.map(OPS[:1]) + mapper.map(OPS[1:])
+        assert both.abft_cycles == one.abft_cycles + mapper.map(OPS[1:]).abft_cycles
+
+
+class TestPathReportOverhead:
+    def test_polo_accelerator_reports_honest_overhead(self):
+        plain = polo_accelerator()
+        protected = polo_accelerator(abft=True)
+        ops = (MatMulOp(m=100, k=96, n=96),)
+        r_plain = plain.run(list(ops))
+        r_protected = protected.run(list(ops))
+        assert r_protected.schedule.abft_cycles > 0
+        assert r_protected.latency_s > r_plain.latency_s
+        assert r_protected.energy.total_j > r_plain.energy.total_j
+
+    def test_overhead_fraction_bounded(self):
+        protected = polo_accelerator(abft=True)
+        report = protected.run([MatMulOp(m=256, k=192, n=192)]).schedule
+        # Checksums on a paper-scale GEMM are a thin border of the tile
+        # plus the verification sweep — a bounded minority of the work.
+        assert report.abft_cycles / report.cycles < 0.35
+
+
+class TestHwValidation:
+    def test_sram_fits_rejects_negative_bytes_naming_buffer(self):
+        buffer = SramBuffer("activation", 128, EnergyTable())
+        with pytest.raises(ValueError, match="activation"):
+            buffer.fits(-1)
+
+    def test_sram_access_rejects_negative_bytes_naming_buffer(self):
+        buffer = SramBuffer("weight", 128, EnergyTable())
+        with pytest.raises(ValueError, match="weight"):
+            buffer.access(-4)
+
+    def test_sram_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            SramBuffer("weight", 0, EnergyTable())
+
+    def test_systolic_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArray(cols=-4)
+
+    def test_matmul_op_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError, match="positive"):
+            MatMulOp(m=0, k=4, n=4)

@@ -91,6 +91,69 @@ class TestQuantizeWeights:
         )
 
 
+class TestEdgeValues:
+    """Quantizing extreme inputs must be loud or lossless, never silent."""
+
+    def test_nan_raises_with_location(self):
+        x = np.array([0.0, np.nan, 1.0])
+        with pytest.raises(ValueError, match=r"non-finite.*index \(1,\)"):
+            QuantSpec().quantize(x)
+
+    def test_inf_raises(self):
+        for bad in (np.inf, -np.inf):
+            with pytest.raises(ValueError, match="non-finite"):
+                QuantSpec().quantize(np.array([bad]))
+
+    def test_nan_raises_everywhere(self):
+        spec = QuantSpec()
+        bad = np.array([[np.nan, 1.0]])
+        with pytest.raises(ValueError):
+            spec.scale_for(bad)
+        with pytest.raises(ValueError):
+            spec.quantize_to_int(bad)
+        with pytest.raises(ValueError):
+            spec.quantize_per_channel(bad)
+        with pytest.raises(ValueError):
+            ActivationQuantizer().observe(bad)
+
+    def test_non_positive_or_nonfinite_scale_rejected(self):
+        spec = QuantSpec()
+        for scale in (0.0, -1.0, np.nan, np.inf):
+            with pytest.raises(ValueError, match="scale"):
+                spec.quantize(np.array([1.0]), scale)
+
+    def test_max_magnitude_float_round_trips(self):
+        peak = np.finfo(np.float64).max
+        x = np.array([peak, -peak, 0.0])
+        spec = QuantSpec()
+        codes, scale = spec.quantize_to_int(x)
+        assert np.isfinite(scale)
+        assert codes.tolist() == [127, -127, 0]
+        requant, rescale = spec.quantize_to_int(spec.dequantize(codes, scale), scale)
+        assert rescale == scale
+        assert np.array_equal(requant, codes)
+
+    def test_subnormal_peak_scale_stays_finite(self):
+        tiny = np.array([5e-324, -5e-324])  # smallest subnormals
+        scale = QuantSpec().scale_for(tiny)
+        assert np.isfinite(scale) and scale > 0.0
+        out = QuantSpec().quantize(tiny, scale)
+        assert np.isfinite(out).all()
+
+    def test_subnormal_rows_per_channel_finite(self):
+        w = np.array([[5e-324, 0.0], [1.0, -2.0]])
+        out = QuantSpec().quantize_per_channel(w)
+        assert np.isfinite(out).all()
+
+    def test_dequantize_codes_round_trip_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=64)
+        spec = QuantSpec()
+        codes, scale = spec.quantize_to_int(x)
+        again, _ = spec.quantize_to_int(spec.dequantize(codes, scale), scale)
+        assert np.array_equal(again, codes)
+
+
 class TestActivationQuantizer:
     def test_requires_calibration_for_scale(self):
         q = ActivationQuantizer()

@@ -1,0 +1,201 @@
+"""Huang–Abraham ABFT: exhaustive single-flip properties.
+
+The property the campaign leans on: for EVERY single-bit flip position
+in the accumulator tile, verification detects the error and the
+delivered product is bit-identical to the clean one (located-and-
+corrected, checksum-repaired, or recomputed); corrupted operands always
+take the multi-error recompute path, never a silent accept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, matmul_guard
+from repro.reliability import (
+    AbftGuard,
+    AbftOutcome,
+    AbftStats,
+    abft_matmul,
+    flip_accumulator_bit,
+    flip_int_code_bits,
+)
+
+M, K, N = 3, 5, 4
+
+
+def operands() -> tuple[np.ndarray, np.ndarray]:
+    """Strictly positive int8 codes: every operand flip perturbs every
+    dependent residual, so signatures are unambiguous."""
+    rng = np.random.default_rng(7)
+    a = rng.integers(1, 40, size=(M, K)).astype(np.int8)
+    b = rng.integers(1, 40, size=(K, N)).astype(np.int8)
+    return a, b
+
+
+class TestCleanPath:
+    def test_clean_product_bit_identical(self):
+        a, b = operands()
+        stats = AbftStats()
+        out, outcome = abft_matmul(a, b, stats=stats)
+        assert outcome is AbftOutcome.CLEAN
+        assert out.dtype == np.int64
+        assert np.array_equal(out, a.astype(np.int64) @ b.astype(np.int64))
+        assert stats.as_dict() == {
+            "products": 1, "skipped": 0, "clean": 1, "detected": 0,
+            "corrected": 0, "checksum_repaired": 0, "recomputed": 0,
+        }
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            abft_matmul(np.ones(3), np.ones((3, 2)))
+
+
+class TestEverySingleAccumulatorFlip:
+    """Exhaust all 32 bits of every word in the augmented (M+1)x(N+1)
+    accumulator file — checksum registers and corner included."""
+
+    def test_detects_and_delivers_clean_product(self):
+        a, b = operands()
+        clean = a.astype(np.int64) @ b.astype(np.int64)
+        total_bits = (M + 1) * (N + 1) * 32
+        outcomes = {o: 0 for o in AbftOutcome}
+        for bit in range(total_bits):
+            out, outcome = abft_matmul(
+                a, b,
+                corrupt=lambda c_full, bit=bit: flip_accumulator_bit(c_full, bit),
+            )
+            assert outcome is not AbftOutcome.CLEAN, f"silent at bit {bit}"
+            assert np.array_equal(out, clean), f"wrong product at bit {bit}"
+            outcomes[outcome] += 1
+        # Data-element flips are located and corrected; checksum-register
+        # flips are repaired without touching the data.
+        assert outcomes[AbftOutcome.CORRECTED] == M * N * 32
+        assert outcomes[AbftOutcome.CHECKSUM_REPAIRED] == (M + N + 1) * 32
+        assert outcomes[AbftOutcome.RECOMPUTED] == 0
+
+    def test_burst_within_one_word_still_corrected(self):
+        a, b = operands()
+        clean = a.astype(np.int64) @ b.astype(np.int64)
+        out, outcome = abft_matmul(
+            a, b, corrupt=lambda c: flip_accumulator_bit(c, 4, n_bits=4)
+        )
+        assert outcome is AbftOutcome.CORRECTED
+        assert np.array_equal(out, clean)
+
+    def test_multi_word_damage_recomputes(self):
+        a, b = operands()
+        clean = a.astype(np.int64) @ b.astype(np.int64)
+
+        def two_elements(c_full: np.ndarray) -> None:
+            flip_accumulator_bit(c_full, 0 * 32 + 3)
+            flip_accumulator_bit(c_full, ((N + 1) + 1) * 32 + 3)
+
+        out, outcome = abft_matmul(a, b, corrupt=two_elements)
+        assert outcome is AbftOutcome.RECOMPUTED
+        assert np.array_equal(out, clean)
+
+
+class TestEveryOperandFlip:
+    """Corrupted SRAM reads (weight or activation codes) poison a whole
+    residual row/column — the multi-error signature.  With checksums
+    stored at operand-write time, every flip position recomputes from the
+    refetched clean operands; none is silently accepted."""
+
+    def test_every_weight_bit_recomputes(self):
+        a, b = operands()
+        clean = a.astype(np.int64) @ b.astype(np.int64)
+        a_check = a.astype(np.int64).sum(axis=0)
+        b_check = b.astype(np.int64).sum(axis=1)
+        for bit in range(K * N * 8):
+            b_bad = b.copy()
+            flip_int_code_bits(b_bad, bit)
+            out, outcome = abft_matmul(
+                a, b_bad,
+                a_check=a_check, b_check=b_check,
+                recompute=lambda: a.astype(np.int64) @ b.astype(np.int64),
+            )
+            assert outcome is AbftOutcome.RECOMPUTED, f"bit {bit}: {outcome}"
+            assert np.array_equal(out, clean)
+
+    def test_every_activation_bit_recomputes(self):
+        a, b = operands()
+        clean = a.astype(np.int64) @ b.astype(np.int64)
+        a_check = a.astype(np.int64).sum(axis=0)
+        b_check = b.astype(np.int64).sum(axis=1)
+        for bit in range(M * K * 8):
+            a_bad = a.copy()
+            flip_int_code_bits(a_bad, bit)
+            out, outcome = abft_matmul(
+                a_bad, b,
+                a_check=a_check, b_check=b_check,
+                recompute=lambda: a.astype(np.int64) @ b.astype(np.int64),
+            )
+            assert outcome is AbftOutcome.RECOMPUTED, f"bit {bit}: {outcome}"
+            assert np.array_equal(out, clean)
+
+    def test_stats_merge(self):
+        first, second = AbftStats(clean=2, products=2), AbftStats(
+            detected=1, recomputed=1, products=1
+        )
+        first.merge(second)
+        assert first.products == 3 and first.detected == 1
+
+
+class TestAbftGuardHook:
+    def test_clean_forward_bit_identical_and_same_object(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(6, 8)))
+        w = Tensor(rng.normal(size=(8, 5)))
+        unguarded = (x @ w).data
+        guard = AbftGuard()
+        with matmul_guard(guard):
+            guarded = (x @ w).data
+        assert np.array_equal(guarded, unguarded)
+        assert guard.stats.clean == 1 and guard.stats.detected == 0
+
+    def test_injected_element_corrected_in_place(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(6, 8)))
+        w = Tensor(rng.normal(size=(8, 5)))
+        clean = (x @ w).data
+
+        def upset(out: np.ndarray) -> None:
+            out[2, 3] += 1e4
+
+        guard = AbftGuard(inject=upset)
+        with matmul_guard(guard):
+            fixed = (x @ w).data
+        assert guard.stats.corrected == 1
+        np.testing.assert_allclose(fixed, clean, rtol=0, atol=1e-9)
+
+    def test_injected_row_recomputes_exactly(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(4, 8)))
+        w = Tensor(rng.normal(size=(8, 4)))
+        clean = (x @ w).data
+        guard = AbftGuard(inject=lambda out: out.__iadd__(1e3))
+        with matmul_guard(guard):
+            fixed = (x @ w).data
+        assert guard.stats.recomputed == 1
+        # Recompute is np.matmul on the original operands: bit-identical.
+        assert np.array_equal(fixed, clean)
+
+    def test_batched_matmul_verified(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        w = Tensor(rng.normal(size=(2, 8, 3)))
+        guard = AbftGuard()
+        with matmul_guard(guard):
+            out = (x @ w).data
+        assert np.array_equal(out, np.matmul(x.data, w.data))
+        assert guard.stats.clean == 1
+
+    def test_guard_uninstalls_on_exit(self):
+        guard = AbftGuard()
+        x = Tensor(np.ones((2, 2)))
+        with matmul_guard(guard):
+            _ = x @ x
+        _ = x @ x
+        assert guard.stats.products == 1

@@ -1,0 +1,146 @@
+"""SDC campaign: determinism, coverage claims, overhead accounting, CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    SdcCampaignConfig,
+    format_sdc_report,
+    run_sdc_campaign,
+)
+from repro.reliability.campaign import _Int8Tracker
+from repro.reliability.cli import main as sdc_main
+
+SMALL = SdcCampaignConfig(fit_rates=(200.0, 800.0), n_frames=120, seed=0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sdc_campaign(SMALL)
+
+
+class TestTrackerDatapath:
+    def test_clean_forward_is_pure_quantization(self):
+        tracker = _Int8Tracker()
+        gaze = np.array([3.217, -7.91])
+        out = tracker.forward(gaze, tracker.golden_store.copy())
+        expected = np.round(gaze / tracker.a_scale) * tracker.a_scale
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_abft_forward_matches_unprotected_when_clean(self):
+        from repro.reliability import AbftStats
+
+        tracker = _Int8Tracker()
+        stats = AbftStats()
+        gaze = np.array([-2.0, 5.5])
+        store = tracker.golden_store.copy()
+        plain = tracker.forward(gaze, store)
+        protected, detected, scrubbed = tracker.forward_abft(
+            gaze, store, [], [], stats
+        )
+        assert not detected and not scrubbed
+        assert np.array_equal(protected, plain)
+        assert stats.clean == 2  # both GEMM stages verified clean
+
+
+class TestCampaign:
+    def test_deterministic(self, report):
+        again = run_sdc_campaign(SMALL)
+        assert [r.as_dict() for r in again.runs] == [
+            r.as_dict() for r in report.runs
+        ]
+        assert format_sdc_report(again) == format_sdc_report(report)
+
+    def test_same_schedule_replayed_across_protections(self, report):
+        for fit in SMALL.fit_rates:
+            injected = {
+                r.protection: r.injected for r in report.runs
+                if r.fit_per_mbit == fit
+            }
+            assert len(set(injected.values())) == 1
+
+    def test_faults_actually_injected(self, report):
+        assert all(r.injected > 0 for r in report.runs)
+        high_fit = [r for r in report.runs if r.fit_per_mbit == 800.0]
+        assert all(r.corrupted_frames > 0 for r in high_fit)
+
+    def test_unprotected_escapes_sdc(self, report):
+        for run in report.runs_for("unprotected"):
+            if run.corrupted_frames:
+                assert run.escaped_sdc > 0
+                assert run.coverage < 0.5
+
+    def test_abft_meets_coverage_acceptance(self, report):
+        for run in report.runs_for("abft"):
+            assert run.coverage >= 0.99
+            assert run.escaped_sdc == 0
+            assert run.detected > 0
+            assert run.detected == run.corrected + run.recomputed
+            # Delivered outputs are bit-identical to golden: no residual.
+            assert run.p95_error_deg == 0.0
+
+    def test_guard_partial_coverage_gap_is_visible(self, report):
+        for run in report.runs_for("guard"):
+            if not run.corrupted_frames:
+                continue
+            abft = next(
+                r for r in report.runs_for("abft")
+                if r.fit_per_mbit == run.fit_per_mbit
+            )
+            # The guard catches high-magnitude jumps only; its coverage
+            # must sit strictly between unprotected and ABFT.
+            assert run.coverage < abft.coverage
+
+    def test_overhead_measured_not_zero(self, report):
+        assert report.unprotected_cycles > 0
+        assert report.protected_cycles > report.unprotected_cycles
+        assert report.abft_cycles > 0
+        assert 0.0 < report.cycle_overhead < 0.5
+        assert (
+            report.protected_cycles - report.unprotected_cycles
+            <= report.abft_cycles
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="fit_rates"):
+            SdcCampaignConfig(fit_rates=())
+        with pytest.raises(ValueError, match="protection"):
+            SdcCampaignConfig(protections=("unprotected", "magic"))
+        with pytest.raises(ValueError):
+            SdcCampaignConfig(n_frames=0)
+
+
+class TestFormatting:
+    def test_report_table_has_all_cells(self, report):
+        text = format_sdc_report(report)
+        assert "SDC resilience campaign" in text
+        assert "ABFT predict-path overhead" in text
+        assert len(text.splitlines()) == 5 + len(report.runs)
+
+
+class TestCli:
+    ARGS = ["--fit", "400", "--frames", "60", "--seed", "1"]
+
+    def test_prints_report(self, capsys):
+        assert sdc_main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "SDC resilience campaign" in out
+        assert "unprotected" in out and "abft" in out and "guard" in out
+
+    def test_output_identical_across_runs(self, capsys):
+        sdc_main(self.ARGS)
+        first = capsys.readouterr().out
+        sdc_main(self.ARGS)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_protection_subset(self, capsys):
+        sdc_main([*self.ARGS, "--protection", "abft"])
+        rows = capsys.readouterr().out.splitlines()[5:]
+        assert rows and all(row.lstrip().startswith("abft") for row in rows)
+
+    def test_rejects_bad_fit(self, capsys):
+        with pytest.raises(SystemExit):
+            sdc_main(["--fit", "-5"])

@@ -1,0 +1,142 @@
+"""Physiological plausibility gate: flag -> recompute once -> reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import GazeVerdict, PlausibilityConfig, PlausibilityGuard
+
+
+class TestConfig:
+    def test_main_sequence_velocity_bound(self):
+        cfg = PlausibilityConfig(margin=1.0)
+        # 25 deg saccade: duration 21 + 2.2*25 = 76 ms, mean 328.9 deg/s,
+        # min-jerk peak 1.875x the mean.
+        assert cfg.max_velocity_deg_s == pytest.approx(25 / 0.076 * 1.875)
+
+    def test_max_jump_scales_with_fps(self):
+        slow = PlausibilityConfig(fps=50.0)
+        fast = PlausibilityConfig(fps=100.0)
+        assert slow.max_jump_deg == pytest.approx(2 * fast.max_jump_deg)
+
+    def test_field_limit_has_margin(self):
+        cfg = PlausibilityConfig(field_deg=22.0, margin=1.25)
+        assert cfg.field_limit_deg == pytest.approx(13.75)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PlausibilityConfig(fps=0.0)
+        with pytest.raises(ValueError):
+            PlausibilityConfig(margin=-1.0)
+
+
+class TestPlausible:
+    def test_first_sample_accepted(self):
+        guard = PlausibilityGuard()
+        assert guard.plausible(np.array([5.0, -3.0]))
+
+    def test_nonfinite_rejected(self):
+        guard = PlausibilityGuard()
+        assert not guard.plausible(np.array([np.nan, 0.0]))
+        assert not guard.plausible(np.array([np.inf, 0.0]))
+
+    def test_out_of_field_rejected_even_without_history(self):
+        guard = PlausibilityGuard()
+        limit = guard.config.field_limit_deg
+        assert not guard.plausible(np.array([limit + 1.0, 0.0]))
+
+    def test_jump_bound_applied_against_last_accepted(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([0.0, 0.0]))
+        step = guard.config.max_jump_deg
+        assert guard.plausible(np.array([step * 0.9, 0.0]))
+        assert not guard.plausible(np.array([step * 1.5, 0.0]))
+
+    def test_bound_scales_with_frame_gap(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([0.0, 0.0]))
+        jump = guard.config.max_jump_deg * 1.5
+        assert not guard.plausible(np.array([jump, 0.0]), frames=1.0)
+        assert guard.plausible(np.array([jump, 0.0]), frames=2.0)
+
+
+class TestEscalation:
+    def test_plausible_sample_passes_through(self):
+        guard = PlausibilityGuard()
+        gaze = np.array([1.0, 2.0])
+        out, verdict = guard.check(gaze)
+        assert verdict is GazeVerdict.PLAUSIBLE
+        np.testing.assert_array_equal(out, gaze)
+        assert guard.as_dict() == {
+            "checks": 1, "flagged": 0, "recomputes": 0, "fallbacks": 0
+        }
+
+    def test_recompute_called_once_and_accepted(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([0.0, 0.0]))
+        calls = []
+
+        def recompute():
+            calls.append(1)
+            return np.array([0.5, 0.0])
+
+        out, verdict = guard.check(np.array([50.0, 0.0]), recompute=recompute)
+        assert verdict is GazeVerdict.RECOMPUTED
+        assert len(calls) == 1
+        np.testing.assert_array_equal(out, [0.5, 0.0])
+        assert guard.flagged == 1 and guard.recomputes == 1 and guard.fallbacks == 0
+
+    def test_persistent_corruption_falls_back_to_gaze_reuse(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([1.0, 1.0]))
+        out, verdict = guard.check(
+            np.array([50.0, 0.0]), recompute=lambda: np.array([60.0, 0.0])
+        )
+        assert verdict is GazeVerdict.FALLBACK
+        np.testing.assert_array_equal(out, [1.0, 1.0])  # last accepted held
+        assert guard.fallbacks == 1
+
+    def test_corrupted_sample_never_becomes_reference(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([0.0, 0.0]))
+        guard.check(np.array([50.0, 0.0]))  # fallback, not accepted
+        # A sample near the corrupted value must still be implausible.
+        assert not guard.plausible(np.array([49.0, 0.0]))
+        assert guard.plausible(np.array([0.1, 0.0]))
+
+    def test_no_history_fallback_clamps_into_field(self):
+        guard = PlausibilityGuard()
+        out, verdict = guard.check(np.array([1e6, np.nan]))
+        assert verdict is GazeVerdict.FALLBACK
+        limit = guard.config.field_limit_deg
+        assert np.all(np.abs(out) <= limit)
+        assert np.isfinite(out).all()
+
+    def test_reset_drops_reference_keeps_counters(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([0.0, 0.0]))
+        guard.check(np.array([50.0, 0.0]))
+        flagged = guard.flagged
+        guard.reset()
+        out, verdict = guard.check(np.array([10.0, 0.0]))
+        assert verdict is GazeVerdict.PLAUSIBLE
+        assert guard.flagged == flagged
+
+
+class TestSnapshot:
+    def test_state_roundtrip_bit_identical(self):
+        guard = PlausibilityGuard()
+        guard.check(np.array([1.0, 2.0]))
+        guard.check(np.array([50.0, 0.0]))
+        state = guard.state_dict()
+
+        restored = PlausibilityGuard()
+        restored.load_state(state)
+        assert restored.as_dict() == guard.as_dict()
+        probe = np.array([1.1, 2.0])
+        assert restored.plausible(probe) == guard.plausible(probe)
+        out_a, v_a = guard.check(np.array([40.0, 0.0]))
+        out_b, v_b = restored.check(np.array([40.0, 0.0]))
+        assert v_a is v_b
+        np.testing.assert_array_equal(out_a, out_b)

@@ -1,0 +1,151 @@
+"""Seeded soft-error model: rates, determinism, and exact bit flips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    FaultSite,
+    FlipMode,
+    SoftErrorConfig,
+    SoftErrorEvent,
+    SoftErrorModel,
+    flip_accumulator_bit,
+    flip_float32_bit,
+    flip_int_code_bits,
+)
+from repro.reliability.softerror import BITS_PER_MBIT, FIT_HOURS_S, apply_event
+
+
+class TestConfig:
+    def test_rate_derivation_explicit(self):
+        cfg = SoftErrorConfig(fit_per_mbit=200.0, acceleration=1.0)
+        bits = 128 * 1024 * 8 * 2 + 16 * 16 * 32
+        assert cfg.total_bits == bits
+        expected = 200.0 * (bits / BITS_PER_MBIT) / FIT_HOURS_S
+        assert cfg.events_per_second == pytest.approx(expected)
+
+    def test_unaccelerated_rate_is_negligible(self):
+        cfg = SoftErrorConfig(fit_per_mbit=200.0, acceleration=1.0)
+        # ~one upset every few hundred years: justifies the acceleration.
+        assert 1.0 / cfg.events_per_second > 100 * 365 * 24 * 3600
+
+    def test_inactive_schedules_nothing(self):
+        cfg = SoftErrorConfig.inactive()
+        assert not cfg.active
+        assert SoftErrorModel(cfg).schedule(10.0) == ()
+
+    def test_mode_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SoftErrorConfig(p_single=0.5, p_burst=0.1, p_stuck=0.1)
+
+    def test_rejects_negative_fit(self):
+        with pytest.raises(ValueError):
+            SoftErrorConfig(fit_per_mbit=-1.0)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            SoftErrorEvent(t_s=-1.0, site=FaultSite.WEIGHT,
+                           mode=FlipMode.SINGLE_BIT, bit_offset=0)
+        with pytest.raises(ValueError, match="stuck_value"):
+            SoftErrorEvent(t_s=0.0, site=FaultSite.WEIGHT,
+                           mode=FlipMode.STUCK_AT, bit_offset=0)
+
+
+class TestSchedule:
+    CFG = SoftErrorConfig(fit_per_mbit=400.0, acceleration=5e10, seed=3)
+
+    def test_deterministic_for_seed(self):
+        a = SoftErrorModel(self.CFG).schedule(3.0)
+        b = SoftErrorModel(self.CFG).schedule(3.0)
+        assert a == b
+        assert len(a) > 0
+
+    def test_seed_changes_schedule(self):
+        a = SoftErrorModel(self.CFG).schedule(3.0)
+        b = SoftErrorModel(self.CFG, seed=4).schedule(3.0)
+        assert a != b
+
+    def test_events_ordered_and_in_window(self):
+        events = SoftErrorModel(self.CFG).schedule(2.0, start_s=5.0)
+        times = [e.t_s for e in events]
+        assert times == sorted(times)
+        assert all(5.0 <= t < 7.0 for t in times)
+
+    def test_offsets_within_site_capacity(self):
+        for e in SoftErrorModel(self.CFG).schedule(5.0):
+            assert 0 <= e.bit_offset < self.CFG.site_bits(e.site)
+
+    def test_rate_scales_with_fit(self):
+        lo = SoftErrorModel(
+            SoftErrorConfig(fit_per_mbit=100.0, acceleration=5e10, seed=0)
+        ).schedule(20.0)
+        hi = SoftErrorModel(
+            SoftErrorConfig(fit_per_mbit=800.0, acceleration=5e10, seed=0)
+        ).schedule(20.0)
+        assert len(hi) > 2 * len(lo)
+
+    def test_sites_weighted_by_capacity(self):
+        events = SoftErrorModel(
+            SoftErrorConfig(fit_per_mbit=2000.0, acceleration=5e10, seed=1)
+        ).schedule(30.0)
+        n_acc = sum(e.site is FaultSite.ACCUMULATOR for e in events)
+        # Accumulator file is ~0.4% of the bits; it must be rare.
+        assert n_acc < len(events) * 0.05
+
+
+class TestBitFlips:
+    def test_int8_single_bit_exact(self):
+        codes = np.zeros(4, dtype=np.int8)
+        flip_int_code_bits(codes, bit_offset=8 + 3)  # byte 1, bit 3
+        assert codes.tolist() == [0, 8, 0, 0]
+
+    def test_int8_flip_is_involution(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(-128, 128, size=32, dtype=np.int8)
+        ref = codes.copy()
+        flip_int_code_bits(codes, bit_offset=100)
+        assert not np.array_equal(codes, ref)
+        flip_int_code_bits(codes, bit_offset=100)
+        assert np.array_equal(codes, ref)
+
+    def test_int8_burst_wraps(self):
+        codes = np.zeros(2, dtype=np.int8)
+        flip_int_code_bits(codes, bit_offset=15, n_bits=2)  # bit 15 then wrap to 0
+        assert codes.view(np.uint8).tolist() == [1, 128]
+
+    def test_int8_stuck_at(self):
+        codes = np.array([-1, -1], dtype=np.int8)
+        flip_int_code_bits(codes, bit_offset=0, stuck_value=0)
+        assert codes.view(np.uint8).tolist() == [254, 255]
+        flip_int_code_bits(codes, bit_offset=0, stuck_value=0)  # idempotent
+        assert codes.view(np.uint8).tolist() == [254, 255]
+
+    def test_int8_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            flip_int_code_bits(np.zeros(4, dtype=np.int16), 0)
+
+    def test_accumulator_sign_bit_two_complement(self):
+        acc = np.zeros(2, dtype=np.int64)
+        flip_accumulator_bit(acc, bit_offset=31)  # sign bit of word 0
+        assert acc[0] == -(1 << 31)
+        assert acc[1] == 0
+
+    def test_accumulator_addresses_low_32_bits(self):
+        acc = np.array([5], dtype=np.int64)
+        flip_accumulator_bit(acc, bit_offset=32)  # wraps back to bit 0
+        assert acc[0] == 4
+
+    def test_float32_exponent_flip_is_large(self):
+        arr = np.array([1.0], dtype=np.float32)
+        flip_float32_bit(arr, bit_offset=30)  # top exponent bit
+        assert not np.isclose(arr[0], 1.0)
+
+    def test_apply_event_routes_by_site(self):
+        w = np.zeros(4, dtype=np.int8)
+        event = SoftErrorEvent(t_s=0.0, site=FaultSite.WEIGHT,
+                               mode=FlipMode.SINGLE_BIT, bit_offset=0)
+        assert apply_event(event, weight_codes=w)
+        assert w[0] == 1
+        assert not apply_event(event)  # no array for the site
