@@ -13,6 +13,7 @@ Set ``REPRO_BENCH_SCALE=tiny`` to smoke-test the harness quickly.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -77,3 +78,19 @@ def measured_event_mix(bench_context):
 def emit(text: str) -> None:
     """Print a benchmark's reproduction table (visible with -s or -rA)."""
     print("\n" + text + "\n")
+
+
+def emit_bench_json(name: str, payload: dict) -> "Path":
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    Canonical JSON (sorted keys, repr-exact floats) so two runs of a
+    deterministic bench produce byte-identical files; wall-clock fields
+    are the one sanctioned exception.  These files are the machine-read
+    counterpart of :func:`emit` — CI and campaign tooling pick them up
+    without scraping pytest output.
+    """
+    from repro.recover.codec import canonical_json
+
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    path.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+    return path

@@ -15,7 +15,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_bench_json
 from repro.core import GazeViTConfig, PoloViT
 from repro.serve import ServeConfig, build_fleet, serve_fleet
 from repro.system import table_to_text
@@ -38,6 +38,7 @@ FLEET_SIZES = (8, 16, 32, 64)
 @pytest.mark.benchmark(group="serve")
 def test_cross_session_batching_beats_sequential(benchmark):
     def sweep():
+        t0 = time.perf_counter()
         rows = []
         for n in FLEET_SIZES:
             config = ServeConfig(
@@ -52,9 +53,9 @@ def test_cross_session_batching_beats_sequential(benchmark):
             batched = serve_fleet(config, fleet=fleet)
             sequential = serve_fleet(config.sequential_baseline(), fleet=fleet)
             rows.append((n, batched, sequential))
-        return rows
+        return rows, time.perf_counter() - t0
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows, wall_s = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     table = []
     for n, batched, sequential in rows:
@@ -73,6 +74,21 @@ def test_cross_session_batching_beats_sequential(benchmark):
         table,
         min_width=8,
     ))
+    emit_bench_json("serve", {
+        "bench": "serve_scaling",
+        "wall_s": round(wall_s, 3),
+        "fleets": [
+            {
+                "sessions": n,
+                "goodput_fps": batched.predict_goodput_fps,
+                "sequential_goodput_fps": sequential.predict_goodput_fps,
+                "p95_ms": batched.latency_percentile_ms(95),
+                "miss_rate": batched.deadline_miss_rate,
+                "mean_batch": batched.mean_batch_size,
+            }
+            for n, batched, sequential in rows
+        ],
+    })
 
     for n, batched, sequential in rows:
         # Conservation: every frame is accounted for in both runs.

@@ -10,115 +10,39 @@ instead (see ``repro.serve.cli`` for its flags),
 it (see ``repro.faults.cli``), ``python -m repro trace [...]`` runs a
 traced workload and exports trace.json / metrics.prom
 (see ``repro.obs.cli``), ``python -m repro recover [...]`` warm-restarts
-a killed checkpointed run (see ``repro.recover.cli``), and
+a killed checkpointed run (see ``repro.recover.cli``),
 ``python -m repro sdc [...]`` runs the soft-error / silent-data-corruption
-resilience campaign (see ``repro.reliability.cli``).
+resilience campaign (see ``repro.reliability.cli``), and
+``python -m repro exp [...]`` runs declarative experiment campaigns with
+the on-disk tracking backend (see ``repro.exp.cli``).
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
+from importlib import import_module
 
-ANALYTIC = ("fig1", "fig11e", "fig12", "fig13a", "fig13b", "fig13c", "table5", "sec7", "qoe", "fps")
-TRAINED = ("table1", "fig8a", "table2", "table3", "table4", "fig15", "all-trained")
-
-
-def _run_analytic(name: str) -> str:
-    from repro import experiments as ex
-
-    errors = ex.paper_reference_errors(0.2)
-    if name == "fig1":
-        return ex.format_fig1(ex.run_fig1())
-    if name == "fig11e":
-        return ex.format_fig11e(ex.run_fig11e())
-    if name == "fig12":
-        return ex.format_fig12(ex.run_fig12(errors))
-    if name == "fig13a":
-        return ex.format_fig13a(ex.run_fig13a())
-    if name == "fig13b":
-        return ex.format_fig13b(ex.run_fig13b(errors))
-    if name == "fig13c":
-        return ex.format_fig13c(ex.run_fig13c(errors))
-    if name == "table5":
-        return ex.format_table5(ex.run_table5())
-    if name == "sec7":
-        return ex.format_accelerator_pa(ex.run_accelerator_pa())
-    if name == "qoe":
-        return ex.format_latency_qoe(ex.run_latency_qoe(errors))
-    if name == "fps":
-        return ex.format_fps(ex.run_fps(errors))
-    raise KeyError(name)
-
-
-def _run_trained(name: str, scale: str, seed: int) -> str:
-    from repro import experiments as ex
-    from repro.experiments.common import ContextScale
-
-    context = ex.get_context(
-        ContextScale.tiny() if scale == "tiny" else ContextScale.bench(), seed=seed
-    )
-    pieces = []
-    if name in ("table1", "fig8a", "all-trained"):
-        result = ex.run_table1(context)
-        if name in ("table1", "all-trained"):
-            pieces.append(ex.format_table1(result))
-        if name in ("fig8a", "all-trained"):
-            pieces.append(ex.format_fig8a(result))
-    if name in ("table2", "all-trained"):
-        pieces.append(ex.format_table2(ex.run_table2(context)))
-    if name in ("table3", "all-trained"):
-        pieces.append(ex.format_table3(ex.run_table3(context)))
-    if name in ("table4", "all-trained"):
-        pieces.append(ex.format_table4(ex.run_table4(context)))
-    if name in ("fig15", "all-trained"):
-        pieces.append(ex.format_fig15(ex.run_fig15(context)))
-    if not pieces:
-        raise KeyError(name)
-    return "\n\n".join(pieces)
+#: Subcommand registry: name -> module exposing ``main(argv) -> int``.
+#: New subcommands register here (and nowhere else); anything not listed
+#: falls through to the paper-experiment generator.
+SUBCOMMANDS: dict[str, str] = {
+    "serve": "repro.serve.cli",
+    "chaos": "repro.faults.cli",
+    "trace": "repro.obs.cli",
+    "recover": "repro.recover.cli",
+    "sdc": "repro.reliability.cli",
+    "exp": "repro.exp.cli",
+}
 
 
 def main(argv: "list[str] | None" = None) -> int:
     raw = sys.argv[1:] if argv is None else argv
-    if raw and raw[0] == "serve":
-        from repro.serve.cli import main as serve_main
+    if raw and raw[0] in SUBCOMMANDS:
+        module = import_module(SUBCOMMANDS[raw[0]])
+        return module.main(raw[1:])
+    from repro.experiments.cli import main as experiments_main
 
-        return serve_main(raw[1:])
-    if raw and raw[0] == "chaos":
-        from repro.faults.cli import main as chaos_main
-
-        return chaos_main(raw[1:])
-    if raw and raw[0] == "trace":
-        from repro.obs.cli import main as trace_main
-
-        return trace_main(raw[1:])
-    if raw and raw[0] == "recover":
-        from repro.recover.cli import main as recover_main
-
-        return recover_main(raw[1:])
-    if raw and raw[0] == "sdc":
-        from repro.reliability.cli import main as sdc_main
-
-        return sdc_main(raw[1:])
-    parser = argparse.ArgumentParser(
-        prog="python -m repro", description=__doc__
-    )
-    parser.add_argument(
-        "experiment",
-        choices=(*ANALYTIC, *TRAINED, "all-analytic"),
-        help="which paper table/figure to regenerate",
-    )
-    parser.add_argument("--scale", choices=("tiny", "bench"), default="tiny")
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-
-    if args.experiment == "all-analytic":
-        print("\n\n".join(_run_analytic(name) for name in ANALYTIC))
-    elif args.experiment in ANALYTIC:
-        print(_run_analytic(args.experiment))
-    else:
-        print(_run_trained(args.experiment, args.scale, args.seed))
-    return 0
+    return experiments_main(raw, description=__doc__)
 
 
 if __name__ == "__main__":

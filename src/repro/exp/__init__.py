@@ -1,0 +1,47 @@
+"""repro.exp — declarative experiment campaigns on a zero-dependency
+tracking backend.
+
+Campaign configs are plain JSON-safe dicts (:mod:`repro.exp.config`),
+runs are identified by the config hash of their fully resolved params
+(:mod:`repro.exp.runners`), execution is resumable and deterministic
+(:mod:`repro.exp.runner`), and everything lands in an append-only
+CRC-sealed ledger plus a content-addressed artifact store
+(:mod:`repro.exp.track`).  ``python -m repro exp`` is the front door.
+"""
+
+from repro.exp.config import expand_campaign, load_campaign
+from repro.exp.errors import CampaignConfigError, CampaignKilled, LedgerError
+from repro.exp.runner import CampaignResult, resolve_campaign, run_campaign
+from repro.exp.runners import RUNNERS, RunOutcome, RunSpec, execute_spec, resolve_spec
+from repro.exp.track import (
+    ArtifactStore,
+    Ledger,
+    export_jsonl,
+    export_prometheus,
+    load_manifest,
+    load_records,
+    open_ledger,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignConfigError",
+    "CampaignKilled",
+    "CampaignResult",
+    "Ledger",
+    "LedgerError",
+    "RUNNERS",
+    "RunOutcome",
+    "RunSpec",
+    "execute_spec",
+    "expand_campaign",
+    "export_jsonl",
+    "export_prometheus",
+    "load_campaign",
+    "load_manifest",
+    "load_records",
+    "open_ledger",
+    "resolve_campaign",
+    "resolve_spec",
+    "run_campaign",
+]

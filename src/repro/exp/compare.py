@@ -1,0 +1,149 @@
+"""Comparison surface: ``exp list`` / ``exp show`` / ``exp compare``.
+
+Everything renders through :func:`repro.system.metrics.table_to_text`,
+the same aligned-table renderer the benchmark reports and the metrics
+snapshot use, and everything is a pure function of the ledger — the
+output is deterministic, which is what lets tests assert on it.
+
+``compare`` marks the best run per metric with ``*`` using a name-based
+direction heuristic (latencies/misses down, goodput/coverage up) and,
+when a baseline run is named, appends a signed delta to every other
+run's cell so regressions read directly off the table.
+"""
+
+from __future__ import annotations
+
+from repro.exp.errors import LedgerError
+from repro.system.metrics import table_to_text
+
+#: Substrings that decide which direction is "better" for a metric.
+_LOWER_IS_BETTER = (
+    "_ms", "latency", "miss", "shed", "degrade", "escaped", "overhead",
+    "failures", "dropped", "error", "lost", "pending", "replayed",
+)
+_HIGHER_IS_BETTER = (
+    "goodput", "throughput", "coverage", "utilization", "verified",
+    "fps", "sessions", "batch",
+)
+
+
+def metric_direction(name: str) -> int:
+    """-1 lower is better, +1 higher is better, 0 unknown (no marking).
+
+    Lower-is-better wins ties because loss-like substrings are the more
+    specific signal (``predict_goodput_fps`` contains neither; a
+    hypothetical ``missed_goodput`` reads as a loss).
+    """
+    lowered = name.lower()
+    if any(tag in lowered for tag in _LOWER_IS_BETTER):
+        return -1
+    if any(tag in lowered for tag in _HIGHER_IS_BETTER):
+        return +1
+    return 0
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _select(records: list[dict], run_ids: "list[str]") -> list[dict]:
+    """Resolve run ids (unique-prefix matching allowed) against the ledger."""
+    by_status: dict[str, dict] = {r["run_id"]: r for r in records}
+    chosen = []
+    for wanted in run_ids:
+        matches = [r for rid, r in by_status.items() if rid.startswith(wanted)]
+        if not matches:
+            raise LedgerError(f"no run {wanted!r} in the ledger")
+        if len(matches) > 1:
+            full = sorted(r["run_id"] for r in matches)
+            raise LedgerError(f"run id {wanted!r} is ambiguous: {full}")
+        chosen.append(matches[0])
+    return chosen
+
+
+def format_run_list(records: list[dict]) -> str:
+    """``exp list`` — one row per ledger record, append order."""
+    headers = ["#", "run", "runner", "status", "metrics", "artifacts"]
+    rows = [
+        [
+            record["i"],
+            record["run_id"],
+            record["runner"],
+            record["status"],
+            len(record["metrics"]),
+            ",".join(sorted(record["artifacts"])),
+        ]
+        for record in records
+    ]
+    return table_to_text(headers, rows, min_width=4)
+
+
+def format_run_show(records: list[dict], run_id: str) -> str:
+    """``exp show`` — one run's config hash, metrics, and artifacts."""
+    (record,) = _select(records, [run_id])
+    lines = [
+        f"run {record['run_id']} ({record['runner']}, {record['status']})",
+        "",
+        table_to_text(
+            ["metric", "value"],
+            [[name, _fmt(record["metrics"][name])]
+             for name in sorted(record["metrics"])],
+            min_width=4,
+        ),
+        "",
+        "artifacts:",
+    ]
+    for name in sorted(record["artifacts"]):
+        lines.append(f"  {name}  {record['artifacts'][name]}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    records: list[dict],
+    run_ids: "list[str]",
+    baseline: "str | None" = None,
+) -> str:
+    """``exp compare`` — aligned metric table across the chosen runs.
+
+    Rows are the union of metric names (sorted); a metric a run did not
+    record renders as ``-``.  ``*`` marks the best value where the
+    direction heuristic knows one; with a baseline, other columns gain
+    ``(+x/-x)`` deltas against it.
+    """
+    chosen = _select(records, run_ids)
+    base = _select(records, [baseline])[0] if baseline else None
+    if base is not None and all(r is not base for r in chosen):
+        chosen = [base] + chosen
+
+    names = sorted({name for r in chosen for name in r["metrics"]})
+    headers = ["metric"] + [
+        r["run_id"] + (" (base)" if base is not None and r is base else "")
+        for r in chosen
+    ]
+    rows = []
+    for name in names:
+        direction = metric_direction(name)
+        values = [r["metrics"].get(name) for r in chosen]
+        numeric = [
+            v for v in values if isinstance(v, (int, float))
+        ]
+        best = None
+        if direction and len(numeric) > 1:
+            best = min(numeric) if direction < 0 else max(numeric)
+        row = [name]
+        for record, value in zip(chosen, values):
+            if value is None:
+                row.append("-")
+                continue
+            cell = _fmt(value)
+            if base is not None and record is not base:
+                ref = base["metrics"].get(name)
+                if isinstance(ref, (int, float)) and isinstance(value, (int, float)):
+                    cell += f" ({value - ref:+.6g})"
+            if best is not None and value == best:
+                cell += " *"
+            row.append(cell)
+        rows.append(row)
+    return table_to_text(headers, rows, min_width=4)

@@ -1,0 +1,22 @@
+"""Exception taxonomy of the experiment-campaign layer."""
+
+from __future__ import annotations
+
+
+class CampaignConfigError(ValueError):
+    """The campaign config dict is malformed (unknown keys, bad sweep
+    axes, an unregistered runner, params a runner rejects)."""
+
+
+class LedgerError(RuntimeError):
+    """The runs ledger is damaged beyond the tolerated torn tail, or a
+    stored artifact fails its content-hash check."""
+
+
+class CampaignKilled(RuntimeError):
+    """``kill_after_runs`` fired — the campaign process is dead.
+
+    Mirrors :class:`repro.faults.injectors.SimulatedCrash`: whatever the
+    ledger already fsynced is all that survives, and a re-run of the
+    same campaign resumes past the completed prefix.
+    """

@@ -1,0 +1,156 @@
+"""Campaign execution: deterministic fan-out with ledger-backed resume.
+
+:func:`run_campaign` expands the campaign, resolves every run to its
+config-hash identity, skips the runs the directory's ledger already
+holds, and executes the rest — sequentially or on a process pool.  In
+both modes ledger records are appended **in expansion order** (the pool
+submits everything, then harvests futures in order), so the ledger is
+byte-identical across sequential runs, parallel runs, and
+kill-then-resume runs of the same campaign.
+
+``kill_after_runs`` is the chaos hook the ``exp-smoke`` CI job and the
+resume tests use: after that many records have been fsynced this
+process raises :class:`~repro.exp.errors.CampaignKilled`, mirroring the
+serving stack's :class:`~repro.faults.injectors.ProcessKill`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exp.config import expand_campaign
+from repro.exp.errors import CampaignKilled
+from repro.exp.runners import RunOutcome, RunSpec, execute_spec, resolve_spec
+from repro.exp.track import Ledger, open_ledger
+
+
+@dataclass
+class CampaignResult:
+    """What one ``exp run`` invocation did (and found already done)."""
+
+    name: str
+    directory: Path
+    total: int      # unique runs in the expanded campaign
+    skipped: int    # already in the ledger -> not re-executed
+    executed: int   # ran to a successful record this invocation
+    failed: int     # ran but raised -> recorded with status "failed"
+    records: list[dict] = field(default_factory=list)
+
+    def summary_line(self) -> str:
+        return (
+            f"campaign {self.name}: {self.total} runs "
+            f"({self.skipped} cached, {self.executed} executed, "
+            f"{self.failed} failed)"
+        )
+
+
+def resolve_campaign(config: dict) -> "tuple[str, list[RunSpec]]":
+    """Expand + resolve + dedupe -> the campaign's unique run sequence.
+
+    Two sweep points that resolve to the same config (e.g. an explicit
+    default vs. an omitted one) are one run; the first spelling wins and
+    order is otherwise preserved.
+    """
+    name, pairs = expand_campaign(config)
+    specs: list[RunSpec] = []
+    seen: set[str] = set()
+    for runner, params in pairs:
+        spec = resolve_spec(runner, params)
+        if spec.run_id in seen:
+            continue
+        seen.add(spec.run_id)
+        specs.append(spec)
+    return name, specs
+
+
+def _record(ledger: Ledger, spec: RunSpec, outcome: "RunOutcome | Exception") -> bool:
+    """Store artifacts + append the sealed record; True if the run failed."""
+    if isinstance(outcome, Exception):
+        digest = ledger.store.put(f"{type(outcome).__name__}: {outcome}\n")
+        ledger.record_run(
+            run_id=spec.run_id, runner=spec.runner, config=spec.config,
+            status="failed", metrics={}, artifacts={"error.txt": digest},
+        )
+        return True
+    digests = {
+        name: ledger.store.put(text)
+        for name, text in sorted(outcome.artifacts.items())
+    }
+    ledger.record_run(
+        run_id=spec.run_id, runner=spec.runner, config=spec.config,
+        status="ok", metrics=outcome.metrics, artifacts=digests,
+    )
+    return False
+
+
+def run_campaign(
+    config: dict,
+    directory: "str | os.PathLike",
+    workers: int = 0,
+    kill_after_runs: "int | None" = None,
+) -> CampaignResult:
+    """Execute a campaign dict into ``directory``; resumable by rerun.
+
+    ``workers=0`` runs in-process; ``workers=N`` fans out onto an
+    ``N``-process pool.  A failing run is recorded as ``failed`` and the
+    campaign continues — reruns retry failed runs (only ``ok`` records
+    join the skip set).
+    """
+    name, specs = resolve_campaign(config)
+    with open_ledger(directory, name, config) as ledger:
+        completed = ledger.completed_ids
+        pending = [s for s in specs if s.run_id not in completed]
+        result = CampaignResult(
+            name=name,
+            directory=Path(directory),
+            total=len(specs),
+            skipped=len(specs) - len(pending),
+            executed=0,
+            failed=0,
+        )
+        appended = 0
+
+        def finish(spec: RunSpec, outcome: "RunOutcome | Exception") -> None:
+            nonlocal appended
+            if _record(ledger, spec, outcome):
+                result.failed += 1
+            else:
+                result.executed += 1
+            appended += 1
+            if kill_after_runs is not None and appended >= kill_after_runs:
+                raise CampaignKilled(
+                    f"killed after {appended} runs "
+                    f"({len(pending) - appended} left unexecuted)"
+                )
+
+        if workers <= 0 or len(pending) <= 1:
+            for spec in pending:
+                try:
+                    outcome = execute_spec(spec.runner, spec.params)
+                except Exception as err:  # noqa: BLE001 — recorded, not hidden
+                    outcome = err
+                finish(spec, outcome)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(execute_spec, spec.runner, spec.params)
+                    for spec in pending
+                ]
+                # Harvest in submission order: workers finish in any
+                # order, the ledger stays deterministic anyway.
+                try:
+                    for spec, future in zip(pending, futures):
+                        try:
+                            outcome = future.result()
+                        except Exception as err:  # noqa: BLE001
+                            outcome = err
+                        finish(spec, outcome)
+                except CampaignKilled:
+                    for future in futures:
+                        future.cancel()
+                    raise
+        result.records = list(ledger.records)
+    return result

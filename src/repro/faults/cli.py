@@ -11,7 +11,7 @@ prints the degradation budget actually consumed.
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
+from dataclasses import fields, replace
 
 from repro.faults.config import (
     ChaosConfig,
@@ -21,9 +21,105 @@ from repro.faults.config import (
     default_chaos_scenario,
 )
 from repro.faults.runtime import ChaosRuntime, run_chaos
-from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
+from repro.obs.cli import (
+    add_obs_arguments,
+    emit_obs_artifacts,
+    obs_from_args,
+    resolve_obs_out,
+)
 from repro.recover.cli import add_checkpoint_arguments, run_checkpointed_cli
+from repro.serve.config import AdmissionPolicy, ServeConfig
 from repro.serve.telemetry import FleetReport, format_fleet_report
+
+
+def _checked_overrides(overrides: dict, cls, what: str) -> dict:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} params: {unknown} (known: {sorted(known)})"
+        )
+    return dict(overrides)
+
+
+def config_from_params(params: dict) -> ChaosConfig:
+    """Campaign params -> a validated :class:`ChaosConfig`.
+
+    Starts from :func:`default_chaos_scenario` (exactly like the CLI)
+    and applies overrides: ``"serve"`` / ``"input_faults"`` sub-dicts of
+    dataclass field overrides, plus the scalar knobs the CLI exposes
+    (``seed``, ``no_worker_faults``, ``soft_error_fit``,
+    ``soft_error_accel``, ``fault_free``).  Unknown keys are rejected.
+    """
+    params = dict(params)
+    seed = int(params.pop("seed", 0))
+    base = default_chaos_scenario(seed=seed)
+
+    serve_over = _checked_overrides(params.pop("serve", {}), ServeConfig, "chaos serve")
+    if isinstance(serve_over.get("admission"), str):
+        serve_over["admission"] = AdmissionPolicy(serve_over["admission"])
+    serve = replace(base.serve, **serve_over)
+
+    faults_over = _checked_overrides(
+        params.pop("input_faults", {}), InputFaultConfig, "chaos input-fault"
+    )
+    if "occlusion_level" in faults_over:
+        faults_over["occlusion_level"] = tuple(faults_over["occlusion_level"])
+    input_faults = replace(base.input_faults, **faults_over)
+
+    no_worker_faults = bool(params.pop("no_worker_faults", False))
+    worker_faults = base.worker_faults
+    if no_worker_faults or any(
+        c.worker_id >= serve.n_workers for c in worker_faults.crashes
+    ):
+        worker_faults = WorkerFaultSchedule()
+
+    fit = float(params.pop("soft_error_fit", 0.0))
+    accel = float(params.pop("soft_error_accel", 5e10))
+    soft_errors = SoftErrorConfig.inactive()
+    if fit > 0:
+        soft_errors = SoftErrorConfig(
+            fit_per_mbit=fit, acceleration=accel, seed=seed
+        )
+
+    fault_free = bool(params.pop("fault_free", False))
+    if params:
+        raise ValueError(
+            f"unknown chaos params: {sorted(params)} (known: "
+            "['fault_free', 'input_faults', 'no_worker_faults', 'seed', "
+            "'serve', 'soft_error_accel', 'soft_error_fit'])"
+        )
+    config = ChaosConfig(
+        serve=serve,
+        input_faults=input_faults,
+        worker_faults=worker_faults,
+        recovery=base.recovery,
+        watchdog=base.watchdog,
+        profile=base.profile,
+        soft_errors=soft_errors,
+        fault_seed=seed,
+    )
+    if fault_free:
+        config = config.fault_free()
+    return config
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point (repro.exp)
+# ----------------------------------------------------------------------
+def resolve_run_config(params: dict) -> dict:
+    """Validate campaign params -> the fully resolved canonical dict."""
+    from repro.recover.configio import chaos_config_to_dict
+
+    return {"kind": "chaos", "config": chaos_config_to_dict(config_from_params(params))}
+
+
+def run_from_config(params: dict, obs=None) -> FleetReport:
+    """Campaign entry point: params dict -> the run's FleetReport."""
+    from repro.recover.configio import chaos_config_from_dict
+
+    resolved = resolve_run_config(params)
+    return run_chaos(chaos_config_from_dict(resolved["config"]), obs=obs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,45 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def config_from_args(args: argparse.Namespace) -> ChaosConfig:
-    base = default_chaos_scenario(seed=args.seed)
-    serve = replace(
-        base.serve,
-        n_sessions=args.sessions,
-        duration_s=args.duration,
-        n_workers=args.workers,
+    return config_from_params(
+        {
+            "seed": args.seed,
+            "serve": {
+                "n_sessions": args.sessions,
+                "duration_s": args.duration,
+                "n_workers": args.workers,
+            },
+            "input_faults": {
+                "frame_drop_rate": args.drop_rate,
+                "noise_burst_rate_hz": args.noise_burst_rate,
+                "occlusion_rate_hz": args.occlusion_rate,
+                "bit_error_rate": args.bit_error_rate,
+            },
+            "no_worker_faults": args.no_worker_faults,
+            "soft_error_fit": args.soft_error_fit,
+            "soft_error_accel": args.soft_error_accel,
+            "fault_free": args.fault_free,
+        }
     )
-    input_faults = replace(
-        base.input_faults,
-        frame_drop_rate=args.drop_rate,
-        noise_burst_rate_hz=args.noise_burst_rate,
-        occlusion_rate_hz=args.occlusion_rate,
-        bit_error_rate=args.bit_error_rate,
-    )
-    worker_faults = base.worker_faults
-    if args.no_worker_faults or any(
-        c.worker_id >= args.workers for c in worker_faults.crashes
-    ):
-        worker_faults = WorkerFaultSchedule()
-    soft_errors = SoftErrorConfig.inactive()
-    if args.soft_error_fit > 0:
-        soft_errors = SoftErrorConfig(
-            fit_per_mbit=args.soft_error_fit,
-            acceleration=args.soft_error_accel,
-            seed=args.seed,
-        )
-    config = ChaosConfig(
-        serve=serve,
-        input_faults=input_faults,
-        worker_faults=worker_faults,
-        recovery=base.recovery,
-        watchdog=base.watchdog,
-        profile=base.profile,
-        soft_errors=soft_errors,
-        fault_seed=args.seed,
-    )
-    if args.fault_free:
-        config = config.fault_free()
-    return config
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -130,7 +207,11 @@ def main(argv: "list[str] | None" = None) -> int:
         report = run_chaos(config, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
     if obs is not None:
-        emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)
+        from repro.recover.configio import chaos_config_to_dict
+
+        resolved = {"kind": "chaos", "config": chaos_config_to_dict(config)}
+        out_dir = resolve_obs_out(args.obs_out, "chaos", resolved)
+        emit_obs_artifacts(obs, out_dir, top_k=args.obs_top)
     if args.compare_fault_free and not args.fault_free:
         baseline = run_chaos(config.fault_free())
         print("\n--- fault-free baseline ---\n")

@@ -29,16 +29,33 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("observability")
     group.add_argument("--obs", action="store_true",
                        help="enable tracing + metrics for this run")
-    group.add_argument("--obs-out", type=Path, default=Path("obs-out"),
+    group.add_argument("--obs-out", type=Path, default=None,
                        metavar="DIR",
                        help="directory for trace.json / trace.jsonl / "
-                       "metrics.prom (with --obs)")
+                       "metrics.prom (with --obs); defaults to "
+                       "obs-out/<kind>-<config-hash> so runs that differ "
+                       "in any knob (seed included) never share artifacts")
     group.add_argument("--obs-top", type=int, default=10, metavar="K",
                        help="print the K slowest spans (with --obs)")
 
 
 def obs_from_args(args: argparse.Namespace) -> "Obs | None":
     return Obs(ObsConfig(top_k=args.obs_top)) if args.obs else None
+
+
+def resolve_obs_out(out: "Path | None", kind: str, resolved_config: dict) -> Path:
+    """The artifact directory for one observed run.
+
+    An explicit ``--obs-out`` wins; otherwise the directory is
+    namespaced by the run's canonical config hash, so campaign fan-outs
+    (e.g. seeds 0..N of one sweep) cannot clobber each other's
+    ``trace.json`` / ``metrics.prom``.
+    """
+    if out is not None:
+        return out
+    from repro.recover.codec import config_hash
+
+    return Path("obs-out") / f"{kind}-{config_hash(resolved_config)}"
 
 
 def emit_obs_artifacts(obs: Obs, out_dir: Path, top_k: int = 10) -> None:

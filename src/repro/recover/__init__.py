@@ -24,8 +24,10 @@ from repro.recover.checkpoint import (
     CheckpointStore,
 )
 from repro.recover.codec import (
+    CONFIG_HASH_LEN,
     canonical_bytes,
     canonical_json,
+    config_hash,
     crc32,
     fleet_report_bytes,
 )
@@ -42,6 +44,7 @@ from repro.recover.manager import (
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
+    "CONFIG_HASH_LEN",
     "Checkpoint",
     "CheckpointError",
     "CheckpointStore",
@@ -54,6 +57,7 @@ __all__ = [
     "build_runtime",
     "canonical_bytes",
     "canonical_json",
+    "config_hash",
     "crc32",
     "fleet_report_bytes",
     "read_journal",

@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 
 from repro.faults.injectors import ProcessKill, SimulatedCrash
-from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
+from repro.obs.cli import (
+    add_obs_arguments,
+    emit_obs_artifacts,
+    obs_from_args,
+    resolve_obs_out,
+)
 from repro.recover.codec import fleet_report_bytes
 from repro.recover.errors import RecoveryError
 from repro.recover.manager import (
@@ -36,6 +42,117 @@ from repro.serve.telemetry import format_fleet_report
 #: Exit code of a run terminated by an injected :class:`ProcessKill` —
 #: distinguishable from success (0) and argparse/usage errors (2).
 EXIT_SIMULATED_CRASH = 17
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point (repro.exp)
+# ----------------------------------------------------------------------
+@dataclass
+class RecoverProbeReport:
+    """One kill-and-recover probe: the recovered run plus its verdict.
+
+    ``verified`` is the durability acceptance criterion — the recovered
+    :class:`~repro.serve.telemetry.FleetReport` byte-equals the same
+    config run uninterrupted.  ``killed=False`` means the run finished
+    before ``kill_at_event`` fired (nothing to recover; trivially
+    verified).
+    """
+
+    report: "FleetReport"
+    killed: bool
+    replayed_events: int
+    skipped_checkpoints: int
+    verified: bool
+
+
+def resolve_run_config(params: dict) -> dict:
+    """Validate campaign params -> the fully resolved canonical dict.
+
+    ``target`` picks the runtime under test (``"serve"`` or ``"chaos"``);
+    the remaining params are that runner's, plus ``kill_at_event`` and
+    ``checkpoint_every``.
+    """
+    params = dict(params)
+    target = params.pop("target", "serve")
+    kill_at_event = int(params.pop("kill_at_event", 500))
+    checkpoint_every = int(params.pop("checkpoint_every", 200))
+    if kill_at_event < 1:
+        raise ValueError(f"kill_at_event must be >= 1, got {kill_at_event}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if target == "serve":
+        from repro.serve.cli import resolve_run_config as resolve_serve
+
+        inner = resolve_serve(params)
+    elif target == "chaos":
+        from repro.faults.cli import resolve_run_config as resolve_chaos
+
+        inner = resolve_chaos(params)
+    else:
+        raise ValueError(
+            f"unknown recover target {target!r} (choose 'serve' or 'chaos')"
+        )
+    return {
+        "kind": "recover",
+        "target": inner,
+        "kill_at_event": kill_at_event,
+        "checkpoint_every": checkpoint_every,
+    }
+
+
+def _target_runtime(target: dict) -> ServeRuntime:
+    if target["kind"] == "serve":
+        from repro.recover.configio import (
+            serve_config_from_dict,
+            service_model_from_dict,
+        )
+
+        return ServeRuntime(
+            serve_config_from_dict(target["config"]),
+            service=service_model_from_dict(target["service"]),
+        )
+    from repro.faults.runtime import ChaosRuntime
+    from repro.recover.configio import chaos_config_from_dict
+
+    return ChaosRuntime(chaos_config_from_dict(target["config"]))
+
+
+def run_from_config(params: dict) -> RecoverProbeReport:
+    """Campaign entry point: kill a checkpointed run, recover it, and
+    byte-verify the recovered report against the uninterrupted twin.
+
+    The checkpoint directory is ephemeral — the probe's durable outputs
+    are the recovered report and the verification verdict.
+    """
+    import tempfile
+
+    resolved = resolve_run_config(params)
+    every = resolved["checkpoint_every"]
+    with tempfile.TemporaryDirectory(prefix="repro-recover-probe-") as tmp:
+        runtime = _target_runtime(resolved["target"])
+        kill = ProcessKill(at_event=resolved["kill_at_event"])
+        try:
+            report = run_with_checkpoints(runtime, tmp, every=every, kill=kill)
+        except SimulatedCrash:
+            pass
+        else:
+            # The run outlived the kill schedule — nothing to recover.
+            return RecoverProbeReport(
+                report=report, killed=False, replayed_events=0,
+                skipped_checkpoints=0, verified=True,
+            )
+        restored = restore_runtime(tmp)
+        report = run_with_checkpoints(
+            restored.runtime, tmp, every=every, _resume=True
+        )
+        baseline = build_runtime(restored.checkpoint, None, None, None).run()
+        return RecoverProbeReport(
+            report=report,
+            killed=True,
+            replayed_events=restored.replayed_events,
+            skipped_checkpoints=len(restored.skipped_checkpoints),
+            verified=fleet_report_bytes(report) == fleet_report_bytes(baseline),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -135,7 +252,15 @@ def main(argv: "list[str] | None" = None) -> int:
         return 1
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
     if obs is not None:
-        emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)
+        resolved = {
+            "kind": checkpoint.kind,
+            "config": checkpoint.config,
+            "service": checkpoint.service,
+        }
+        out_dir = resolve_obs_out(
+            args.obs_out, f"recover-{checkpoint.kind}", resolved
+        )
+        emit_obs_artifacts(obs, out_dir, top_k=args.obs_top)
     if args.verify:
         baseline = build_runtime(checkpoint, None, None, None).run()
         if fleet_report_bytes(report) == fleet_report_bytes(baseline):

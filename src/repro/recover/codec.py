@@ -10,6 +10,7 @@ field may legally hold them, so allowing them would only mask a bug.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import zlib
 
@@ -26,6 +27,23 @@ def canonical_bytes(obj) -> bytes:
 def crc32(data: bytes) -> int:
     """Unsigned CRC32 of ``data`` (the per-payload integrity check)."""
     return zlib.crc32(data) & 0xFFFFFFFF
+
+
+#: Hex digits of a :func:`config_hash` — short enough to type, long
+#: enough that collisions within one campaign are out of the question.
+CONFIG_HASH_LEN = 12
+
+
+def config_hash(obj) -> str:
+    """Canonical identity of a JSON-safe config: SHA-256 over its
+    canonical bytes, truncated to :data:`CONFIG_HASH_LEN` hex digits.
+
+    Two configs hash equal iff they serialize to the same canonical
+    JSON — dict ordering never matters.  This is the run identity the
+    experiment ledger (``repro.exp``) and the ``--obs`` artifact
+    namespacing key on.
+    """
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()[:CONFIG_HASH_LEN]
 
 
 def fleet_report_bytes(report) -> bytes:

@@ -6,6 +6,12 @@ config and the batch service model.  These codecs are explicit (not a
 generic pickle) so the on-disk format stays a documented, versioned
 JSON schema: enums go by value, tuples round-trip through lists, and
 reconstruction re-runs every dataclass validator.
+
+The experiment-campaign layer (``repro.exp``) reuses these codecs as
+its config canonicalizer: a run's identity is the
+:func:`~repro.recover.codec.config_hash` of the *fully resolved* config
+dict these functions emit, so defaults, dict ordering, and equivalent
+spellings all collapse to one hash.
 """
 
 from __future__ import annotations
@@ -88,3 +94,25 @@ def chaos_config_from_dict(state: dict) -> ChaosConfig:
         else SoftErrorConfig.inactive(),
         fault_seed=int(state["fault_seed"]),
     )
+
+
+def sdc_campaign_to_dict(config) -> dict:
+    """Serialize an :class:`~repro.reliability.campaign.SdcCampaignConfig`.
+
+    Tuples round-trip through lists (canonical JSON has no tuples); the
+    field set is exactly the dataclass's, so unknown keys in a stored
+    dict fail reconstruction loudly.
+    """
+    state = asdict(config)
+    state["fit_rates"] = list(config.fit_rates)
+    state["protections"] = list(config.protections)
+    return state
+
+
+def sdc_campaign_from_dict(state: dict):
+    from repro.reliability.campaign import SdcCampaignConfig
+
+    kwargs = dict(state)
+    kwargs["fit_rates"] = tuple(float(f) for f in kwargs["fit_rates"])
+    kwargs["protections"] = tuple(str(p) for p in kwargs["protections"])
+    return SdcCampaignConfig(**kwargs)

@@ -11,13 +11,51 @@ from __future__ import annotations
 
 import argparse
 
+from dataclasses import fields
+
 from repro.reliability.campaign import (
     PROTECTIONS,
     SdcCampaignConfig,
+    SdcReport,
     default_sdc_campaign,
     format_sdc_report,
     run_sdc_campaign,
 )
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point (repro.exp)
+# ----------------------------------------------------------------------
+def resolve_run_config(params: dict) -> dict:
+    """Validate campaign params -> the fully resolved canonical dict.
+
+    Params are flat :class:`SdcCampaignConfig` field overrides
+    (``fit_rates`` / ``protections`` accept lists); the resolved dict
+    spells out every field so the config hash is spelling-independent.
+    """
+    from repro.recover.configio import sdc_campaign_to_dict
+
+    params = dict(params)
+    known = {f.name for f in fields(SdcCampaignConfig)}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown sdc params: {unknown} (known: {sorted(known)})"
+        )
+    if "fit_rates" in params:
+        params["fit_rates"] = tuple(float(f) for f in params["fit_rates"])
+    if "protections" in params:
+        params["protections"] = tuple(str(p) for p in params["protections"])
+    config = SdcCampaignConfig(**params)
+    return {"kind": "sdc", "config": sdc_campaign_to_dict(config)}
+
+
+def run_from_config(params: dict) -> SdcReport:
+    """Campaign entry point: params dict -> the campaign's SdcReport."""
+    from repro.recover.configio import sdc_campaign_from_dict
+
+    resolved = resolve_run_config(params)
+    return run_sdc_campaign(sdc_campaign_from_dict(resolved["config"]))
 
 
 def build_parser() -> argparse.ArgumentParser:

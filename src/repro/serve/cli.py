@@ -9,13 +9,64 @@ and prints both reports plus the goodput ratio.
 from __future__ import annotations
 
 import argparse
+from dataclasses import fields
 
-from repro.obs.cli import add_obs_arguments, emit_obs_artifacts, obs_from_args
+from repro.obs.cli import (
+    add_obs_arguments,
+    emit_obs_artifacts,
+    obs_from_args,
+    resolve_obs_out,
+)
 from repro.recover.cli import add_checkpoint_arguments, run_checkpointed_cli
 from repro.serve.config import AdmissionPolicy, BatchServiceModel, ServeConfig
 from repro.serve.request import build_fleet
 from repro.serve.runtime import ServeRuntime, serve_fleet
 from repro.serve.telemetry import FleetReport, format_fleet_report
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point (repro.exp)
+# ----------------------------------------------------------------------
+def resolve_run_config(params: dict) -> dict:
+    """Validate campaign params -> the fully resolved canonical dict.
+
+    Params are flat :class:`ServeConfig` field overrides plus an optional
+    ``"service"`` sub-dict of :class:`BatchServiceModel` overrides;
+    unknown keys are rejected, and the returned dict spells out *every*
+    knob (defaults applied) so the campaign config hash is stable across
+    equivalent spellings.
+    """
+    from repro.recover.configio import serve_config_to_dict, service_model_to_dict
+
+    params = dict(params)
+    try:
+        service = BatchServiceModel(**params.pop("service", {}))
+    except TypeError as err:
+        raise ValueError(f"bad serve service params: {err}") from err
+    known = {f.name for f in fields(ServeConfig)}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown serve params: {unknown} (known: {sorted(known)})"
+        )
+    if isinstance(params.get("admission"), str):
+        params["admission"] = AdmissionPolicy(params["admission"])
+    config = ServeConfig(**params)
+    return {
+        "kind": "serve",
+        "config": serve_config_to_dict(config),
+        "service": service_model_to_dict(service),
+    }
+
+
+def run_from_config(params: dict, obs=None) -> FleetReport:
+    """Campaign entry point: params dict -> the run's FleetReport."""
+    from repro.recover.configio import serve_config_from_dict, service_model_from_dict
+
+    resolved = resolve_run_config(params)
+    config = serve_config_from_dict(resolved["config"])
+    service = service_model_from_dict(resolved["service"])
+    return serve_fleet(config, service=service, obs=obs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,7 +154,15 @@ def main(argv: "list[str] | None" = None) -> int:
         report = serve_fleet(config, service=service, fleet=fleet, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
     if obs is not None:
-        emit_obs_artifacts(obs, args.obs_out, top_k=args.obs_top)
+        from repro.recover.configio import serve_config_to_dict, service_model_to_dict
+
+        resolved = {
+            "kind": "serve",
+            "config": serve_config_to_dict(config),
+            "service": service_model_to_dict(service),
+        }
+        out_dir = resolve_obs_out(args.obs_out, "serve", resolved)
+        emit_obs_artifacts(obs, out_dir, top_k=args.obs_top)
     if args.compare_sequential:
         baseline = serve_fleet(
             config.sequential_baseline(), service=service, fleet=fleet

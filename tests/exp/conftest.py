@@ -1,0 +1,49 @@
+"""Fixtures for the experiment-campaign suite.
+
+``fake_runner`` registers a millisecond-fast deterministic runner so
+ledger/runner mechanics can be exercised without paying for real
+serving runs; the end-to-end tests use the real runners at tiny scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.runners import RUNNERS, RunOutcome
+
+
+def _resolve_echo(params: dict) -> dict:
+    params = dict(params)
+    value = float(params.pop("value", 0.0))
+    fail = bool(params.pop("fail", False))
+    if params:
+        raise ValueError(f"unknown echo params: {sorted(params)}")
+    return {"kind": "echo", "value": value, "fail": fail}
+
+
+def _execute_echo(params: dict) -> RunOutcome:
+    resolved = _resolve_echo(params)
+    if resolved["fail"]:
+        raise RuntimeError("echo runner asked to fail")
+    value = resolved["value"]
+    return RunOutcome(
+        metrics={"value": value, "value_ms": value * 2.0},
+        artifacts={"report.txt": f"echo value={value}\n"},
+    )
+
+
+@pytest.fixture()
+def fake_runner(monkeypatch):
+    """Register the 'echo' runner for the duration of one test."""
+    monkeypatch.setitem(RUNNERS, "echo", (_resolve_echo, _execute_echo))
+    return "echo"
+
+
+@pytest.fixture()
+def echo_campaign():
+    return {
+        "name": "echo-sweep",
+        "runs": [
+            {"runner": "echo", "grid": {"value": [1.0, 2.0, 3.0, 4.0]}},
+        ],
+    }

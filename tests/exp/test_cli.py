@@ -1,0 +1,113 @@
+"""``python -m repro exp`` CLI: exit codes, determinism, artifact access."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exp import cli
+from repro.recover.cli import EXIT_SIMULATED_CRASH
+
+
+@pytest.fixture()
+def campaign_file(tmp_path, echo_campaign):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(echo_campaign), encoding="utf-8")
+    return path
+
+
+def _run(*argv) -> int:
+    return cli.main([str(a) for a in argv])
+
+
+class TestRun:
+    def test_run_then_cached_rerun(self, fake_runner, campaign_file,
+                                   tmp_path, capsys):
+        directory = tmp_path / "camp"
+        assert _run("run", campaign_file, "--dir", directory) == 0
+        first = capsys.readouterr().out
+        assert "4 runs (0 cached, 4 executed, 0 failed)" in first
+        assert _run("run", campaign_file, "--dir", directory) == 0
+        assert "(4 cached, 0 executed" in capsys.readouterr().out
+
+    def test_kill_exits_with_the_simulated_crash_code(
+            self, fake_runner, campaign_file, tmp_path, capsys):
+        directory = tmp_path / "camp"
+        code = _run("run", campaign_file, "--dir", directory,
+                    "--kill-after-runs", 2)
+        assert code == EXIT_SIMULATED_CRASH
+        assert "resume with" in capsys.readouterr().err
+        assert _run("run", campaign_file, "--dir", directory) == 0
+        assert "(2 cached, 2 executed" in capsys.readouterr().out
+
+    def test_failures_exit_nonzero_but_record(self, fake_runner, tmp_path,
+                                              capsys):
+        config = tmp_path / "c.json"
+        config.write_text(json.dumps({
+            "name": "flaky",
+            "runs": [{"runner": "echo",
+                      "list": [{"value": 1.0}, {"fail": True}]}],
+        }))
+        assert _run("run", config, "--dir", tmp_path / "camp") == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "failed:" in captured.err
+
+    def test_malformed_campaign_is_a_clean_error(self, tmp_path, capsys):
+        config = tmp_path / "bad.json"
+        config.write_text("{\"name\": \"x\"}")
+        assert _run("run", config, "--dir", tmp_path / "camp") == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInspection:
+    @pytest.fixture()
+    def populated(self, fake_runner, campaign_file, tmp_path):
+        directory = tmp_path / "camp"
+        assert _run("run", campaign_file, "--dir", directory) == 0
+        return directory
+
+    def test_expand_is_a_dry_run(self, fake_runner, campaign_file, tmp_path,
+                                 capsys):
+        assert _run("expand", campaign_file) == 0
+        out = capsys.readouterr().out
+        assert "4 unique runs" in out
+        assert not (tmp_path / "camp").exists()
+
+    def test_list_show_compare_round_trip(self, populated, capsys):
+        assert _run("list", "--dir", populated) == 0
+        listing = capsys.readouterr().out
+        run_ids = [line.split()[1] for line in listing.splitlines()[2:]]
+        assert len(run_ids) == 4
+
+        assert _run("show", run_ids[0], "--dir", populated) == 0
+        assert "value_ms" in capsys.readouterr().out
+
+        assert _run("compare", *run_ids, "--dir", populated,
+                    "--baseline", run_ids[0]) == 0
+        table = capsys.readouterr().out
+        assert "(base)" in table and "value_ms" in table
+
+    def test_cat_prints_a_stored_artifact(self, populated, capsys):
+        assert _run("list", "--dir", populated) == 0
+        run_id = capsys.readouterr().out.splitlines()[2].split()[1]
+        assert _run("cat", run_id, "report.txt", "--dir", populated) == 0
+        assert capsys.readouterr().out.startswith("echo value=")
+
+    def test_export_formats(self, populated, capsys):
+        assert _run("export", "--dir", populated, "--format", "jsonl") == 0
+        jsonl = capsys.readouterr().out
+        assert len(jsonl.splitlines()) == 4
+        assert _run("export", "--dir", populated, "--format", "prom") == 0
+        assert "exp_run_metric" in capsys.readouterr().out
+
+    def test_show_on_missing_run_is_a_clean_error(self, populated, capsys):
+        assert _run("show", "zzzzzz", "--dir", populated) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_export_on_missing_directory_is_a_clean_error(self, tmp_path,
+                                                          capsys):
+        assert _run("export", "--dir", tmp_path / "nope",
+                    "--format", "prom") == 1
+        assert "error:" in capsys.readouterr().err

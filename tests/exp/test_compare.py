@@ -1,0 +1,95 @@
+"""Comparison surface: direction heuristic, tables, run selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.compare import (
+    format_comparison,
+    format_run_list,
+    format_run_show,
+    metric_direction,
+)
+from repro.exp.errors import LedgerError
+
+
+def _record(i, run_id, metrics, runner="echo", status="ok", artifacts=None):
+    return {"i": i, "run_id": run_id, "runner": runner, "status": status,
+            "config": {}, "metrics": metrics, "artifacts": artifacts or {}}
+
+
+RECORDS = [
+    _record(1, "aaa111", {"p95_ms": 4.0, "predict_goodput_fps": 100.0}),
+    _record(2, "bbb222", {"p95_ms": 2.0, "predict_goodput_fps": 120.0}),
+    _record(3, "bcc333", {"p95_ms": 3.0, "coverage": 0.99}),
+]
+
+
+class TestDirectionHeuristic:
+    @pytest.mark.parametrize("name", [
+        "p95_ms", "miss_rate", "escaped_total", "cycle_overhead",
+        "faults_batch_failures", "replayed_events",
+    ])
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize("name", [
+        "predict_goodput_fps", "throughput_fps", "abft_coverage_min",
+        "worker_utilization", "verified",
+    ])
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == +1
+
+    def test_unknown_names_get_no_marking(self):
+        assert metric_direction("report_lines") == 0
+
+    def test_loss_like_substrings_win_ties(self):
+        assert metric_direction("missed_goodput") == -1
+
+
+class TestSelection:
+    def test_unique_prefix_resolves(self):
+        text = format_run_show(RECORDS, "aa")
+        assert "run aaa111" in text
+
+    def test_ambiguous_prefix_is_an_error(self):
+        with pytest.raises(LedgerError, match="ambiguous"):
+            format_run_show(RECORDS, "b")
+
+    def test_unknown_run_is_an_error(self):
+        with pytest.raises(LedgerError, match="no run"):
+            format_run_show(RECORDS, "zzz")
+
+
+class TestTables:
+    def test_list_shows_every_record_in_order(self):
+        lines = format_run_list(RECORDS).splitlines()
+        assert [line.split()[1] for line in lines[2:]] == [
+            "aaa111", "bbb222", "bcc333",
+        ]
+
+    def test_compare_marks_the_best_per_metric(self):
+        text = format_comparison(RECORDS, ["aaa111", "bbb222"])
+        p95_row = next(l for l in text.splitlines() if l.startswith("p95_ms"))
+        goodput_row = next(
+            l for l in text.splitlines() if l.startswith("predict_goodput")
+        )
+        assert "2 *" in p95_row and "4 *" not in p95_row
+        assert "120 *" in goodput_row
+
+    def test_compare_fills_missing_metrics_with_dash(self):
+        text = format_comparison(RECORDS, ["aaa111", "bcc333"])
+        coverage_row = next(
+            l for l in text.splitlines() if l.startswith("coverage")
+        )
+        assert "-" in coverage_row
+
+    def test_baseline_adds_signed_deltas_and_joins_the_table(self):
+        text = format_comparison(RECORDS, ["bbb222"], baseline="aaa111")
+        assert "(base)" in text
+        p95_row = next(l for l in text.splitlines() if l.startswith("p95_ms"))
+        assert "(-2)" in p95_row
+
+    def test_compare_is_deterministic(self):
+        assert (format_comparison(RECORDS, ["aaa111", "bbb222"])
+                == format_comparison(RECORDS, ["aaa111", "bbb222"]))

@@ -1,0 +1,124 @@
+"""Tracking backend: sealed ledger, torn-tail repair, artifact store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.errors import LedgerError
+from repro.exp.track import (
+    ArtifactStore,
+    LEDGER_NAME,
+    export_jsonl,
+    export_prometheus,
+    load_manifest,
+    load_records,
+    open_ledger,
+)
+
+
+def _record(ledger, run_id="aaa", status="ok", metrics=None):
+    return ledger.record_run(
+        run_id=run_id, runner="echo", config={"kind": "echo"},
+        status=status, metrics=metrics or {"value": 1.0}, artifacts={},
+    )
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = store.put("hello\n")
+        assert store.get(digest) == "hello\n"
+        assert digest in store
+
+    def test_put_is_idempotent_and_content_addressed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.put("same") == store.put("same")
+        assert store.put("same") != store.put("different")
+
+    def test_corrupt_blob_fails_hash_check(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = store.put("payload")
+        (tmp_path / digest[:2] / digest).write_text("tampered")
+        with pytest.raises(LedgerError, match="content hash"):
+            store.get(digest)
+
+
+class TestLedger:
+    def test_records_survive_reopen(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "run1")
+            _record(ledger, "run2")
+        records = load_records(tmp_path)
+        assert [r["run_id"] for r in records] == ["run1", "run2"]
+        assert [r["i"] for r in records] == [1, 2]
+
+    def test_completed_ids_exclude_failures(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "good", status="ok")
+            _record(ledger, "bad", status="failed")
+            assert ledger.completed_ids == {"good"}
+
+    def test_reopen_continues_the_index(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "run1")
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            record = _record(ledger, "run2")
+        assert record["i"] == 2
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "run1")
+            _record(ledger, "run2")
+        path = tmp_path / LEDGER_NAME
+        intact = path.read_text().splitlines(keepends=True)
+        path.write_text(intact[0] + intact[1][: len(intact[1]) // 2])
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            assert [r["run_id"] for r in ledger.records] == ["run1"]
+            record = _record(ledger, "run2")
+        assert record["i"] == 2
+        # The repaired + re-appended ledger byte-equals the intact one.
+        assert path.read_text() == "".join(intact)
+
+    def test_interior_damage_is_fatal(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "run1")
+            _record(ledger, "run2")
+        path = tmp_path / LEDGER_NAME
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0][:10] + "X" + lines[0][11:] + lines[1])
+        with pytest.raises(LedgerError):
+            load_records(tmp_path)
+
+    def test_mixing_campaigns_in_one_directory_is_refused(self, tmp_path):
+        with open_ledger(tmp_path, "one", {"name": "one"}):
+            pass
+        with pytest.raises(LedgerError, match="refusing to mix"):
+            open_ledger(tmp_path, "two", {"name": "two"})
+
+    def test_edited_manifest_is_detected(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}):
+            pass
+        manifest_path = tmp_path / "campaign.json"
+        manifest_path.write_text(
+            manifest_path.read_text().replace('"name":"c"', '"name":"d"')
+        )
+        with pytest.raises(LedgerError, match="hash"):
+            load_manifest(tmp_path)
+
+
+class TestExports:
+    def test_jsonl_export_is_one_line_per_run(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "run1", metrics={"value": 2.0})
+        lines = export_jsonl(tmp_path).splitlines()
+        assert len(lines) == 1
+        assert '"run_id":"run1"' in lines[0]
+        assert '"value":2.0' in lines[0]
+
+    def test_prometheus_export_labels_each_metric(self, tmp_path):
+        with open_ledger(tmp_path, "c", {"name": "c"}) as ledger:
+            _record(ledger, "run1", metrics={"value": 2.0, "note": "text"})
+        text = export_prometheus(tmp_path)
+        assert 'campaign="c"' in text
+        assert 'metric="value"' in text
+        assert "note" not in text  # non-numeric metrics are skipped
