@@ -105,10 +105,8 @@ class TestDeterminism:
 
 
 def test_emit_report(report, campaign_wall_s):
+    from repro.bench.suites import flatten_sdc_payload, sdc_payload
+
     emit(format_sdc_report(report))
-    emit_bench_json("sdc", {
-        "bench": "sdc_resilience",
-        "wall_s": round(campaign_wall_s, 3),
-        "cycle_overhead": report.cycle_overhead,
-        "runs": [run.as_dict() for run in report.runs],
-    })
+    payload = sdc_payload(report, campaign_wall_s)
+    emit_bench_json("sdc", payload, metrics=flatten_sdc_payload(payload))

@@ -16,46 +16,21 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import emit, emit_bench_json
-from repro.core import GazeViTConfig, PoloViT
-from repro.serve import ServeConfig, build_fleet, serve_fleet
-from repro.system import table_to_text
-
-#: Predict-heavy regime: a tiny reuse threshold pushes nearly every
-#: non-saccade frame onto the inference pool, and the admission budget is
-#: kept inside the frame deadline so served latencies cannot blow it.
-BASE = ServeConfig(
-    n_sessions=32,
-    duration_s=1.0,
-    n_workers=1,
-    reuse_displacement_deg=0.05,
-    queue_budget_deadlines=0.8,
-    seed=0,
+from repro.bench.suites import (
+    flatten_serve_payload,
+    run_serve_scaling,
+    serve_payload,
 )
-
-FLEET_SIZES = (8, 16, 32, 64)
+from repro.core import GazeViTConfig, PoloViT
+from repro.system import table_to_text
 
 
 @pytest.mark.benchmark(group="serve")
 def test_cross_session_batching_beats_sequential(benchmark):
-    def sweep():
-        t0 = time.perf_counter()
-        rows = []
-        for n in FLEET_SIZES:
-            config = ServeConfig(
-                n_sessions=n,
-                duration_s=BASE.duration_s,
-                n_workers=BASE.n_workers,
-                reuse_displacement_deg=BASE.reuse_displacement_deg,
-                queue_budget_deadlines=BASE.queue_budget_deadlines,
-                seed=BASE.seed,
-            )
-            fleet = build_fleet(config)
-            batched = serve_fleet(config, fleet=fleet)
-            sequential = serve_fleet(config.sequential_baseline(), fleet=fleet)
-            rows.append((n, batched, sequential))
-        return rows, time.perf_counter() - t0
-
-    rows, wall_s = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # The sweep itself lives in repro.bench.suites — the same callable
+    # ``python -m repro bench run --suite serve`` executes, so the
+    # pytest bench and the history ledger can never drift apart.
+    rows, wall_s = benchmark.pedantic(run_serve_scaling, rounds=1, iterations=1)
 
     table = []
     for n, batched, sequential in rows:
@@ -74,21 +49,8 @@ def test_cross_session_batching_beats_sequential(benchmark):
         table,
         min_width=8,
     ))
-    emit_bench_json("serve", {
-        "bench": "serve_scaling",
-        "wall_s": round(wall_s, 3),
-        "fleets": [
-            {
-                "sessions": n,
-                "goodput_fps": batched.predict_goodput_fps,
-                "sequential_goodput_fps": sequential.predict_goodput_fps,
-                "p95_ms": batched.latency_percentile_ms(95),
-                "miss_rate": batched.deadline_miss_rate,
-                "mean_batch": batched.mean_batch_size,
-            }
-            for n, batched, sequential in rows
-        ],
-    })
+    payload = serve_payload(rows, wall_s)
+    emit_bench_json("serve", payload, metrics=flatten_serve_payload(payload))
 
     for n, batched, sequential in rows:
         # Conservation: every frame is accounted for in both runs.

@@ -14,7 +14,9 @@ a killed checkpointed run (see ``repro.recover.cli``),
 ``python -m repro sdc [...]`` runs the soft-error / silent-data-corruption
 resilience campaign (see ``repro.reliability.cli``), and
 ``python -m repro exp [...]`` runs declarative experiment campaigns with
-the on-disk tracking backend (see ``repro.exp.cli``).
+the on-disk tracking backend (see ``repro.exp.cli``), and
+``python -m repro bench [...]`` runs benchmark suites against the
+persisted performance-trajectory ledger (see ``repro.bench.cli``).
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ SUBCOMMANDS: dict[str, str] = {
     "recover": "repro.recover.cli",
     "sdc": "repro.reliability.cli",
     "exp": "repro.exp.cli",
+    "bench": "repro.bench.cli",
 }
 
 

@@ -1,0 +1,136 @@
+"""The regression gate: newest bench record vs its ledger baseline.
+
+For every bench in the history, the *candidate* is the newest record and
+the *baseline* is the record before it.  A metric gates only when the
+shared direction registry (:mod:`repro.obs.directions`) declares which
+way is worse — unknown metrics and ``wall_s`` are reported but never
+fail the gate.  A regression is a worse-direction move beyond the
+declared relative tolerance::
+
+    |candidate - baseline| > tolerance * max(|baseline|, 1e-9)
+
+``python -m repro bench gate`` exits :data:`GATE_EXIT_REGRESSION` when
+any metric regresses — the CI contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.ledger import latest_per_bench
+from repro.obs.directions import metric_direction
+from repro.system.metrics import table_to_text
+
+#: Exit code of ``bench gate`` on regression (distinct from argparse's 2).
+GATE_EXIT_REGRESSION = 4
+
+#: Default relative tolerance for every gated metric.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class GateRow:
+    """One gated metric's comparison."""
+
+    bench: str
+    metric: str
+    direction: int
+    baseline: float
+    candidate: float
+    tolerance: float
+    regressed: bool
+    improved: bool
+
+
+def parse_tolerances(specs: "list[str]") -> "tuple[float, dict[str, float]]":
+    """``["0.05", "p95_ms=0.1"]`` -> (default, per-metric overrides)."""
+    default = DEFAULT_TOLERANCE
+    overrides: dict[str, float] = {}
+    for spec in specs:
+        if "=" in spec:
+            name, _, raw = spec.partition("=")
+            if not name:
+                raise ValueError(f"bad tolerance spec {spec!r}")
+            overrides[name] = float(raw)
+        else:
+            default = float(spec)
+    if default < 0 or any(v < 0 for v in overrides.values()):
+        raise ValueError("tolerances must be non-negative")
+    return default, overrides
+
+
+def evaluate_gate(
+    records: "list[dict]",
+    tolerance: float = DEFAULT_TOLERANCE,
+    overrides: "dict[str, float] | None" = None,
+) -> "list[GateRow]":
+    """Compare the newest record per bench against its predecessor.
+
+    Benches with fewer than two records have no baseline yet and pass
+    vacuously (the first append seeds the trajectory).  Only metrics
+    present in both records and known to the direction registry gate.
+    """
+    overrides = overrides or {}
+    rows: list[GateRow] = []
+    for bench, bench_records in sorted(latest_per_bench(records).items()):
+        if len(bench_records) < 2:
+            continue
+        baseline, candidate = bench_records[-2], bench_records[-1]
+        for name in sorted(candidate["metrics"]):
+            direction = metric_direction(name)
+            if direction == 0:
+                continue
+            base = baseline["metrics"].get(name)
+            cand = candidate["metrics"][name]
+            if not isinstance(base, (int, float)) or not isinstance(
+                cand, (int, float)
+            ):
+                continue
+            base, cand = float(base), float(cand)
+            tol = overrides.get(name, tolerance)
+            band = tol * max(abs(base), 1e-9)
+            worse = (cand - base) * direction < 0
+            beyond = abs(cand - base) > band
+            rows.append(GateRow(
+                bench=bench, metric=name, direction=direction,
+                baseline=base, candidate=cand, tolerance=tol,
+                regressed=worse and beyond,
+                improved=(not worse) and beyond and cand != base,
+            ))
+    return rows
+
+
+def format_gate(rows: "list[GateRow]", records: "list[dict]") -> str:
+    """Deterministic gate report: per-metric table + summary line."""
+    grouped = latest_per_bench(records)
+    lines = []
+    unseeded = sorted(b for b, r in grouped.items() if len(r) < 2)
+    for bench in unseeded:
+        lines.append(f"bench {bench}: 1 record, no baseline yet — pass")
+    if rows:
+        table = [
+            [
+                row.bench,
+                row.metric,
+                "+" if row.direction > 0 else "-",
+                f"{row.baseline:.6g}",
+                f"{row.candidate:.6g}",
+                f"{row.candidate - row.baseline:+.6g}",
+                f"{row.tolerance:g}",
+                "REGRESSED" if row.regressed
+                else ("improved" if row.improved else "ok"),
+            ]
+            for row in rows
+        ]
+        lines.append(table_to_text(
+            ["bench", "metric", "dir", "baseline", "candidate",
+             "delta", "tol", "verdict"],
+            table, min_width=4,
+        ))
+    regressions = [r for r in rows if r.regressed]
+    improvements = [r for r in rows if r.improved]
+    lines.append(
+        f"gate: {len(rows)} metrics checked, "
+        f"{len(regressions)} regressed, {len(improvements)} improved"
+    )
+    return "\n".join(lines)

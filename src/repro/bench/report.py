@@ -1,0 +1,172 @@
+"""Self-contained HTML dashboard: bench trajectories + SLO outcomes.
+
+``python -m repro bench report`` renders the history ledger (and
+optionally one run's SLO artifacts) into a single HTML file with inline
+SVG — no JavaScript, no external assets, no timestamps, so two renders
+of the same inputs are byte-identical (CI diffs them).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from repro.bench.gate import evaluate_gate
+from repro.bench.ledger import latest_per_bench
+from repro.obs.directions import metric_direction
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2em auto; max-width: 72em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em;
+         text-align: right; font-size: 0.85em; }
+th { background: #f0f0f0; } td.name, th.name { text-align: left; }
+.ok { color: #0a7d33; } .bad { color: #c0262d; font-weight: bold; }
+svg { vertical-align: middle; }
+"""
+
+
+def _svg_polyline(values: "list[float]", width=180, height=36) -> str:
+    """One metric's trajectory as an inline SVG polyline."""
+    if not values:
+        return ""
+    pad = 2
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    points = []
+    for i, v in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / (n - 1) if n > 1 else 0.5)
+        y = height - pad - (height - 2 * pad) * ((v - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline fill="none" stroke="#1565c0" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+def _bench_section(records: "list[dict]") -> "list[str]":
+    parts = []
+    for bench, bench_records in sorted(latest_per_bench(records).items()):
+        parts.append(f"<h2>bench: {html.escape(bench)} "
+                     f"({len(bench_records)} records)</h2>")
+        names = sorted({n for r in bench_records for n in r["metrics"]})
+        parts.append('<table><tr><th class="name">metric</th><th>dir</th>'
+                     "<th>trajectory</th><th>first</th><th>last</th>"
+                     "<th>Δlast</th></tr>")
+        for name in names:
+            values = [
+                float(r["metrics"][name]) for r in bench_records
+                if isinstance(r["metrics"].get(name), (int, float))
+            ]
+            if not values:
+                continue
+            direction = metric_direction(name)
+            delta = values[-1] - values[-2] if len(values) > 1 else 0.0
+            worse = len(values) > 1 and direction != 0 and delta * direction < 0
+            parts.append(
+                f'<tr><td class="name">{html.escape(name)}</td>'
+                f"<td>{'+' if direction > 0 else '-' if direction < 0 else ''}</td>"
+                f"<td>{_svg_polyline(values)}</td>"
+                f"<td>{values[0]:.6g}</td><td>{values[-1]:.6g}</td>"
+                f'<td class="{"bad" if worse else "ok"}">'
+                f"{delta:+.6g}</td></tr>"
+            )
+        parts.append("</table>")
+    return parts
+
+
+def _gate_section(records: "list[dict]") -> "list[str]":
+    rows = evaluate_gate(records)
+    if not rows:
+        return []
+    parts = ["<h2>regression gate (newest vs previous)</h2>",
+             '<table><tr><th class="name">bench</th><th class="name">metric'
+             "</th><th>baseline</th><th>candidate</th><th>delta</th>"
+             "<th>verdict</th></tr>"]
+    for row in rows:
+        verdict = ("REGRESSED" if row.regressed
+                   else "improved" if row.improved else "ok")
+        cls = "bad" if row.regressed else "ok"
+        parts.append(
+            f'<tr><td class="name">{html.escape(row.bench)}</td>'
+            f'<td class="name">{html.escape(row.metric)}</td>'
+            f"<td>{row.baseline:.6g}</td><td>{row.candidate:.6g}</td>"
+            f"<td>{row.candidate - row.baseline:+.6g}</td>"
+            f'<td class="{cls}">{verdict}</td></tr>'
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _slo_section(slo_dir: Path) -> "list[str]":
+    """Render slo_verdicts.json + slo.jsonl burn-rate timelines."""
+    verdict_path = slo_dir / "slo_verdicts.json"
+    history_path = slo_dir / "slo.jsonl"
+    if not verdict_path.exists():
+        return [f"<h2>slo</h2><p>no slo_verdicts.json in "
+                f"{html.escape(str(slo_dir))}</p>"]
+    verdicts = json.loads(verdict_path.read_text(encoding="utf-8"))
+    parts = ["<h2>slo compliance</h2>",
+             '<table><tr><th class="name">slo</th><th>kind</th><th>target'
+             "</th><th>attained</th><th>pages</th><th>warns</th>"
+             "<th>final</th><th>verdict</th></tr>"]
+    for v in verdicts:
+        attained = "-" if v["attained"] is None else f"{v['attained']:.6g}"
+        cls = "ok" if v["ok"] else "bad"
+        parts.append(
+            f'<tr><td class="name">{html.escape(v["name"])}</td>'
+            f"<td>{html.escape(v['kind'])}</td><td>{v['target']:.6g}</td>"
+            f"<td>{attained}</td><td>{v['pages']}</td><td>{v['warns']}</td>"
+            f"<td>{html.escape(v['final_state'])}</td>"
+            f'<td class="{cls}">{"PASS" if v["ok"] else "FAIL"}</td></tr>'
+        )
+    parts.append("</table>")
+    if history_path.exists():
+        rows = [
+            json.loads(line)
+            for line in history_path.read_text(encoding="utf-8").splitlines()
+            if line
+        ]
+        by_slo: dict[str, list[dict]] = {}
+        for row in rows:
+            by_slo.setdefault(row["slo"], []).append(row)
+        parts.append("<h2>burn-rate timelines</h2>")
+        parts.append('<table><tr><th class="name">slo</th><th>window</th>'
+                     "<th>timeline</th><th>peak</th></tr>")
+        for slo in sorted(by_slo):
+            series = by_slo[slo]
+            for window in ("fast", "slow"):
+                values = [float(r[f"burn_{window}"]) for r in series]
+                parts.append(
+                    f'<tr><td class="name">{html.escape(slo)}</td>'
+                    f"<td>{window}</td>"
+                    f"<td>{_svg_polyline(values, width=360)}</td>"
+                    f"<td>{max(values):.6g}</td></tr>"
+                )
+        parts.append("</table>")
+    return parts
+
+
+def render_report(
+    records: "list[dict]", slo_dir: "Path | None" = None
+) -> str:
+    """The full dashboard as one HTML string (deterministic bytes)."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html><head><meta charset="utf-8">',
+        "<title>bench report</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>performance trajectory</h1>",
+        f"<p>{len(records)} history records</p>",
+    ]
+    parts.extend(_bench_section(records))
+    parts.extend(_gate_section(records))
+    if slo_dir is not None:
+        parts.extend(_slo_section(Path(slo_dir)))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

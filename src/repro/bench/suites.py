@@ -1,0 +1,151 @@
+"""Benchmark suites as plain callables, shared with the pytest benches.
+
+Each suite runs its (deterministic) simulation workload, builds the
+exact snapshot payload the pytest benchmarks have always written to
+``BENCH_<name>.json``, and flattens it into the one-level metrics dict
+the history ledger, trend view, and regression gate consume.  Keeping
+both representations derived from one run is what lets the tracked
+history be backfilled from old snapshots byte-for-value.
+
+The flattened names are what :mod:`repro.obs.directions` declares
+directions for (``fleet64_p95_ms``, ``abft_fit800_coverage``, ...);
+``wall_s`` is carried for the record but deliberately never gated.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.config import ServeConfig
+
+#: Predict-heavy regime of the serve scaling bench: a tiny reuse
+#: threshold pushes nearly every non-saccade frame onto the inference
+#: pool, and the admission budget stays inside the frame deadline.
+BASE = ServeConfig(
+    n_sessions=32,
+    duration_s=1.0,
+    n_workers=1,
+    reuse_displacement_deg=0.05,
+    queue_budget_deadlines=0.8,
+    seed=0,
+)
+
+FLEET_SIZES = (8, 16, 32, 64)
+
+
+def run_serve_scaling() -> "tuple[list, float]":
+    """The cross-session batching sweep: per fleet size, the batched
+    runtime vs the sequential baseline on the identical fleet.
+
+    Returns ``([(n, batched_report, sequential_report), ...], wall_s)``.
+    """
+    from repro.serve.request import build_fleet
+    from repro.serve.runtime import serve_fleet
+
+    t0 = time.perf_counter()
+    rows = []
+    for n in FLEET_SIZES:
+        config = ServeConfig(
+            n_sessions=n,
+            duration_s=BASE.duration_s,
+            n_workers=BASE.n_workers,
+            reuse_displacement_deg=BASE.reuse_displacement_deg,
+            queue_budget_deadlines=BASE.queue_budget_deadlines,
+            seed=BASE.seed,
+        )
+        fleet = build_fleet(config)
+        batched = serve_fleet(config, fleet=fleet)
+        sequential = serve_fleet(config.sequential_baseline(), fleet=fleet)
+        rows.append((n, batched, sequential))
+    return rows, time.perf_counter() - t0
+
+
+def serve_payload(rows: list, wall_s: float) -> dict:
+    """The ``BENCH_serve.json`` snapshot payload (unchanged shape)."""
+    return {
+        "bench": "serve_scaling",
+        "wall_s": round(wall_s, 3),
+        "fleets": [
+            {
+                "sessions": n,
+                "goodput_fps": batched.predict_goodput_fps,
+                "sequential_goodput_fps": sequential.predict_goodput_fps,
+                "p95_ms": batched.latency_percentile_ms(95),
+                "miss_rate": batched.deadline_miss_rate,
+                "mean_batch": batched.mean_batch_size,
+            }
+            for n, batched, sequential in rows
+        ],
+    }
+
+
+def flatten_serve_payload(payload: dict) -> "dict[str, float]":
+    """Snapshot payload -> one-level ledger metrics (``fleet<N>_*``)."""
+    metrics: dict[str, float] = {"wall_s": float(payload["wall_s"])}
+    for fleet in payload["fleets"]:
+        n = fleet["sessions"]
+        for key in (
+            "goodput_fps", "sequential_goodput_fps", "p95_ms",
+            "miss_rate", "mean_batch",
+        ):
+            metrics[f"fleet{n}_{key}"] = float(fleet[key])
+    return metrics
+
+
+def run_sdc_resilience() -> "tuple[object, float]":
+    """The default SDC campaign; returns ``(report, wall_s)``."""
+    from repro.reliability.campaign import default_sdc_campaign, run_sdc_campaign
+
+    t0 = time.perf_counter()
+    report = run_sdc_campaign(default_sdc_campaign())
+    return report, time.perf_counter() - t0
+
+
+def sdc_payload(report, wall_s: float) -> dict:
+    """The ``BENCH_sdc.json`` snapshot payload (unchanged shape)."""
+    return {
+        "bench": "sdc_resilience",
+        "wall_s": round(wall_s, 3),
+        "cycle_overhead": report.cycle_overhead,
+        "runs": [run.as_dict() for run in report.runs],
+    }
+
+
+def flatten_sdc_payload(payload: dict) -> "dict[str, float]":
+    """Snapshot payload -> one-level ledger metrics
+    (``<protection>_fit<rate>_*`` plus the campaign aggregates)."""
+    metrics: dict[str, float] = {
+        "wall_s": float(payload["wall_s"]),
+        "cycle_overhead": float(payload["cycle_overhead"]),
+    }
+    for run in payload["runs"]:
+        prefix = f"{run['protection']}_fit{run['fit_per_mbit']:g}"
+        for key in (
+            "coverage", "escaped_sdc", "detected", "corrected",
+            "recomputed", "p95_error_deg", "mean_error_deg",
+            "corrupted_frames", "injected",
+        ):
+            metrics[f"{prefix}_{key}"] = float(run[key])
+    return metrics
+
+
+def _suite_serve() -> "tuple[dict, dict]":
+    rows, wall_s = run_serve_scaling()
+    payload = serve_payload(rows, wall_s)
+    return payload, flatten_serve_payload(payload)
+
+
+def _suite_sdc() -> "tuple[dict, dict]":
+    report, wall_s = run_sdc_resilience()
+    payload = sdc_payload(report, wall_s)
+    return payload, flatten_sdc_payload(payload)
+
+
+#: Suite name -> zero-arg callable returning ``(payload, metrics)``.
+#: The suite name doubles as the snapshot file suffix
+#: (``BENCH_<name>.json``); the payload's ``"bench"`` field is the
+#: history record's bench id.
+SUITES = {
+    "serve": _suite_serve,
+    "sdc": _suite_sdc,
+}

@@ -1,0 +1,69 @@
+"""Trend view: sparklines + signed deltas over the bench history."""
+
+from __future__ import annotations
+
+from repro.bench.ledger import latest_per_bench
+from repro.obs.directions import metric_direction
+from repro.system.metrics import table_to_text
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: "list[float]") -> str:
+    """Unicode sparkline; a constant series renders flat mid-height."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo <= 0:
+        return _SPARK[3] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int(round((v - lo) * scale))] for v in values)
+
+
+def _series(records: "list[dict]", name: str) -> "list[float]":
+    return [
+        float(r["metrics"][name])
+        for r in records
+        if isinstance(r["metrics"].get(name), (int, float))
+    ]
+
+
+def format_trend(
+    records: "list[dict]", benches: "list[str] | None" = None
+) -> str:
+    """One row per (bench, metric): history sparkline, endpoints, delta.
+
+    The ``dir`` column is the registry direction (``+`` higher is
+    better, ``-`` lower, blank unknown/ungated); ``Δlast`` is the move
+    of the newest record against its predecessor.
+    """
+    grouped = latest_per_bench(records)
+    names = benches if benches is not None else sorted(grouped)
+    rows = []
+    for bench in names:
+        bench_records = grouped.get(bench, [])
+        if not bench_records:
+            continue
+        metric_names = sorted({
+            name for r in bench_records for name in r["metrics"]
+        })
+        for name in metric_names:
+            values = _series(bench_records, name)
+            if not values:
+                continue
+            direction = metric_direction(name)
+            delta = values[-1] - values[-2] if len(values) > 1 else 0.0
+            rows.append([
+                bench,
+                name,
+                {1: "+", -1: "-"}.get(direction, ""),
+                len(values),
+                sparkline(values),
+                f"{values[0]:.6g}",
+                f"{values[-1]:.6g}",
+                f"{delta:+.6g}" if len(values) > 1 else "-",
+            ])
+    return table_to_text(
+        ["bench", "metric", "dir", "n", "trend", "first", "last", "Δlast"],
+        rows, min_width=4,
+    )

@@ -5,41 +5,25 @@ the same aligned-table renderer the benchmark reports and the metrics
 snapshot use, and everything is a pure function of the ledger — the
 output is deterministic, which is what lets tests assert on it.
 
-``compare`` marks the best run per metric with ``*`` using a name-based
-direction heuristic (latencies/misses down, goodput/coverage up) and,
-when a baseline run is named, appends a signed delta to every other
+``compare`` marks the best run per metric with ``*`` using the explicit
+metric-direction registry (:mod:`repro.obs.directions` — the same one
+``bench gate`` fails PRs with, so both agree on what a regression is)
+and, when a baseline run is named, appends a signed delta to every other
 run's cell so regressions read directly off the table.
 """
 
 from __future__ import annotations
 
 from repro.exp.errors import LedgerError
+from repro.obs.directions import metric_direction
 from repro.system.metrics import table_to_text
 
-#: Substrings that decide which direction is "better" for a metric.
-_LOWER_IS_BETTER = (
-    "_ms", "latency", "miss", "shed", "degrade", "escaped", "overhead",
-    "failures", "dropped", "error", "lost", "pending", "replayed",
-)
-_HIGHER_IS_BETTER = (
-    "goodput", "throughput", "coverage", "utilization", "verified",
-    "fps", "sessions", "batch",
-)
-
-
-def metric_direction(name: str) -> int:
-    """-1 lower is better, +1 higher is better, 0 unknown (no marking).
-
-    Lower-is-better wins ties because loss-like substrings are the more
-    specific signal (``predict_goodput_fps`` contains neither; a
-    hypothetical ``missed_goodput`` reads as a loss).
-    """
-    lowered = name.lower()
-    if any(tag in lowered for tag in _LOWER_IS_BETTER):
-        return -1
-    if any(tag in lowered for tag in _HIGHER_IS_BETTER):
-        return +1
-    return 0
+__all__ = [
+    "format_comparison",
+    "format_run_list",
+    "format_run_show",
+    "metric_direction",
+]
 
 
 def _fmt(value) -> str:

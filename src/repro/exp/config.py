@@ -45,7 +45,9 @@ from repro.exp.errors import CampaignConfigError
 _NAME_RE = re.compile(r"^[a-zA-Z0-9][a-zA-Z0-9._-]*$")
 
 _BLOCK_KEYS = frozenset({"runner", "params", "grid", "seeds", "list"})
-_TOP_KEYS = frozenset({"name", "runs"})
+# "slo" is an optional summary-objective block evaluated against every
+# run's metrics by repro.exp.runner (parsed via repro.obs.slo).
+_TOP_KEYS = frozenset({"name", "runs", "slo"})
 
 
 def _require(condition: bool, message: str) -> None:

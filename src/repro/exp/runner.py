@@ -22,9 +22,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exp.config import expand_campaign
-from repro.exp.errors import CampaignKilled
+from repro.exp.errors import CampaignConfigError, CampaignKilled
 from repro.exp.runners import RunOutcome, RunSpec, execute_spec, resolve_spec
 from repro.exp.track import Ledger, open_ledger
+from repro.obs.slo import (
+    SloConfigError,
+    evaluate_summary,
+    parse_summary_slo,
+    summary_verdict_metrics,
+)
 
 
 @dataclass
@@ -99,6 +105,16 @@ def run_campaign(
     campaign continues — reruns retry failed runs (only ``ok`` records
     join the skip set).
     """
+    # Optional campaign-wide SLO block: summary objectives checked
+    # against every run's metrics, verdicts merged into the recorded
+    # metrics (pure function of the outcome -> resume-deterministic).
+    slo_objectives = None
+    if "slo" in config:
+        try:
+            slo_objectives = parse_summary_slo(config["slo"])
+        except SloConfigError as err:
+            raise CampaignConfigError(f"campaign slo: {err}") from err
+
     name, specs = resolve_campaign(config)
     with open_ledger(directory, name, config) as ledger:
         completed = ledger.completed_ids
@@ -115,6 +131,9 @@ def run_campaign(
 
         def finish(spec: RunSpec, outcome: "RunOutcome | Exception") -> None:
             nonlocal appended
+            if slo_objectives is not None and isinstance(outcome, RunOutcome):
+                rows = evaluate_summary(slo_objectives, outcome.metrics)
+                outcome.metrics.update(summary_verdict_metrics(rows))
             if _record(ledger, spec, outcome):
                 result.failed += 1
             else:

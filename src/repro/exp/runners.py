@@ -101,12 +101,9 @@ def _fleet_registry(report) -> MetricsRegistry:
 
 
 def _fleet_outcome(report, extra_metrics: "dict | None" = None) -> RunOutcome:
-    from repro.serve.telemetry import format_fleet_report
+    from repro.serve.telemetry import fleet_summary_metrics, format_fleet_report
 
-    metrics = dict(report.summary())
-    if report.faults is not None:
-        for key, value in report.faults.summary().items():
-            metrics[f"faults_{key}"] = value
+    metrics = fleet_summary_metrics(report)
     if extra_metrics:
         metrics.update(extra_metrics)
     artifacts = {"report.txt": format_fleet_report(report) + "\n"}
@@ -127,15 +124,12 @@ def _execute_chaos(params: dict) -> RunOutcome:
 
 
 def _execute_sdc(params: dict) -> RunOutcome:
-    from repro.reliability.campaign import format_sdc_report
+    from repro.reliability.campaign import format_sdc_report, sdc_summary_metrics
     from repro.reliability.cli import run_from_config
 
     report = run_from_config(params)
     registry = MetricsRegistry()
-    metrics: dict = {
-        "cycle_overhead": report.cycle_overhead,
-        "injected_total": float(sum(r.injected for r in report.runs)),
-    }
+    metrics: dict = sdc_summary_metrics(report)
     registry.gauge(
         "sdc_abft_cycle_overhead", "Measured ABFT predict-path cycle overhead"
     ).set(report.cycle_overhead)
@@ -148,13 +142,6 @@ def _execute_sdc(params: dict) -> RunOutcome:
         registry.gauge("sdc_p95_error_deg", "P95 output deviation", **labels).set(
             run.p95_error_deg
         )
-    for protection in report.config.protections:
-        cells = report.runs_for(protection)
-        metrics[f"{protection}_coverage_min"] = min(c.coverage for c in cells)
-        metrics[f"{protection}_escaped_total"] = float(
-            sum(c.escaped_sdc for c in cells)
-        )
-        metrics[f"{protection}_p95_error_deg"] = max(c.p95_error_deg for c in cells)
     artifacts = {"report.txt": format_sdc_report(report) + "\n"}
     artifacts.update(_registry_artifacts(registry))
     return RunOutcome(metrics=_sanitize(metrics), artifacts=artifacts)

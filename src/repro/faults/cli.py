@@ -23,7 +23,9 @@ from repro.faults.config import (
 from repro.faults.runtime import ChaosRuntime, run_chaos
 from repro.obs.cli import (
     add_obs_arguments,
+    add_slo_arguments,
     emit_obs_artifacts,
+    emit_slo_artifacts,
     obs_from_args,
     resolve_obs_out,
 )
@@ -162,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-session-rows", type=int, default=8)
     add_checkpoint_arguments(parser)
     add_obs_arguments(parser)
+    add_slo_arguments(parser)
     return parser
 
 
@@ -197,21 +200,55 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(str(err))
     if args.kill_at_event is not None and args.checkpoint_dir is None:
         parser.error("--kill-at-event requires --checkpoint-dir")
+    if args.slo is not None and args.checkpoint_dir is not None:
+        parser.error("--slo and --checkpoint-dir are mutually exclusive "
+                     "(the SLO engine is not checkpointed)")
     obs = obs_from_args(args)
+    slo_engine = None
+    if args.slo is not None:
+        from repro.obs.config import Obs, ObsConfig
+        from repro.obs.slo import SloConfigError, SloEngine, resolve_slo_config
+
+        if obs is None:
+            obs = Obs(ObsConfig(top_k=args.obs_top))
+        try:
+            slo_config = resolve_slo_config(args.slo, config.serve.deadline_s)
+        except SloConfigError as err:
+            parser.error(str(err))
+        slo_engine = SloEngine(slo_config, obs)
     if args.checkpoint_dir is not None:
         runtime = ChaosRuntime(config, obs=obs)
         report = run_checkpointed_cli(runtime, args, parser)
         if not isinstance(report, FleetReport):
             return report  # simulated crash exit code
+    elif slo_engine is not None:
+        runtime = ChaosRuntime(config, obs=obs)
+        runtime.attach_slo(slo_engine)
+        report = runtime.run()
     else:
         report = run_chaos(config, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
-    if obs is not None:
+    if slo_engine is not None:
+        from repro.obs.slo import evaluate_summary, format_summary_verdicts
+        from repro.serve.telemetry import fleet_summary_metrics
+
+        print("\n--- SLO verdicts ---\n")
+        print(slo_engine.format_verdicts())
+        summary_objectives = slo_engine.config.summary_objectives
+        if summary_objectives:
+            rows = evaluate_summary(
+                summary_objectives, fleet_summary_metrics(report)
+            )
+            print()
+            print(format_summary_verdicts(rows))
+    if args.obs:
         from repro.recover.configio import chaos_config_to_dict
 
         resolved = {"kind": "chaos", "config": chaos_config_to_dict(config)}
         out_dir = resolve_obs_out(args.obs_out, "chaos", resolved)
         emit_obs_artifacts(obs, out_dir, top_k=args.obs_top)
+        if slo_engine is not None:
+            emit_slo_artifacts(slo_engine, out_dir)
     if args.compare_fault_free and not args.fault_free:
         baseline = run_chaos(config.fault_free())
         print("\n--- fault-free baseline ---\n")

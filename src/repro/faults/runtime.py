@@ -176,6 +176,23 @@ class ChaosRuntime(ServeRuntime):
                 queue.sort(key=lambda item: item[0])
 
     # ------------------------------------------------------------------
+    # SLO coupling: a paging latency budget widens the fovea
+    # ------------------------------------------------------------------
+    def attach_slo(self, engine) -> None:
+        """Attach an SLO engine and wire its PAGE action to the ladder:
+        an objective with ``on_page: "widen"`` escalates every session's
+        watchdog to WIDENED — the Eq. 1 foveal-radius widening path —
+        the moment the error budget pages."""
+        super().attach_slo(engine)
+        engine.on_page = self._slo_page_hook
+
+    def _slo_page_hook(self, objective, now_s: float) -> None:
+        if objective.on_page != "widen":
+            return
+        for watchdog in self.watchdogs:
+            watchdog.escalate(now_s, DegradationLevel.WIDENED)
+
+    # ------------------------------------------------------------------
     # Observability hooks (no-ops unless ``obs`` is enabled)
     # ------------------------------------------------------------------
     def _watchdog_hook(self, session_id: int):

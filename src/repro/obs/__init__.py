@@ -41,6 +41,7 @@ from repro.obs.tracer import (
     PID_RECOVER,
     PID_RELIABILITY,
     PID_SESSION_BASE,
+    PID_SLO,
     PID_TFR,
     PID_WALL,
     PID_WORKERS,
@@ -68,6 +69,7 @@ __all__ = [
     "PID_RECOVER",
     "PID_RELIABILITY",
     "PID_SESSION_BASE",
+    "PID_SLO",
     "PID_TFR",
     "PID_WALL",
     "PID_WORKERS",

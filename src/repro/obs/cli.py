@@ -43,6 +43,26 @@ def obs_from_args(args: argparse.Namespace) -> "Obs | None":
     return Obs(ObsConfig(top_k=args.obs_top)) if args.obs else None
 
 
+def add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--slo`` flag shared by the serve / chaos / sdc CLIs."""
+    group = parser.add_argument_group("slo")
+    group.add_argument("--slo", default=None, metavar="CONFIG",
+                       help="evaluate SLOs for this run: 'default' for the "
+                       "built-in latency objective or a *.slo.json file "
+                       "(see repro.obs.slo)")
+
+
+def emit_slo_artifacts(engine, out_dir: Path) -> None:
+    """Write the SLO evaluation history + verdicts next to the trace."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    history_path = out_dir / "slo.jsonl"
+    history_path.write_text(engine.history_jsonl())
+    verdict_path = out_dir / "slo_verdicts.json"
+    verdict_path.write_text(engine.verdicts_json())
+    print(f"wrote {history_path}")
+    print(f"wrote {verdict_path}")
+
+
 def resolve_obs_out(out: "Path | None", kind: str, resolved_config: dict) -> Path:
     """The artifact directory for one observed run.
 

@@ -1,0 +1,106 @@
+"""Explicit metric-direction registry: what counts as a regression.
+
+``exp compare`` marks the best run per metric and ``bench gate`` fails a
+PR when a metric moves the wrong way — both need to agree on which way
+is "wrong".  The original substring heuristic ("anything containing
+``miss`` is a loss") mis-filed composite names, so directions are now
+*declared*: an exact-name table covering every metric the runners and
+benchmark suites emit, plus a handful of anchored family rules for
+parameterized names (``fleet64_p95_ms``, ``abft_fit800_coverage``).
+
+Unknown names get direction 0 — no best-marking, no gating.  ``wall_s``
+is deliberately unlisted: wall clock is the one sanctioned
+nondeterminism and must never gate a PR.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Exact metric name -> direction.  +1 higher is better, -1 lower is
+#: better.  Grouped by the subsystem that emits the name.
+_EXACT: "dict[str, int]" = {
+    # FleetReport.summary() (serve / chaos / recover runners)
+    "throughput_fps": +1,
+    "predict_goodput_fps": +1,
+    "goodput_fps": +1,
+    "sequential_goodput_fps": +1,
+    "p50_ms": -1,
+    "p95_ms": -1,
+    "p99_ms": -1,
+    "miss_rate": -1,
+    "shed_rate": -1,
+    "degrade_rate": -1,
+    "worker_utilization": +1,
+    "mean_batch": +1,
+    "mean_batch_size": +1,
+    # FaultReport.summary() (prefixed faults_ by the runners): harm
+    # absorbed by the recovery stack — less is better.  Raw injection
+    # counts (drops, corruptions, upsets) describe the environment, not
+    # the system under test, and stay unlisted.
+    "faults_batch_failures": -1,
+    "faults_frames_requeued": -1,
+    "faults_retry_exhausted": -1,
+    "faults_deadline_degraded": -1,
+    "faults_occlusion_degraded": -1,
+    "faults_breaker_opens": -1,
+    "faults_watchdog_reuse": -1,
+    "faults_watchdog_full_res": -1,
+    "faults_sdc_escaped": -1,
+    "faults_sdc_fallback_degraded": -1,
+    "faults_widened_delta_theta_deg": -1,
+    "faults_sdc_detected": +1,
+    # SDC campaign aggregates and per-cell names
+    "cycle_overhead": -1,
+    "coverage": +1,
+    "coverage_min": +1,
+    "escaped_sdc": -1,
+    "escaped_total": -1,
+    "detected": +1,
+    "p95_error_deg": -1,
+    "mean_error_deg": -1,
+    # Recovery probe
+    "replayed_events": -1,
+    "skipped_checkpoints": -1,
+    "verified": +1,
+    # SLO verdicts (repro.obs.slo)
+    "slo_failed_total": -1,
+}
+
+#: Anchored family rules for parameterized names: strip the instance
+#: prefix and look the base name up again.
+_FAMILIES = (
+    re.compile(r"^fleet\d+_(?P<rest>.+)$"),
+    re.compile(r"^(?:unprotected|abft|guard)_fit[0-9.eE+-]+_(?P<rest>.+)$"),
+    re.compile(r"^(?:unprotected|abft|guard)_(?P<rest>coverage_min|escaped_total|p95_error_deg)$"),
+)
+
+#: Latency percentiles in milliseconds, any percentile spelling.
+_PERCENTILE_MS = re.compile(r"^p\d+(?:_\d+)?_ms$")
+
+#: Per-objective SLO pass verdicts recorded by campaign sweeps.
+_SLO_PASS = re.compile(r"^slo_pass_[a-zA-Z0-9_]+$")
+
+
+def metric_direction(name: str) -> int:
+    """-1 lower is better, +1 higher is better, 0 unknown (not gated)."""
+    direction = _EXACT.get(name)
+    if direction is not None:
+        return direction
+    if _PERCENTILE_MS.match(name):
+        return -1
+    if _SLO_PASS.match(name):
+        return +1
+    for family in _FAMILIES:
+        match = family.match(name)
+        if match:
+            return metric_direction(match.group("rest"))
+    return 0
+
+
+def lower_is_better(name: str) -> bool:
+    return metric_direction(name) < 0
+
+
+def higher_is_better(name: str) -> bool:
+    return metric_direction(name) > 0

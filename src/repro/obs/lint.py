@@ -85,14 +85,30 @@ def lint_prometheus(path: "str | Path") -> list[str]:
     return errors
 
 
+def lint_slo(path: "str | Path") -> list[str]:
+    """SLO config violations (empty = ok): full strict parse via
+    :func:`repro.obs.slo.load_slo_config` — unknown metric names,
+    malformed windows, bad thresholds, duplicate objective names."""
+    from repro.obs.slo import SloConfigError, load_slo_config
+
+    try:
+        load_slo_config(path)
+    except SloConfigError as err:
+        return [f"{path}: {err}"]
+    return []
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
-        print("usage: python -m repro.obs.lint TRACE.json [METRICS.prom ...]")
+        print("usage: python -m repro.obs.lint "
+              "TRACE.json [METRICS.prom ...] [CONF.slo.json ...]")
         return 2
     errors: list[str] = []
     for path in argv:
-        if path.endswith(".prom"):
+        if path.endswith(".slo.json"):
+            errors.extend(lint_slo(path))
+        elif path.endswith(".prom"):
             errors.extend(lint_prometheus(path))
         else:
             errors.extend(validate_trace(path))

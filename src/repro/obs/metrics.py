@@ -133,7 +133,10 @@ class Histogram:
         return list(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Exact percentile of the observed samples."""
+        """Exact percentile of the observed samples (empty -> 0.0,
+        matching :meth:`summary` so pre-traffic reads never raise)."""
+        if not self._samples:
+            return 0.0
         return percentile_summary(self._samples, (p,))[percentile_key(p)]
 
     def summary(self, ps: tuple[float, ...] = (50, 95, 99)) -> dict[str, float]:

@@ -42,6 +42,7 @@ PID_TFR = 4
 PID_WALL = 5
 PID_RECOVER = 6
 PID_RELIABILITY = 7
+PID_SLO = 8
 PID_SESSION_BASE = 100
 
 

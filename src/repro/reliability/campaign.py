@@ -485,6 +485,27 @@ def run_sdc_campaign(config: "SdcCampaignConfig | None" = None) -> SdcReport:
     return report
 
 
+def sdc_summary_metrics(report: SdcReport) -> dict[str, float]:
+    """One flat metrics dict per campaign: the aggregate overhead plus
+    per-protection worst-case cells.
+
+    Shared by the ``repro.exp`` sdc runner, ``sdc --slo`` summary
+    verdicts, and the bench history — all three gate on these names.
+    """
+    metrics: dict[str, float] = {
+        "cycle_overhead": report.cycle_overhead,
+        "injected_total": float(sum(r.injected for r in report.runs)),
+    }
+    for protection in report.config.protections:
+        cells = report.runs_for(protection)
+        metrics[f"{protection}_coverage_min"] = min(c.coverage for c in cells)
+        metrics[f"{protection}_escaped_total"] = float(
+            sum(c.escaped_sdc for c in cells)
+        )
+        metrics[f"{protection}_p95_error_deg"] = max(c.p95_error_deg for c in cells)
+    return metrics
+
+
 def format_sdc_report(report: SdcReport) -> str:
     """Human-readable campaign summary (stable across runs — CI diffs it)."""
     cfg = report.config

@@ -13,6 +13,7 @@ import argparse
 
 from dataclasses import fields
 
+from repro.obs.cli import add_slo_arguments
 from repro.reliability.campaign import (
     PROTECTIONS,
     SdcCampaignConfig,
@@ -20,6 +21,7 @@ from repro.reliability.campaign import (
     default_sdc_campaign,
     format_sdc_report,
     run_sdc_campaign,
+    sdc_summary_metrics,
 )
 
 
@@ -80,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="soft-error acceleration factor")
     parser.add_argument("--seed", type=int, default=base.seed,
                         help="seeds the gaze trajectory and fault schedules")
+    add_slo_arguments(parser)
     return parser
 
 
@@ -97,7 +100,33 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     except ValueError as err:
         parser.error(str(err))
-    print(format_sdc_report(run_sdc_campaign(config)))
+    # The campaign has no online event stream, so --slo here means
+    # summary objectives only: thresholds over the final flat metrics.
+    summary_objectives = None
+    if args.slo is not None:
+        from repro.obs.slo import SloConfigError, load_slo_config
+
+        if args.slo == "default":
+            parser.error("--slo default has no sdc objectives; pass a "
+                         "*.slo.json with summary_objectives")
+        try:
+            slo_config = load_slo_config(args.slo)
+        except SloConfigError as err:
+            parser.error(str(err))
+        if slo_config.objectives:
+            parser.error("sdc --slo supports summary_objectives only "
+                         "(the campaign has no online event stream)")
+        summary_objectives = slo_config.summary_objectives
+    report = run_sdc_campaign(config)
+    print(format_sdc_report(report))
+    if summary_objectives is not None:
+        from repro.obs.slo import evaluate_summary, format_summary_verdicts
+
+        rows = evaluate_summary(summary_objectives, sdc_summary_metrics(report))
+        print("\n--- SLO verdicts ---\n")
+        print(format_summary_verdicts(rows))
+        if any(not row["ok"] for row in rows):
+            return 3
     return 0
 
 

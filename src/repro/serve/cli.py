@@ -13,7 +13,9 @@ from dataclasses import fields
 
 from repro.obs.cli import (
     add_obs_arguments,
+    add_slo_arguments,
     emit_obs_artifacts,
+    emit_slo_artifacts,
     obs_from_args,
     resolve_obs_out,
 )
@@ -111,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-session-rows", type=int, default=8)
     add_checkpoint_arguments(parser)
     add_obs_arguments(parser)
+    add_slo_arguments(parser)
     return parser
 
 
@@ -143,17 +146,49 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(str(err))
     if args.kill_at_event is not None and args.checkpoint_dir is None:
         parser.error("--kill-at-event requires --checkpoint-dir")
+    if args.slo is not None and args.checkpoint_dir is not None:
+        parser.error("--slo and --checkpoint-dir are mutually exclusive "
+                     "(the SLO engine is not checkpointed)")
     fleet = build_fleet(config)
     obs = obs_from_args(args)
+    slo_engine = None
+    if args.slo is not None:
+        from repro.obs.config import Obs, ObsConfig
+        from repro.obs.slo import SloConfigError, SloEngine, resolve_slo_config
+
+        if obs is None:
+            obs = Obs(ObsConfig(top_k=args.obs_top))
+        try:
+            slo_config = resolve_slo_config(args.slo, config.deadline_s)
+        except SloConfigError as err:
+            parser.error(str(err))
+        slo_engine = SloEngine(slo_config, obs)
     if args.checkpoint_dir is not None:
         runtime = ServeRuntime(config, service=service, fleet=fleet, obs=obs)
         report = run_checkpointed_cli(runtime, args, parser)
         if not isinstance(report, FleetReport):
             return report  # simulated crash exit code
+    elif slo_engine is not None:
+        runtime = ServeRuntime(config, service=service, fleet=fleet, obs=obs)
+        runtime.attach_slo(slo_engine)
+        report = runtime.run()
     else:
         report = serve_fleet(config, service=service, fleet=fleet, obs=obs)
     print(format_fleet_report(report, max_session_rows=args.max_session_rows))
-    if obs is not None:
+    if slo_engine is not None:
+        from repro.obs.slo import evaluate_summary, format_summary_verdicts
+        from repro.serve.telemetry import fleet_summary_metrics
+
+        print("\n--- SLO verdicts ---\n")
+        print(slo_engine.format_verdicts())
+        summary_objectives = slo_engine.config.summary_objectives
+        if summary_objectives:
+            rows = evaluate_summary(
+                summary_objectives, fleet_summary_metrics(report)
+            )
+            print()
+            print(format_summary_verdicts(rows))
+    if args.obs:
         from repro.recover.configio import serve_config_to_dict, service_model_to_dict
 
         resolved = {
@@ -163,6 +198,8 @@ def main(argv: "list[str] | None" = None) -> int:
         }
         out_dir = resolve_obs_out(args.obs_out, "serve", resolved)
         emit_obs_artifacts(obs, out_dir, top_k=args.obs_top)
+        if slo_engine is not None:
+            emit_slo_artifacts(slo_engine, out_dir)
     if args.compare_sequential:
         baseline = serve_fleet(
             config.sequential_baseline(), service=service, fleet=fleet

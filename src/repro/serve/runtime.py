@@ -100,6 +100,20 @@ class ServeRuntime:
         if self.obs.enabled:
             self._instruments = ServeInstruments(self.obs.metrics)
             self._declare_tracks()
+        #: Optional online SLO engine (see :meth:`attach_slo`): ticked on
+        #: the sim clock after every event, finalized with the report.
+        self.slo = None
+
+    def attach_slo(self, engine) -> None:
+        """Attach a :class:`repro.obs.slo.SloEngine` to this run.
+
+        The engine reads the live instruments, so observability must be
+        enabled; it is evaluated at fixed sim-clock boundaries, keeping
+        the run (and its alert stream) deterministic.
+        """
+        if not self.obs.enabled:
+            raise ValueError("attach_slo requires an enabled Obs bundle")
+        self.slo = engine
 
     # ------------------------------------------------------------------
     # Tracing (no-ops unless ``obs`` is enabled)
@@ -341,6 +355,8 @@ class ServeRuntime:
         else:  # _WINDOW
             self._try_dispatch(now)
         self.events_processed += 1
+        if self.slo is not None:
+            self.slo.maybe_evaluate(now)
         return True
 
     def finish(self) -> FleetReport:
@@ -358,6 +374,8 @@ class ServeRuntime:
         report = self._build_report(duration)
         if self.obs.enabled:
             publish_fleet_metrics(report, self.obs.metrics)
+        if self.slo is not None:
+            self.slo.finalize(duration)
         return report
 
     def run(self) -> FleetReport:

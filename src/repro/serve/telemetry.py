@@ -459,6 +459,21 @@ def publish_fault_metrics(faults: FaultReport, metrics: MetricsRegistry) -> None
         ).set(seconds)
 
 
+def fleet_summary_metrics(report: FleetReport) -> dict[str, float]:
+    """One flat metrics dict per run: the fleet summary plus, for chaos
+    runs, the fault counters under a ``faults_`` prefix.
+
+    This is the run identity every downstream consumer agrees on —
+    ``repro.exp`` ledgers, summary-SLO verdicts (``--slo`` on the CLIs),
+    and the bench history gate all read these names.
+    """
+    metrics = dict(report.summary())
+    if report.faults is not None:
+        for key, value in report.faults.summary().items():
+            metrics[f"faults_{key}"] = value
+    return metrics
+
+
 def publish_fleet_metrics(report: FleetReport, metrics: MetricsRegistry) -> None:
     """End-of-run aggregates -> registry.
 

@@ -182,6 +182,29 @@ class TrackingWatchdog:
             )
         return self.level
 
+    def escalate(
+        self,
+        now_s: float,
+        to: DegradationLevel = DegradationLevel.WIDENED,
+    ) -> DegradationLevel:
+        """Force the ladder up to at least ``to`` from an external signal.
+
+        The SLO engine calls this when a latency error budget pages
+        (``on_page: "widen"``): even with healthy tracking, a serving
+        stack that is missing deadlines should widen the foveal radius
+        (Eq. 1) so stale-but-covered gaze beats fresh-but-late gaze.
+        Never de-escalates — recovery stays hysteretic via
+        :meth:`observe`.
+        """
+        if to > self.level:
+            self._transition(now_s, to)
+            self._healthy_since = None
+        if self.level > DegradationLevel.NOMINAL:
+            self._max_widened_deg = max(
+                self._max_widened_deg, self.widened_delta_theta_deg()
+            )
+        return self.level
+
     def _transition(self, now_s: float, to: DegradationLevel) -> None:
         self._dwell_s[self.level.name] += max(0.0, now_s - self._level_entered_s)
         self.transitions.append((now_s, self.level.name, to.name))

@@ -1,0 +1,158 @@
+"""Regression gate: direction-aware tolerances against the ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.gate import (
+    GATE_EXIT_REGRESSION,
+    evaluate_gate,
+    format_gate,
+    parse_tolerances,
+)
+
+
+def history(*metric_dicts, bench="serve_scaling"):
+    return [
+        {"i": i + 1, "bench": bench, "metrics": metrics, "context": {}}
+        for i, metrics in enumerate(metric_dicts)
+    ]
+
+
+class TestParseTolerances:
+    def test_default_and_overrides(self):
+        default, overrides = parse_tolerances(["0.1", "fleet64_p95_ms=0.2"])
+        assert default == pytest.approx(0.1)
+        assert overrides == {"fleet64_p95_ms": pytest.approx(0.2)}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_tolerances(["-0.1"])
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_tolerances(["p95_ms=-1"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="bad tolerance"):
+            parse_tolerances(["=0.5"])
+
+
+class TestEvaluateGate:
+    def test_within_tolerance_passes(self):
+        rows = evaluate_gate(
+            history(
+                {"fleet64_goodput_fps": 1000.0},
+                {"fleet64_goodput_fps": 990.0},  # -1% against 5% tolerance
+            ),
+            tolerance=0.05,
+        )
+        (row,) = rows
+        assert not row.regressed and not row.improved
+
+    def test_worse_direction_beyond_tolerance_regresses(self):
+        rows = evaluate_gate(
+            history(
+                {"fleet64_goodput_fps": 1000.0, "fleet64_p95_ms": 7.0},
+                {"fleet64_goodput_fps": 700.0, "fleet64_p95_ms": 10.5},
+            ),
+            tolerance=0.05,
+        )
+        assert [row.regressed for row in rows] == [True, True]
+
+    def test_big_move_in_the_good_direction_is_improvement(self):
+        (row,) = evaluate_gate(
+            history(
+                {"fleet64_p95_ms": 10.0},
+                {"fleet64_p95_ms": 7.0},
+            ),
+            tolerance=0.05,
+        )
+        assert row.improved and not row.regressed
+
+    def test_direction_zero_metrics_never_gate(self):
+        # wall_s is machine-dependent; the registry deliberately leaves
+        # it directionless so it can never fail the gate.
+        rows = evaluate_gate(
+            history({"wall_s": 0.2}, {"wall_s": 200.0}),
+        )
+        assert rows == []
+
+    def test_fewer_than_two_records_is_vacuous_pass(self):
+        records = history({"fleet64_p95_ms": 7.0})
+        assert evaluate_gate(records) == []
+        text = format_gate([], records)
+        assert "no baseline yet" in text
+
+    def test_only_the_newest_pair_gates(self):
+        # An old regression that has since recovered must not fail now.
+        rows = evaluate_gate(
+            history(
+                {"fleet64_goodput_fps": 1000.0},
+                {"fleet64_goodput_fps": 500.0},
+                {"fleet64_goodput_fps": 1010.0},
+            ),
+            tolerance=0.05,
+        )
+        (row,) = rows
+        assert row.baseline == pytest.approx(500.0)
+        assert not row.regressed
+
+    def test_per_metric_override_beats_default(self):
+        records = history(
+            {"fleet64_p95_ms": 10.0},
+            {"fleet64_p95_ms": 10.8},  # +8%
+        )
+        assert evaluate_gate(records, tolerance=0.05)[0].regressed
+        rows = evaluate_gate(
+            records, tolerance=0.05, overrides={"fleet64_p95_ms": 0.1}
+        )
+        assert not rows[0].regressed
+
+    def test_zero_baseline_uses_absolute_floor(self):
+        # miss_rate 0 -> 0.001: tiny absolute change, but any band
+        # relative to a zero baseline is the 1e-9 floor, so it gates.
+        (row,) = evaluate_gate(
+            history({"fleet64_miss_rate": 0.0}, {"fleet64_miss_rate": 0.001}),
+        )
+        assert row.regressed
+
+    def test_format_gate_summarizes(self):
+        records = history(
+            {"fleet64_goodput_fps": 1000.0},
+            {"fleet64_goodput_fps": 700.0},
+        )
+        text = format_gate(evaluate_gate(records), records)
+        assert "REGRESSED" in text
+        assert "1 metrics checked, 1 regressed" in text
+
+
+class TestGateCli:
+    def seed(self, tmp_path, *metric_dicts):
+        from repro.bench.ledger import append_bench_record
+
+        ledger = tmp_path / "history.jsonl"
+        for metrics in metric_dicts:
+            append_bench_record(ledger, "serve_scaling", metrics)
+        return ledger
+
+    def test_exit_zero_on_clean_history(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        ledger = self.seed(
+            tmp_path, {"fleet64_p95_ms": 7.0}, {"fleet64_p95_ms": 7.1}
+        )
+        assert main(["gate", "--ledger", str(ledger)]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_exit_four_on_regression(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        ledger = self.seed(
+            tmp_path, {"fleet64_p95_ms": 7.0}, {"fleet64_p95_ms": 10.5}
+        )
+        assert main(["gate", "--ledger", str(ledger)]) == GATE_EXIT_REGRESSION
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_empty_history_passes(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        assert main(["gate", "--ledger", str(tmp_path / "none.jsonl")]) == 0

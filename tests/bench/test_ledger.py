@@ -1,0 +1,91 @@
+"""Bench history ledger: sealed appends, torn tails, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.ledger import (
+    BenchLedgerError,
+    append_bench_record,
+    latest_per_bench,
+    read_bench_history,
+)
+
+
+def append(path, bench="serve_scaling", metrics=None, context=None):
+    return append_bench_record(
+        path, bench, metrics or {"fleet8_goodput_fps": 467.4}, context=context
+    )
+
+
+class TestAppendAndRead:
+    def test_round_trip_preserves_metrics_and_context(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        written = append(
+            ledger,
+            metrics={"fleet8_goodput_fps": 467.4, "wall_s": 0.28},
+            context={"source": "pytest"},
+        )
+        (record,) = read_bench_history(ledger)
+        assert record == written
+        assert record["i"] == 1
+        assert record["context"]["source"] == "pytest"
+
+    def test_indices_are_strictly_increasing_across_reopen(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        for _ in range(3):
+            append(ledger)
+        assert [r["i"] for r in read_bench_history(ledger)] == [1, 2, 3]
+
+    def test_missing_ledger_reads_empty(self, tmp_path):
+        assert read_bench_history(tmp_path / "nope.jsonl") == []
+
+    def test_every_line_is_crc_sealed(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        append(ledger)
+        line = ledger.read_text().splitlines()[0]
+        assert json.loads(line)["crc"] >= 0
+
+
+class TestDurability:
+    def test_torn_tail_is_discarded_on_next_append(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        append(ledger)
+        append(ledger)
+        with ledger.open("a") as f:
+            f.write('{"crc":123,"i":3,"bench":"torn')  # killed mid-append
+        append(ledger)
+        records = read_bench_history(ledger)
+        assert [r["i"] for r in records] == [1, 2, 3]
+
+    def test_interior_corruption_is_fatal_not_silent(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        append(ledger)
+        append(ledger)
+        lines = ledger.read_text().splitlines(keepends=True)
+        ledger.write_text(lines[0].replace("467.4", "999.9") + lines[1])
+        with pytest.raises(BenchLedgerError):
+            read_bench_history(ledger)
+
+    def test_record_schema_is_validated(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        from repro.recover.journal import JournalWriter
+
+        writer = JournalWriter(ledger, resume=True)
+        writer.append({"i": 1, "bench": 7, "metrics": {}})  # bad bench type
+        writer.close()
+        with pytest.raises(BenchLedgerError, match="bench"):
+            read_bench_history(ledger)
+
+
+class TestGrouping:
+    def test_latest_per_bench_preserves_append_order(self, tmp_path):
+        ledger = tmp_path / "BENCH_HISTORY.jsonl"
+        append(ledger, bench="serve_scaling", metrics={"m": 1.0})
+        append(ledger, bench="sdc_resilience", metrics={"m": 2.0})
+        append(ledger, bench="serve_scaling", metrics={"m": 3.0})
+        grouped = latest_per_bench(read_bench_history(ledger))
+        assert [r["metrics"]["m"] for r in grouped["serve_scaling"]] == [1.0, 3.0]
+        assert len(grouped["sdc_resilience"]) == 1

@@ -1,0 +1,84 @@
+"""Trend rendering: sparklines, deltas, deterministic HTML report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.report import render_report
+from repro.bench.trend import format_trend, sparkline
+
+
+def history(*metric_dicts, bench="serve_scaling"):
+    return [
+        {"i": i + 1, "bench": bench, "metrics": metrics, "context": {}}
+        for i, metrics in enumerate(metric_dicts)
+    ]
+
+
+class TestSparkline:
+    def test_monotone_series_spans_the_ramp(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series_is_flat_midline(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+
+class TestFormatTrend:
+    RECORDS = history(
+        {"fleet64_goodput_fps": 1000.0, "fleet64_p95_ms": 7.0, "wall_s": 0.3},
+        {"fleet64_goodput_fps": 1100.0, "fleet64_p95_ms": 6.5, "wall_s": 0.4},
+    )
+
+    def test_lists_metrics_with_direction_and_delta(self):
+        text = format_trend(self.RECORDS)
+        assert "fleet64_goodput_fps" in text
+        assert "+100" in text  # signed delta of the last step
+        # wall_s is listed (history is history) but carries no direction.
+        lines = [l for l in text.splitlines() if "wall_s" in l]
+        assert lines and "+" not in lines[0].split()[2]
+
+    def test_bench_filter(self):
+        records = self.RECORDS + history({"cycle_overhead": 0.18},
+                                         bench="sdc_resilience")
+        text = format_trend(records, benches=["sdc_resilience"])
+        assert "cycle_overhead" in text
+        assert "fleet64_goodput_fps" not in text
+
+    def test_deterministic(self):
+        assert format_trend(self.RECORDS) == format_trend(self.RECORDS)
+
+
+class TestHtmlReport:
+    RECORDS = history(
+        {"fleet64_goodput_fps": 1000.0, "fleet64_p95_ms": 7.0},
+        {"fleet64_goodput_fps": 1100.0, "fleet64_p95_ms": 6.5},
+    )
+
+    def test_renders_byte_identically(self):
+        assert render_report(self.RECORDS) == render_report(self.RECORDS)
+
+    def test_self_contained_html_with_svg_trajectories(self):
+        html = render_report(self.RECORDS)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "<polyline" in html
+        assert "fleet64_goodput_fps" in html
+        assert "http" not in html.split("</style>")[1]  # no external fetches
+
+    def test_includes_slo_artifacts_when_present(self, tmp_path):
+        (tmp_path / "slo_verdicts.json").write_text(json.dumps([{
+            "name": "frame_deadline", "kind": "ratio", "target": 0.999,
+            "attained": 0.996, "ok": False, "pages": 1, "warns": 1,
+            "final_state": "OK",
+        }]) + "\n")
+        (tmp_path / "slo.jsonl").write_text(json.dumps({
+            "t": 0.65, "slo": "frame_deadline", "burn_fast": 6.45,
+            "burn_slow": 1.89, "state": "WARN", "total": 700.0, "bad": 4.0,
+        }) + "\n")
+        html = render_report(self.RECORDS, slo_dir=tmp_path)
+        assert "frame_deadline" in html
+        assert "FAIL" in html or "fail" in html

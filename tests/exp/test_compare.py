@@ -25,7 +25,7 @@ RECORDS = [
 ]
 
 
-class TestDirectionHeuristic:
+class TestDirectionRegistry:
     @pytest.mark.parametrize("name", [
         "p95_ms", "miss_rate", "escaped_total", "cycle_overhead",
         "faults_batch_failures", "replayed_events",
@@ -43,8 +43,23 @@ class TestDirectionHeuristic:
     def test_unknown_names_get_no_marking(self):
         assert metric_direction("report_lines") == 0
 
-    def test_loss_like_substrings_win_ties(self):
-        assert metric_direction("missed_goodput") == -1
+    def test_unlisted_composites_are_unknown_not_guessed(self):
+        # The old substring heuristic filed this under "miss"; the
+        # registry refuses to guess about names nobody declared.
+        assert metric_direction("missed_goodput") == 0
+
+    @pytest.mark.parametrize("name,direction", [
+        ("fleet64_p95_ms", -1),
+        ("fleet8_goodput_fps", +1),
+        ("abft_fit800_coverage", +1),
+        ("guard_fit50_escaped_sdc", -1),
+        ("unprotected_p95_error_deg", -1),
+        ("slo_pass_frame_p95_latency", +1),
+        ("slo_failed_total", -1),
+        ("wall_s", 0),  # sanctioned nondeterminism: never gated
+    ])
+    def test_family_rules(self, name, direction):
+        assert metric_direction(name) == direction
 
 
 class TestSelection:

@@ -1,0 +1,70 @@
+"""Campaign-level SLO blocks: per-run verdicts land in the runs ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.errors import CampaignConfigError
+from repro.exp.runner import run_campaign
+from repro.exp.track import load_records
+
+
+def slo_campaign(target: float) -> dict:
+    return {
+        "name": "echo-slo",
+        "slo": {"objectives": [
+            {"name": "value_floor", "metric": "value", "op": ">=",
+             "target": target},
+        ]},
+        "runs": [
+            {"runner": "echo", "grid": {"value": [1.0, 3.0]}},
+        ],
+    }
+
+
+class TestCampaignSlo:
+    def test_verdict_metrics_recorded_per_run(self, fake_runner, tmp_path):
+        run_campaign(slo_campaign(target=2.0), tmp_path)
+        records = load_records(tmp_path)
+        by_value = {r["metrics"]["value"]: r["metrics"] for r in records}
+        assert by_value[1.0]["slo_pass_value_floor"] == 0.0
+        assert by_value[1.0]["slo_failed_total"] == 1.0
+        assert by_value[3.0]["slo_pass_value_floor"] == 1.0
+        assert by_value[3.0]["slo_failed_total"] == 0.0
+
+    def test_identical_rerun_is_cached_but_edited_slo_is_refused(
+        self, fake_runner, tmp_path
+    ):
+        from repro.exp.errors import LedgerError
+
+        run_campaign(slo_campaign(target=2.0), tmp_path)
+        result = run_campaign(slo_campaign(target=2.0), tmp_path)
+        assert result.skipped == result.total
+        # The slo block is part of the campaign identity: editing it
+        # against an existing ledger is refused rather than leaving
+        # cached records with verdicts from a different threshold.
+        with pytest.raises(LedgerError, match="refusing to mix"):
+            run_campaign(slo_campaign(target=0.5), tmp_path)
+
+    def test_failed_slo_does_not_fail_the_run(self, fake_runner, tmp_path):
+        result = run_campaign(slo_campaign(target=100.0), tmp_path)
+        assert result.failed == 0
+        records = load_records(tmp_path)
+        assert all(
+            r["metrics"]["slo_failed_total"] == 1.0 for r in records
+        )
+
+    def test_malformed_slo_block_is_a_config_error(self, fake_runner,
+                                                   tmp_path):
+        campaign = slo_campaign(target=1.0)
+        campaign["slo"] = {"objectives": [
+            {"name": "x", "metric": "value", "op": "==", "target": 1.0},
+        ]}
+        with pytest.raises(CampaignConfigError, match="campaign slo"):
+            run_campaign(campaign, tmp_path)
+
+    def test_unknown_slo_key_is_a_config_error(self, fake_runner, tmp_path):
+        campaign = slo_campaign(target=1.0)
+        campaign["slo"]["window_s"] = 1.0
+        with pytest.raises(CampaignConfigError, match="unknown keys"):
+            run_campaign(campaign, tmp_path)

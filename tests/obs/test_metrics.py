@@ -54,6 +54,23 @@ class TestInstruments:
         h = reg.histogram("latency_seconds")
         assert h.summary() == {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
+    def test_empty_histogram_percentile_is_zero(self):
+        # The SLO engine reads percentiles before the first frame lands;
+        # an empty histogram must read as 0.0, never raise.
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds")
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds")
+        h.observe(0.007)
+        for p in (1, 50, 95, 99.9):
+            assert h.percentile(p) == pytest.approx(0.007)
+        assert h.summary()["mean"] == pytest.approx(0.007)
+
     def test_unsorted_buckets_rejected(self):
         reg = MetricsRegistry()
         with pytest.raises(ValueError, match="sorted"):
@@ -87,6 +104,18 @@ class TestRegistry:
         c = reg.counter("frames_total", path="saccade")
         assert reg.get("frames_total", path="saccade") is c
         assert reg.get("frames_total", path="other") is None
+
+    def test_get_requires_the_exact_label_set(self):
+        # An SLO metric ref with a label subset/superset must read as
+        # missing (0 events), not silently match a different series.
+        reg = MetricsRegistry()
+        reg.counter("frames_total", path="predict", worker="0")
+        assert reg.get("frames_total", path="predict") is None
+        assert reg.get("frames_total") is None
+        assert reg.get(
+            "frames_total", path="predict", worker="0", extra="x"
+        ) is None
+        assert reg.get("never_registered_total") is None
 
 
 class TestPrometheusExport:
@@ -124,6 +153,34 @@ class TestPrometheusExport:
         assert build() == build()
         lines = build().splitlines()
         assert lines.index("a_total 2") < lines.index("b_total 1")
+
+    def test_slo_gauges_round_trip_the_exposition_grammar(self):
+        # The gauge families the SLO engine publishes, exactly as it
+        # labels them — every exported line must re-parse.
+        reg = MetricsRegistry()
+        for window, value in (("fast", 19.7368), ("slow", 5.6497)):
+            reg.gauge(
+                "slo_burn_rate", help="Error-budget burn rate per window.",
+                slo="frame_deadline", window=window,
+            ).set(value)
+        reg.gauge("slo_state", help="Alert state.", slo="frame_deadline").set(2)
+        reg.gauge(
+            "slo_attainment", help="Achieved SLI.", slo="frame_deadline"
+        ).set(0.996234)
+        reg.counter(
+            "slo_pages_total", help="PAGE alerts.", slo="frame_deadline"
+        ).inc()
+        text = reg.to_prometheus()
+        for line in text.splitlines():
+            assert (
+                PROM_SAMPLE_RE.match(line)
+                or PROM_HELP_RE.match(line)
+                or PROM_TYPE_RE.match(line)
+            ), line
+        assert (
+            'slo_burn_rate{slo="frame_deadline",window="fast"} 19.7368' in text
+        )
+        assert 'slo_pages_total{slo="frame_deadline"} 1' in text
 
     def test_snapshot_table_lists_all_instruments(self):
         reg = MetricsRegistry()

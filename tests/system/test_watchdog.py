@@ -138,6 +138,44 @@ class TestHystereticRecovery:
         assert sum(watchdog.dwell_s().values()) == pytest.approx(2.0)
 
 
+class TestExternalEscalation:
+    """``escalate`` — the SLO page hook's entry into the ladder."""
+
+    def test_escalates_an_idle_watchdog_to_widened(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        level = watchdog.escalate(0.5)
+        assert level is DegradationLevel.WIDENED
+        assert watchdog.transitions[-1][1:] == ("NOMINAL", "WIDENED")
+
+    def test_never_de_escalates(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        feed(watchdog, 0.0, 8, error_deg=PROFILE.delta_theta_deg * 10.0)
+        assert watchdog.level is DegradationLevel.FULL_RES
+        assert watchdog.escalate(0.2) is DegradationLevel.FULL_RES
+        assert watchdog.transitions[-1][2] == "FULL_RES"  # no new transition
+
+    def test_escalation_restarts_the_recovery_clock(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        watchdog.escalate(0.0)
+        # A healthy stream after the escalation recovers with the usual
+        # hysteresis — an external page degrades, it does not latch.
+        level = feed(watchdog, 0.01, 60, error_deg=0.1)
+        assert level is DegradationLevel.NOMINAL
+
+    def test_escalation_records_the_widened_operating_point(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        watchdog.escalate(0.5)
+        assert watchdog.max_widened_delta_theta_deg >= PROFILE.delta_theta_deg
+
+    def test_state_dict_round_trips_after_escalation(self):
+        watchdog = TrackingWatchdog(PROFILE, FAST)
+        watchdog.escalate(0.5)
+        clone = TrackingWatchdog(PROFILE, FAST)
+        clone.load_state(watchdog.state_dict())
+        assert clone.level is DegradationLevel.WIDENED
+        assert clone.state_dict() == watchdog.state_dict()
+
+
 class TestWatchdogConfig:
     def test_rejects_unordered_thresholds(self):
         with pytest.raises(ValueError, match="widen_factor"):

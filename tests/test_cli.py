@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -87,3 +89,84 @@ class TestChaosCli:
     def test_chaos_rejects_bad_rate(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--drop-rate", "1.5"])
+
+
+class TestSloCli:
+    EXAMPLE = "examples/slo/serve.slo.json"
+
+    def test_serve_with_default_slo_prints_verdicts(self, capsys):
+        assert main([
+            "serve", "--sessions", "4", "--duration", "0.3",
+            "--slo", "default",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO verdicts" in out
+        assert "frame_p95_latency" in out
+        assert "PASS" in out
+
+    def test_serve_slo_excludes_checkpointing(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--sessions", "4", "--duration", "0.3",
+                "--slo", "default", "--checkpoint-dir", str(tmp_path),
+            ])
+
+    def test_serve_rejects_malformed_slo_config(self, tmp_path):
+        bad = tmp_path / "bad.slo.json"
+        bad.write_text('{"objectives": []}')
+        with pytest.raises(SystemExit):
+            main(["serve", "--slo", str(bad)])
+
+    def test_chaos_with_slo_emits_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        assert main([
+            "chaos", "--sessions", "4", "--duration", "0.5", "--seed", "2",
+            "--slo", "default", "--obs", "--obs-out", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO verdicts" in out
+        assert (out_dir / "slo.jsonl").exists()
+        assert (out_dir / "slo_verdicts.json").exists()
+
+    def test_chaos_slo_output_is_deterministic(self, capsys):
+        args = [
+            "chaos", "--sessions", "4", "--duration", "0.5", "--seed", "2",
+            "--slo", "default",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sdc_summary_slo_pass_and_fail_exit_codes(self, tmp_path,
+                                                      capsys):
+        passing = tmp_path / "pass.slo.json"
+        passing.write_text(json.dumps({"summary_objectives": [
+            {"name": "abft_coverage", "metric": "abft_coverage_min",
+             "op": ">=", "target": 0.99},
+        ]}))
+        args = ["sdc", "--fit", "200", "--frames", "150"]
+        assert main(args + ["--slo", str(passing)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        failing = tmp_path / "fail.slo.json"
+        failing.write_text(json.dumps({"summary_objectives": [
+            {"name": "free_protection", "metric": "cycle_overhead",
+             "op": "<=", "target": 0.0001},
+        ]}))
+        assert main(args + ["--slo", str(failing)]) == 3
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_sdc_rejects_online_objectives(self, tmp_path):
+        online = tmp_path / "online.slo.json"
+        online.write_text(json.dumps({"objectives": [{
+            "name": "x", "kind": "rate_min",
+            "total": {"metric": "serve_frame_latency_seconds"},
+            "target": 1.0, "window_s": 0.4, "fast_window_s": 0.1,
+        }]}))
+        with pytest.raises(SystemExit):
+            main(["sdc", "--slo", str(online)])
+
+    def test_sdc_rejects_default_slo(self):
+        with pytest.raises(SystemExit):
+            main(["sdc", "--slo", "default"])
