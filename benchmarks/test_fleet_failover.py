@@ -1,0 +1,68 @@
+"""Sharded-fleet failover bench: goodput and bounded loss under a kill.
+
+Four shards serve 96 predict-heavy sessions; shard 2 dies halfway
+through the window.  The acceptance claims: the fleet keeps serving
+(goodput stays positive after losing a quarter of its workers), every
+generated frame is accounted for, and the kill loses only the frames
+physically on the dead shard — queued or in flight — at kill time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, emit_bench_json
+from repro.bench.suites import (
+    fleet_payload,
+    flatten_fleet_payload,
+    run_fleet_failover,
+)
+from repro.system import table_to_text
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_failover_keeps_serving_with_bounded_loss(benchmark):
+    # Same callable as ``python -m repro bench run --suite fleet`` so the
+    # pytest bench and the history ledger can never drift apart.
+    report, wall_s = benchmark.pedantic(
+        run_fleet_failover, rounds=1, iterations=1
+    )
+
+    section = report.shards
+    table = [
+        [
+            row["shard_id"],
+            row["status"],
+            row["sessions"],
+            row["completed"],
+            row["lost_frames"],
+            row["rehomed_in"],
+            f"{row['utilization']:.0%}",
+        ]
+        for row in section.shard_rows
+    ]
+    emit(table_to_text(
+        ["Shard", "Status", "Sessions", "Done", "Lost", "Rehomed", "Util"],
+        table,
+        min_width=8,
+    ))
+    payload = fleet_payload(report, wall_s)
+    emit_bench_json("fleet", payload, metrics=flatten_fleet_payload(payload))
+
+    # Exactly one shard died; the survivors took its sessions.
+    assert section.shards_killed == 1
+    assert section.shards_serving == 3
+    assert section.rehomed_sessions > 0
+    # Conservation: every generated frame ends in exactly one bucket.
+    total = sum(s.total_frames for s in report.sessions)
+    assert total == sum(
+        s.completed + s.shed + s.pending + s.lost_input + s.lost_shard
+        for s in report.sessions
+    )
+    # Bounded loss: the failover ledger and the per-session ledgers agree,
+    # and the loss is a sliver of the workload.
+    lost = sum(s.lost_shard for s in report.sessions)
+    assert lost == section.failover_lost_frames
+    assert lost / total < 0.05
+    # The fleet keeps producing fresh predictions after the kill.
+    assert report.predict_goodput_fps > 0

@@ -14,9 +14,12 @@ a killed checkpointed run (see ``repro.recover.cli``),
 ``python -m repro sdc [...]`` runs the soft-error / silent-data-corruption
 resilience campaign (see ``repro.reliability.cli``), and
 ``python -m repro exp [...]`` runs declarative experiment campaigns with
-the on-disk tracking backend (see ``repro.exp.cli``), and
+the on-disk tracking backend (see ``repro.exp.cli``),
 ``python -m repro bench [...]`` runs benchmark suites against the
-persisted performance-trajectory ledger (see ``repro.bench.cli``).
+persisted performance-trajectory ledger (see ``repro.bench.cli``), and
+``python -m repro fleet [...]`` runs the sharded fleet with
+consistent-hash routing, live migration, and shard failover
+(see ``repro.serve.fleet.cli``).
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ SUBCOMMANDS: dict[str, str] = {
     "sdc": "repro.reliability.cli",
     "exp": "repro.exp.cli",
     "bench": "repro.bench.cli",
+    "fleet": "repro.serve.fleet.cli",
 }
 
 

@@ -129,6 +129,63 @@ def flatten_sdc_payload(payload: dict) -> "dict[str, float]":
     return metrics
 
 
+def run_fleet_failover() -> "tuple[object, float]":
+    """The sharded-fleet failover bench: four shards, one killed mid-run.
+
+    Returns ``(fleet_report, wall_s)``.
+    """
+    from repro.faults.injectors import ShardKill
+    from repro.serve.fleet import FleetConfig, run_fleet
+
+    t0 = time.perf_counter()
+    config = FleetConfig(
+        serve=ServeConfig(
+            n_sessions=96,
+            duration_s=BASE.duration_s,
+            n_workers=BASE.n_workers,
+            reuse_displacement_deg=BASE.reuse_displacement_deg,
+            queue_budget_deadlines=BASE.queue_budget_deadlines,
+            seed=BASE.seed,
+        ),
+        n_shards=4,
+        kills=(ShardKill(shard_id=2, at_s=0.5),),
+    )
+    report = run_fleet(config)
+    return report, time.perf_counter() - t0
+
+
+def fleet_payload(report, wall_s: float) -> dict:
+    """The ``BENCH_fleet.json`` snapshot payload."""
+    summary = report.summary()
+    shards = report.shards.summary()
+    return {
+        "bench": "fleet_failover",
+        "wall_s": round(wall_s, 3),
+        "sessions": len(report.sessions),
+        "goodput_fps": summary["predict_goodput_fps"],
+        "p95_ms": summary["p95_ms"],
+        "miss_rate": summary["miss_rate"],
+        "degrade_rate": summary["degrade_rate"],
+        "worker_utilization": summary["worker_utilization"],
+        "failover_lost_frames": shards["failover_lost_frames"],
+        "rehomed_sessions": shards["rehomed_sessions"],
+        "shards_serving": shards["shards_serving"],
+    }
+
+
+def flatten_fleet_payload(payload: dict) -> "dict[str, float]":
+    """Snapshot payload -> one-level ledger metrics (already flat; the
+    ``bench`` id and session count are identity, not metrics)."""
+    return {
+        key: float(payload[key])
+        for key in (
+            "wall_s", "goodput_fps", "p95_ms", "miss_rate", "degrade_rate",
+            "worker_utilization", "failover_lost_frames", "rehomed_sessions",
+            "shards_serving",
+        )
+    }
+
+
 def _suite_serve() -> "tuple[dict, dict]":
     rows, wall_s = run_serve_scaling()
     payload = serve_payload(rows, wall_s)
@@ -141,6 +198,12 @@ def _suite_sdc() -> "tuple[dict, dict]":
     return payload, flatten_sdc_payload(payload)
 
 
+def _suite_fleet() -> "tuple[dict, dict]":
+    report, wall_s = run_fleet_failover()
+    payload = fleet_payload(report, wall_s)
+    return payload, flatten_fleet_payload(payload)
+
+
 #: Suite name -> zero-arg callable returning ``(payload, metrics)``.
 #: The suite name doubles as the snapshot file suffix
 #: (``BENCH_<name>.json``); the payload's ``"bench"`` field is the
@@ -148,4 +211,5 @@ def _suite_sdc() -> "tuple[dict, dict]":
 SUITES = {
     "serve": _suite_serve,
     "sdc": _suite_sdc,
+    "fleet": _suite_fleet,
 }

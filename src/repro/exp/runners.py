@@ -123,6 +123,12 @@ def _execute_chaos(params: dict) -> RunOutcome:
     return _fleet_outcome(run_from_config(params))
 
 
+def _execute_fleet(params: dict) -> RunOutcome:
+    from repro.serve.fleet.cli import run_from_config
+
+    return _fleet_outcome(run_from_config(params))
+
+
 def _execute_sdc(params: dict) -> RunOutcome:
     from repro.reliability.campaign import format_sdc_report, sdc_summary_metrics
     from repro.reliability.cli import run_from_config
@@ -201,6 +207,12 @@ def _resolve_chaos(params: dict) -> dict:
     return resolve_run_config(params)
 
 
+def _resolve_fleet(params: dict) -> dict:
+    from repro.serve.fleet.cli import resolve_run_config
+
+    return resolve_run_config(params)
+
+
 def _resolve_sdc(params: dict) -> dict:
     from repro.reliability.cli import resolve_run_config
 
@@ -224,6 +236,7 @@ def _resolve_paper(params: dict) -> dict:
 RUNNERS = {
     "serve": (_resolve_serve, _execute_serve),
     "chaos": (_resolve_chaos, _execute_chaos),
+    "fleet": (_resolve_fleet, _execute_fleet),
     "sdc": (_resolve_sdc, _execute_sdc),
     "recover": (_resolve_recover, _execute_recover),
     "paper": (_resolve_paper, _execute_paper),

@@ -28,6 +28,7 @@ from repro.faults.injectors import (
     FaultySensor,
     InputFaultTrace,
     ProcessKill,
+    ShardKill,
     SimulatedCrash,
     inject_input_faults,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "OCCLUSION_BLIND_OPENNESS",
     "ProcessKill",
     "RecoveryConfig",
+    "ShardKill",
     "SimulatedCrash",
     "SoftErrorConfig",
     "WorkerCrash",

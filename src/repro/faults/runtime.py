@@ -408,6 +408,7 @@ class ChaosRuntime(ServeRuntime):
                 self._schedule_wake(now)
                 return
             batch = self.batcher.take()
+            self._note_dispatch(batch, now)
             breaker = self.breakers[worker.worker_id]
             breaker.note_dispatch(now)
             outcome = self.pool.dispatch_faulty(worker, len(batch), now)

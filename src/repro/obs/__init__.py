@@ -38,6 +38,7 @@ from repro.obs.tracer import (
     NULL_TRACER,
     PID_ACCEL,
     PID_BATCHER,
+    PID_FLEET,
     PID_RECOVER,
     PID_RELIABILITY,
     PID_SESSION_BASE,
@@ -45,12 +46,15 @@ from repro.obs.tracer import (
     PID_TFR,
     PID_WALL,
     PID_WORKERS,
+    SHARD_PID_STRIDE,
     SIM_CLOCK,
     WALL_CLOCK,
     NullTracer,
+    ScopedTracer,
     SpanRecord,
     Tracer,
     session_pid,
+    shard_pid,
 )
 
 __all__ = [
@@ -66,6 +70,7 @@ __all__ = [
     "ObsConfig",
     "PID_ACCEL",
     "PID_BATCHER",
+    "PID_FLEET",
     "PID_RECOVER",
     "PID_RELIABILITY",
     "PID_SESSION_BASE",
@@ -73,7 +78,9 @@ __all__ = [
     "PID_TFR",
     "PID_WALL",
     "PID_WORKERS",
+    "SHARD_PID_STRIDE",
     "SIM_CLOCK",
+    "ScopedTracer",
     "SpanRecord",
     "Tracer",
     "WALL_CLOCK",
@@ -81,6 +88,7 @@ __all__ = [
     "get_global_tracer",
     "profiled",
     "session_pid",
+    "shard_pid",
     "set_global_tracer",
     "slowest_spans_table",
     "spans_jsonl",

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracer import NULL_TRACER, NullTracer, ScopedTracer, Tracer
 from repro.utils.validation import check_positive
 
 
@@ -42,6 +42,23 @@ class Obs:
     @property
     def enabled(self) -> bool:
         return self.tracer.enabled
+
+    def scoped(self, shard_id: int) -> "Obs":
+        """A shard-scoped view of this bundle.
+
+        The view *shares* the metrics registry (instruments dedupe by
+        name, so N shards incrementing ``serve_frames_total`` yields the
+        fleet-wide aggregate for free) but namespaces the tracer's track
+        ids into the shard's pid block — see
+        :class:`~repro.obs.tracer.ScopedTracer`.
+        """
+        view = object.__new__(Obs)
+        view.config = self.config
+        view.tracer = (
+            ScopedTracer(self.tracer, shard_id) if self.enabled else NULL_TRACER
+        )
+        view.metrics = self.metrics
+        return view
 
 
 #: Shared disabled bundle — the default ``obs`` of every runtime.  Its

@@ -59,6 +59,9 @@ _EXACT: "dict[str, int]" = {
     "detected": +1,
     "p95_error_deg": -1,
     "mean_error_deg": -1,
+    # Sharded fleet (FleetSection.summary(), fleet runner + bench suite)
+    "failover_lost_frames": -1,
+    "rehome_breaker_degraded": -1,
     # Recovery probe
     "replayed_events": -1,
     "skipped_checkpoints": -1,

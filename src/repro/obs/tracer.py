@@ -43,12 +43,31 @@ PID_WALL = 5
 PID_RECOVER = 6
 PID_RELIABILITY = 7
 PID_SLO = 8
+PID_FLEET = 9
 PID_SESSION_BASE = 100
+
+#: Shard pid namespacing: shard ``k`` owns the pid block
+#: ``[(k + 1) * SHARD_PID_STRIDE, (k + 2) * SHARD_PID_STRIDE)``.  Before
+#: this, N shard runtimes sharing one tracer collided on the fixed pids
+#: above (every shard's workers interleaved on pid 1); with the stride,
+#: each shard's spans render as its own process group in Perfetto.
+SHARD_PID_STRIDE = 1_000_000
 
 
 def session_pid(session_id: int) -> int:
     """Track (process) id of one client session."""
     return PID_SESSION_BASE + session_id
+
+
+def shard_pid(shard_id: int, pid: int) -> int:
+    """Namespace a track pid into one shard's block."""
+    if shard_id < 0:
+        raise ValueError(f"shard_id must be non-negative, got {shard_id}")
+    if not 0 <= pid < SHARD_PID_STRIDE:
+        raise ValueError(
+            f"pid {pid} outside the per-shard block [0, {SHARD_PID_STRIDE})"
+        )
+    return (shard_id + 1) * SHARD_PID_STRIDE + pid
 
 
 @dataclass(slots=True)
@@ -291,6 +310,71 @@ class Tracer:
         ]
         pool.sort(key=lambda s: (-s.dur_s, s.ts_s, s.name, s.pid, s.tid))
         return pool[:k]
+
+
+class ScopedTracer:
+    """Shard-scoped view of a tracer: every pid lands in the shard's
+    block and every process name gains a ``shardK.`` prefix.
+
+    Multi-runtime processes (the sharded fleet) hand each shard one of
+    these over the *same* underlying tracer, so N shards' spans coexist
+    in one Perfetto trace as side-by-side process groups instead of
+    interleaving on shared track ids.  Only the recording surface is
+    scoped — reads (``spans()``, ``tracks``) and the ring buffer stay
+    the shared tracer's.
+    """
+
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", shard_id: int):
+        if shard_id < 0:
+            raise ValueError(f"shard_id must be non-negative, got {shard_id}")
+        self.tracer = tracer
+        self.shard_id = shard_id
+
+    def _pid(self, pid: int) -> int:
+        return shard_pid(self.shard_id, pid)
+
+    def record_span(self, name, ts_s, dur_s, *, pid: int = 0, **kwargs) -> None:
+        self.tracer.record_span(name, ts_s, dur_s, pid=self._pid(pid), **kwargs)
+
+    def instant(self, name, ts_s, *, pid: int = 0, **kwargs) -> None:
+        self.tracer.instant(name, ts_s, pid=self._pid(pid), **kwargs)
+
+    def span(self, name, *, pid: int = PID_WALL, **kwargs):
+        return self.tracer.span(name, pid=self._pid(pid), **kwargs)
+
+    def declare_track(
+        self,
+        pid: int,
+        process_name: str,
+        tid: int = 0,
+        thread_name: "str | None" = None,
+    ) -> None:
+        self.tracer.declare_track(
+            self._pid(pid),
+            f"shard{self.shard_id}.{process_name}",
+            tid=tid,
+            thread_name=thread_name,
+        )
+
+    # Reads pass through to the shared tracer.
+    def spans(self) -> list[SpanRecord]:
+        return self.tracer.spans()
+
+    def slowest(self, k: int = 10, clock: "str | None" = None) -> list[SpanRecord]:
+        return self.tracer.slowest(k, clock)
+
+    @property
+    def tracks(self) -> dict:
+        return self.tracer.tracks
+
+    @property
+    def dropped(self) -> int:
+        return self.tracer.dropped
+
+    def __len__(self) -> int:
+        return len(self.tracer)
 
 
 #: Shared no-op tracer (the default everywhere).

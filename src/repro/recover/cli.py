@@ -68,9 +68,9 @@ class RecoverProbeReport:
 def resolve_run_config(params: dict) -> dict:
     """Validate campaign params -> the fully resolved canonical dict.
 
-    ``target`` picks the runtime under test (``"serve"`` or ``"chaos"``);
-    the remaining params are that runner's, plus ``kill_at_event`` and
-    ``checkpoint_every``.
+    ``target`` picks the runtime under test (``"serve"``, ``"chaos"``,
+    or ``"fleet"``); the remaining params are that runner's, plus
+    ``kill_at_event`` and ``checkpoint_every``.
     """
     params = dict(params)
     target = params.pop("target", "serve")
@@ -88,9 +88,14 @@ def resolve_run_config(params: dict) -> dict:
         from repro.faults.cli import resolve_run_config as resolve_chaos
 
         inner = resolve_chaos(params)
+    elif target == "fleet":
+        from repro.serve.fleet.cli import resolve_run_config as resolve_fleet
+
+        inner = resolve_fleet(params)
     else:
         raise ValueError(
-            f"unknown recover target {target!r} (choose 'serve' or 'chaos')"
+            f"unknown recover target {target!r} "
+            "(choose 'serve', 'chaos', or 'fleet')"
         )
     return {
         "kind": "recover",
@@ -109,6 +114,17 @@ def _target_runtime(target: dict) -> ServeRuntime:
 
         return ServeRuntime(
             serve_config_from_dict(target["config"]),
+            service=service_model_from_dict(target["service"]),
+        )
+    if target["kind"] == "fleet":
+        from repro.recover.configio import (
+            fleet_config_from_dict,
+            service_model_from_dict,
+        )
+        from repro.serve.fleet.runtime import FleetRuntime
+
+        return FleetRuntime(
+            fleet_config_from_dict(target["config"]),
             service=service_model_from_dict(target["service"]),
         )
     from repro.faults.runtime import ChaosRuntime

@@ -96,6 +96,45 @@ def chaos_config_from_dict(state: dict) -> ChaosConfig:
     )
 
 
+def fleet_config_to_dict(config) -> dict:
+    """Serialize a :class:`~repro.serve.fleet.FleetConfig`."""
+    return {
+        "serve": serve_config_to_dict(config.serve),
+        "n_shards": config.n_shards,
+        "vnodes": config.vnodes,
+        "ring_seed": config.ring_seed,
+        "kills": [asdict(k) for k in config.kills],
+        "migrations": [asdict(m) for m in config.migrations],
+        "migration_rate_hz": config.migration_rate_hz,
+        "migration_seed": config.migration_seed,
+        "failover": asdict(config.failover),
+        "rebalancer": asdict(config.rebalancer),
+    }
+
+
+def fleet_config_from_dict(state: dict):
+    from repro.faults.injectors import ShardKill
+    from repro.serve.fleet.config import (
+        FailoverConfig,
+        FleetConfig,
+        RebalancerConfig,
+        SessionMigration,
+    )
+
+    return FleetConfig(
+        serve=serve_config_from_dict(state["serve"]),
+        n_shards=int(state["n_shards"]),
+        vnodes=int(state["vnodes"]),
+        ring_seed=int(state["ring_seed"]),
+        kills=tuple(ShardKill(**k) for k in state["kills"]),
+        migrations=tuple(SessionMigration(**m) for m in state["migrations"]),
+        migration_rate_hz=float(state["migration_rate_hz"]),
+        migration_seed=int(state["migration_seed"]),
+        failover=FailoverConfig(**state["failover"]),
+        rebalancer=RebalancerConfig(**state["rebalancer"]),
+    )
+
+
 def sdc_campaign_to_dict(config) -> dict:
     """Serialize an :class:`~repro.reliability.campaign.SdcCampaignConfig`.
 

@@ -33,6 +33,8 @@ from repro.recover.checkpoint import Checkpoint, CheckpointStore
 from repro.recover.configio import (
     chaos_config_from_dict,
     chaos_config_to_dict,
+    fleet_config_from_dict,
+    fleet_config_to_dict,
     serve_config_from_dict,
     serve_config_to_dict,
     service_model_from_dict,
@@ -97,8 +99,12 @@ def _instruments(obs: Obs) -> "_RecoverInstruments | None":
 # Checkpointing run loop
 # ----------------------------------------------------------------------
 def _runtime_config_state(runtime: ServeRuntime) -> dict:
+    from repro.serve.fleet.runtime import FleetRuntime
+
     if isinstance(runtime, ChaosRuntime):
         return chaos_config_to_dict(runtime.chaos)
+    if isinstance(runtime, FleetRuntime):
+        return fleet_config_to_dict(runtime.config)
     return serve_config_to_dict(runtime.config)
 
 
@@ -204,6 +210,15 @@ def build_runtime(
     if checkpoint.kind == "chaos":
         chaos = chaos_config_from_dict(checkpoint.config)
         return ChaosRuntime(chaos, service=service, inference=inference, obs=obs)
+    if checkpoint.kind == "fleet":
+        from repro.serve.fleet.runtime import FleetRuntime
+
+        if inference is not None:
+            raise RecoveryError(
+                "fleet checkpoints do not support an inference hook"
+            )
+        config = fleet_config_from_dict(checkpoint.config)
+        return FleetRuntime(config, service=service, obs=obs)
     raise RecoveryError(
         f"checkpoint {checkpoint.manifest_path} has unknown runtime kind "
         f"{checkpoint.kind!r}"

@@ -25,9 +25,40 @@ from repro.serve.telemetry import (
     format_fleet_report,
 )
 
-#: Fleet-facing alias: the serving runtime *is* the fleet runtime
-#: (``FleetRuntime.restore(dir)`` warm-restarts a checkpointed run).
-FleetRuntime = ServeRuntime
+# The sharded fleet (PR 8) replaced the old ``FleetRuntime = ServeRuntime``
+# alias with a real multi-shard controller.  Compatibility contract:
+# ``FleetRuntime.restore(dir)`` still warm-restarts *any* checkpointed run
+# — old single-runtime ("serve"/"chaos") checkpoints restore to their
+# original runtime class, new "fleet" checkpoints to the fleet.  Code that
+# wants the single-shard loop by name uses ``SingleShardRuntime``.
+#
+# The fleet names resolve lazily (PEP 562): an eager import here closes
+# the cycle serve -> serve.fleet -> faults.injectors -> faults.config ->
+# serve.config whenever ``repro.faults`` is the import entry point.
+_FLEET_EXPORTS = (
+    "FailoverConfig",
+    "FleetConfig",
+    "FleetRuntime",
+    "FleetSection",
+    "HashRing",
+    "RebalancerConfig",
+    "SessionMigration",
+    "ShardKill",
+    "ShardRuntime",
+    "run_fleet",
+)
+
+
+def __getattr__(name: str):
+    if name in _FLEET_EXPORTS:
+        from repro.serve import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+#: Explicit name for the one-shard event loop the fleet is built from.
+SingleShardRuntime = ServeRuntime
 from repro.serve.workers import (
     DispatchOutcome,
     FaultyWorkerPool,
@@ -47,15 +78,24 @@ __all__ = [
     "DEFAULT_SACCADE_BYPASS_S",
     "DispatchOutcome",
     "DynamicBatcher",
+    "FailoverConfig",
     "FaultReport",
     "FaultyWorkerPool",
+    "FleetConfig",
     "FleetReport",
     "FleetRuntime",
+    "FleetSection",
     "FrameRequest",
+    "HashRing",
     "LatencySpike",
+    "RebalancerConfig",
     "ServeConfig",
     "ServeRuntime",
+    "SessionMigration",
     "SessionStats",
+    "ShardKill",
+    "ShardRuntime",
+    "SingleShardRuntime",
     "WorkerCrash",
     "WorkerFaultSchedule",
     "WorkerPool",
@@ -66,5 +106,6 @@ __all__ = [
     "fleet_requests",
     "format_fault_report",
     "format_fleet_report",
+    "run_fleet",
     "serve_fleet",
 ]

@@ -86,6 +86,23 @@ class DynamicBatcher:
         self.taken_total += len(batch)
         return batch
 
+    def extract_session(self, session_id: int) -> list[FrameRequest]:
+        """Remove one session's queued frames (live migration / failover).
+
+        Extracted frames count as taken — like :meth:`drain`, the caller
+        assumes responsibility for them (requeueing on the destination
+        shard, or recording them lost with the dead one) and
+        :meth:`check_accounting` stays closed.  FIFO order among the
+        remaining and the extracted frames is preserved.
+        """
+        extracted = [r for r in self._queue if r.session_id == session_id]
+        if extracted:
+            self._queue = deque(
+                r for r in self._queue if r.session_id != session_id
+            )
+            self.taken_total += len(extracted)
+        return extracted
+
     def drain(self) -> list[FrameRequest]:
         """Remove and return everything still pending (end-of-run flush).
 

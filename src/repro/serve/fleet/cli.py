@@ -1,0 +1,304 @@
+"""``python -m repro fleet`` — run a sharded fleet simulation.
+
+Routes N sessions onto shards by consistent hashing, optionally kills
+shards mid-run (``--kill-shard 2@0.6``), live-migrates sessions
+(``--migrate 7@0.3`` or a seeded ``--migration-rate``), and prints the
+fleet report with its shard section.  ``--compare-no-kill`` replays the
+identical fleet without the chaos schedule so the failover cost is a
+byte-level diff away.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import fields
+
+from repro.faults.injectors import ShardKill
+from repro.obs.cli import (
+    add_obs_arguments,
+    add_slo_arguments,
+    emit_obs_artifacts,
+    emit_slo_artifacts,
+    obs_from_args,
+    resolve_obs_out,
+)
+from repro.recover.cli import add_checkpoint_arguments, run_checkpointed_cli
+from repro.serve.config import BatchServiceModel, ServeConfig
+from repro.serve.fleet.config import (
+    FailoverConfig,
+    FleetConfig,
+    RebalancerConfig,
+    SessionMigration,
+)
+from repro.serve.fleet.runtime import FleetRuntime, run_fleet
+from repro.serve.telemetry import FleetReport, format_fleet_report
+
+
+def _parse_at(spec: str, flag: str) -> tuple[int, float]:
+    """Parse an ``ID@SECONDS`` spec (e.g. ``--kill-shard 2@0.6``)."""
+    try:
+        ident, at_s = spec.split("@", 1)
+        return int(ident), float(at_s)
+    except ValueError as err:
+        raise ValueError(f"{flag} expects ID@SECONDS, got {spec!r}") from err
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point (repro.exp)
+# ----------------------------------------------------------------------
+def resolve_run_config(params: dict) -> dict:
+    """Validate campaign params -> the fully resolved canonical dict.
+
+    Params are flat :class:`FleetConfig` field overrides, with ``serve``
+    and ``service`` sub-dicts for the template / service model, ``kills``
+    as ``[{"shard_id", "at_s"}, ...]``, ``migrations`` as
+    ``[{"at_s", "session_id", "to_shard"?}, ...]``, and ``failover`` /
+    ``rebalancer`` sub-dicts.
+    """
+    from repro.recover.configio import (
+        fleet_config_to_dict,
+        service_model_to_dict,
+    )
+
+    params = dict(params)
+    try:
+        service = BatchServiceModel(**params.pop("service", {}))
+        serve = ServeConfig(**params.pop("serve", {}))
+        kills = tuple(
+            ShardKill(**k) for k in params.pop("kills", [])
+        )
+        migrations = tuple(
+            SessionMigration(**m) for m in params.pop("migrations", [])
+        )
+        failover = FailoverConfig(**params.pop("failover", {}))
+        rebalancer = RebalancerConfig(**params.pop("rebalancer", {}))
+    except TypeError as err:
+        raise ValueError(f"bad fleet params: {err}") from err
+    known = {f.name for f in fields(FleetConfig)} - {
+        "serve", "kills", "migrations", "failover", "rebalancer",
+    }
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown fleet params: {unknown} (known: {sorted(known)})"
+        )
+    config = FleetConfig(
+        serve=serve,
+        kills=kills,
+        migrations=migrations,
+        failover=failover,
+        rebalancer=rebalancer,
+        **params,
+    )
+    return {
+        "kind": "fleet",
+        "config": fleet_config_to_dict(config),
+        "service": service_model_to_dict(service),
+    }
+
+
+def run_from_config(params: dict, obs=None) -> FleetReport:
+    """Campaign entry point: params dict -> the run's FleetReport."""
+    from repro.recover.configio import (
+        fleet_config_from_dict,
+        service_model_from_dict,
+    )
+
+    resolved = resolve_run_config(params)
+    config = fleet_config_from_dict(resolved["config"])
+    service = service_model_from_dict(resolved["service"])
+    return run_fleet(config, service=service, obs=obs)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    serve = ServeConfig()
+    fleet = FleetConfig()
+    failover = FailoverConfig()
+    rebalancer = RebalancerConfig()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Simulate a sharded serving fleet with consistent-hash "
+        "routing, live migration, and shard failover.",
+    )
+    parser.add_argument("--sessions", type=int, default=serve.n_sessions,
+                        help="fleet-total session count")
+    parser.add_argument("--shards", type=int, default=fleet.n_shards)
+    parser.add_argument("--duration", type=float, default=serve.duration_s,
+                        help="simulated window in seconds")
+    parser.add_argument("--fps", type=float, default=serve.fps,
+                        help="per-session frame rate")
+    parser.add_argument("--workers", type=int, default=serve.n_workers,
+                        help="workers PER SHARD")
+    parser.add_argument("--max-batch", type=int, default=serve.max_batch)
+    parser.add_argument("--queue-budget", type=float,
+                        default=serve.queue_budget_deadlines,
+                        help="admission budget in units of the frame deadline")
+    parser.add_argument("--reuse-displacement", type=float,
+                        default=serve.reuse_displacement_deg,
+                        help="Algorithm-1 reuse threshold in degrees")
+    parser.add_argument("--seed", type=int, default=serve.seed)
+    parser.add_argument("--vnodes", type=int, default=fleet.vnodes,
+                        help="virtual nodes per shard on the hash ring")
+    parser.add_argument("--ring-seed", type=int, default=fleet.ring_seed)
+    parser.add_argument("--kill-shard", action="append", default=[],
+                        metavar="ID@T",
+                        help="kill shard ID at T seconds (repeatable)")
+    parser.add_argument("--migrate", action="append", default=[],
+                        metavar="SID@T",
+                        help="live-migrate session SID at T seconds "
+                        "(repeatable; ring picks the target)")
+    parser.add_argument("--migration-rate", type=float,
+                        default=fleet.migration_rate_hz,
+                        help="seeded random migrations per second")
+    parser.add_argument("--migration-seed", type=int,
+                        default=fleet.migration_seed)
+    parser.add_argument("--rebalance-interval", type=float,
+                        default=rebalancer.interval_s,
+                        help="rebalancer tick period in seconds (0 disables)")
+    parser.add_argument("--rebalance-high-ms", type=float,
+                        default=rebalancer.p95_high_s * 1e3,
+                        help="P95 queue wait above which a shard is hot")
+    parser.add_argument("--rebalance-low-ms", type=float,
+                        default=rebalancer.p95_low_s * 1e3,
+                        help="P95 queue wait below which the fleet may shrink")
+    parser.add_argument("--guard", type=float, default=failover.guard_s,
+                        help="breaker-guarded window after a re-home, seconds")
+    parser.add_argument("--compare-no-kill", action="store_true",
+                        help="also run the same fleet without the chaos "
+                        "schedule and print both reports")
+    parser.add_argument("--max-session-rows", type=int, default=8)
+    add_checkpoint_arguments(parser)
+    add_obs_arguments(parser)
+    add_slo_arguments(parser)
+    return parser
+
+
+def fleet_config_from_args(args: argparse.Namespace) -> FleetConfig:
+    serve = ServeConfig(
+        n_sessions=args.sessions,
+        duration_s=args.duration,
+        fps=args.fps,
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        queue_budget_deadlines=args.queue_budget,
+        reuse_displacement_deg=args.reuse_displacement,
+        seed=args.seed,
+    )
+    kills = tuple(
+        ShardKill(shard_id=sid, at_s=at_s)
+        for sid, at_s in (
+            _parse_at(spec, "--kill-shard") for spec in args.kill_shard
+        )
+    )
+    migrations = tuple(
+        SessionMigration(at_s=at_s, session_id=sid)
+        for sid, at_s in (
+            _parse_at(spec, "--migrate") for spec in args.migrate
+        )
+    )
+    return FleetConfig(
+        serve=serve,
+        n_shards=args.shards,
+        vnodes=args.vnodes,
+        ring_seed=args.ring_seed,
+        kills=kills,
+        migrations=migrations,
+        migration_rate_hz=args.migration_rate,
+        migration_seed=args.migration_seed,
+        failover=FailoverConfig(guard_s=args.guard),
+        rebalancer=RebalancerConfig(
+            interval_s=args.rebalance_interval,
+            p95_high_s=args.rebalance_high_ms * 1e-3,
+            p95_low_s=args.rebalance_low_ms * 1e-3,
+        ),
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = fleet_config_from_args(args)
+    except ValueError as err:
+        parser.error(str(err))
+    if args.kill_at_event is not None and args.checkpoint_dir is None:
+        parser.error("--kill-at-event requires --checkpoint-dir")
+    if args.slo is not None and args.checkpoint_dir is not None:
+        parser.error("--slo and --checkpoint-dir are mutually exclusive "
+                     "(the SLO engine is not checkpointed)")
+    obs = obs_from_args(args)
+    slo_engine = None
+    if args.slo is not None:
+        from repro.obs.config import Obs, ObsConfig
+        from repro.obs.slo import SloConfigError, SloEngine, resolve_slo_config
+
+        if obs is None:
+            obs = Obs(ObsConfig(top_k=args.obs_top))
+        try:
+            slo_config = resolve_slo_config(args.slo, config.serve.deadline_s)
+        except SloConfigError as err:
+            parser.error(str(err))
+        slo_engine = SloEngine(slo_config, obs)
+    if args.checkpoint_dir is not None:
+        runtime = FleetRuntime(config, obs=obs)
+        report = run_checkpointed_cli(runtime, args, parser)
+        if not isinstance(report, FleetReport):
+            return report  # simulated crash exit code
+    else:
+        runtime = FleetRuntime(config, obs=obs)
+        if slo_engine is not None:
+            runtime.attach_slo(slo_engine)
+        report = runtime.run()
+    print(format_fleet_report(report, max_session_rows=args.max_session_rows))
+    if slo_engine is not None:
+        from repro.obs.slo import evaluate_summary, format_summary_verdicts
+        from repro.serve.telemetry import fleet_summary_metrics
+
+        print("\n--- SLO verdicts ---\n")
+        print(slo_engine.format_verdicts())
+        summary_objectives = slo_engine.config.summary_objectives
+        if summary_objectives:
+            rows = evaluate_summary(
+                summary_objectives, fleet_summary_metrics(report)
+            )
+            print()
+            print(format_summary_verdicts(rows))
+    if args.obs:
+        from repro.recover.configio import (
+            fleet_config_to_dict,
+            service_model_to_dict,
+        )
+
+        resolved = {
+            "kind": "fleet",
+            "config": fleet_config_to_dict(config),
+            "service": service_model_to_dict(BatchServiceModel()),
+        }
+        out_dir = resolve_obs_out(args.obs_out, "fleet", resolved)
+        emit_obs_artifacts(obs, out_dir, top_k=args.obs_top)
+        if slo_engine is not None:
+            emit_slo_artifacts(slo_engine, out_dir)
+    if args.compare_no_kill:
+        from dataclasses import replace
+
+        baseline = run_fleet(replace(config, kills=()))
+        print("\n--- no-kill baseline (same fleet, no chaos schedule) ---\n")
+        print(
+            format_fleet_report(
+                baseline, max_session_rows=args.max_session_rows
+            )
+        )
+        print(
+            f"\nFailover cost: goodput {report.predict_goodput_fps:.0f} vs "
+            f"{baseline.predict_goodput_fps:.0f} fresh predictions/s, "
+            f"{report.lost_shard_frames} frames lost with killed shards "
+            f"(baseline {baseline.lost_shard_frames})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

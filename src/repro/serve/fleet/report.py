@@ -1,0 +1,226 @@
+"""Fleet-level telemetry: the event log and the report's shard section.
+
+The :class:`FleetLog` accumulates what the fleet controller *did*
+(failovers, migrations, rebalance actions) as the run executes; at
+``finish()`` it is frozen, together with per-shard rows, into a
+:class:`FleetSection` attached to the ordinary
+:class:`~repro.serve.telemetry.FleetReport`.  The section is duck-typed
+(``state_dict()`` / ``format()`` / ``summary()``) so the single-runtime
+telemetry module renders and serializes it without importing this
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.system.metrics import table_to_text
+
+
+@dataclass
+class FleetLog:
+    """Mutable control-plane event log of one fleet run."""
+
+    #: ``{"at_s", "shard_id", "rehomed_sessions", "lost_frames"}``
+    failovers: list[dict] = field(default_factory=list)
+    #: ``{"at_s", "session_id", "from", "to", "moved_frames", "reason"}``
+    migrations: list[dict] = field(default_factory=list)
+    migrations_planned: int = 0
+    migrations_skipped: int = 0
+    rebalance_spawns: int = 0
+    rebalance_drains: int = 0
+
+    def record_failover(
+        self, at_s: float, shard_id: int, rehomed: int, lost: int
+    ) -> None:
+        self.failovers.append(
+            {
+                "at_s": at_s,
+                "shard_id": shard_id,
+                "rehomed_sessions": rehomed,
+                "lost_frames": lost,
+            }
+        )
+
+    def record_migration(
+        self,
+        at_s: float,
+        session_id: int,
+        source: int,
+        target: int,
+        moved_frames: int,
+        reason: str = "plan",
+    ) -> None:
+        self.migrations.append(
+            {
+                "at_s": at_s,
+                "session_id": session_id,
+                "from": source,
+                "to": target,
+                "moved_frames": moved_frames,
+                "reason": reason,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "failovers": [dict(f) for f in self.failovers],
+            "migrations": [dict(m) for m in self.migrations],
+            "migrations_planned": self.migrations_planned,
+            "migrations_skipped": self.migrations_skipped,
+            "rebalance_spawns": self.rebalance_spawns,
+            "rebalance_drains": self.rebalance_drains,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.failovers = [dict(f) for f in state["failovers"]]
+        self.migrations = [dict(m) for m in state["migrations"]]
+        self.migrations_planned = int(state["migrations_planned"])
+        self.migrations_skipped = int(state["migrations_skipped"])
+        self.rebalance_spawns = int(state["rebalance_spawns"])
+        self.rebalance_drains = int(state["rebalance_drains"])
+
+
+@dataclass
+class FleetSection:
+    """Frozen shard section of a fleet run's report.
+
+    ``shard_rows`` carries one dict per shard (id order): id, status
+    (``alive`` / ``killed`` / ``retired``), lifecycle instants, final
+    session count, frames completed/degraded *on that shard*, frames
+    lost with it, migration/re-homing traffic, and utilization.
+    """
+
+    vnodes: int
+    shards_started: int
+    shard_rows: list[dict]
+    log: FleetLog
+    rehome_breaker_degraded: int = 0
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def shards_killed(self) -> int:
+        return sum(1 for row in self.shard_rows if row["status"] == "killed")
+
+    @property
+    def shards_spawned(self) -> int:
+        return sum(
+            1 for row in self.shard_rows if row["spawned_at_s"] is not None
+        )
+
+    @property
+    def shards_drained(self) -> int:
+        return sum(1 for row in self.shard_rows if row["status"] == "retired")
+
+    @property
+    def shards_serving(self) -> int:
+        return sum(1 for row in self.shard_rows if row["status"] == "alive")
+
+    @property
+    def rehomed_sessions(self) -> int:
+        return sum(f["rehomed_sessions"] for f in self.log.failovers)
+
+    @property
+    def failover_lost_frames(self) -> int:
+        return sum(f["lost_frames"] for f in self.log.failovers)
+
+    def summary(self) -> dict[str, float]:
+        """Flat metrics merged into ``fleet_summary_metrics`` — the names
+        ``repro.exp`` ledgers and summary SLOs read."""
+        return {
+            "shards_started": float(self.shards_started),
+            "shards_spawned": float(self.shards_spawned),
+            "shards_killed": float(self.shards_killed),
+            "shards_drained": float(self.shards_drained),
+            "shards_serving": float(self.shards_serving),
+            "rehomed_sessions": float(self.rehomed_sessions),
+            "failover_lost_frames": float(self.failover_lost_frames),
+            "migrations_planned": float(self.log.migrations_planned),
+            "migrations_completed": float(len(self.log.migrations)),
+            "migrations_skipped": float(self.log.migrations_skipped),
+            "rehome_breaker_degraded": float(self.rehome_breaker_degraded),
+            "rebalance_spawns": float(self.log.rebalance_spawns),
+            "rebalance_drains": float(self.log.rebalance_drains),
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (the byte-diff oracle includes the section)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "vnodes": self.vnodes,
+            "shards_started": self.shards_started,
+            "shard_rows": [dict(row) for row in self.shard_rows],
+            "log": self.log.state_dict(),
+            "rehome_breaker_degraded": self.rehome_breaker_degraded,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FleetSection":
+        log = FleetLog()
+        log.load_state(state["log"])
+        return cls(
+            vnodes=int(state["vnodes"]),
+            shards_started=int(state["shards_started"]),
+            shard_rows=[dict(row) for row in state["shard_rows"]],
+            log=log,
+            rehome_breaker_degraded=int(state["rehome_breaker_degraded"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering (embedded in format_fleet_report)
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        lines = [
+            f"Fleet topology: {self.shards_started} shards started "
+            f"(+{self.shards_spawned} spawned, {self.shards_killed} killed, "
+            f"{self.shards_drained} drained) -> {self.shards_serving} serving "
+            f"| ring: {self.vnodes} vnodes/shard"
+        ]
+        if self.log.failovers:
+            for event in self.log.failovers:
+                lines.append(
+                    f"Failover: shard {event['shard_id']} killed at "
+                    f"{event['at_s']:.3f}s -> "
+                    f"{event['rehomed_sessions']} sessions re-homed, "
+                    f"{event['lost_frames']} in-flight frames lost"
+                )
+        else:
+            lines.append("Failover: none")
+        lines.append(
+            f"Migrations: {len(self.log.migrations)} completed of "
+            f"{self.log.migrations_planned} planned "
+            f"({self.log.migrations_skipped} skipped) | re-home breaker "
+            f"degraded {self.rehome_breaker_degraded} frames"
+        )
+        if self.log.rebalance_spawns or self.log.rebalance_drains:
+            lines.append(
+                f"Rebalancer: {self.log.rebalance_spawns} spawns, "
+                f"{self.log.rebalance_drains} drains"
+            )
+        headers = [
+            "Shard", "Status", "Sessions", "Done", "Degr",
+            "Lost", "In", "Out", "Rehomed", "Util",
+        ]
+        rows = []
+        for row in self.shard_rows:
+            rows.append(
+                [
+                    row["shard_id"],
+                    row["status"],
+                    row["sessions"],
+                    row["completed"],
+                    row["degraded"],
+                    row["lost_frames"],
+                    row["migrations_in"],
+                    row["migrations_out"],
+                    row["rehomed_in"],
+                    f"{row['utilization']:.0%}",
+                ]
+            )
+        return "\n".join(lines) + "\n" + table_to_text(headers, rows, min_width=6)

@@ -1,0 +1,592 @@
+"""The sharded fleet controller.
+
+:class:`FleetRuntime` owns N :class:`~repro.serve.fleet.shard.ShardRuntime`
+event loops behind a consistent-hash :class:`~repro.serve.fleet.ring.HashRing`
+and merges them into ONE deterministic discrete-event simulation: at every
+step the next event is the earliest of
+
+* the fleet's own **control heap** — shard kills from the chaos schedule,
+  planned live migrations, rebalancer ticks — which at equal timestamps
+  rank *before* any shard event (control reshapes the topology the data
+  plane then runs on), and
+* each shard's data-plane heap, shards tie-broken by id.
+
+Both runs of the same config therefore pop the identical global event
+sequence, and the final :class:`~repro.serve.telemetry.FleetReport` is
+byte-identical — the property the recover layer's journal replay and the
+CI byte-diff jobs rest on.
+
+Conservation is exact and fleet-wide: every generated frame ends in
+exactly one of ``completed`` (incl. degraded), ``shed``, ``pending`` or
+``lost_shard``; :meth:`FleetRuntime.finish` re-derives the ledger from
+the merged per-session stats and raises on any leak.
+
+The runtime speaks the full ``repro.recover`` protocol (``start`` /
+``peek_event`` / ``step`` / ``finish`` / ``state_dict`` / ``load_state``
+with ``RUNTIME_KIND = "fleet"``), so whole-fleet checkpoint / kill /
+restore reproduces the uninterrupted run's report byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.obs import NULL_OBS, Obs, PID_FLEET
+from repro.serve.config import BatchServiceModel
+from repro.serve.fleet.config import (
+    FleetConfig,
+    planned_migrations,
+    rebalance_ticks,
+)
+from repro.serve.fleet.report import FleetLog, FleetSection
+from repro.serve.fleet.ring import HashRing
+from repro.serve.fleet.shard import ShardRuntime
+from repro.serve.request import build_fleet, fleet_requests
+from repro.serve.telemetry import FleetReport, SessionStats, publish_fleet_metrics
+
+# Control-event kinds.  Journal/peek encoding keeps them disjoint from
+# shard events: a control event reports kind ``1..3`` while a shard
+# event reports ``(shard_id + 1) * _SHARD_KIND_STRIDE + shard_kind``
+# (shard kinds are 0..2), so the write-ahead journal can tell every
+# event source apart from the (time, kind, seq) triple alone.
+_K_KILL, _K_MIGRATE, _K_REBALANCE = 1, 2, 3
+_SHARD_KIND_STRIDE = 4
+
+
+class FleetRuntime:
+    """N serve shards, one hash ring, one deterministic event order."""
+
+    RUNTIME_KIND = "fleet"
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        service: "BatchServiceModel | None" = None,
+        obs: "Obs | None" = None,
+    ):
+        self.config = config
+        self.service = service if service is not None else BatchServiceModel()
+        self.obs = obs if obs is not None else NULL_OBS
+        #: The whole fleet's sessions, indexed by session id — a pure
+        #: function of the serve template, shared by placement and
+        #: restore.
+        self.sessions = build_fleet(config.serve)
+        self.ring = HashRing(vnodes=config.vnodes, seed=config.ring_seed)
+        self.shards: dict[int, ShardRuntime] = {}
+        self._next_shard_id = 0
+        #: Control heap entries: ``(time_s, seq, kind, payload)``.
+        self._control: list[tuple[float, int, int, "dict | None"]] = []
+        self._control_seq = 0
+        self._session_shard: dict[int, int] = {}
+        self._rebalance_quiet_until = 0.0
+        self.events_processed = 0
+        self._started = False
+        self.log = FleetLog()
+        self.slo = None
+        if self.obs.enabled:
+            self.obs.tracer.declare_track(
+                PID_FLEET, "fleet", thread_name="control"
+            )
+
+    def attach_slo(self, engine) -> None:
+        """Attach an online SLO engine, evaluated on the fleet's merged
+        sim clock (see :meth:`repro.serve.runtime.ServeRuntime.attach_slo`)."""
+        if not self.obs.enabled:
+            raise ValueError("attach_slo requires an enabled Obs bundle")
+        self.slo = engine
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _new_shard(self, sessions, spawned_at_s: "float | None") -> ShardRuntime:
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        shard = ShardRuntime(
+            shard_id,
+            self.config.serve,
+            sessions=sessions,
+            service=self.service,
+            obs=self.obs.scoped(shard_id),
+            failover=self.config.failover,
+        )
+        shard.spawned_at_s = spawned_at_s
+        self.shards[shard_id] = shard
+        self.ring.add(shard_id)
+        return shard
+
+    def _push_control(
+        self, time_s: float, kind: int, payload: "dict | None"
+    ) -> None:
+        heapq.heappush(
+            self._control, (time_s, self._control_seq, kind, payload)
+        )
+        self._control_seq += 1
+
+    def _alive_shards(self) -> "list[ShardRuntime]":
+        return [self.shards[sid] for sid in sorted(self.shards)
+                if self.shards[sid].alive]
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        """Place the fleet on the ring, seed every shard's arrivals, and
+        enqueue the control schedule (idempotent)."""
+        if self._started:
+            return
+        placement_ids = [s.session_id for s in self.sessions]
+        for _ in range(self.config.n_shards):
+            self._new_shard([], spawned_at_s=None)
+        placement = self.ring.assignment(placement_ids)
+        # One global request stream: seq numbers are unique fleet-wide
+        # (migrated frames carry theirs onto other shards).
+        all_requests = fleet_requests(
+            self.sessions, self.config.serve.deadline_s
+        )
+        for shard_id in sorted(placement):
+            shard = self.shards[shard_id]
+            members = set(placement[shard_id])
+            shard.fleet = [self.sessions[sid] for sid in placement[shard_id]]
+            shard.stats = {
+                sid: SessionStats(sid) for sid in placement[shard_id]
+            }
+            for sid in placement[shard_id]:
+                self._session_shard[sid] = shard_id
+            if shard.obs.enabled:
+                shard._declare_tracks()
+            shard.start(
+                [r for r in all_requests if r.session_id in members]
+            )
+        for kill in sorted(
+            self.config.kills, key=lambda k: (k.at_s, k.shard_id)
+        ):
+            self._push_control(kill.at_s, _K_KILL, {"shard": kill.shard_id})
+        plan = planned_migrations(self.config)
+        self.log.migrations_planned = len(plan)
+        for migration in plan:
+            self._push_control(
+                migration.at_s,
+                _K_MIGRATE,
+                {"session_id": migration.session_id, "to": migration.to_shard},
+            )
+        for tick in rebalance_ticks(self.config):
+            self._push_control(tick, _K_REBALANCE, None)
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Merged event order
+    # ------------------------------------------------------------------
+    def _next_source(self):
+        """``("control", t, kind, seq)`` or ``("shard", id, t, kind, seq)``
+        of the globally next event; None when everything is drained.
+
+        Control events carry rank -1 so they precede shard events at the
+        same instant; shards tie-break by id.
+        """
+        best_key = None
+        best = None
+        if self._control:
+            time_s, seq, kind, _ = self._control[0]
+            best_key = (time_s, -1)
+            best = ("control", time_s, kind, seq)
+        for shard_id in sorted(self.shards):
+            head = self.shards[shard_id].peek_event()
+            if head is None:
+                continue
+            time_s, kind, seq = head
+            key = (time_s, shard_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = ("shard", shard_id, time_s, kind, seq)
+        return best
+
+    def peek_event(self) -> "tuple[float, int, int] | None":
+        """``(time_s, kind, seq)`` of the next event for the journal."""
+        head = self._next_source()
+        if head is None:
+            return None
+        if head[0] == "control":
+            _, time_s, kind, seq = head
+            return (time_s, kind, seq)
+        _, shard_id, time_s, kind, seq = head
+        return (time_s, (shard_id + 1) * _SHARD_KIND_STRIDE + kind, seq)
+
+    def step(self) -> bool:
+        """Apply the globally next event; False once everything drained."""
+        head = self._next_source()
+        if head is None:
+            return False
+        if head[0] == "control":
+            now, _, kind, payload = heapq.heappop(self._control)
+            if kind == _K_KILL:
+                self._apply_kill(payload["shard"], now)
+            elif kind == _K_MIGRATE:
+                self._apply_migration(payload, now)
+            else:
+                self._apply_rebalance(now)
+            now_s = now
+        else:
+            shard = self.shards[head[1]]
+            shard.step()
+            now_s = head[2]
+        self.events_processed += 1
+        if self.slo is not None:
+            self.slo.maybe_evaluate(now_s)
+        return True
+
+    # ------------------------------------------------------------------
+    # Control-plane handlers
+    # ------------------------------------------------------------------
+    def _apply_kill(self, shard_id: int, now: float) -> None:
+        """Chaos shard failure: lose in-flight frames, re-home sessions."""
+        shard = self.shards[shard_id]
+        self.ring.remove(shard_id)
+        payloads, lost = shard.kill(now)
+        rehomed = 0
+        for sid in sorted(payloads):
+            target_id = self.ring.route(sid)
+            self.shards[target_id].admit_migrated(
+                payloads[sid], now, rehomed=True
+            )
+            self._session_shard[sid] = target_id
+            rehomed += 1
+        self.log.record_failover(now, shard_id, rehomed, lost)
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "fleet.failover", now, cat="fleet", pid=PID_FLEET,
+                args={
+                    "shard": shard_id,
+                    "rehomed_sessions": rehomed,
+                    "lost_frames": lost,
+                },
+            )
+            self.obs.metrics.counter("fleet_failovers_total").inc()
+            self.obs.metrics.counter("fleet_rehomed_sessions_total").inc(rehomed)
+
+    def _apply_migration(self, payload: dict, now: float) -> None:
+        """Planned live migration of one session."""
+        session_id = int(payload["session_id"])
+        source_id = self._session_shard[session_id]
+        source = self.shards[source_id]
+        target_id = payload.get("to")
+        if target_id is None:
+            if len(self.ring) <= 1:
+                self.log.migrations_skipped += 1
+                return
+            target_id = self.ring.route(session_id, avoid=source_id)
+        target = self.shards.get(target_id)
+        if (
+            target is None
+            or target_id == source_id
+            or not target.alive
+            or not source.alive
+        ):
+            self.log.migrations_skipped += 1
+            return
+        moved = source.extract_session(session_id, now)
+        target.admit_migrated(moved, now, rehomed=False)
+        self._session_shard[session_id] = target_id
+        self.log.record_migration(
+            now, session_id, source_id, target_id, len(moved.requeue)
+        )
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "fleet.migrate", now, cat="fleet", pid=PID_FLEET,
+                args={
+                    "session": session_id,
+                    "from": source_id,
+                    "to": target_id,
+                    "moved_frames": len(moved.requeue),
+                },
+            )
+            self.obs.metrics.counter("fleet_migrations_total").inc()
+
+    def _move_sessions(
+        self, source: ShardRuntime, target: ShardRuntime, session_ids, now: float
+    ) -> None:
+        for sid in session_ids:
+            moved = source.extract_session(sid, now)
+            target.admit_migrated(moved, now, rehomed=False)
+            self._session_shard[sid] = target.shard_id
+            self.log.record_migration(
+                now, sid, source.shard_id, target.shard_id,
+                len(moved.requeue), reason="rebalance",
+            )
+
+    def _apply_rebalance(self, now: float) -> None:
+        """Hysteretic autoscaler tick: spawn-and-fill on a hot shard,
+        drain-and-retire a spawned shard when the fleet has cooled."""
+        rebalancer = self.config.rebalancer
+        # Windows reset every tick even when the cooldown suppresses
+        # action, so each decision sees only the last interval.
+        alive = self._alive_shards()
+        waits = {shard.shard_id: shard.take_queue_wait_p95() for shard in alive}
+        if now < self._rebalance_quiet_until:
+            return
+        hot = [sid for sid in waits if waits[sid] > rebalancer.p95_high_s]
+        if hot:
+            if len(alive) >= rebalancer.max_shards:
+                return
+            hottest_id = sorted(hot, key=lambda sid: (-waits[sid], sid))[0]
+            hottest = self.shards[hottest_id]
+            n_move = min(
+                rebalancer.sessions_per_move,
+                max(len(hottest.fleet) - 1, 0),
+            )
+            if n_move == 0:
+                return
+            target = self._new_shard([], spawned_at_s=now)
+            target.start()
+            victims = sorted(s.session_id for s in hottest.fleet)[:n_move]
+            self._move_sessions(hottest, target, victims, now)
+            self.log.rebalance_spawns += 1
+            self._rebalance_quiet_until = now + rebalancer.cooldown_s
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "fleet.rebalance.spawn", now, cat="fleet", pid=PID_FLEET,
+                    args={
+                        "shard": target.shard_id,
+                        "from": hottest_id,
+                        "moved_sessions": len(victims),
+                    },
+                )
+                self.obs.metrics.counter("fleet_rebalance_spawns_total").inc()
+            return
+        spawned = [s for s in alive if s.spawned_at_s is not None]
+        all_cool = all(w < rebalancer.p95_low_s for w in waits.values())
+        if (
+            all_cool
+            and spawned
+            and len(alive) > max(rebalancer.min_shards, 1)
+        ):
+            victim = sorted(
+                spawned, key=lambda s: (len(s.fleet), s.shard_id)
+            )[0]
+            self.ring.remove(victim.shard_id)
+            session_ids = sorted(s.session_id for s in victim.fleet)
+            for sid in session_ids:
+                target_id = self.ring.route(sid)
+                self._move_sessions(
+                    victim, self.shards[target_id], [sid], now
+                )
+            victim.retired_at_s = now
+            self.log.rebalance_drains += 1
+            self._rebalance_quiet_until = now + rebalancer.cooldown_s
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "fleet.rebalance.drain", now, cat="fleet", pid=PID_FLEET,
+                    args={
+                        "shard": victim.shard_id,
+                        "moved_sessions": len(session_ids),
+                    },
+                )
+                self.obs.metrics.counter("fleet_rebalance_drains_total").inc()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finish(self) -> FleetReport:
+        """Merge shard telemetry into one report; enforce conservation."""
+        head = self._next_source()
+        if head is not None:
+            raise RuntimeError(f"finish() with events still pending: {head}")
+        shard_ids = sorted(self.shards)
+        duration = self.config.serve.duration_s
+        for sid in shard_ids:
+            duration = max(duration, self.shards[sid]._makespan_s)
+        merged: list[SessionStats] = []
+        occupancy: dict[int, int] = {}
+        busy_workers = 0.0
+        total_workers = 0
+        rows = []
+        for sid in shard_ids:
+            shard = self.shards[sid]
+            for request in shard.batcher.drain():
+                shard.stats[request.session_id].record_pending(request.path)
+            shard.batcher.check_accounting()
+            merged.extend(shard._stats_values())
+            for size, count in shard.pool.batch_occupancy.items():
+                occupancy[size] = occupancy.get(size, 0) + count
+            utilization = shard.pool.utilization(duration)
+            busy_workers += utilization * shard.pool.n_workers
+            total_workers += shard.pool.n_workers
+            rows.append(
+                {
+                    "shard_id": sid,
+                    "status": shard.status,
+                    "spawned_at_s": shard.spawned_at_s,
+                    "killed_at_s": shard.killed_at_s,
+                    "retired_at_s": shard.retired_at_s,
+                    "sessions": len(shard.fleet),
+                    "completed": shard.completed_frames,
+                    "degraded": shard.degraded_frames,
+                    "lost_frames": shard.lost_frames,
+                    "migrations_in": shard.migrations_in,
+                    "migrations_out": shard.migrations_out,
+                    "rehomed_in": shard.rehomed_in,
+                    "breaker_degraded": shard.breaker_degraded,
+                    "utilization": utilization,
+                }
+            )
+        merged.sort(key=lambda stats: stats.session_id)
+        self._check_conservation(merged)
+        total_batches = sum(occupancy.values())
+        mean_batch = (
+            sum(size * count for size, count in occupancy.items())
+            / total_batches
+            if total_batches
+            else 0.0
+        )
+        section = FleetSection(
+            vnodes=self.config.vnodes,
+            shards_started=self.config.n_shards,
+            shard_rows=rows,
+            log=self.log,
+            rehome_breaker_degraded=sum(
+                self.shards[sid].breaker_degraded for sid in shard_ids
+            ),
+        )
+        report = FleetReport(
+            sessions=merged,
+            duration_s=duration,
+            deadline_s=self.config.serve.deadline_s,
+            batch_occupancy=occupancy,
+            worker_utilization=(
+                busy_workers / total_workers if total_workers else 0.0
+            ),
+            mean_batch_size=mean_batch,
+            n_workers=total_workers,
+            max_batch=self.config.serve.max_batch,
+            predictions=None,
+            faults=None,
+            shards=section,
+        )
+        if self.obs.enabled:
+            publish_fleet_metrics(report, self.obs.metrics)
+        if self.slo is not None:
+            self.slo.finalize(duration)
+        return report
+
+    def _check_conservation(self, merged: "list[SessionStats]") -> None:
+        """Fleet-wide frame ledger: every generated frame is accounted
+        exactly once, across every shard it may have visited."""
+        if len(merged) != len(self.sessions):
+            raise RuntimeError(
+                f"conservation leak: {len(merged)} session ledgers for "
+                f"{len(self.sessions)} sessions"
+            )
+        for stats in merged:
+            expected = self.sessions[stats.session_id].n_frames
+            if stats.total_frames != expected:
+                raise RuntimeError(
+                    f"conservation leak: session {stats.session_id} "
+                    f"generated {expected} frames but the ledger accounts "
+                    f"{stats.total_frames} (completed {stats.completed} + "
+                    f"shed {stats.shed} + pending {stats.pending} + "
+                    f"lost_input {stats.lost_input} + "
+                    f"lost_shard {stats.lost_shard})"
+                )
+
+    def run(self) -> FleetReport:
+        self.start()
+        while self.step():
+            pass
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full JSON-safe snapshot: the control heap in raw order, the
+        ring, the session→shard map, and every shard's own snapshot."""
+        return {
+            "started": self._started,
+            "events_processed": self.events_processed,
+            "control": [
+                [time_s, seq, kind, payload]
+                for time_s, seq, kind, payload in self._control
+            ],
+            "control_seq": self._control_seq,
+            "ring": self.ring.state_dict(),
+            "next_shard_id": self._next_shard_id,
+            "session_shard": [
+                [sid, self._session_shard[sid]]
+                for sid in sorted(self._session_shard)
+            ],
+            "rebalance_quiet_until_s": self._rebalance_quiet_until,
+            "log": self.log.state_dict(),
+            "shards": [
+                {
+                    "shard_id": sid,
+                    "sessions": [
+                        s.session_id for s in self.shards[sid].fleet
+                    ],
+                    "state": self.shards[sid].state_dict(),
+                }
+                for sid in sorted(self.shards)
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a freshly
+        constructed runtime of the same config."""
+        self._started = bool(state["started"])
+        self.events_processed = int(state["events_processed"])
+        self._control = [
+            (float(time_s), int(seq), int(kind), payload)
+            for time_s, seq, kind, payload in state["control"]
+        ]
+        self._control_seq = int(state["control_seq"])
+        self.ring = HashRing.from_state(state["ring"])
+        self._next_shard_id = int(state["next_shard_id"])
+        self._session_shard = {
+            int(sid): int(shard) for sid, shard in state["session_shard"]
+        }
+        self._rebalance_quiet_until = float(state["rebalance_quiet_until_s"])
+        self.log = FleetLog()
+        self.log.load_state(state["log"])
+        self.shards = {}
+        for entry in state["shards"]:
+            shard_id = int(entry["shard_id"])
+            sessions = [self.sessions[int(sid)] for sid in entry["sessions"]]
+            shard = ShardRuntime(
+                shard_id,
+                self.config.serve,
+                sessions=sessions,
+                service=self.service,
+                obs=self.obs.scoped(shard_id),
+                failover=self.config.failover,
+            )
+            shard.load_state(entry["state"])
+            self.shards[shard_id] = shard
+
+    @classmethod
+    def restore(
+        cls,
+        directory,
+        service: "BatchServiceModel | None" = None,
+        inference=None,
+        obs: "Obs | None" = None,
+    ):
+        """Warm-restart whatever runtime the checkpoint in ``directory``
+        holds — a sharded fleet, or (for checkpoints written before the
+        fleet existed, when ``FleetRuntime`` aliased ``ServeRuntime``) a
+        single-shard serve/chaos runtime.  Compatibility contract: old
+        call sites keep working against old checkpoints.
+        """
+        from repro.recover.manager import restore_runtime
+
+        restored = restore_runtime(
+            directory, service=service, inference=inference, obs=obs
+        )
+        return restored.runtime
+
+
+def run_fleet(
+    config: FleetConfig,
+    service: "BatchServiceModel | None" = None,
+    obs: "Obs | None" = None,
+) -> FleetReport:
+    """Run one sharded fleet simulation and return its report."""
+    return FleetRuntime(config, service=service, obs=obs).run()

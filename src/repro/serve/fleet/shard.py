@@ -1,0 +1,419 @@
+"""One shard of the fleet: a ServeRuntime that sessions can enter and leave.
+
+:class:`ShardRuntime` keeps the base event loop byte-for-byte (arrivals,
+window expiries, completions pop off the same heap with the same
+tie-breaks) and adds the three fleet-lifecycle operations the controller
+needs:
+
+* :meth:`extract_session` — live migration *out*: remove one session's
+  future arrivals from the heap, its queued frames from the batcher, and
+  its in-flight frames from dispatched batches, packaged as a
+  :class:`MigrationPayload`.
+* :meth:`admit_migrated` — live migration *in*: re-seed the arrivals and
+  requeue the carried frames on this shard's batcher.
+* :meth:`kill` — chaos failover: frames physically on the shard (queued
+  or in flight) die with it and are recorded ``lost_shard`` on their
+  sessions; future arrivals re-home with their sessions, bounding frame
+  loss to exactly the in-flight set at kill time.
+
+Sessions re-homed by a failover are *guarded* for a configurable window:
+their predict frames pass through a re-admission
+:class:`~repro.faults.breaker.CircuitBreaker` so a thundering herd onto
+a surviving shard degrades to gaze reuse instead of blowing through the
+queue budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.faults.breaker import CircuitBreaker
+from repro.obs import NULL_OBS, Obs, PID_BATCHER, PID_WORKERS, session_pid
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.config import BatchServiceModel, ServeConfig
+from repro.serve.fleet.config import FailoverConfig
+from repro.serve.request import ClientSession, FrameRequest
+from repro.serve.runtime import ServeRuntime, _ARRIVAL, _COMPLETE, _WINDOW
+from repro.serve.telemetry import ServeInstruments, SessionStats
+from repro.serve.workers import WorkerPool
+from repro.system.metrics import percentile_summary
+
+
+@dataclass
+class MigrationPayload:
+    """Everything that moves with a session between shards."""
+
+    session: ClientSession
+    stats: SessionStats
+    #: Arrivals not yet delivered, sorted by (arrival_s, seq).
+    arrivals: list[FrameRequest] = field(default_factory=list)
+    #: Frames pulled out of the source queue / in-flight batches, to be
+    #: requeued on the destination; sorted by (arrival_s, seq).
+    requeue: list[FrameRequest] = field(default_factory=list)
+
+
+def _frame_order(request: FrameRequest) -> tuple[float, int]:
+    return (request.arrival_s, request.seq)
+
+
+class ShardRuntime(ServeRuntime):
+    """A ServeRuntime whose session set is dynamic (fleet membership)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        template: ServeConfig,
+        sessions: "list[ClientSession] | None" = None,
+        service: "BatchServiceModel | None" = None,
+        obs: "Obs | None" = None,
+        failover: "FailoverConfig | None" = None,
+    ):
+        # Deliberately does NOT call ServeRuntime.__init__: the base
+        # validates len(fleet) == config.n_sessions, which cannot hold
+        # for a shard (subset of the fleet, possibly empty when freshly
+        # spawned by the rebalancer).  ``template`` sizes the per-shard
+        # pool/batcher; its n_sessions refers to the whole fleet.
+        if shard_id < 0:
+            raise ValueError(f"shard_id must be non-negative, got {shard_id}")
+        self.shard_id = shard_id
+        self.config = template
+        self.service = service if service is not None else BatchServiceModel()
+        self.inference = None
+        self.fleet = list(sessions) if sessions is not None else []
+        self.pool = WorkerPool(template.n_workers, self.service)
+        self.batcher = DynamicBatcher(template.max_batch, template.batch_window_s)
+        # Keyed by session id (not a dense list): membership changes at
+        # runtime.  All base-class paths index ``stats[session_id]``, so
+        # the dict is a drop-in.
+        self.stats: dict[int, SessionStats] = {
+            s.session_id: SessionStats(s.session_id) for s in self.fleet
+        }
+        self.predictions = None
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._event_seq = 0
+        self._makespan_s = 0.0
+        self.events_processed = 0
+        self._started = False
+        self.obs = obs if obs is not None else NULL_OBS
+        self._instruments: "ServeInstruments | None" = None
+        if self.obs.enabled:
+            self._instruments = ServeInstruments(self.obs.metrics)
+            self._declare_tracks()
+        self.slo = None
+        # --- fleet lifecycle state -----------------------------------
+        self.failover = failover if failover is not None else FailoverConfig()
+        self.rehome_breaker = CircuitBreaker(
+            failure_threshold=self.failover.breaker_threshold,
+            cooldown_s=self.failover.breaker_cooldown_s,
+        )
+        #: session id -> absolute sim time until which re-admission of
+        #: that (re-homed) session's predict frames is breaker-guarded.
+        self._rehome_guard_until: dict[int, float] = {}
+        #: Queue waits of frames dispatched since the last rebalancer
+        #: tick (the rebalancer's P95 window).
+        self._wait_samples: list[float] = []
+        self.spawned_at_s: "float | None" = None
+        self.killed_at_s: "float | None" = None
+        self.retired_at_s: "float | None" = None
+        # Per-shard frame counters (session stats travel with sessions;
+        # these stay, attributing work to the shard that did it).
+        self.completed_frames = 0
+        self.degraded_frames = 0
+        self.lost_frames = 0
+        self.migrations_in = 0
+        self.migrations_out = 0
+        self.rehomed_in = 0
+        self.breaker_degraded = 0
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        if self.killed_at_s is not None:
+            return "killed"
+        if self.retired_at_s is not None:
+            return "retired"
+        return "alive"
+
+    @property
+    def alive(self) -> bool:
+        return self.killed_at_s is None and self.retired_at_s is None
+
+    # ------------------------------------------------------------------
+    # Base-class hooks
+    # ------------------------------------------------------------------
+    def _stats_values(self) -> "list[SessionStats]":
+        return [self.stats[sid] for sid in sorted(self.stats)]
+
+    def _load_stats(self, saved: list) -> None:
+        self.stats = {}
+        for entry in saved:
+            stats = SessionStats(int(entry["session_id"]))
+            stats.load_state(entry)
+            self.stats[stats.session_id] = stats
+
+    def _record_completion(self, request: FrameRequest, done_s: float) -> None:
+        self.completed_frames += 1
+        super()._record_completion(request, done_s)
+
+    def _degrade_now(
+        self, request: FrameRequest, now: float, cause: str = "admission"
+    ) -> None:
+        self.degraded_frames += 1
+        super()._degrade_now(request, now, cause)
+
+    def _note_dispatch(self, batch: "list[FrameRequest]", now: float) -> None:
+        for request in batch:
+            self._wait_samples.append(now - request.arrival_s)
+
+    def _admit(self, request: FrameRequest, now: float) -> bool:
+        guard_until = self._rehome_guard_until.get(request.session_id)
+        if guard_until is not None:
+            if now > guard_until:
+                del self._rehome_guard_until[request.session_id]
+            else:
+                breaker = self.rehome_breaker
+                if not breaker.allow(now):
+                    self.breaker_degraded += 1
+                    self._degrade_now(request, now, cause="failover")
+                    return False
+                breaker.note_dispatch(now)
+                admitted = super()._admit(request, now)
+                if admitted:
+                    breaker.record_success(now)
+                else:
+                    breaker.record_failure(now)
+                return admitted
+        return super()._admit(request, now)
+
+    # ------------------------------------------------------------------
+    # Rebalancer window
+    # ------------------------------------------------------------------
+    def take_queue_wait_p95(self) -> float:
+        """P95 queue wait over the window since the last call; resets."""
+        if not self._wait_samples:
+            return 0.0
+        p95 = float(percentile_summary(self._wait_samples, (95,))["p95"])
+        self._wait_samples = []
+        return p95
+
+    # ------------------------------------------------------------------
+    # Heap surgery (shared by migration and failover)
+    # ------------------------------------------------------------------
+    def _extract_future_arrivals(self, session_id: int) -> list[FrameRequest]:
+        keep, extracted = [], []
+        for entry in self._heap:
+            _, kind, _, payload = entry
+            if kind == _ARRIVAL and payload.session_id == session_id:
+                extracted.append(payload)
+            else:
+                keep.append(entry)
+        if extracted:
+            self._heap = keep
+            heapq.heapify(self._heap)
+            extracted.sort(key=_frame_order)
+        return extracted
+
+    def _extract_inflight(self, session_id: int) -> list[FrameRequest]:
+        """Pull one session's frames out of dispatched batches.
+
+        The COMPLETE event still fires (the worker stays busy for the
+        full batch's service time — the work was already started), but
+        the migrated frames' latencies are recorded on the destination
+        shard after requeueing instead of here.
+        """
+        pulled: list[FrameRequest] = []
+        for _, kind, _, payload in self._heap:
+            if kind == _COMPLETE:
+                _, batch = payload
+                mine = [r for r in batch if r.session_id == session_id]
+                if mine:
+                    batch[:] = [r for r in batch if r.session_id != session_id]
+                    pulled.extend(mine)
+        pulled.sort(key=_frame_order)
+        return pulled
+
+    # ------------------------------------------------------------------
+    # Fleet lifecycle
+    # ------------------------------------------------------------------
+    def extract_session(self, session_id: int, now: float) -> MigrationPayload:
+        """Remove one session and everything it owns (live migration)."""
+        session = next(
+            (s for s in self.fleet if s.session_id == session_id), None
+        )
+        if session is None:
+            raise KeyError(f"session {session_id} not on shard {self.shard_id}")
+        self.fleet = [s for s in self.fleet if s.session_id != session_id]
+        stats = self.stats.pop(session_id)
+        arrivals = self._extract_future_arrivals(session_id)
+        requeue = self.batcher.extract_session(session_id)
+        requeue.extend(self._extract_inflight(session_id))
+        requeue.sort(key=_frame_order)
+        self._rehome_guard_until.pop(session_id, None)
+        self.migrations_out += 1
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "migrate.out", now, cat="fleet",
+                pid=session_pid(session_id),
+                args={"moved_frames": len(requeue)},
+            )
+        return MigrationPayload(session, stats, arrivals, requeue)
+
+    def admit_migrated(
+        self, payload: MigrationPayload, now: float, rehomed: bool = False
+    ) -> None:
+        """Install a migrated session: arrivals re-seeded, carried frames
+        requeued ahead of the window rule (their arrival times are old)."""
+        session_id = payload.session.session_id
+        if session_id in self.stats:
+            raise ValueError(
+                f"session {session_id} already on shard {self.shard_id}"
+            )
+        self.fleet.append(payload.session)
+        self.stats[session_id] = payload.stats
+        if self.obs.enabled:
+            self.obs.tracer.declare_track(
+                session_pid(session_id),
+                f"session-{session_id}",
+                thread_name="frames",
+            )
+            self.obs.tracer.instant(
+                "rehome.in" if rehomed else "migrate.in", now, cat="fleet",
+                pid=session_pid(session_id),
+                args={"moved_frames": len(payload.requeue)},
+            )
+        for request in payload.arrivals:
+            self._push(request.arrival_s, _ARRIVAL, request)
+        if rehomed:
+            self.rehomed_in += 1
+            if self.failover.guard_s > 0:
+                self._rehome_guard_until[session_id] = (
+                    now + self.failover.guard_s
+                )
+        else:
+            self.migrations_in += 1
+        if payload.requeue:
+            self.batcher.requeue(payload.requeue)
+            self._try_dispatch(now)
+            if len(self.batcher) > 0 and self.batcher.window_s > 0:
+                deadline = self.batcher.next_deadline_s()
+                if deadline is not None:
+                    self._push(deadline, _WINDOW, None)
+
+    def kill(self, now: float) -> "tuple[dict[int, MigrationPayload], int]":
+        """Fail the shard: queued + in-flight frames are lost with it,
+        sessions (with their future arrivals) are packaged for re-homing.
+
+        Returns ``(payloads keyed by session id, frames lost)``.  The
+        batcher's conservation ledger stays closed — lost frames are
+        recorded ``lost_shard`` on their sessions, never silently
+        dropped.
+        """
+        if self.killed_at_s is not None:
+            raise RuntimeError(f"shard {self.shard_id} already killed")
+        lost = 0
+        for request in self.batcher.drain():
+            self.stats[request.session_id].record_lost_shard()
+            lost += 1
+        arrivals_by_sid: dict[int, list[FrameRequest]] = {}
+        for _, kind, _, payload in self._heap:
+            if kind == _COMPLETE:
+                _, batch = payload
+                for request in batch:
+                    self.stats[request.session_id].record_lost_shard()
+                    lost += 1
+            elif kind == _ARRIVAL:
+                arrivals_by_sid.setdefault(payload.session_id, []).append(
+                    payload
+                )
+        self._heap = []
+        self.batcher.check_accounting()
+        self.lost_frames = lost
+        payloads: dict[int, MigrationPayload] = {}
+        for session in sorted(self.fleet, key=lambda s: s.session_id):
+            sid = session.session_id
+            arrivals = sorted(
+                arrivals_by_sid.get(sid, []), key=_frame_order
+            )
+            payloads[sid] = MigrationPayload(
+                session, self.stats.pop(sid), arrivals, []
+            )
+        self.fleet = []
+        self._rehome_guard_until = {}
+        self.killed_at_s = now
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "shard.kill", now, cat="fleet", pid=PID_WORKERS,
+                args={"lost_frames": lost, "sessions": len(payloads)},
+            )
+        return payloads, lost
+
+    def start(self, requests: "list[FrameRequest] | None" = None) -> None:
+        """Seed the given arrivals (idempotent).
+
+        The fleet controller generates ALL frame requests once from the
+        dense session list — global ``seq`` numbers must be unique
+        fleet-wide because migrated frames carry theirs onto other
+        shards — and hands each shard its slice in global arrival
+        order.  A freshly spawned shard starts with none.
+        """
+        if self._started:
+            return
+        for request in requests or []:
+            self._push(request.arrival_s, _ARRIVAL, request)
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["shard"] = {
+            "wait_samples": [float(w) for w in self._wait_samples],
+            "rehome_guard_until": [
+                [sid, self._rehome_guard_until[sid]]
+                for sid in sorted(self._rehome_guard_until)
+            ],
+            "rehome_breaker": self.rehome_breaker.state_dict(),
+            "spawned_at_s": self.spawned_at_s,
+            "killed_at_s": self.killed_at_s,
+            "retired_at_s": self.retired_at_s,
+            "completed_frames": self.completed_frames,
+            "degraded_frames": self.degraded_frames,
+            "lost_frames": self.lost_frames,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
+            "rehomed_in": self.rehomed_in,
+            "breaker_degraded": self.breaker_degraded,
+        }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        shard = state["shard"]
+        self._wait_samples = [float(w) for w in shard["wait_samples"]]
+        self._rehome_guard_until = {
+            int(sid): float(t) for sid, t in shard["rehome_guard_until"]
+        }
+        self.rehome_breaker.load_state(shard["rehome_breaker"])
+        self.spawned_at_s = (
+            None if shard["spawned_at_s"] is None
+            else float(shard["spawned_at_s"])
+        )
+        self.killed_at_s = (
+            None if shard["killed_at_s"] is None
+            else float(shard["killed_at_s"])
+        )
+        self.retired_at_s = (
+            None if shard["retired_at_s"] is None
+            else float(shard["retired_at_s"])
+        )
+        self.completed_frames = int(shard["completed_frames"])
+        self.degraded_frames = int(shard["degraded_frames"])
+        self.lost_frames = int(shard["lost_frames"])
+        self.migrations_in = int(shard["migrations_in"])
+        self.migrations_out = int(shard["migrations_out"])
+        self.rehomed_in = int(shard["rehomed_in"])
+        self.breaker_degraded = int(shard["breaker_degraded"])

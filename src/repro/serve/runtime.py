@@ -267,12 +267,18 @@ class ServeRuntime:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _note_dispatch(self, batch: list[FrameRequest], now: float) -> None:
+        """Hook: a batch left the queue for a worker.  The sharded fleet
+        overrides this to window per-shard queue waits for its
+        rebalancer; the base runtime does nothing."""
+
     def _try_dispatch(self, now: float) -> None:
         while self.batcher.ready(now):
             worker = self.pool.idle_worker(now)
             if worker is None:
                 return  # next COMPLETE event will retry
             batch = self.batcher.take()
+            self._note_dispatch(batch, now)
             done_s = self.pool.dispatch(worker, len(batch), now)
             if self.inference is not None:
                 outputs = np.asarray(self.inference(batch))
@@ -408,6 +414,21 @@ class ServeRuntime:
     #: Checkpoint kind tag; ``repro.recover`` maps it back to the class.
     RUNTIME_KIND = "serve"
 
+    def _stats_values(self) -> "list[SessionStats]":
+        """Session accumulators in serialization order.  The sharded
+        fleet keys ``stats`` by session id instead of a dense list and
+        overrides this (and :meth:`_load_stats`) accordingly."""
+        return self.stats
+
+    def _load_stats(self, saved: list) -> None:
+        if len(saved) != len(self.stats):
+            raise ValueError(
+                f"snapshot has {len(saved)} sessions, "
+                f"runtime has {len(self.stats)}"
+            )
+        for stats, entry in zip(self.stats, saved):
+            stats.load_state(entry)
+
     def _encode_payload(self, kind: int, payload: object) -> object:
         """JSON-safe form of one heap payload (kind-specific)."""
         if kind == _ARRIVAL:
@@ -454,7 +475,7 @@ class ServeRuntime:
             ],
             "batcher": self.batcher.state_dict(),
             "pool": self.pool.state_dict(),
-            "stats": [stats.state_dict() for stats in self.stats],
+            "stats": [stats.state_dict() for stats in self._stats_values()],
             "predictions": predictions,
         }
 
@@ -471,13 +492,7 @@ class ServeRuntime:
             for time_s, kind, seq, data in state["heap"]
         ]
         self.batcher.load_state(state["batcher"])
-        if len(state["stats"]) != len(self.stats):
-            raise ValueError(
-                f"snapshot has {len(state['stats'])} sessions, "
-                f"runtime has {len(self.stats)}"
-            )
-        for stats, saved in zip(self.stats, state["stats"]):
-            stats.load_state(saved)
+        self._load_stats(state["stats"])
         if state["predictions"] is not None:
             if self.predictions is None:
                 self.predictions = {}

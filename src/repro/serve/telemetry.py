@@ -44,6 +44,10 @@ class SessionStats:
     degraded: int = 0
     pending: int = 0
     lost_input: int = 0
+    #: Frames that were physically on a shard (queued or in flight on a
+    #: worker) when it was killed — the *only* frames a shard failover
+    #: may lose (the bounded-loss guarantee of ``repro.serve.fleet``).
+    lost_shard: int = 0
     #: Per-path frame counts.  Degraded frames get their *own* bucket —
     #: they are served by the reuse mechanism but are not reuse-path
     #: decisions, so attributing them to "reuse" would over-count that
@@ -64,7 +68,13 @@ class SessionStats:
 
     @property
     def total_frames(self) -> int:
-        return self.completed + self.shed + self.pending + self.lost_input
+        return (
+            self.completed
+            + self.shed
+            + self.pending
+            + self.lost_input
+            + self.lost_shard
+        )
 
     def record(self, path: str, latency_s: float, deadline_s: float) -> None:
         self.counts[path] = self.counts.get(path, 0) + 1
@@ -95,6 +105,11 @@ class SessionStats:
         """A frame the sensor never delivered (input-fault drop)."""
         self.lost_input += 1
 
+    def record_lost_shard(self) -> None:
+        """A frame that died with its shard (queued or in flight at the
+        kill instant) — bounded failover loss, never a silent leak."""
+        self.lost_shard += 1
+
     def percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
             raise ValueError(f"session {self.session_id} has no completed frames")
@@ -112,6 +127,7 @@ class SessionStats:
             "degraded": self.degraded,
             "pending": self.pending,
             "lost_input": self.lost_input,
+            "lost_shard": self.lost_shard,
             "counts": dict(self.counts),
         }
 
@@ -127,6 +143,9 @@ class SessionStats:
         self.degraded = int(state["degraded"])
         self.pending = int(state["pending"])
         self.lost_input = int(state["lost_input"])
+        # Checkpoints from before the sharded fleet predate this bucket;
+        # a single-runtime run cannot lose frames to a shard kill.
+        self.lost_shard = int(state.get("lost_shard", 0))
         self.counts = {str(k): int(v) for k, v in state["counts"].items()}
 
     @property
@@ -271,6 +290,11 @@ class FleetReport:
     max_batch: int
     predictions: "dict[tuple[int, int], np.ndarray] | None" = None
     faults: "FaultReport | None" = None
+    #: Sharded-fleet section (``repro.serve.fleet.FleetSection``): per-
+    #: shard rows plus the migration/failover/rebalance event log.  Duck-
+    #: typed (``state_dict()`` / ``format()``) so single-runtime reports
+    #: never import the fleet package; ``None`` outside fleet runs.
+    shards: "object | None" = None
 
     # ------------------------------------------------------------------
     # Fleet aggregates
@@ -298,6 +322,11 @@ class FleetReport:
     def lost_input_frames(self) -> int:
         """Frames the sensors never delivered (input-fault drops)."""
         return sum(s.lost_input for s in self.sessions)
+
+    @property
+    def lost_shard_frames(self) -> int:
+        """Frames that died with a killed shard (bounded failover loss)."""
+        return sum(s.lost_shard for s in self.sessions)
 
     @property
     def served_predict_frames(self) -> int:
@@ -384,6 +413,13 @@ def fleet_report_state(report: FleetReport) -> dict:
         "max_batch": report.max_batch,
         "predictions": predictions,
         "faults": None if report.faults is None else report.faults.state_dict(),
+        # Key present only on fleet runs so single-runtime report bytes
+        # (and every pinned byte-diff built on them) are unchanged.
+        **(
+            {}
+            if report.shards is None
+            else {"shards": report.shards.state_dict()}
+        ),
     }
 
 
@@ -471,6 +507,8 @@ def fleet_summary_metrics(report: FleetReport) -> dict[str, float]:
     if report.faults is not None:
         for key, value in report.faults.summary().items():
             metrics[f"faults_{key}"] = value
+    if report.shards is not None:
+        metrics.update(report.shards.summary())
     return metrics
 
 
@@ -498,6 +536,13 @@ def publish_fleet_metrics(report: FleetReport, metrics: MetricsRegistry) -> None
         "serve_lost_input_total", "Frames the sensors never delivered"
     )
     lost.inc(report.lost_input_frames - lost.value)
+    if report.shards is not None:
+        lost_shard = metrics.counter(
+            "serve_lost_shard_total", "Frames lost with killed shards"
+        )
+        lost_shard.inc(report.lost_shard_frames - lost_shard.value)
+        for name, value in report.shards.summary().items():
+            metrics.gauge(f"fleet_{name}").set(float(value))
     if report.faults is not None:
         publish_fault_metrics(report.faults, metrics)
 
@@ -567,11 +612,23 @@ def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
         f"degraded {s['degrade_rate']:.2%} | worker utilization "
         f"{s['worker_utilization']:.0%}, mean batch {s['mean_batch']:.2f}",
     ]
-    if report.pending_at_shutdown or report.lost_input_frames:
-        lines.append(
+    if (
+        report.pending_at_shutdown
+        or report.lost_input_frames
+        or report.lost_shard_frames
+    ):
+        accounting = (
             f"Accounting: {report.pending_at_shutdown} pending at shutdown, "
             f"{report.lost_input_frames} lost to input faults"
         )
+        if report.lost_shard_frames:
+            accounting += (
+                f", {report.lost_shard_frames} lost with killed shards"
+            )
+        lines.append(accounting)
+    if report.shards is not None:
+        lines.append("")
+        lines.append(report.shards.format())
     if report.faults is not None:
         lines.append("")
         lines.append(format_fault_report(report.faults))

@@ -1,0 +1,64 @@
+"""The ``fleet`` bench suite: payload shape, ledger metrics, directions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import (
+    SUITES,
+    fleet_payload,
+    flatten_fleet_payload,
+    run_fleet_failover,
+)
+from repro.obs.directions import metric_direction
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    report, wall_s = run_fleet_failover()
+    return report, wall_s
+
+
+class TestFleetSuite:
+    def test_registered(self):
+        assert "fleet" in SUITES
+
+    def test_payload_shape(self, suite_result):
+        report, wall_s = suite_result
+        payload = fleet_payload(report, wall_s)
+        assert payload["bench"] == "fleet_failover"
+        assert payload["sessions"] == 96
+        assert payload["shards_serving"] == 3.0
+        assert payload["rehomed_sessions"] > 0
+        assert payload["goodput_fps"] > 0
+
+    def test_flatten_is_one_level_floats(self, suite_result):
+        report, wall_s = suite_result
+        metrics = flatten_fleet_payload(fleet_payload(report, wall_s))
+        assert set(metrics) == {
+            "wall_s", "goodput_fps", "p95_ms", "miss_rate", "degrade_rate",
+            "worker_utilization", "failover_lost_frames", "rehomed_sessions",
+            "shards_serving",
+        }
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_workload_survives_the_kill(self, suite_result):
+        report, _ = suite_result
+        # The acceptance claim of the failover bench: the fleet keeps
+        # serving after losing a shard, with bounded loss.
+        assert report.shards.shards_killed == 1
+        total = sum(s.total_frames for s in report.sessions)
+        lost = sum(s.lost_shard for s in report.sessions)
+        assert lost / total < 0.05
+        assert report.predict_goodput_fps > 0
+
+
+class TestDirections:
+    def test_fleet_metric_directions(self):
+        assert metric_direction("failover_lost_frames") == -1
+        assert metric_direction("rehome_breaker_degraded") == -1
+        assert metric_direction("goodput_fps") == +1
+        assert metric_direction("p95_ms") == -1
+        # Topology descriptors are environment, not quality: ungated.
+        assert metric_direction("rehomed_sessions") == 0
+        assert metric_direction("shards_serving") == 0

@@ -1,0 +1,50 @@
+"""The ``fleet`` campaign runner: resolve, execute, metric surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.errors import CampaignConfigError
+from repro.exp.runners import RUNNERS, execute_spec, resolve_spec
+
+PARAMS = {
+    "serve": {"n_sessions": 12, "duration_s": 0.3},
+    "n_shards": 3,
+    "kills": [{"shard_id": 1, "at_s": 0.15}],
+}
+
+
+class TestResolve:
+    def test_registered(self):
+        assert "fleet" in RUNNERS
+
+    def test_run_id_ignores_spelling(self):
+        sparse = resolve_spec("fleet", PARAMS)
+        explicit = resolve_spec("fleet", {**PARAMS, "vnodes": 64, "ring_seed": 0})
+        assert sparse.run_id == explicit.run_id
+        assert sparse.config["kind"] == "fleet"
+
+    def test_bad_params_become_campaign_errors(self):
+        with pytest.raises(CampaignConfigError, match="fleet params"):
+            resolve_spec("fleet", {"bogus_knob": 1})
+
+
+class TestExecute:
+    def test_outcome_has_fleet_metrics_and_artifacts(self):
+        outcome = execute_spec("fleet", PARAMS)
+        for key in (
+            "predict_goodput_fps", "p95_ms", "failover_lost_frames",
+            "rehomed_sessions", "shards_serving", "migrations_completed",
+        ):
+            assert key in outcome.metrics
+        assert outcome.metrics["shards_serving"] == 2.0
+        report_txt = outcome.artifacts["report.txt"]
+        assert "Fleet topology: 3 shards started" in report_txt
+        assert "Failover: shard 1 killed at 0.150s" in report_txt
+        assert "fleet_shards_serving" in outcome.artifacts["metrics.prom"]
+
+    def test_execution_is_deterministic(self):
+        a = execute_spec("fleet", PARAMS)
+        b = execute_spec("fleet", PARAMS)
+        assert a.metrics == b.metrics
+        assert a.artifacts == b.artifacts

@@ -1,0 +1,84 @@
+"""``python -m repro fleet``: params resolution and CLI surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recover.codec import config_hash
+from repro.serve.fleet.cli import main, resolve_run_config, run_from_config
+from repro.serve.telemetry import FleetReport
+
+
+class TestResolveRunConfig:
+    def test_defaults_and_explicit_spellings_share_a_hash(self):
+        sparse = resolve_run_config({"serve": {"n_sessions": 8}})
+        explicit = resolve_run_config(
+            {"serve": {"n_sessions": 8}, "n_shards": 4, "vnodes": 64,
+             "ring_seed": 0, "migration_rate_hz": 0.0}
+        )
+        assert config_hash(sparse) == config_hash(explicit)
+        assert sparse["kind"] == "fleet"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet params"):
+            resolve_run_config({"shard_count": 4})
+
+    def test_bad_kill_rejected(self):
+        with pytest.raises(ValueError, match="bad fleet params"):
+            resolve_run_config({"kills": [{"shard": 1, "at_s": 0.2}]})
+
+    def test_kill_beyond_topology_rejected(self):
+        with pytest.raises(ValueError, match="starts with"):
+            resolve_run_config(
+                {"n_shards": 2, "kills": [{"shard_id": 5, "at_s": 0.1}]}
+            )
+
+    def test_run_from_config_returns_sharded_report(self):
+        report = run_from_config(
+            {"serve": {"n_sessions": 8, "duration_s": 0.2}, "n_shards": 2}
+        )
+        assert isinstance(report, FleetReport)
+        assert report.shards is not None
+        assert len(report.shards.shard_rows) == 2
+
+
+class TestCliMain:
+    ARGS = [
+        "--sessions", "16", "--shards", "4", "--duration", "0.3",
+        "--kill-shard", "2@0.2",
+    ]
+
+    def test_kill_run_prints_failover_line(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Fleet topology: 4 shards started" in out
+        assert "Failover: shard 2 killed at 0.200s" in out
+
+    def test_compare_no_kill_prints_cost(self, capsys):
+        assert main(self.ARGS + ["--compare-no-kill"]) == 0
+        out = capsys.readouterr().out
+        assert "no-kill baseline" in out
+        assert "Failover cost:" in out
+
+    def test_bad_kill_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--kill-shard", "nope"])
+        assert exc.value.code == 2
+
+    def test_kill_at_event_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--kill-at-event", "10"])
+        assert exc.value.code == 2
+
+    def test_checkpointed_run_and_crash_exit(self, tmp_path, capsys):
+        from repro.recover import JOURNAL_NAME
+        from repro.recover.cli import EXIT_SIMULATED_CRASH
+
+        directory = tmp_path / "ckpt"
+        code = main(self.ARGS + [
+            "--checkpoint-dir", str(directory),
+            "--checkpoint-every", "100",
+            "--kill-at-event", "150",
+        ])
+        assert code == EXIT_SIMULATED_CRASH
+        assert (directory / JOURNAL_NAME).exists()

@@ -1,0 +1,104 @@
+"""Consistent-hash ring: determinism, bounded remap, routing rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.fleet import HashRing
+
+SESSIONS = list(range(200))
+
+
+def build_ring(shards=(0, 1, 2, 3), vnodes: int = 64, seed: int = 0) -> HashRing:
+    ring = HashRing(vnodes=vnodes, seed=seed)
+    for shard in shards:
+        ring.add(shard)
+    return ring
+
+
+class TestDeterminism:
+    def test_same_seed_routes_identically(self):
+        a = build_ring()
+        b = build_ring()
+        assert [a.route(s) for s in SESSIONS] == [b.route(s) for s in SESSIONS]
+
+    def test_routing_is_insertion_order_independent(self):
+        a = build_ring(shards=(0, 1, 2, 3))
+        b = build_ring(shards=(3, 1, 0, 2))
+        assert [a.route(s) for s in SESSIONS] == [b.route(s) for s in SESSIONS]
+
+    def test_different_seed_changes_placement(self):
+        a = build_ring(seed=0)
+        b = build_ring(seed=1)
+        assert [a.route(s) for s in SESSIONS] != [b.route(s) for s in SESSIONS]
+
+    def test_state_roundtrip(self):
+        ring = build_ring(shards=(0, 2, 5), vnodes=16, seed=7)
+        clone = HashRing.from_state(ring.state_dict())
+        assert clone.nodes == ring.nodes
+        assert [clone.route(s) for s in SESSIONS] == [
+            ring.route(s) for s in SESSIONS
+        ]
+
+
+class TestBoundedRemap:
+    def test_removal_only_remaps_the_dead_shards_sessions(self):
+        ring = build_ring()
+        before = {s: ring.route(s) for s in SESSIONS}
+        ring.remove(2)
+        for session, owner in before.items():
+            if owner != 2:
+                assert ring.route(session) == owner
+            else:
+                assert ring.route(session) != 2
+
+    def test_avoid_matches_post_removal_placement(self):
+        # Migrating off a live shard must land the session exactly where
+        # a real removal would: the later kill then never moves it again.
+        ring = build_ring()
+        with_avoid = {
+            s: ring.route(s, avoid=2) for s in SESSIONS
+        }
+        ring.remove(2)
+        assert with_avoid == {s: ring.route(s) for s in SESSIONS}
+
+
+class TestAssignment:
+    def test_covers_every_session_once_and_every_shard(self):
+        ring = build_ring()
+        placement = ring.assignment(SESSIONS)
+        assert sorted(placement) == [0, 1, 2, 3]
+        routed = [s for members in placement.values() for s in members]
+        assert sorted(routed) == SESSIONS
+        for shard, members in placement.items():
+            assert members == sorted(members)
+            assert all(ring.route(s) == shard for s in members)
+
+    def test_vnodes_spread_load(self):
+        placement = build_ring(vnodes=128).assignment(SESSIONS)
+        sizes = [len(members) for members in placement.values()]
+        assert min(sizes) > 0
+
+
+class TestErrors:
+    def test_duplicate_add_rejected(self):
+        ring = build_ring()
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add(1)
+
+    def test_remove_absent_rejected(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            build_ring().remove(9)
+
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(RuntimeError, match="no alive shards"):
+            HashRing().route(0)
+
+    def test_cannot_avoid_the_only_shard(self):
+        ring = build_ring(shards=(4,))
+        with pytest.raises(RuntimeError, match="only shard"):
+            ring.route(0, avoid=4)
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
