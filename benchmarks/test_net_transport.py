@@ -1,0 +1,72 @@
+"""Lossy-transport bench: what the protocol pays and what it saves.
+
+Three identical lossy fleets (10% drop, 10% duplication, jittered
+delays) with partition windows of increasing length cutting shard 1 off
+the router.  The acceptance claims: retransmission absorbs a short
+partition without tripping the failure detector, a long one fails over
+through suspicion and heals with session bounce-back after the window
+lifts — and in every cell the frame-conservation ledger closes with
+zero frames lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, emit_bench_json
+from repro.bench.suites import (
+    flatten_net_payload,
+    net_payload,
+    run_net_transport,
+)
+from repro.system import table_to_text
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_partitions_cost_retransmits_not_frames(benchmark):
+    # Same callable as ``python -m repro bench run --suite net`` so the
+    # pytest bench and the history ledger can never drift apart.
+    rows, wall_s = benchmark.pedantic(run_net_transport, rounds=1, iterations=1)
+
+    payload = net_payload(rows, wall_s)
+    table = [
+        [
+            f"{w['partition_s'] * 1000:.0f}ms",
+            f"{w['retransmit_overhead']:.1%}",
+            int(w["frames_lost"]),
+            w["deduped"],
+            w["suspected"],
+            w["bounced"],
+            f"{w['heal_s'] * 1000:.1f}ms" if w["heal_s"] else "-",
+            f"{w['goodput_fps']:.0f}",
+        ]
+        for w in payload["windows"]
+    ]
+    emit(table_to_text(
+        ["Partition", "Retx", "Lost", "Deduped", "Susp", "Bounced",
+         "Heal", "Goodput"],
+        table,
+        min_width=8,
+    ))
+    emit_bench_json("net", payload, metrics=flatten_net_payload(payload))
+
+    short, medium, long = (w for _, w in zip(rows, payload["windows"]))
+    # A short partition rides on retransmits alone — no suspicion.
+    assert short["suspected"] == 0
+    # Long ones trip the detector and heal with bounce-back.
+    assert medium["suspected"] == 1 and long["suspected"] == 1
+    assert medium["bounced"] > 0 and long["bounced"] > 0
+    assert long["heal_s"] > 0
+    for window in payload["windows"]:
+        # Exactly-once delivery: duplicates were deduped, nothing lost.
+        assert window["deduped"] > 0
+        assert window["frames_lost"] == 0
+        assert window["goodput_fps"] > 0
+    # Conservation closes in every cell.
+    for _, report in rows:
+        total = sum(s.total_frames for s in report.sessions)
+        assert total == sum(
+            s.completed + s.shed + s.pending + s.lost_input
+            + s.lost_shard + s.lost_net
+            for s in report.sessions
+        )

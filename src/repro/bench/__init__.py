@@ -28,8 +28,10 @@ from repro.bench.ledger import (
 )
 from repro.bench.suites import (
     SUITES,
+    flatten_net_payload,
     flatten_sdc_payload,
     flatten_serve_payload,
+    run_net_transport,
     run_sdc_resilience,
     run_serve_scaling,
 )
@@ -41,11 +43,13 @@ __all__ = [
     "SUITES",
     "append_bench_record",
     "evaluate_gate",
+    "flatten_net_payload",
     "flatten_sdc_payload",
     "flatten_serve_payload",
     "format_gate",
     "format_trend",
     "read_bench_history",
+    "run_net_transport",
     "run_sdc_resilience",
     "run_serve_scaling",
     "sparkline",

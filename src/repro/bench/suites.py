@@ -186,6 +186,105 @@ def flatten_fleet_payload(payload: dict) -> "dict[str, float]":
     }
 
 
+#: Partition lengths of the net transport bench (seconds of blackout on
+#: shard 1, starting at 0.2s into the run).
+PARTITION_LENGTHS = (0.05, 0.15, 0.25)
+
+
+def run_net_transport() -> "tuple[list, float]":
+    """The lossy-transport bench: one lossy fleet per partition length.
+
+    Every cell runs the identical 24-session / 3-shard fleet over a
+    dropping, duplicating, jittering channel and cuts shard 1 off the
+    router for ``L`` seconds — measuring what the protocol pays
+    (retransmit overhead), what it saves (zero lost frames), and how
+    fast a false suspicion heals.  Returns
+    ``([(L, fleet_report), ...], wall_s)``.
+    """
+    from repro.faults.netfaults import LinkProfile, PartitionWindow
+    from repro.serve.fleet import FleetConfig, NetConfig, run_fleet
+
+    t0 = time.perf_counter()
+    rows = []
+    for length_s in PARTITION_LENGTHS:
+        config = FleetConfig(
+            serve=ServeConfig(
+                n_sessions=24,
+                duration_s=0.6,
+                n_workers=1,
+                reuse_displacement_deg=BASE.reuse_displacement_deg,
+                queue_budget_deadlines=BASE.queue_budget_deadlines,
+                seed=BASE.seed,
+            ),
+            n_shards=3,
+            net=NetConfig(
+                enabled=True,
+                seed=1,
+                link=LinkProfile(
+                    drop_rate=0.1, dup_rate=0.1, delay_s=5e-4, jitter_s=1e-3
+                ),
+                partitions=(
+                    PartitionWindow(
+                        start_s=0.2,
+                        stop_s=0.2 + length_s,
+                        shard_ids=(1,),
+                    ),
+                ),
+                ack_timeout_s=4e-3,
+                max_retransmits=8,
+            ),
+        )
+        rows.append((length_s, run_fleet(config)))
+    return rows, time.perf_counter() - t0
+
+
+def net_payload(rows: list, wall_s: float) -> dict:
+    """The ``BENCH_net.json`` snapshot payload."""
+    windows = []
+    for length_s, report in rows:
+        summary = report.summary()
+        counters = report.net.counters
+        stop_s = 0.2 + length_s
+        heals = [
+            t["at_s"] for t in report.net.transitions
+            if t["kind"] == "heal" and t["shard"] == 1
+        ]
+        first_sends = counters["data_sent"] - counters["retransmits"]
+        windows.append(
+            {
+                "partition_s": length_s,
+                "retransmit_overhead": counters["retransmits"] / first_sends,
+                "frames_lost": float(
+                    sum(s.lost_net + s.lost_shard for s in report.sessions)
+                ),
+                "deduped": counters["frames_deduped"],
+                "suspected": counters["suspected"],
+                "bounced": counters["heal_bounce_sessions"],
+                "heal_s": (heals[0] - stop_s) if heals else 0.0,
+                "goodput_fps": summary["predict_goodput_fps"],
+                "p95_ms": summary["p95_ms"],
+            }
+        )
+    return {
+        "bench": "net_transport",
+        "wall_s": round(wall_s, 3),
+        "windows": windows,
+    }
+
+
+def flatten_net_payload(payload: dict) -> "dict[str, float]":
+    """Snapshot payload -> one-level ledger metrics (``part<L>ms_*``)."""
+    metrics: dict[str, float] = {"wall_s": float(payload["wall_s"])}
+    for window in payload["windows"]:
+        prefix = f"part{int(round(window['partition_s'] * 1000))}ms"
+        for key in (
+            "retransmit_overhead", "frames_lost", "deduped", "suspected",
+            "bounced", "heal_s", "goodput_fps", "p95_ms",
+        ):
+            metrics[f"{prefix}_{key}"] = float(window[key])
+    return metrics
+
+
 def _suite_serve() -> "tuple[dict, dict]":
     rows, wall_s = run_serve_scaling()
     payload = serve_payload(rows, wall_s)
@@ -204,6 +303,12 @@ def _suite_fleet() -> "tuple[dict, dict]":
     return payload, flatten_fleet_payload(payload)
 
 
+def _suite_net() -> "tuple[dict, dict]":
+    rows, wall_s = run_net_transport()
+    payload = net_payload(rows, wall_s)
+    return payload, flatten_net_payload(payload)
+
+
 #: Suite name -> zero-arg callable returning ``(payload, metrics)``.
 #: The suite name doubles as the snapshot file suffix
 #: (``BENCH_<name>.json``); the payload's ``"bench"`` field is the
@@ -212,4 +317,5 @@ SUITES = {
     "serve": _suite_serve,
     "sdc": _suite_sdc,
     "fleet": _suite_fleet,
+    "net": _suite_net,
 }

@@ -32,6 +32,7 @@ from repro.faults.injectors import (
     SimulatedCrash,
     inject_input_faults,
 )
+from repro.faults.netfaults import GraySlow, LinkProfile, PartitionWindow
 from repro.faults.runtime import ChaosRuntime, build_chaos_fleet, run_chaos
 
 __all__ = [
@@ -42,10 +43,13 @@ __all__ = [
     "DEFAULT_TRACKER_PROFILE",
     "FaultyMipiLink",
     "FaultySensor",
+    "GraySlow",
     "InputFaultConfig",
     "InputFaultTrace",
     "LatencySpike",
+    "LinkProfile",
     "OCCLUSION_BLIND_OPENNESS",
+    "PartitionWindow",
     "ProcessKill",
     "RecoveryConfig",
     "ShardKill",

@@ -39,6 +39,7 @@ from repro.obs.tracer import (
     PID_ACCEL,
     PID_BATCHER,
     PID_FLEET,
+    PID_NET,
     PID_RECOVER,
     PID_RELIABILITY,
     PID_SESSION_BASE,
@@ -71,6 +72,7 @@ __all__ = [
     "PID_ACCEL",
     "PID_BATCHER",
     "PID_FLEET",
+    "PID_NET",
     "PID_RECOVER",
     "PID_RELIABILITY",
     "PID_SESSION_BASE",

@@ -62,6 +62,26 @@ _EXACT: "dict[str, int]" = {
     # Sharded fleet (FleetSection.summary(), fleet runner + bench suite)
     "failover_lost_frames": -1,
     "rehome_breaker_degraded": -1,
+    # Lossy transport (NetSection.summary(), prefixed net_ by the fleet
+    # summary; bare spellings cover the bench suite's window metrics).
+    # Protocol work (retransmits, dedupes) and failure-mode counts are
+    # costs; bounced sessions mean false suspicions recovered, so more
+    # bounce-back after a partition is the healthy direction.
+    "retransmits_total": -1,
+    "frames_deduped_total": -1,
+    "failover_detect_s": -1,
+    "heal_bounce_sessions": +1,
+    "exhausted_degraded": -1,
+    "exhausted_lost": -1,
+    "false_suspects": -1,
+    "late_discards": -1,
+    "dead_letters": -1,
+    # Net bench window metrics (part<L>ms_ family)
+    "retransmit_overhead": -1,
+    "frames_lost": -1,
+    "deduped": -1,
+    "bounced": +1,
+    "heal_s": -1,
     # Recovery probe
     "replayed_events": -1,
     "skipped_checkpoints": -1,
@@ -76,6 +96,10 @@ _FAMILIES = (
     re.compile(r"^fleet\d+_(?P<rest>.+)$"),
     re.compile(r"^(?:unprotected|abft|guard)_fit[0-9.eE+-]+_(?P<rest>.+)$"),
     re.compile(r"^(?:unprotected|abft|guard)_(?P<rest>coverage_min|escaped_total|p95_error_deg)$"),
+    # NetSection.summary() keys as prefixed by fleet_summary_metrics.
+    re.compile(r"^net_(?P<rest>.+)$"),
+    # Net bench windows: part50ms_retransmit_overhead, ...
+    re.compile(r"^part\d+ms_(?P<rest>.+)$"),
 )
 
 #: Latency percentiles in milliseconds, any percentile spelling.

@@ -44,6 +44,7 @@ PID_RECOVER = 6
 PID_RELIABILITY = 7
 PID_SLO = 8
 PID_FLEET = 9
+PID_NET = 10
 PID_SESSION_BASE = 100
 
 #: Shard pid namespacing: shard ``k`` owns the pid block

@@ -96,8 +96,65 @@ def chaos_config_from_dict(state: dict) -> ChaosConfig:
     )
 
 
+def net_config_to_dict(config) -> dict:
+    """Serialize a :class:`~repro.serve.fleet.transport.NetConfig`."""
+    return {
+        "enabled": config.enabled,
+        "seed": config.seed,
+        "link": asdict(config.link),
+        "partitions": [
+            {
+                "start_s": w.start_s,
+                "stop_s": w.stop_s,
+                "shard_ids": list(w.shard_ids),
+            }
+            for w in config.partitions
+        ],
+        "gray": [asdict(w) for w in config.gray],
+        "ack_timeout_s": config.ack_timeout_s,
+        "backoff_factor": config.backoff_factor,
+        "max_retransmits": config.max_retransmits,
+        "heartbeat_s": config.heartbeat_s,
+        "detect_every_s": config.detect_every_s,
+        "phi_threshold": config.phi_threshold,
+        "on_exhaust": config.on_exhaust,
+    }
+
+
+def net_config_from_dict(state: dict):
+    from repro.faults.netfaults import GraySlow, LinkProfile, PartitionWindow
+    from repro.serve.fleet.transport import NetConfig
+
+    return NetConfig(
+        enabled=bool(state["enabled"]),
+        seed=int(state["seed"]),
+        link=LinkProfile(**state["link"]),
+        partitions=tuple(
+            PartitionWindow(
+                start_s=float(w["start_s"]),
+                stop_s=float(w["stop_s"]),
+                shard_ids=tuple(int(s) for s in w["shard_ids"]),
+            )
+            for w in state["partitions"]
+        ),
+        gray=tuple(GraySlow(**w) for w in state["gray"]),
+        ack_timeout_s=float(state["ack_timeout_s"]),
+        backoff_factor=float(state["backoff_factor"]),
+        max_retransmits=int(state["max_retransmits"]),
+        heartbeat_s=float(state["heartbeat_s"]),
+        detect_every_s=float(state["detect_every_s"]),
+        phi_threshold=float(state["phi_threshold"]),
+        on_exhaust=str(state["on_exhaust"]),
+    )
+
+
 def fleet_config_to_dict(config) -> dict:
-    """Serialize a :class:`~repro.serve.fleet.FleetConfig`."""
+    """Serialize a :class:`~repro.serve.fleet.FleetConfig`.
+
+    The ``net`` key is present only when the transport is enabled, so
+    config hashes and checkpoint manifests of pre-transport (and plain)
+    fleet runs are byte-for-byte what they always were.
+    """
     return {
         "serve": serve_config_to_dict(config.serve),
         "n_shards": config.n_shards,
@@ -109,6 +166,11 @@ def fleet_config_to_dict(config) -> dict:
         "migration_seed": config.migration_seed,
         "failover": asdict(config.failover),
         "rebalancer": asdict(config.rebalancer),
+        **(
+            {"net": net_config_to_dict(config.net)}
+            if config.net.enabled
+            else {}
+        ),
     }
 
 
@@ -120,6 +182,7 @@ def fleet_config_from_dict(state: dict):
         RebalancerConfig,
         SessionMigration,
     )
+    from repro.serve.fleet.transport import NetConfig
 
     return FleetConfig(
         serve=serve_config_from_dict(state["serve"]),
@@ -132,6 +195,12 @@ def fleet_config_from_dict(state: dict):
         migration_seed=int(state["migration_seed"]),
         failover=FailoverConfig(**state["failover"]),
         rebalancer=RebalancerConfig(**state["rebalancer"]),
+        # Pre-transport checkpoints predate the key; they ran without it.
+        net=(
+            net_config_from_dict(state["net"])
+            if "net" in state
+            else NetConfig()
+        ),
     )
 
 

@@ -16,6 +16,7 @@ keeping the repo's two core guarantees intact:
 """
 
 from repro.faults.injectors import ShardKill
+from repro.faults.netfaults import GraySlow, LinkProfile, PartitionWindow
 from repro.serve.fleet.config import (
     FailoverConfig,
     FleetConfig,
@@ -24,10 +25,11 @@ from repro.serve.fleet.config import (
     planned_migrations,
     rebalance_ticks,
 )
-from repro.serve.fleet.report import FleetLog, FleetSection
+from repro.serve.fleet.report import FleetLog, FleetSection, NetSection
 from repro.serve.fleet.ring import HashRing
 from repro.serve.fleet.runtime import FleetRuntime, run_fleet
 from repro.serve.fleet.shard import MigrationPayload, ShardRuntime
+from repro.serve.fleet.transport import FleetTransport, NetConfig
 
 __all__ = [
     "FailoverConfig",
@@ -35,8 +37,14 @@ __all__ = [
     "FleetLog",
     "FleetRuntime",
     "FleetSection",
+    "FleetTransport",
+    "GraySlow",
     "HashRing",
+    "LinkProfile",
     "MigrationPayload",
+    "NetConfig",
+    "NetSection",
+    "PartitionWindow",
     "RebalancerConfig",
     "SessionMigration",
     "ShardKill",

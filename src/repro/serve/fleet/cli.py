@@ -6,6 +6,15 @@ shards mid-run (``--kill-shard 2@0.6``), live-migrates sessions
 fleet report with its shard section.  ``--compare-no-kill`` replays the
 identical fleet without the chaos schedule so the failover cost is a
 byte-level diff away.
+
+``--net`` (or any partition/gray window) routes every frame over the
+simulated lossy transport: ``--net-drop/--net-dup/--net-jitter-ms``
+shape the links, ``--partition 1,2@0.2:0.35`` cuts shards off the
+router for a window, ``--gray-shard 1@0.2:0.4`` makes one alive but
+slow, and the heartbeat failure detector — not the omniscient kill
+event — drives failover.  ``--compare-no-fault`` replays the identical
+fleet with a *clean* network (protocol still on) so the fault cost is
+isolated from the protocol overhead.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import argparse
 from dataclasses import fields
 
 from repro.faults.injectors import ShardKill
+from repro.faults.netfaults import GraySlow, LinkProfile, PartitionWindow
 from repro.obs.cli import (
     add_obs_arguments,
     add_slo_arguments,
@@ -31,16 +41,98 @@ from repro.serve.fleet.config import (
     SessionMigration,
 )
 from repro.serve.fleet.runtime import FleetRuntime, run_fleet
+from repro.serve.fleet.transport import NetConfig
 from repro.serve.telemetry import FleetReport, format_fleet_report
 
 
-def _parse_at(spec: str, flag: str) -> tuple[int, float]:
-    """Parse an ``ID@SECONDS`` spec (e.g. ``--kill-shard 2@0.6``)."""
+def _parse_int(token: str, what: str, flag: str, spec: str) -> int:
     try:
-        ident, at_s = spec.split("@", 1)
-        return int(ident), float(at_s)
-    except ValueError as err:
-        raise ValueError(f"{flag} expects ID@SECONDS, got {spec!r}") from err
+        return int(token)
+    except ValueError:
+        raise ValueError(
+            f"{flag}: {token!r} is not an integer {what} in {spec!r}"
+        ) from None
+
+
+def _parse_time(token: str, flag: str, spec: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"{flag}: {token!r} is not a time in seconds in {spec!r}"
+        ) from None
+
+
+def _parse_at(spec: str, flag: str) -> tuple[int, float]:
+    """Parse an ``ID@SECONDS`` spec (e.g. ``--kill-shard 2@0.6``),
+    naming the exact bad token on failure."""
+    ident, sep, at_s = spec.partition("@")
+    if not sep or not ident or not at_s:
+        raise ValueError(f"{flag} expects ID@SECONDS, got {spec!r}")
+    return (
+        _parse_int(ident, "id", flag, spec),
+        _parse_time(at_s, flag, spec),
+    )
+
+
+def _parse_span(token: str, flag: str, spec: str) -> tuple[float, float]:
+    start, sep, stop = token.partition(":")
+    if not sep or not start or not stop:
+        raise ValueError(
+            f"{flag} expects a START:STOP window in seconds, got {spec!r}"
+        )
+    return (
+        _parse_time(start, flag, spec),
+        _parse_time(stop, flag, spec),
+    )
+
+
+def _parse_partition(spec: str, flag: str = "--partition") -> PartitionWindow:
+    """Parse ``SHARDS@START:STOP`` (e.g. ``1,2@0.2:0.35``)."""
+    shards, sep, window = spec.partition("@")
+    if not sep or not shards or not window:
+        raise ValueError(f"{flag} expects SHARDS@START:STOP, got {spec!r}")
+    shard_ids = tuple(
+        _parse_int(token, "shard id", flag, spec)
+        for token in shards.split(",")
+        if token != ""
+    )
+    if not shard_ids:
+        raise ValueError(f"{flag} names no shards in {spec!r}")
+    start_s, stop_s = _parse_span(window, flag, spec)
+    return PartitionWindow(start_s=start_s, stop_s=stop_s, shard_ids=shard_ids)
+
+
+def _parse_gray(spec: str, delay_factor: float) -> GraySlow:
+    """Parse ``ID@START:STOP`` (e.g. ``--gray-shard 1@0.2:0.4``)."""
+    flag = "--gray-shard"
+    ident, sep, window = spec.partition("@")
+    if not sep or not ident or not window:
+        raise ValueError(f"{flag} expects ID@START:STOP, got {spec!r}")
+    start_s, stop_s = _parse_span(window, flag, spec)
+    return GraySlow(
+        shard_id=_parse_int(ident, "shard id", flag, spec),
+        start_s=start_s,
+        stop_s=stop_s,
+        delay_factor=delay_factor,
+    )
+
+
+def _net_from_params(raw: dict) -> NetConfig:
+    """Build a :class:`NetConfig` from a partial campaign sub-dict
+    (nested ``link`` / ``partitions`` / ``gray`` blocks optional)."""
+    raw = dict(raw)
+    link = LinkProfile(**raw.pop("link", {}))
+    partitions = tuple(
+        PartitionWindow(
+            start_s=float(w["start_s"]),
+            stop_s=float(w["stop_s"]),
+            shard_ids=tuple(int(s) for s in w["shard_ids"]),
+        )
+        for w in raw.pop("partitions", [])
+    )
+    gray = tuple(GraySlow(**w) for w in raw.pop("gray", []))
+    return NetConfig(link=link, partitions=partitions, gray=gray, **raw)
 
 
 # ----------------------------------------------------------------------
@@ -72,10 +164,11 @@ def resolve_run_config(params: dict) -> dict:
         )
         failover = FailoverConfig(**params.pop("failover", {}))
         rebalancer = RebalancerConfig(**params.pop("rebalancer", {}))
+        net = _net_from_params(params.pop("net", {}))
     except TypeError as err:
         raise ValueError(f"bad fleet params: {err}") from err
     known = {f.name for f in fields(FleetConfig)} - {
-        "serve", "kills", "migrations", "failover", "rebalancer",
+        "serve", "kills", "migrations", "failover", "rebalancer", "net",
     }
     unknown = sorted(set(params) - known)
     if unknown:
@@ -88,6 +181,7 @@ def resolve_run_config(params: dict) -> dict:
         migrations=migrations,
         failover=failover,
         rebalancer=rebalancer,
+        net=net,
         **params,
     )
     return {
@@ -166,9 +260,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="P95 queue wait below which the fleet may shrink")
     parser.add_argument("--guard", type=float, default=failover.guard_s,
                         help="breaker-guarded window after a re-home, seconds")
+    net = NetConfig()
+    group = parser.add_argument_group(
+        "net transport",
+        "simulated lossy router<->shard network (any --partition or "
+        "--gray-shard implies --net)",
+    )
+    group.add_argument("--net", action="store_true",
+                       help="route frames over the simulated transport")
+    group.add_argument("--net-seed", type=int, default=net.seed)
+    group.add_argument("--net-drop", type=float, default=0.0,
+                       metavar="P", help="per-message drop probability")
+    group.add_argument("--net-dup", type=float, default=0.0,
+                       metavar="P", help="per-message duplication probability")
+    group.add_argument("--net-delay-ms", type=float, default=0.5,
+                       help="base one-way link delay")
+    group.add_argument("--net-jitter-ms", type=float, default=0.0,
+                       help="uniform extra delay (reordering source)")
+    group.add_argument("--net-ack-timeout-ms", type=float,
+                       default=net.ack_timeout_s * 1e3,
+                       help="first retransmit timeout")
+    group.add_argument("--net-max-retransmits", type=int,
+                       default=net.max_retransmits)
+    group.add_argument("--net-backoff", type=float,
+                       default=net.backoff_factor,
+                       help="exponential backoff factor between retransmits")
+    group.add_argument("--net-heartbeat-ms", type=float,
+                       default=net.heartbeat_s * 1e3,
+                       help="shard heartbeat period")
+    group.add_argument("--net-detect-ms", type=float,
+                       default=net.detect_every_s * 1e3,
+                       help="failure-detector evaluation period")
+    group.add_argument("--net-phi", type=float, default=net.phi_threshold,
+                       help="suspicion threshold in heartbeat intervals")
+    group.add_argument("--partition", action="append", default=[],
+                       metavar="SHARDS@T1:T2",
+                       help="cut shards off the router for [T1,T2) "
+                       "(e.g. 1,2@0.2:0.35; repeatable)")
+    group.add_argument("--gray-shard", action="append", default=[],
+                       metavar="ID@T1:T2",
+                       help="gray failure: shard alive but slow for "
+                       "[T1,T2) (repeatable)")
+    group.add_argument("--gray-factor", type=float, default=25.0,
+                       help="delay multiplier of gray-slow windows")
+    group.add_argument("--net-on-exhaust", choices=("degrade", "drop"),
+                       default=net.on_exhaust,
+                       help="what the router does with a frame whose "
+                       "retransmits are exhausted")
     parser.add_argument("--compare-no-kill", action="store_true",
                         help="also run the same fleet without the chaos "
                         "schedule and print both reports")
+    parser.add_argument("--compare-no-fault", action="store_true",
+                        help="also run the same fleet over a CLEAN network "
+                        "(transport protocol on, faults and kills off) and "
+                        "print both reports")
     parser.add_argument("--max-session-rows", type=int, default=8)
     add_checkpoint_arguments(parser)
     add_obs_arguments(parser)
@@ -199,6 +344,30 @@ def fleet_config_from_args(args: argparse.Namespace) -> FleetConfig:
             _parse_at(spec, "--migrate") for spec in args.migrate
         )
     )
+    partitions = tuple(_parse_partition(spec) for spec in args.partition)
+    gray = tuple(
+        _parse_gray(spec, args.gray_factor) for spec in args.gray_shard
+    )
+    net_enabled = args.net or bool(partitions) or bool(gray)
+    net = NetConfig(
+        enabled=net_enabled,
+        seed=args.net_seed,
+        link=LinkProfile(
+            drop_rate=args.net_drop,
+            dup_rate=args.net_dup,
+            delay_s=args.net_delay_ms * 1e-3,
+            jitter_s=args.net_jitter_ms * 1e-3,
+        ),
+        partitions=partitions,
+        gray=gray,
+        ack_timeout_s=args.net_ack_timeout_ms * 1e-3,
+        backoff_factor=args.net_backoff,
+        max_retransmits=args.net_max_retransmits,
+        heartbeat_s=args.net_heartbeat_ms * 1e-3,
+        detect_every_s=args.net_detect_ms * 1e-3,
+        phi_threshold=args.net_phi,
+        on_exhaust=args.net_on_exhaust,
+    )
     return FleetConfig(
         serve=serve,
         n_shards=args.shards,
@@ -214,6 +383,7 @@ def fleet_config_from_args(args: argparse.Namespace) -> FleetConfig:
             p95_high_s=args.rebalance_high_ms * 1e-3,
             p95_low_s=args.rebalance_low_ms * 1e-3,
         ),
+        net=net,
     )
 
 
@@ -224,6 +394,9 @@ def main(argv: "list[str] | None" = None) -> int:
         config = fleet_config_from_args(args)
     except ValueError as err:
         parser.error(str(err))
+    if args.compare_no_fault and not config.net.enabled:
+        parser.error("--compare-no-fault requires the net transport "
+                     "(--net, --partition, or --gray-shard)")
     if args.kill_at_event is not None and args.checkpoint_dir is None:
         parser.error("--kill-at-event requires --checkpoint-dir")
     if args.slo is not None and args.checkpoint_dir is not None:
@@ -295,6 +468,35 @@ def main(argv: "list[str] | None" = None) -> int:
             f"\nFailover cost: goodput {report.predict_goodput_fps:.0f} vs "
             f"{baseline.predict_goodput_fps:.0f} fresh predictions/s, "
             f"{report.lost_shard_frames} frames lost with killed shards "
+            f"(baseline {baseline.lost_shard_frames})"
+        )
+    if args.compare_no_fault:
+        from dataclasses import replace
+
+        clean_net = replace(
+            config.net,
+            link=LinkProfile(delay_s=config.net.link.delay_s),
+            partitions=(),
+            gray=(),
+        )
+        baseline = run_fleet(replace(config, kills=(), net=clean_net))
+        print("\n--- clean-network baseline (same fleet + protocol, "
+              "no faults) ---\n")
+        print(
+            format_fleet_report(
+                baseline, max_session_rows=args.max_session_rows
+            )
+        )
+        faulted = report.net.counters
+        clean = baseline.net.counters
+        print(
+            f"\nFault cost: goodput {report.predict_goodput_fps:.0f} vs "
+            f"{baseline.predict_goodput_fps:.0f} fresh predictions/s | "
+            f"retransmits {faulted['retransmits']} vs "
+            f"{clean['retransmits']} | degraded+lost "
+            f"{faulted['exhausted_degraded'] + faulted['exhausted_lost']} "
+            f"vs {clean['exhausted_degraded'] + clean['exhausted_lost']} | "
+            f"{report.lost_shard_frames} frames died with killed shards "
             f"(baseline {baseline.lost_shard_frames})"
         )
     return 0

@@ -16,7 +16,11 @@ total.  On top of the template sit the fleet-only knobs:
 * **failover policy** — the circuit breaker guarding re-admission of
   re-homed sessions;
 * **rebalancer** — the hysteretic P95-queue-wait autoscaler
-  (shard spawn / drain), disabled by default.
+  (shard spawn / drain), disabled by default;
+* **net** — the simulated lossy router<->shard transport
+  (:class:`~repro.serve.fleet.transport.NetConfig`): seeded drop /
+  duplicate / delay distributions, partition and gray-slow windows,
+  ack/retransmit protocol knobs, and the heartbeat failure detector.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import numpy as np
 
 from repro.faults.injectors import ShardKill
 from repro.serve.config import ServeConfig
+from repro.serve.fleet.transport import NetConfig
 from repro.utils.validation import check_positive
 
 
@@ -134,6 +139,7 @@ class FleetConfig:
     migration_seed: int = 0
     failover: FailoverConfig = field(default_factory=FailoverConfig)
     rebalancer: RebalancerConfig = field(default_factory=RebalancerConfig)
+    net: NetConfig = field(default_factory=NetConfig)
 
     def __post_init__(self) -> None:
         check_positive("n_shards", self.n_shards)
@@ -159,6 +165,34 @@ class FleetConfig:
                     f"migration targets session {migration.session_id} but "
                     f"the fleet has {self.serve.n_sessions} sessions"
                 )
+        if self.net.enabled:
+            if self.rebalancer.enabled:
+                raise ValueError(
+                    "the net transport does not compose with the "
+                    "rebalancer: heartbeats are scheduled for the initial "
+                    "topology only, so a spawned shard would be suspected "
+                    "instantly"
+                )
+            if self.migrations or self.migration_rate_hz > 0:
+                raise ValueError(
+                    "the net transport does not compose with live "
+                    "migration: under --net, session movement is driven "
+                    "exclusively by the failure detector (suspect re-home "
+                    "and heal bounce-back)"
+                )
+            for window in self.net.partitions:
+                for shard_id in window.shard_ids:
+                    if shard_id >= self.n_shards:
+                        raise ValueError(
+                            f"partition window names shard {shard_id} but "
+                            f"the fleet starts with {self.n_shards} shards"
+                        )
+            for window in self.net.gray:
+                if window.shard_id >= self.n_shards:
+                    raise ValueError(
+                        f"gray-slow window names shard {window.shard_id} "
+                        f"but the fleet starts with {self.n_shards} shards"
+                    )
 
     @property
     def n_sessions(self) -> int:

@@ -7,7 +7,10 @@ The :class:`FleetLog` accumulates what the fleet controller *did*
 :class:`~repro.serve.telemetry.FleetReport`.  The section is duck-typed
 (``state_dict()`` / ``format()`` / ``summary()``) so the single-runtime
 telemetry module renders and serializes it without importing this
-package.
+package.  Net-transport runs additionally freeze the
+:class:`~repro.serve.fleet.transport.FleetTransport`'s protocol counters
+and detector transitions into a :class:`NetSection` with the same
+duck-typed surface.
 """
 
 from __future__ import annotations
@@ -224,3 +227,131 @@ class FleetSection:
                 ]
             )
         return "\n".join(lines) + "\n" + table_to_text(headers, rows, min_width=6)
+
+
+@dataclass
+class NetSection:
+    """Frozen transport/detector section of a net-mode fleet report.
+
+    ``counters`` is the transport's full counter dict (see
+    ``repro.serve.fleet.transport.COUNTER_NAMES``); ``transitions`` the
+    detector's suspect/heal timeline; ``detect_latencies`` the
+    kill-to-suspicion delays of real failovers.
+    """
+
+    drop_rate: float
+    dup_rate: float
+    delay_s: float
+    jitter_s: float
+    n_partitions: int
+    n_gray: int
+    on_exhaust: str
+    counters: dict[str, int]
+    transitions: list[dict] = field(default_factory=list)
+    detect_latencies: list[float] = field(default_factory=list)
+
+    @classmethod
+    def from_transport(cls, config, transport) -> "NetSection":
+        return cls(
+            drop_rate=config.link.drop_rate,
+            dup_rate=config.link.dup_rate,
+            delay_s=config.link.delay_s,
+            jitter_s=config.link.jitter_s,
+            n_partitions=len(config.partitions),
+            n_gray=len(config.gray),
+            on_exhaust=config.on_exhaust,
+            counters=dict(transport.counters),
+            transitions=[dict(t) for t in transport.transitions],
+            detect_latencies=list(transport.detect_latencies),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Flat metrics merged into ``fleet_summary_metrics`` under the
+        ``net_`` prefix — what exp ledgers and the bench gate read."""
+        c = self.counters
+        return {
+            "retransmits_total": float(c["retransmits"]),
+            "frames_deduped_total": float(c["frames_deduped"]),
+            "failover_detect_s": (
+                max(self.detect_latencies) if self.detect_latencies else 0.0
+            ),
+            "heal_bounce_sessions": float(c["heal_bounce_sessions"]),
+            "suspected_total": float(c["suspected"]),
+            "false_suspects": float(c["false_suspects"]),
+            "heals_total": float(c["heals"]),
+            "exhausted_degraded": float(c["exhausted_degraded"]),
+            "exhausted_lost": float(c["exhausted_lost"]),
+            "late_discards": float(c["late_discards"]),
+            "dead_letters": float(c["dead_letters"]),
+            "net_messages_total": float(
+                c["data_sent"] + c["acks_sent"] + c["heartbeats_sent"]
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (the byte-diff oracle includes the section)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "drop_rate": self.drop_rate,
+            "dup_rate": self.dup_rate,
+            "delay_s": self.delay_s,
+            "jitter_s": self.jitter_s,
+            "n_partitions": self.n_partitions,
+            "n_gray": self.n_gray,
+            "on_exhaust": self.on_exhaust,
+            "counters": dict(self.counters),
+            "transitions": [dict(t) for t in self.transitions],
+            "detect_latencies": list(self.detect_latencies),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NetSection":
+        return cls(
+            drop_rate=float(state["drop_rate"]),
+            dup_rate=float(state["dup_rate"]),
+            delay_s=float(state["delay_s"]),
+            jitter_s=float(state["jitter_s"]),
+            n_partitions=int(state["n_partitions"]),
+            n_gray=int(state["n_gray"]),
+            on_exhaust=str(state["on_exhaust"]),
+            counters={str(k): int(v) for k, v in state["counters"].items()},
+            transitions=[dict(t) for t in state["transitions"]],
+            detect_latencies=[float(x) for x in state["detect_latencies"]],
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering (embedded in format_fleet_report)
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        c = self.counters
+        lines = [
+            f"Transport: {c['data_sent']} data msgs "
+            f"({c['retransmits']} retransmits, "
+            f"{c['dup_injected']} dup-injected), "
+            f"{c['acks_sent']} acks, {c['heartbeats_sent']} heartbeats "
+            f"| dropped {c['data_dropped']}+{c['acks_dropped']}"
+            f"+{c['heartbeats_dropped']}",
+            f"Exactly-once: {c['frames_applied']} applied, "
+            f"{c['frames_deduped']} duplicates deduped, "
+            f"{c['dead_letters']} dead-lettered, "
+            f"{c['late_discards']} late copies discarded",
+            f"Exhaustion: {c['exhausted_degraded']} degraded after retries, "
+            f"{c['exhausted_lost']} lost (policy {self.on_exhaust})",
+        ]
+        detector = (
+            f"Detector: {c['suspected']} suspected "
+            f"({c['false_suspects']} false), {c['heals']} healed, "
+            f"{c['heal_bounce_sessions']} sessions bounced back"
+        )
+        if self.detect_latencies:
+            detector += (
+                f" | failover detected in {max(self.detect_latencies):.3f}s"
+            )
+        lines.append(detector)
+        if self.n_partitions or self.n_gray:
+            lines.append(
+                f"Partitions: {self.n_partitions} windows | "
+                f"gray-slow: {self.n_gray}"
+            )
+        return "\n".join(lines)

@@ -31,16 +31,22 @@ from __future__ import annotations
 
 import heapq
 
-from repro.obs import NULL_OBS, Obs, PID_FLEET
+from repro.obs import NULL_OBS, Obs, PID_FLEET, PID_NET
 from repro.serve.config import BatchServiceModel
 from repro.serve.fleet.config import (
     FleetConfig,
     planned_migrations,
     rebalance_ticks,
 )
-from repro.serve.fleet.report import FleetLog, FleetSection
+from repro.serve.fleet.report import FleetLog, FleetSection, NetSection
 from repro.serve.fleet.ring import HashRing
 from repro.serve.fleet.shard import ShardRuntime
+from repro.serve.fleet.transport import (
+    FleetTransport,
+    K_NET_DETECT,
+    K_NET_HEARTBEAT,
+    K_NET_SEND,
+)
 from repro.serve.request import build_fleet, fleet_requests
 from repro.serve.telemetry import FleetReport, SessionStats, publish_fleet_metrics
 
@@ -48,7 +54,9 @@ from repro.serve.telemetry import FleetReport, SessionStats, publish_fleet_metri
 # shard events: a control event reports kind ``1..3`` while a shard
 # event reports ``(shard_id + 1) * _SHARD_KIND_STRIDE + shard_kind``
 # (shard kinds are 0..2), so the write-ahead journal can tell every
-# event source apart from the (time, kind, seq) triple alone.
+# event source apart from the (time, kind, seq) triple alone.  The net
+# transport's control kinds (``repro.serve.fleet.transport.K_NET_*``)
+# are *negative*, keeping them disjoint too.
 _K_KILL, _K_MIGRATE, _K_REBALANCE = 1, 2, 3
 _SHARD_KIND_STRIDE = 4
 
@@ -83,10 +91,27 @@ class FleetRuntime:
         self._started = False
         self.log = FleetLog()
         self.slo = None
+        #: The lossy router<->shard transport, or None (perfect channel).
+        self.transport: "FleetTransport | None" = (
+            FleetTransport(config.net, obs=self.obs)
+            if config.net.enabled
+            else None
+        )
+        #: Net mode only: the ONE fleet-owned stats dict every shard
+        #: aliases (see ShardRuntime.stats_shared).
+        self._net_stats: dict[int, SessionStats] = {}
+        #: Net mode only: completion horizon of router-side exhaustion
+        #: degrades (they finish at now + reuse_bypass_s like any other
+        #: degrade, but no shard's makespan sees them).
+        self._net_makespan_s = 0.0
         if self.obs.enabled:
             self.obs.tracer.declare_track(
                 PID_FLEET, "fleet", thread_name="control"
             )
+            if self.transport is not None:
+                self.obs.tracer.declare_track(
+                    PID_NET, "fleet.net", thread_name="transport"
+                )
 
     def attach_slo(self, engine) -> None:
         """Attach an online SLO engine, evaluated on the fleet's merged
@@ -144,20 +169,35 @@ class FleetRuntime:
         all_requests = fleet_requests(
             self.sessions, self.config.serve.deadline_s
         )
+        if self.transport is not None:
+            self._net_stats = {
+                s.session_id: SessionStats(s.session_id)
+                for s in self.sessions
+            }
         for shard_id in sorted(placement):
             shard = self.shards[shard_id]
             members = set(placement[shard_id])
             shard.fleet = [self.sessions[sid] for sid in placement[shard_id]]
-            shard.stats = {
-                sid: SessionStats(sid) for sid in placement[shard_id]
-            }
+            if self.transport is not None:
+                # Frames reach shards only over the transport, so the
+                # shard seeds no arrivals and aliases the shared ledger.
+                shard.stats = self._net_stats
+                shard.stats_shared = True
+            else:
+                shard.stats = {
+                    sid: SessionStats(sid) for sid in placement[shard_id]
+                }
             for sid in placement[shard_id]:
                 self._session_shard[sid] = shard_id
             if shard.obs.enabled:
                 shard._declare_tracks()
             shard.start(
-                [r for r in all_requests if r.session_id in members]
+                []
+                if self.transport is not None
+                else [r for r in all_requests if r.session_id in members]
             )
+        if self.transport is not None:
+            self._seed_net_schedule(all_requests)
         for kill in sorted(
             self.config.kills, key=lambda k: (k.at_s, k.shard_id)
         ):
@@ -173,6 +213,32 @@ class FleetRuntime:
         for tick in rebalance_ticks(self.config):
             self._push_control(tick, _K_REBALANCE, None)
         self._started = True
+
+    def _seed_net_schedule(self, all_requests) -> None:
+        """Enqueue the whole net-mode schedule: every frame's SEND at
+        its arrival, heartbeat ticks per initial shard, detector ticks.
+
+        Heartbeats and detector evaluations run for the traffic window
+        (``duration_s``) only: the detector is live exactly while frames
+        are, so a kill in the final silence of a run goes undiscovered —
+        as it would in production until the next frame cared.
+        """
+        net = self.config.net
+        duration = self.config.serve.duration_s
+        for request in all_requests:
+            self._push_control(request.arrival_s, K_NET_SEND, request.to_dict())
+        for shard_id in sorted(self.shards):
+            self.transport.register_shard(shard_id)
+            tick = 0
+            while (at_s := (tick + 1) * net.heartbeat_s) <= duration:
+                self._push_control(
+                    at_s, K_NET_HEARTBEAT, {"shard": shard_id, "i": tick}
+                )
+                tick += 1
+        tick = 0
+        while (at_s := (tick + 1) * net.detect_every_s) <= duration:
+            self._push_control(at_s, K_NET_DETECT, None)
+            tick += 1
 
     # ------------------------------------------------------------------
     # Merged event order
@@ -219,7 +285,9 @@ class FleetRuntime:
             return False
         if head[0] == "control":
             now, _, kind, payload = heapq.heappop(self._control)
-            if kind == _K_KILL:
+            if kind < 0:
+                self.transport.handle(self, kind, payload, now)
+            elif kind == _K_KILL:
                 self._apply_kill(payload["shard"], now)
             elif kind == _K_MIGRATE:
                 self._apply_migration(payload, now)
@@ -241,6 +309,17 @@ class FleetRuntime:
     def _apply_kill(self, shard_id: int, now: float) -> None:
         """Chaos shard failure: lose in-flight frames, re-home sessions."""
         shard = self.shards[shard_id]
+        if self.transport is not None:
+            # Net mode: the shard dies *silently*.  Nothing re-homes and
+            # the ring keeps routing to the corpse until the failure
+            # detector stops seeing heartbeats and suspects it.
+            lost = shard.kill_silent(now)
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "fleet.kill", now, cat="fleet", pid=PID_FLEET,
+                    args={"shard": shard_id, "lost_frames": lost},
+                )
+            return
         self.ring.remove(shard_id)
         payloads, lost = shard.kill(now)
         rehomed = 0
@@ -263,6 +342,164 @@ class FleetRuntime:
             )
             self.obs.metrics.counter("fleet_failovers_total").inc()
             self.obs.metrics.counter("fleet_rehomed_sessions_total").inc(rehomed)
+
+    # ------------------------------------------------------------------
+    # Net-transport handlers (called back by FleetTransport)
+    # ------------------------------------------------------------------
+    def _net_move_session(
+        self, session_id: int, target_id: int, now: float
+    ) -> None:
+        """Move one session between shards without touching frame state.
+
+        Net-mode movement is routing-table surgery only: queued frames
+        stay where they physically are (the source keeps completing
+        stragglers into the shared ledger; retransmits re-resolve the
+        target), so nothing is extracted or requeued.
+        """
+        source = self.shards[self._session_shard[session_id]]
+        target = self.shards[target_id]
+        session = next(
+            s for s in source.fleet if s.session_id == session_id
+        )
+        source.fleet = [
+            s for s in source.fleet if s.session_id != session_id
+        ]
+        source._rehome_guard_until.pop(session_id, None)
+        target.fleet.append(session)
+        target.rehomed_in += 1
+        if self.config.failover.guard_s > 0:
+            target._rehome_guard_until[session_id] = (
+                now + self.config.failover.guard_s
+            )
+        self._session_shard[session_id] = target_id
+
+    def _net_suspect(self, shard_id: int, phi: float, now: float) -> None:
+        """Failure-detector suspicion: evict the shard from the ring and
+        re-home its sessions — whether the shard is dead or merely
+        silent (partitioned / gray-slow).  A false suspicion is healed
+        by the shard's next heartbeat (:meth:`_net_heal`)."""
+        transport = self.transport
+        shard = self.shards[shard_id]
+        transport.suspected.add(shard_id)
+        transport.counters["suspected"] += 1
+        dead = shard.killed_at_s is not None
+        if dead:
+            transport.detect_latencies.append(now - shard.killed_at_s)
+        else:
+            transport.counters["false_suspects"] += 1
+        transport.transitions.append(
+            {
+                "at_s": now,
+                "shard": shard_id,
+                "kind": "suspect",
+                "phi": round(phi, 3),
+                "dead": dead,
+            }
+        )
+        if shard_id in self.ring:
+            self.ring.remove(shard_id)
+        rehomed = 0
+        if len(self.ring) > 0:
+            for sid in sorted(
+                s.session_id for s in shard.fleet
+            ):
+                target_id = self.ring.route(sid)
+                self._net_move_session(sid, target_id, now)
+                transport.displaced[sid] = shard_id
+                rehomed += 1
+        if dead:
+            # Only real failures enter the fleet log; false suspicions
+            # are the transport's own story (NetSection transitions).
+            self.log.record_failover(now, shard_id, rehomed, shard.lost_frames)
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "net.suspect", now, cat="net", pid=PID_NET,
+                args={
+                    "shard": shard_id,
+                    "phi": round(phi, 3),
+                    "dead": int(dead),
+                    "rehomed_sessions": rehomed,
+                },
+            )
+            self.obs.metrics.counter("net_suspected_total").inc()
+            if not dead:
+                self.obs.metrics.counter("net_false_suspects_total").inc()
+            if dead:
+                self.obs.metrics.counter("fleet_failovers_total").inc()
+                self.obs.metrics.counter(
+                    "fleet_rehomed_sessions_total"
+                ).inc(rehomed)
+
+    def _net_heal(self, shard_id: int, now: float) -> None:
+        """A suspected shard's heartbeat arrived: it was a false alarm
+        (or a partition healed).  Rejoin it to the ring and bounce back
+        the displaced sessions the ring again assigns to it."""
+        transport = self.transport
+        transport.suspected.discard(shard_id)
+        transport.counters["heals"] += 1
+        transport.transitions.append(
+            {
+                "at_s": now,
+                "shard": shard_id,
+                "kind": "heal",
+                "phi": 0.0,
+                "dead": False,
+            }
+        )
+        if shard_id not in self.ring:
+            self.ring.add(shard_id)
+        bounced = 0
+        for sid in sorted(transport.displaced):
+            home = self.ring.route(sid)
+            if home == shard_id:
+                if self._session_shard[sid] != shard_id:
+                    self._net_move_session(sid, shard_id, now)
+                    bounced += 1
+                del transport.displaced[sid]
+            elif transport.displaced[sid] == shard_id:
+                # Its ring home is elsewhere now that the ring changed;
+                # it is no longer this shard's refugee.
+                del transport.displaced[sid]
+        transport.counters["heal_bounce_sessions"] += bounced
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "net.heal", now, cat="net", pid=PID_NET,
+                args={"shard": shard_id, "bounced_sessions": bounced},
+            )
+            self.obs.metrics.counter("net_heals_total").inc()
+            self.obs.metrics.counter(
+                "net_heal_bounce_sessions_total"
+            ).inc(bounced)
+
+    def _net_exhaust(self, frame: dict, now: float) -> None:
+        """Retries exhausted on an unapplied frame: resolve it at the
+        router per policy — degrade to the buffered gaze (the client-side
+        fallback) or account it lost."""
+        transport = self.transport
+        stats = self._net_stats[int(frame["session_id"])]
+        if self.config.net.on_exhaust == "degrade":
+            stats.record_degraded(
+                self.config.serve.reuse_bypass_s,
+                self.config.serve.deadline_s,
+            )
+            self._net_makespan_s = max(
+                self._net_makespan_s,
+                now + self.config.serve.reuse_bypass_s,
+            )
+            transport.counters["exhausted_degraded"] += 1
+        else:
+            stats.record_lost_net()
+            transport.counters["exhausted_lost"] += 1
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "net.exhaust", now, cat="net", pid=PID_NET,
+                args={
+                    "seq": int(frame["seq"]),
+                    "session": int(frame["session_id"]),
+                    "policy": self.config.net.on_exhaust,
+                },
+            )
+            self.obs.metrics.counter("net_exhausted_total").inc()
 
     def _apply_migration(self, payload: dict, now: float) -> None:
         """Planned live migration of one session."""
@@ -391,8 +628,13 @@ class FleetRuntime:
         head = self._next_source()
         if head is not None:
             raise RuntimeError(f"finish() with events still pending: {head}")
+        if self.transport is not None and self.transport.pending:
+            raise RuntimeError(
+                f"finish() with {len(self.transport.pending)} unresolved "
+                f"envelopes: {sorted(self.transport.pending)[:8]}"
+            )
         shard_ids = sorted(self.shards)
-        duration = self.config.serve.duration_s
+        duration = max(self.config.serve.duration_s, self._net_makespan_s)
         for sid in shard_ids:
             duration = max(duration, self.shards[sid]._makespan_s)
         merged: list[SessionStats] = []
@@ -429,6 +671,12 @@ class FleetRuntime:
                     "utilization": utilization,
                 }
             )
+        if self.transport is not None:
+            # Shared-ledger mode: every shard's _stats_values() is empty
+            # (stats_shared); the fleet owns the one merged ledger.
+            merged = [
+                self._net_stats[sid] for sid in sorted(self._net_stats)
+            ]
         merged.sort(key=lambda stats: stats.session_id)
         self._check_conservation(merged)
         total_batches = sum(occupancy.values())
@@ -447,6 +695,11 @@ class FleetRuntime:
                 self.shards[sid].breaker_degraded for sid in shard_ids
             ),
         )
+        net_section = (
+            NetSection.from_transport(self.config.net, self.transport)
+            if self.transport is not None
+            else None
+        )
         report = FleetReport(
             sessions=merged,
             duration_s=duration,
@@ -461,6 +714,7 @@ class FleetRuntime:
             predictions=None,
             faults=None,
             shards=section,
+            net=net_section,
         )
         if self.obs.enabled:
             publish_fleet_metrics(report, self.obs.metrics)
@@ -485,7 +739,8 @@ class FleetRuntime:
                     f"{stats.total_frames} (completed {stats.completed} + "
                     f"shed {stats.shed} + pending {stats.pending} + "
                     f"lost_input {stats.lost_input} + "
-                    f"lost_shard {stats.lost_shard})"
+                    f"lost_shard {stats.lost_shard} + "
+                    f"lost_net {stats.lost_net})"
                 )
 
     def run(self) -> FleetReport:
@@ -526,6 +781,20 @@ class FleetRuntime:
                 }
                 for sid in sorted(self.shards)
             ],
+            **(
+                {}
+                if self.transport is None
+                else {
+                    "net": {
+                        "transport": self.transport.state_dict(),
+                        "stats": [
+                            self._net_stats[sid].state_dict()
+                            for sid in sorted(self._net_stats)
+                        ],
+                        "makespan_s": self._net_makespan_s,
+                    }
+                }
+            ),
         }
 
     def load_state(self, state: dict) -> None:
@@ -560,6 +829,18 @@ class FleetRuntime:
             )
             shard.load_state(entry["state"])
             self.shards[shard_id] = shard
+        if self.transport is not None:
+            net = state["net"]
+            self.transport.load_state(net["transport"])
+            self._net_stats = {}
+            for entry in net["stats"]:
+                stats = SessionStats(int(entry["session_id"]))
+                stats.load_state(entry)
+                self._net_stats[stats.session_id] = stats
+            self._net_makespan_s = float(net["makespan_s"])
+            for shard in self.shards.values():
+                shard.stats = self._net_stats
+                shard.stats_shared = True
 
     @classmethod
     def restore(

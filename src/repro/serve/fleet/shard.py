@@ -89,6 +89,12 @@ class ShardRuntime(ServeRuntime):
         self.stats: dict[int, SessionStats] = {
             s.session_id: SessionStats(s.session_id) for s in self.fleet
         }
+        # Under the net transport every shard aliases ONE fleet-owned
+        # stats dict (a suspected-but-alive shard keeps completing
+        # stragglers for sessions that already re-homed).  The flag
+        # keeps per-shard snapshots from serializing the shared dict
+        # once per shard — the FleetRuntime serializes it exactly once.
+        self.stats_shared = False
         self.predictions = None
         self._heap: list[tuple[float, int, int, object]] = []
         self._event_seq = 0
@@ -145,6 +151,8 @@ class ShardRuntime(ServeRuntime):
     # Base-class hooks
     # ------------------------------------------------------------------
     def _stats_values(self) -> "list[SessionStats]":
+        if self.stats_shared:
+            return []
         return [self.stats[sid] for sid in sorted(self.stats)]
 
     def _load_stats(self, saved: list) -> None:
@@ -349,6 +357,40 @@ class ShardRuntime(ServeRuntime):
                 args={"lost_frames": lost, "sessions": len(payloads)},
             )
         return payloads, lost
+
+    def kill_silent(self, now: float) -> int:
+        """Fail the shard *without telling anyone* (net-transport mode).
+
+        Queued + in-flight frames die with the shard and are recorded
+        ``lost_shard``, exactly as in :meth:`kill` — but sessions stay
+        on the fleet list and nothing is packaged for re-homing: under
+        the lossy transport nobody knows the shard is dead until the
+        failure detector stops seeing heartbeats and *suspects* it.
+        Returns the number of frames lost.
+        """
+        if self.killed_at_s is not None:
+            raise RuntimeError(f"shard {self.shard_id} already killed")
+        lost = 0
+        for request in self.batcher.drain():
+            self.stats[request.session_id].record_lost_shard()
+            lost += 1
+        for _, kind, _, payload in self._heap:
+            if kind == _COMPLETE:
+                _, batch = payload
+                for request in batch:
+                    self.stats[request.session_id].record_lost_shard()
+                    lost += 1
+        self._heap = []
+        self.batcher.check_accounting()
+        self.lost_frames = lost
+        self._rehome_guard_until = {}
+        self.killed_at_s = now
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "shard.kill", now, cat="fleet", pid=PID_WORKERS,
+                args={"lost_frames": lost, "silent": 1},
+            )
+        return lost
 
     def start(self, requests: "list[FrameRequest] | None" = None) -> None:
         """Seed the given arrivals (idempotent).

@@ -1,0 +1,442 @@
+"""Deterministic lossy transport between the fleet router and its shards.
+
+Without this module the fleet routes frames to shards over an implicit
+perfect channel and fails shards only through the omniscient
+``ShardKill`` control event.  With ``NetConfig.enabled`` every frame
+instead travels as a sequence-numbered envelope over a simulated
+hub-and-spoke network (router <-> shard links) that can drop, duplicate,
+delay/reorder, partition (:class:`~repro.faults.netfaults.PartitionWindow`)
+and gray-slow (:class:`~repro.faults.netfaults.GraySlow`) messages — and
+the fleet keeps its two core guarantees anyway:
+
+* **exactly-once application** — ack/timeout/retransmit with exponential
+  backoff re-sends unacked envelopes; a per-fleet applied-sequence
+  registry dedupes every extra copy (link duplicates *and*
+  retransmissions whose ack was lost) before it reaches a shard, so the
+  frame-conservation ledger still closes exactly: every frame is
+  completed once, degraded once, or accounted lost.
+* **detection-driven failover** — shards emit heartbeats over the same
+  lossy links; a phi-accrual-style detector (elapsed silence over an EMA
+  of observed heartbeat intervals) *suspects* silent shards and only
+  then re-homes their sessions.  A kill is discovered, never announced.
+  False suspicions (partition, gray-slow shard) bounce back: the shard's
+  next heartbeat heals it, rejoins it to the ring, and returns the
+  sessions the ring still assigns to it, with the existing re-home
+  breaker guarding both directions against stampedes.
+
+Determinism and recovery: every random decision is a pure SHA-256 hash
+of ``(seed, purpose, link, seq, attempt)`` — there is no RNG state to
+checkpoint — and the protocol state (pending envelopes, applied /
+exhausted registries, detector estimates, displaced sessions, counters)
+round-trips through ``state_dict()`` / ``load_state()`` so a checkpoint
+taken mid-partition restores byte-identically.
+
+The transport owns protocol *state and policy*; the
+:class:`~repro.serve.fleet.runtime.FleetRuntime` owns the event heap and
+topology, dispatching the negative control-event kinds below to
+:meth:`FleetTransport.handle`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.faults.netfaults import GraySlow, LinkProfile, PartitionWindow
+from repro.obs import NULL_OBS, PID_NET
+from repro.serve.request import FrameRequest
+
+# Net control-event kinds.  Negative so the write-ahead journal encoding
+# stays disjoint from both the classic control kinds (1..3) and the
+# shard-event encoding ((shard_id + 1) * stride + kind >= 4).
+K_NET_SEND = -1        #: a frame enters the router (payload: frame dict)
+K_NET_DELIVER = -2     #: a data copy reaches its shard
+K_NET_ACK = -3         #: an ack reaches the router
+K_NET_RETRY = -4       #: retransmit timer for one sequence number
+K_NET_HEARTBEAT = -5   #: a shard emits a heartbeat
+K_NET_HB_DELIVER = -6  #: a heartbeat reaches the detector
+K_NET_DETECT = -7      #: periodic failure-detector evaluation
+
+#: Exhaustion policies: degrade the frame at the router (serve it from
+#: the buffered gaze, the client-side fallback) or account it lost.
+ON_EXHAUST_POLICIES = ("degrade", "drop")
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Knobs of the simulated router<->shard network and its protocol."""
+
+    enabled: bool = False
+    seed: int = 0
+    link: LinkProfile = field(default_factory=LinkProfile)
+    partitions: tuple[PartitionWindow, ...] = ()
+    gray: tuple[GraySlow, ...] = ()
+    #: First retransmit timeout; attempt ``k`` waits
+    #: ``ack_timeout_s * backoff_factor**k``.
+    ack_timeout_s: float = 5e-3
+    backoff_factor: float = 2.0
+    max_retransmits: int = 5
+    #: Heartbeat emission period per shard.
+    heartbeat_s: float = 0.02
+    #: Failure-detector evaluation period.
+    detect_every_s: float = 0.01
+    #: Suspect a shard when its silence exceeds ``phi_threshold`` times
+    #: the EMA of its observed heartbeat intervals.
+    phi_threshold: float = 4.0
+    on_exhaust: str = "degrade"
+
+    def __post_init__(self) -> None:
+        from repro.utils.validation import check_positive
+
+        check_positive("ack_timeout_s", self.ack_timeout_s)
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_retransmits < 0:
+            raise ValueError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}"
+            )
+        check_positive("heartbeat_s", self.heartbeat_s)
+        check_positive("detect_every_s", self.detect_every_s)
+        check_positive("phi_threshold", self.phi_threshold)
+        if self.on_exhaust not in ON_EXHAUST_POLICIES:
+            raise ValueError(
+                f"on_exhaust must be one of {ON_EXHAUST_POLICIES}, "
+                f"got {self.on_exhaust!r}"
+            )
+
+
+#: Counter keys, fixed so reports and snapshots enumerate them stably.
+COUNTER_NAMES = (
+    "data_sent",          # every data transmission (first sends + retransmits)
+    "retransmits",
+    "dup_injected",       # duplicate copies the link created
+    "acks_sent",
+    "heartbeats_sent",
+    "data_dropped",       # data copies lost to drop draws or partitions
+    "acks_dropped",
+    "heartbeats_dropped",
+    "frames_applied",     # unique sequence numbers applied to a shard
+    "frames_deduped",     # extra copies discarded by the applied registry
+    "dead_letters",       # copies delivered to a dead shard
+    "late_discards",      # copies arriving after their seq was exhausted
+    "acked",
+    "ack_lost_gaveup",    # retries exhausted but the frame was applied
+    "exhausted_degraded",
+    "exhausted_lost",
+    "suspected",
+    "false_suspects",
+    "heals",
+    "heal_bounce_sessions",
+)
+
+
+def _unit(seed: int, *key) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by the message.
+
+    A pure function of ``(seed, key)`` — the transport carries no RNG
+    state, which is what keeps mid-partition checkpoints byte-identical.
+    """
+    token = ":".join(str(k) for k in ("net", seed, *key))
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+class FleetTransport:
+    """Protocol state machine of the lossy router<->shard channel."""
+
+    def __init__(self, config: NetConfig, obs=None):
+        self.config = config
+        self.obs = obs if obs is not None else NULL_OBS
+        #: seq -> {"frame": dict, "attempt": int} awaiting an ack.
+        self.pending: dict[int, dict] = {}
+        #: Sequence numbers applied to some shard exactly once.
+        self.applied: set[int] = set()
+        #: Sequence numbers the router gave up on (degraded/lost).
+        self.exhausted: set[int] = set()
+        #: Shards currently suspected by the failure detector.
+        self.suspected: set[int] = set()
+        #: shard -> sim time of its last delivered heartbeat (0.0 = start).
+        self.last_seen: dict[int, float] = {}
+        #: shard -> EMA of observed heartbeat intervals.
+        self.mean_interval: dict[int, float] = {}
+        #: session -> the suspected shard it was displaced from.
+        self.displaced: dict[int, int] = {}
+        #: Detector transitions: {"at_s","shard","kind","phi","dead"}.
+        self.transitions: list[dict] = []
+        #: Kill-to-suspicion latencies of real (dead-shard) failovers.
+        self.detect_latencies: list[float] = []
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    # ------------------------------------------------------------------
+    # Channel model
+    # ------------------------------------------------------------------
+    def register_shard(self, shard_id: int) -> None:
+        """Start monitoring a shard (its start counts as a heartbeat)."""
+        self.last_seen[shard_id] = 0.0
+        self.mean_interval[shard_id] = self.config.heartbeat_s
+
+    def partitioned(self, shard_id: int, t: float) -> bool:
+        return any(w.covers(shard_id, t) for w in self.config.partitions)
+
+    def _gray_factor(self, shard_id: int, t: float) -> float:
+        factor = 1.0
+        for window in self.config.gray:
+            if window.covers(shard_id, t):
+                factor *= window.delay_factor
+        return factor
+
+    def _delay(self, shard_id: int, t: float, *key) -> float:
+        link = self.config.link
+        jitter = (
+            link.jitter_s * _unit(self.config.seed, *key)
+            if link.jitter_s > 0
+            else 0.0
+        )
+        return (link.delay_s + jitter) * self._gray_factor(shard_id, t)
+
+    def _dropped(self, shard_id: int, t: float, *key) -> bool:
+        if self.partitioned(shard_id, t):
+            return True
+        rate = self.config.link.drop_rate
+        return rate > 0 and _unit(self.config.seed, *key) < rate
+
+    # ------------------------------------------------------------------
+    # Obs plumbing
+    # ------------------------------------------------------------------
+    def _instant(self, name: str, now: float, args: dict) -> None:
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                name, now, cat="net", pid=PID_NET, args=args
+            )
+
+    def _count(self, metric: str, n: int = 1) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter(metric).inc(n)
+
+    # ------------------------------------------------------------------
+    # Event handlers (dispatched by FleetRuntime.step)
+    # ------------------------------------------------------------------
+    def handle(self, fleet, kind: int, payload, now: float) -> None:
+        if kind == K_NET_SEND:
+            self._transmit(fleet, payload, 0, now)
+        elif kind == K_NET_DELIVER:
+            self._on_deliver(fleet, payload, now)
+        elif kind == K_NET_ACK:
+            self._on_ack(payload, now)
+        elif kind == K_NET_RETRY:
+            self._on_retry(fleet, payload, now)
+        elif kind == K_NET_HEARTBEAT:
+            self._on_heartbeat(fleet, payload, now)
+        elif kind == K_NET_HB_DELIVER:
+            self._on_hb_deliver(fleet, payload, now)
+        elif kind == K_NET_DETECT:
+            self._on_detect(fleet, now)
+        else:  # pragma: no cover - guarded by the kind<0 dispatch
+            raise ValueError(f"unknown net event kind {kind}")
+
+    def _transmit(self, fleet, frame: dict, attempt: int, now: float) -> None:
+        """Send one envelope copy toward the session's *current* shard.
+
+        Retransmissions re-resolve the target, which is how in-flight
+        frames of a re-homed session reroute to the surviving shard.
+        """
+        seq = int(frame["seq"])
+        shard_id = fleet._session_shard[int(frame["session_id"])]
+        self.pending[seq] = {"frame": frame, "attempt": attempt}
+        self.counters["data_sent"] += 1
+        timeout = (
+            self.config.ack_timeout_s * self.config.backoff_factor**attempt
+        )
+        fleet._push_control(now + timeout, K_NET_RETRY, {"seq": seq})
+        if self._dropped(shard_id, now, "drop", shard_id, seq, attempt):
+            self.counters["data_dropped"] += 1
+            self._instant(
+                "net.drop", now,
+                {"seq": seq, "shard": shard_id, "attempt": attempt},
+            )
+            self._count("net_data_dropped_total")
+            return
+        delay = self._delay(shard_id, now, "delay", shard_id, seq, attempt)
+        envelope = {"frame": frame, "shard": shard_id, "attempt": attempt,
+                    "dup": 0}
+        fleet._push_control(now + delay, K_NET_DELIVER, envelope)
+        if (
+            self.config.link.dup_rate > 0
+            and _unit(self.config.seed, "dup", shard_id, seq, attempt)
+            < self.config.link.dup_rate
+        ):
+            self.counters["dup_injected"] += 1
+            dup_delay = self._delay(
+                shard_id, now, "dupdelay", shard_id, seq, attempt
+            )
+            fleet._push_control(
+                now + dup_delay, K_NET_DELIVER, {**envelope, "dup": 1}
+            )
+            self._instant(
+                "net.dup_injected", now, {"seq": seq, "shard": shard_id}
+            )
+            self._count("net_dup_injected_total")
+
+    def _on_deliver(self, fleet, payload: dict, now: float) -> None:
+        """One data copy reaches its shard: apply exactly once."""
+        frame = payload["frame"]
+        seq = int(frame["seq"])
+        shard_id = int(payload["shard"])
+        shard = fleet.shards[shard_id]
+        if not shard.alive:
+            self.counters["dead_letters"] += 1
+            return
+        if seq in self.exhausted:
+            # The router already resolved this frame (degraded or lost);
+            # applying a late copy would double-account it.
+            self.counters["late_discards"] += 1
+            self._instant(
+                "net.late_discard", now, {"seq": seq, "shard": shard_id}
+            )
+            return
+        if seq in self.applied:
+            self.counters["frames_deduped"] += 1
+            self._instant(
+                "net.dedupe", now,
+                {"seq": seq, "shard": shard_id, "dup": payload["dup"]},
+            )
+            self._count("net_frames_deduped_total")
+            # Re-ack so a lost first ack stops triggering retransmits.
+            self._send_ack(fleet, shard_id, seq, payload, now)
+            return
+        self.applied.add(seq)
+        self.counters["frames_applied"] += 1
+        shard._on_arrival(FrameRequest.from_dict(frame), now)
+        self._send_ack(fleet, shard_id, seq, payload, now)
+
+    def _send_ack(
+        self, fleet, shard_id: int, seq: int, payload: dict, now: float
+    ) -> None:
+        self.counters["acks_sent"] += 1
+        key = ("ackdrop", shard_id, seq, payload["attempt"], payload["dup"])
+        if self._dropped(shard_id, now, *key):
+            self.counters["acks_dropped"] += 1
+            self._count("net_acks_dropped_total")
+            return
+        delay = self._delay(
+            shard_id, now,
+            "ackdelay", shard_id, seq, payload["attempt"], payload["dup"],
+        )
+        fleet._push_control(now + delay, K_NET_ACK, {"seq": seq})
+
+    def _on_ack(self, payload: dict, now: float) -> None:
+        if self.pending.pop(int(payload["seq"]), None) is not None:
+            self.counters["acked"] += 1
+
+    def _on_retry(self, fleet, payload: dict, now: float) -> None:
+        """Retransmit timer: back off and re-send, or give up."""
+        seq = int(payload["seq"])
+        entry = self.pending.get(seq)
+        if entry is None:
+            return  # acked (or resolved) before the timer fired
+        attempt = int(entry["attempt"]) + 1
+        if attempt > self.config.max_retransmits:
+            del self.pending[seq]
+            if seq in self.applied:
+                # Applied but every ack was lost: the frame is fine, the
+                # router just stops asking.
+                self.counters["ack_lost_gaveup"] += 1
+                return
+            self.exhausted.add(seq)
+            fleet._net_exhaust(entry["frame"], now)
+            return
+        self.counters["retransmits"] += 1
+        self._instant(
+            "net.retransmit", now, {"seq": seq, "attempt": attempt}
+        )
+        self._count("net_retransmits_total")
+        self._transmit(fleet, entry["frame"], attempt, now)
+
+    def _on_heartbeat(self, fleet, payload: dict, now: float) -> None:
+        shard_id = int(payload["shard"])
+        if not fleet.shards[shard_id].alive:
+            return  # dead shards are silent — that IS the failure signal
+        self.counters["heartbeats_sent"] += 1
+        tick = int(payload["i"])
+        if self._dropped(shard_id, now, "hbdrop", shard_id, tick):
+            self.counters["heartbeats_dropped"] += 1
+            return
+        delay = self._delay(shard_id, now, "hbdelay", shard_id, tick)
+        fleet._push_control(
+            now + delay, K_NET_HB_DELIVER, {"shard": shard_id}
+        )
+
+    def _on_hb_deliver(self, fleet, payload: dict, now: float) -> None:
+        shard_id = int(payload["shard"])
+        last = self.last_seen.get(shard_id, 0.0)
+        interval = now - last
+        if interval > 0:
+            mean = self.mean_interval.get(shard_id, self.config.heartbeat_s)
+            self.mean_interval[shard_id] = 0.8 * mean + 0.2 * interval
+        self.last_seen[shard_id] = now
+        if shard_id in self.suspected:
+            fleet._net_heal(shard_id, now)
+
+    def _on_detect(self, fleet, now: float) -> None:
+        """Periodic phi evaluation over every monitored shard."""
+        for shard_id in sorted(self.last_seen):
+            if shard_id in self.suspected:
+                continue
+            if fleet.shards[shard_id].retired_at_s is not None:
+                continue
+            mean = max(
+                self.mean_interval.get(shard_id, self.config.heartbeat_s),
+                1e-9,
+            )
+            phi = (now - self.last_seen[shard_id]) / mean
+            if phi >= self.config.phi_threshold:
+                fleet._net_suspect(shard_id, phi, now)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.recover)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "pending": [
+                [seq, dict(self.pending[seq])]
+                for seq in sorted(self.pending)
+            ],
+            "applied": sorted(self.applied),
+            "exhausted": sorted(self.exhausted),
+            "suspected": sorted(self.suspected),
+            "last_seen": [
+                [sid, self.last_seen[sid]] for sid in sorted(self.last_seen)
+            ],
+            "mean_interval": [
+                [sid, self.mean_interval[sid]]
+                for sid in sorted(self.mean_interval)
+            ],
+            "displaced": [
+                [sid, self.displaced[sid]] for sid in sorted(self.displaced)
+            ],
+            "transitions": [dict(t) for t in self.transitions],
+            "detect_latencies": list(self.detect_latencies),
+            "counters": dict(self.counters),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.pending = {
+            int(seq): {"frame": dict(e["frame"]), "attempt": int(e["attempt"])}
+            for seq, e in state["pending"]
+        }
+        self.applied = {int(s) for s in state["applied"]}
+        self.exhausted = {int(s) for s in state["exhausted"]}
+        self.suspected = {int(s) for s in state["suspected"]}
+        self.last_seen = {int(s): float(t) for s, t in state["last_seen"]}
+        self.mean_interval = {
+            int(s): float(v) for s, v in state["mean_interval"]
+        }
+        self.displaced = {int(s): int(h) for s, h in state["displaced"]}
+        self.transitions = [dict(t) for t in state["transitions"]]
+        self.detect_latencies = [float(x) for x in state["detect_latencies"]]
+        self.counters = {name: 0 for name in COUNTER_NAMES}
+        self.counters.update(
+            {str(k): int(v) for k, v in state["counters"].items()}
+        )

@@ -48,6 +48,10 @@ class SessionStats:
     #: worker) when it was killed — the *only* frames a shard failover
     #: may lose (the bounded-loss guarantee of ``repro.serve.fleet``).
     lost_shard: int = 0
+    #: Frames the lossy transport gave up on (every retransmit dropped)
+    #: under the ``on_exhaust="drop"`` policy — the only frames the net
+    #: layer may lose, and only when the policy says so.
+    lost_net: int = 0
     #: Per-path frame counts.  Degraded frames get their *own* bucket —
     #: they are served by the reuse mechanism but are not reuse-path
     #: decisions, so attributing them to "reuse" would over-count that
@@ -74,6 +78,7 @@ class SessionStats:
             + self.pending
             + self.lost_input
             + self.lost_shard
+            + self.lost_net
         )
 
     def record(self, path: str, latency_s: float, deadline_s: float) -> None:
@@ -110,6 +115,11 @@ class SessionStats:
         kill instant) — bounded failover loss, never a silent leak."""
         self.lost_shard += 1
 
+    def record_lost_net(self) -> None:
+        """A frame the transport exhausted its retransmits on under the
+        ``on_exhaust="drop"`` policy — accounted, never silently leaked."""
+        self.lost_net += 1
+
     def percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
             raise ValueError(f"session {self.session_id} has no completed frames")
@@ -128,6 +138,7 @@ class SessionStats:
             "pending": self.pending,
             "lost_input": self.lost_input,
             "lost_shard": self.lost_shard,
+            "lost_net": self.lost_net,
             "counts": dict(self.counts),
         }
 
@@ -146,6 +157,8 @@ class SessionStats:
         # Checkpoints from before the sharded fleet predate this bucket;
         # a single-runtime run cannot lose frames to a shard kill.
         self.lost_shard = int(state.get("lost_shard", 0))
+        # Likewise pre-transport checkpoints predate the net bucket.
+        self.lost_net = int(state.get("lost_net", 0))
         self.counts = {str(k): int(v) for k, v in state["counts"].items()}
 
     @property
@@ -295,6 +308,10 @@ class FleetReport:
     #: typed (``state_dict()`` / ``format()``) so single-runtime reports
     #: never import the fleet package; ``None`` outside fleet runs.
     shards: "object | None" = None
+    #: Net-transport section (``repro.serve.fleet.NetSection``): protocol
+    #: counters, detector transitions, detection latencies.  Duck-typed
+    #: like ``shards``; ``None`` unless the run used the lossy transport.
+    net: "object | None" = None
 
     # ------------------------------------------------------------------
     # Fleet aggregates
@@ -327,6 +344,11 @@ class FleetReport:
     def lost_shard_frames(self) -> int:
         """Frames that died with a killed shard (bounded failover loss)."""
         return sum(s.lost_shard for s in self.sessions)
+
+    @property
+    def lost_net_frames(self) -> int:
+        """Frames the transport exhausted under ``on_exhaust="drop"``."""
+        return sum(s.lost_net for s in self.sessions)
 
     @property
     def served_predict_frames(self) -> int:
@@ -420,6 +442,11 @@ def fleet_report_state(report: FleetReport) -> dict:
             if report.shards is None
             else {"shards": report.shards.state_dict()}
         ),
+        **(
+            {}
+            if report.net is None
+            else {"net": report.net.state_dict()}
+        ),
     }
 
 
@@ -509,6 +536,11 @@ def fleet_summary_metrics(report: FleetReport) -> dict[str, float]:
             metrics[f"faults_{key}"] = value
     if report.shards is not None:
         metrics.update(report.shards.summary())
+    if report.net is not None:
+        for key, value in report.net.summary().items():
+            metrics[f"net_{key}" if not key.startswith("net_") else key] = (
+                value
+            )
     return metrics
 
 
@@ -543,6 +575,14 @@ def publish_fleet_metrics(report: FleetReport, metrics: MetricsRegistry) -> None
         lost_shard.inc(report.lost_shard_frames - lost_shard.value)
         for name, value in report.shards.summary().items():
             metrics.gauge(f"fleet_{name}").set(float(value))
+    if report.net is not None:
+        lost_net = metrics.counter(
+            "serve_lost_net_total", "Frames lost to transport exhaustion"
+        )
+        lost_net.inc(report.lost_net_frames - lost_net.value)
+        for name, value in report.net.summary().items():
+            gauge_name = name if name.startswith("net_") else f"net_{name}"
+            metrics.gauge(gauge_name).set(float(value))
     if report.faults is not None:
         publish_fault_metrics(report.faults, metrics)
 
@@ -616,6 +656,7 @@ def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
         report.pending_at_shutdown
         or report.lost_input_frames
         or report.lost_shard_frames
+        or report.lost_net_frames
     ):
         accounting = (
             f"Accounting: {report.pending_at_shutdown} pending at shutdown, "
@@ -625,10 +666,17 @@ def format_fleet_report(report: FleetReport, max_session_rows: int = 8) -> str:
             accounting += (
                 f", {report.lost_shard_frames} lost with killed shards"
             )
+        if report.lost_net_frames:
+            accounting += (
+                f", {report.lost_net_frames} lost to transport exhaustion"
+            )
         lines.append(accounting)
     if report.shards is not None:
         lines.append("")
         lines.append(report.shards.format())
+    if report.net is not None:
+        lines.append("")
+        lines.append(report.net.format())
     if report.faults is not None:
         lines.append("")
         lines.append(format_fault_report(report.faults))

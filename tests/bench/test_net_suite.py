@@ -1,0 +1,74 @@
+"""The ``net`` bench suite: payload shape, ledger metrics, directions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import (
+    PARTITION_LENGTHS,
+    SUITES,
+    flatten_net_payload,
+    net_payload,
+    run_net_transport,
+)
+from repro.obs.directions import metric_direction
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    rows, wall_s = run_net_transport()
+    return rows, wall_s
+
+
+class TestNetSuite:
+    def test_registered(self):
+        assert "net" in SUITES
+
+    def test_payload_shape(self, suite_result):
+        rows, wall_s = suite_result
+        payload = net_payload(rows, wall_s)
+        assert payload["bench"] == "net_transport"
+        assert [w["partition_s"] for w in payload["windows"]] == list(
+            PARTITION_LENGTHS
+        )
+        for window in payload["windows"]:
+            assert window["retransmit_overhead"] > 0
+            assert window["goodput_fps"] > 0
+
+    def test_flatten_is_one_level_floats(self, suite_result):
+        rows, wall_s = suite_result
+        metrics = flatten_net_payload(net_payload(rows, wall_s))
+        assert "part150ms_retransmit_overhead" in metrics
+        assert "part250ms_heal_s" in metrics
+        assert len(metrics) == 1 + 8 * len(PARTITION_LENGTHS)
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_protocol_loses_nothing_across_partition_lengths(
+        self, suite_result
+    ):
+        # The acceptance claim of the bench: retransmission + failover
+        # absorb every partition length without losing a frame, and a
+        # partition long enough to trip the detector heals with
+        # bounce-back after it lifts.
+        rows, _ = suite_result
+        for length_s, report in rows:
+            assert sum(
+                s.lost_net + s.lost_shard for s in report.sessions
+            ) == 0, f"partition {length_s}s lost frames"
+        longest = rows[-1][1]
+        assert longest.net.counters["false_suspects"] == 1
+        assert longest.net.counters["heals"] == 1
+        assert longest.net.counters["heal_bounce_sessions"] > 0
+
+    def test_net_metric_directions(self):
+        assert metric_direction("part150ms_retransmit_overhead") == -1
+        assert metric_direction("part150ms_frames_lost") == -1
+        assert metric_direction("part250ms_heal_s") == -1
+        assert metric_direction("part250ms_bounced") == +1
+        assert metric_direction("net_retransmits_total") == -1
+        assert metric_direction("net_frames_deduped_total") == -1
+        assert metric_direction("net_failover_detect_s") == -1
+        assert metric_direction("net_heal_bounce_sessions") == +1
+        # Environment descriptors stay ungated.
+        assert metric_direction("part150ms_suspected") == 0
+        assert metric_direction("net_messages_total") == 0

@@ -1,0 +1,131 @@
+"""Durability of the lossy fleet transport: crash mid-partition, resume.
+
+The transport's protocol state (pending envelopes, dedupe registry,
+detector estimates, displaced sessions) rides in the fleet checkpoint,
+and every net control event replays from the write-ahead journal — so a
+crash in the middle of a partition window, with envelopes in flight and
+a shard falsely suspected, must still resume to a byte-identical report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ProcessKill, SimulatedCrash
+from repro.faults.injectors import ShardKill
+from repro.recover import (
+    CheckpointStore,
+    fleet_report_bytes,
+    restore_runtime,
+    resume,
+    run_with_checkpoints,
+)
+from repro.serve import ServeConfig
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetRuntime,
+    LinkProfile,
+    NetConfig,
+    PartitionWindow,
+    run_fleet,
+)
+
+
+def lossy_fleet() -> FleetConfig:
+    return FleetConfig(
+        serve=ServeConfig(
+            n_sessions=16, duration_s=0.5, n_workers=1,
+            reuse_displacement_deg=0.05, seed=0,
+        ),
+        n_shards=3,
+        kills=(ShardKill(shard_id=2, at_s=0.3),),
+        net=NetConfig(
+            enabled=True, seed=4,
+            link=LinkProfile(
+                drop_rate=0.15, dup_rate=0.15, delay_s=5e-4, jitter_s=1e-3
+            ),
+            partitions=(
+                PartitionWindow(start_s=0.15, stop_s=0.3, shard_ids=(1,)),
+            ),
+            ack_timeout_s=4e-3, max_retransmits=8,
+        ),
+    )
+
+
+class TestNetCrashRecovery:
+    def test_kill_restore_resume_is_byte_identical(self, tmp_path):
+        config = lossy_fleet()
+        reference = run_fleet(config)
+        with pytest.raises(SimulatedCrash):
+            run_with_checkpoints(
+                FleetRuntime(config), tmp_path, every=300,
+                kill=ProcessKill(at_event=1000),
+            )
+        report = resume(tmp_path)
+        assert fleet_report_bytes(report) == fleet_report_bytes(reference)
+
+    def test_crash_inside_the_partition_window(self, tmp_path):
+        # Drive the live runtime until sim time is inside the partition
+        # (suspicion pending or active, envelopes black-holed), then
+        # crash a fresh run at that event count and resume it.
+        config = lossy_fleet()
+        probe = FleetRuntime(config)
+        probe.start()
+        events = 0
+        while True:
+            head = probe.peek_event()
+            assert head is not None, "run ended before the partition"
+            if head[0] >= 0.2:
+                break
+            probe.step()
+            events += 1
+        with pytest.raises(SimulatedCrash):
+            run_with_checkpoints(
+                FleetRuntime(config), tmp_path, every=150,
+                kill=ProcessKill(at_event=events + 25),
+            )
+        report = resume(tmp_path)
+        assert fleet_report_bytes(report) == fleet_report_bytes(
+            run_fleet(config)
+        )
+
+    def test_restored_runtime_carries_transport_state(self, tmp_path):
+        config = lossy_fleet()
+        with pytest.raises(SimulatedCrash):
+            run_with_checkpoints(
+                FleetRuntime(config), tmp_path, every=200,
+                kill=ProcessKill(at_event=800),
+            )
+        checkpoint, skipped = CheckpointStore(tmp_path).latest_valid()
+        assert skipped == []
+        assert checkpoint.kind == "fleet"
+        restored = restore_runtime(tmp_path)
+        runtime = restored.runtime
+        assert isinstance(runtime, FleetRuntime)
+        assert runtime.transport is not None
+        # The dedupe registry made it across the crash (frames were
+        # applied before the checkpoint) and the shared session-stats
+        # ledger is re-aliased onto every shard.
+        assert runtime.transport.applied
+        for shard in runtime.shards.values():
+            assert shard.stats is runtime._net_stats
+
+    def test_net_config_roundtrips_through_manifest(self):
+        from repro.recover.configio import (
+            fleet_config_from_dict,
+            fleet_config_to_dict,
+        )
+
+        config = lossy_fleet()
+        state = fleet_config_to_dict(config)
+        assert state["net"]["partitions"] == [
+            {"start_s": 0.15, "stop_s": 0.3, "shard_ids": [1]}
+        ]
+        clone = fleet_config_from_dict(state)
+        assert clone.net == config.net
+        # Pre-transport manifests have no "net" key and must still load;
+        # plain fleets must keep emitting byte-identical manifests.
+        plain = FleetConfig(serve=ServeConfig(n_sessions=4, duration_s=0.1))
+        plain_state = fleet_config_to_dict(plain)
+        assert "net" not in plain_state
+        assert fleet_config_from_dict(plain_state).net == NetConfig()

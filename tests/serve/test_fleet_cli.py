@@ -41,6 +41,41 @@ class TestResolveRunConfig:
         assert report.shards is not None
         assert len(report.shards.shard_rows) == 2
 
+    def test_net_params_resolve_and_run(self):
+        report = run_from_config(
+            {
+                "serve": {"n_sessions": 8, "duration_s": 0.2},
+                "n_shards": 2,
+                "net": {
+                    "enabled": True,
+                    "link": {"drop_rate": 0.2, "dup_rate": 0.2},
+                },
+            }
+        )
+        assert report.net is not None
+        assert report.net.counters["frames_applied"] == report.total_frames
+
+    def test_net_key_is_absent_from_plain_hashes(self):
+        # Pre-transport campaign hashes must not shift: a config without
+        # net (or with it disabled) resolves to the same dict as before.
+        plain = resolve_run_config({"serve": {"n_sessions": 8}})
+        disabled = resolve_run_config(
+            {"serve": {"n_sessions": 8}, "net": {"enabled": False}}
+        )
+        assert "net" not in plain["config"]
+        assert config_hash(plain) == config_hash(disabled)
+        lossy = resolve_run_config(
+            {"serve": {"n_sessions": 8}, "net": {"enabled": True}}
+        )
+        assert lossy["config"]["net"]["enabled"] is True
+        assert config_hash(lossy) != config_hash(plain)
+
+    def test_bad_net_params_rejected(self):
+        with pytest.raises(ValueError, match="bad fleet params"):
+            resolve_run_config({"net": {"enabled": True, "drop": 0.5}})
+        with pytest.raises(ValueError, match="on_exhaust must be one of"):
+            resolve_run_config({"net": {"enabled": True, "on_exhaust": "no"}})
+
 
 class TestCliMain:
     ARGS = [
@@ -65,6 +100,30 @@ class TestCliMain:
             main(["--kill-shard", "nope"])
         assert exc.value.code == 2
 
+    def test_net_run_prints_transport_section(self, capsys):
+        assert main([
+            "--sessions", "8", "--shards", "2", "--duration", "0.2",
+            "--net", "--net-drop", "0.2", "--net-dup", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Transport:" in out
+        assert "Exactly-once:" in out
+        assert "Detector:" in out
+
+    def test_partition_flag_alone_enables_the_transport(self, capsys):
+        assert main([
+            "--sessions", "8", "--shards", "2", "--duration", "0.3",
+            "--partition", "1@0.1:0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Partitions: 1 windows" in out
+
+    def test_compare_no_fault_requires_net(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--sessions", "8", "--compare-no-fault"])
+        assert exc.value.code == 2
+        assert "--compare-no-fault" in capsys.readouterr().err
+
     def test_kill_at_event_requires_checkpoint_dir(self):
         with pytest.raises(SystemExit) as exc:
             main(["--kill-at-event", "10"])
@@ -82,3 +141,41 @@ class TestCliMain:
         ])
         assert code == EXIT_SIMULATED_CRASH
         assert (directory / JOURNAL_NAME).exists()
+
+
+class TestSpecParsingErrors:
+    """Malformed schedule specs must exit 2 with a message naming the
+    bad token — never a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv,needle",
+        [
+            (["--kill-shard", "nope@0.3"],
+             "--kill-shard: 'nope' is not an integer id in 'nope@0.3'"),
+            (["--kill-shard", "2@soon"],
+             "--kill-shard: 'soon' is not a time in seconds in '2@soon'"),
+            (["--kill-shard", "2"],
+             "--kill-shard expects ID@SECONDS, got '2'"),
+            (["--migrate", "3@later"],
+             "--migrate: 'later' is not a time in seconds in '3@later'"),
+            (["--migrate", "x@0.2"],
+             "--migrate: 'x' is not an integer id in 'x@0.2'"),
+            (["--partition", "1,x@0.2:0.35"],
+             "--partition: 'x' is not an integer shard id in '1,x@0.2:0.35'"),
+            (["--partition", "1@0.2"],
+             "--partition expects a START:STOP window in seconds, got '1@0.2'"),
+            (["--partition", "@0.2:0.3"],
+             "--partition expects SHARDS@START:STOP, got '@0.2:0.3'"),
+            (["--gray-shard", "1@0.2:abc"],
+             "--gray-shard: 'abc' is not a time in seconds in '1@0.2:abc'"),
+            (["--gray-shard", "1"],
+             "--gray-shard expects ID@START:STOP, got '1'"),
+        ],
+    )
+    def test_bad_token_is_named_without_traceback(self, capsys, argv, needle):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert needle in err
+        assert "Traceback" not in err

@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.faults.injectors import ShardKill
 from repro.recover import fleet_report_bytes
 from repro.serve import ServeConfig
-from repro.serve.fleet import FleetConfig, FleetRuntime, run_fleet
+from repro.serve.fleet import (
+    FailoverConfig,
+    FleetConfig,
+    FleetRuntime,
+    run_fleet,
+)
 
 KILL_SCHEDULES = {
     "none": (),
@@ -102,6 +108,93 @@ class TestBoundedLoss:
         assert fleet_report_bytes(run_fleet(config)) == fleet_report_bytes(
             run_fleet(config)
         )
+
+
+class TestBreakerBackToBackKills:
+    """Two kills inside one ``guard_s`` window: the second wave of
+    refugees must flow into the breaker the first wave already opened —
+    reusing its cooldown clock, never resetting it."""
+
+    COOLDOWN = 0.04
+    KILLS = (ShardKill(shard_id=2, at_s=0.2), ShardKill(shard_id=3, at_s=0.26))
+
+    def config(self) -> FleetConfig:
+        return FleetConfig(
+            serve=ServeConfig(
+                n_sessions=48, duration_s=0.6, n_workers=1,
+                reuse_displacement_deg=0.05, queue_budget_deadlines=0.4,
+                seed=0,
+            ),
+            n_shards=4,
+            kills=self.KILLS,
+            failover=FailoverConfig(
+                breaker_threshold=3, breaker_cooldown_s=self.COOLDOWN,
+                guard_s=0.3,
+            ),
+        )
+
+    def test_second_kill_reuses_the_open_breaker(self):
+        runtime = FleetRuntime(self.config())
+        runtime.start()
+        while runtime.step():
+            pass
+        report = runtime.finish()
+        second_kill = self.KILLS[1].at_s
+        survivors = [s for s in runtime.shards.values() if s.alive]
+        assert len(survivors) == 2
+        for shard in survivors:
+            transitions = shard.rehome_breaker.transitions
+            assert shard.breaker_degraded > 0
+            # The first wave opened the breaker before the second kill...
+            first_open = transitions[0]
+            assert first_open[1:] == ("CLOSED", "OPEN")
+            assert first_open[0] < second_kill
+            # ...and the second kill landed inside an OPEN window, so
+            # its refugees met an already-open breaker.
+            assert any(
+                to == "OPEN" and t <= second_kill < t + self.COOLDOWN
+                for t, _, to in transitions
+            )
+            # No reset: every OPEN closes into HALF_OPEN at *exactly*
+            # open-instant + cooldown on the sim clock — degradations
+            # from the second wave never extend the window.
+            for (t, _, to), nxt in zip(transitions, transitions[1:]):
+                if to == "OPEN":
+                    assert nxt[1:] == ("OPEN", "HALF_OPEN")
+                    assert nxt[0] == pytest.approx(t + self.COOLDOWN)
+        # The report total also counts frames shard 3 degraded while
+        # guarding the first wave before it was killed itself.
+        assert report.shards.rehome_breaker_degraded == sum(
+            s.breaker_degraded for s in runtime.shards.values()
+        )
+        assert report.shards.rehome_breaker_degraded > sum(
+            s.breaker_degraded for s in survivors
+        ) > 0
+
+    def test_open_breaker_ignores_failures_without_extending_cooldown(self):
+        # The unit-level contract the fleet behaviour rests on, driven
+        # by explicit sim-clock instants.
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=0.5)
+        for _ in range(3):
+            breaker.record_failure(1.0)
+        assert breaker.state(1.0) is BreakerState.OPEN
+        assert breaker.reopen_s == 1.5
+        # A later failure burst (the second kill's refugees) while OPEN
+        # must not push the reopen instant out.
+        breaker.record_failure(1.2)
+        breaker.record_failure(1.3)
+        assert breaker.reopen_s == 1.5
+        assert not breaker.allow(1.49)
+        # At exactly the reopen instant one probe is admitted.
+        assert breaker.allow(1.5)
+        assert breaker.state(1.5) is BreakerState.HALF_OPEN
+        breaker.note_dispatch(1.5)
+        assert not breaker.allow(1.51)  # probe in flight
+        breaker.record_failure(1.6)     # probe failed: re-open
+        assert breaker.state(1.6) is BreakerState.OPEN
+        assert breaker.reopen_s == pytest.approx(2.1)
+        breaker.record_success(2.2)
+        assert breaker.state(2.3) is BreakerState.CLOSED
 
 
 class TestPinnedCounts:

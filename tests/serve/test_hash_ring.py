@@ -52,6 +52,52 @@ class TestBoundedRemap:
             else:
                 assert ring.route(session) != 2
 
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize(
+        "shards,removals",
+        [
+            ((0, 1, 2, 3), (2,)),
+            ((0, 1, 2, 3), (2, 0)),
+            ((0, 1, 2, 3, 4, 5), (1, 4, 5)),
+            ((0, 1, 2, 3, 4, 5, 6, 7), (7, 0, 3, 5)),
+        ],
+    )
+    def test_multi_removal_moves_only_orphaned_sessions(
+        self, seed, shards, removals
+    ):
+        # Remove k of n shards one at a time (the failover order).  At
+        # every step the only sessions that move are those owned by the
+        # shard leaving the ring, and ``route(sid, avoid=dead)`` called
+        # *before* the removal predicts each orphan's new home exactly —
+        # the property the detector-driven re-home leans on.
+        ring = build_ring(shards=shards, seed=seed)
+        placement = {s: ring.route(s) for s in SESSIONS}
+        for dead in removals:
+            predicted = {
+                s: ring.route(s, avoid=dead)
+                for s, owner in placement.items()
+                if owner == dead
+            }
+            ring.remove(dead)
+            for session, owner in placement.items():
+                if owner == dead:
+                    assert ring.route(session) == predicted[session]
+                    placement[session] = predicted[session]
+                else:
+                    assert ring.route(session) == owner
+        survivors = set(shards) - set(removals)
+        assert set(placement.values()) <= survivors
+        assert set(ring.nodes) == survivors
+
+    def test_removal_and_rejoin_restores_placement(self):
+        # A healed false suspicion re-adds the shard; the ring must hand
+        # back exactly the arcs it owned before — the bounce-back set.
+        ring = build_ring()
+        before = {s: ring.route(s) for s in SESSIONS}
+        ring.remove(1)
+        ring.add(1)
+        assert before == {s: ring.route(s) for s in SESSIONS}
+
     def test_avoid_matches_post_removal_placement(self):
         # Migrating off a live shard must land the session exactly where
         # a real removal would: the later kill then never moves it again.

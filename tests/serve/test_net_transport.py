@@ -1,0 +1,282 @@
+"""Lossy fleet transport: exactly-once delivery and determinism.
+
+The fleet's conservation ledger must close *exactly* while the
+router<->shard channel drops, duplicates, delays, and partitions
+messages.  These tests pin the protocol's message-accounting identity
+(every transmission is dropped or delivered; every delivered copy is
+applied once, deduped, dead-lettered, or discarded late), prove
+exactly-once application by matching the dedupe counter against the
+duplicate-injection counter, and byte-diff double runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recover import fleet_report_bytes
+from repro.serve import ServeConfig
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetRuntime,
+    FleetTransport,
+    GraySlow,
+    LinkProfile,
+    NetConfig,
+    PartitionWindow,
+    run_fleet,
+)
+from repro.serve.fleet.transport import COUNTER_NAMES
+
+
+def net_serve(n_sessions: int = 12, duration_s: float = 0.4) -> ServeConfig:
+    return ServeConfig(
+        n_sessions=n_sessions,
+        duration_s=duration_s,
+        n_workers=1,
+        reuse_displacement_deg=0.05,
+        queue_budget_deadlines=0.8,
+        seed=0,
+    )
+
+
+def net_fleet(net: NetConfig, n_shards: int = 3, **serve_kwargs) -> FleetConfig:
+    return FleetConfig(
+        serve=net_serve(**serve_kwargs), n_shards=n_shards, net=net
+    )
+
+
+def assert_ledger_closes(config: FleetConfig, report) -> None:
+    """Every generated frame sits in exactly one terminal bucket."""
+    expected = {
+        s.session_id: s.n_frames for s in FleetRuntime(config).sessions
+    }
+    assert len(report.sessions) == len(expected)
+    for stats in report.sessions:
+        buckets = (
+            stats.completed + stats.shed + stats.pending
+            + stats.lost_input + stats.lost_shard + stats.lost_net
+        )
+        assert stats.total_frames == expected[stats.session_id]
+        assert buckets == expected[stats.session_id]
+
+
+def assert_message_identity(counters: dict) -> None:
+    """Every data copy put on the wire has exactly one fate.
+
+    ``data_sent`` counts transmissions (first sends + retransmits); the
+    link then either drops the copy or delivers it, and may mint one
+    extra duplicate per surviving transmission.  Delivered copies are
+    applied once, deduped, dead-lettered, or discarded late — nothing
+    else exists.
+    """
+    delivered = (
+        counters["data_sent"] - counters["data_dropped"]
+        + counters["dup_injected"]
+    )
+    assert delivered == (
+        counters["frames_applied"] + counters["frames_deduped"]
+        + counters["dead_letters"] + counters["late_discards"]
+    )
+
+
+class TestCleanChannel:
+    """A fault-free link must behave like the perfect channel."""
+
+    def test_no_faults_means_no_protocol_noise(self):
+        config = net_fleet(NetConfig(enabled=True))
+        report = run_fleet(config)
+        counters = report.net.counters
+        assert counters["data_dropped"] == 0
+        assert counters["retransmits"] == 0
+        assert counters["dup_injected"] == 0
+        assert counters["frames_deduped"] == 0
+        assert counters["dead_letters"] == 0
+        assert counters["exhausted_degraded"] == 0
+        assert counters["exhausted_lost"] == 0
+        assert counters["suspected"] == 0
+        # Every frame travelled the wire exactly once and was acked.
+        assert counters["frames_applied"] == report.total_frames
+        assert counters["acked"] == counters["data_sent"]
+        assert_ledger_closes(config, report)
+        assert sum(s.lost_net for s in report.sessions) == 0
+
+    def test_counter_keys_are_the_declared_set(self):
+        report = run_fleet(net_fleet(NetConfig(enabled=True)))
+        assert tuple(report.net.counters) == COUNTER_NAMES
+
+
+class TestExactlyOnce:
+    def test_dedupes_exactly_match_injected_duplicates(self):
+        # Pure duplication, no drops, ack timeout far above the RTT: the
+        # router never retransmits, so the *only* extra copies are the
+        # link's injected duplicates — and every one must be deduped.
+        net = NetConfig(
+            enabled=True, seed=3,
+            link=LinkProfile(dup_rate=0.5, delay_s=5e-4),
+        )
+        config = net_fleet(net)
+        report = run_fleet(config)
+        counters = report.net.counters
+        assert counters["retransmits"] == 0
+        assert counters["dup_injected"] > 0
+        assert counters["frames_deduped"] == counters["dup_injected"]
+        assert counters["frames_applied"] == report.total_frames
+        assert_message_identity(counters)
+        assert_ledger_closes(config, report)
+
+    def test_retransmit_storm_still_applies_once(self):
+        # Heavy drop + duplication + jitter reordering: many copies of
+        # the same sequence number race to the shard; exactly one
+        # applies, and the conservation ledger still closes.
+        net = NetConfig(
+            enabled=True, seed=7,
+            link=LinkProfile(
+                drop_rate=0.25, dup_rate=0.25, delay_s=5e-4, jitter_s=2e-3
+            ),
+            ack_timeout_s=4e-3, max_retransmits=8,
+        )
+        config = net_fleet(net)
+        report = run_fleet(config)
+        counters = report.net.counters
+        assert counters["retransmits"] > 0
+        assert counters["frames_deduped"] > 0
+        assert counters["frames_applied"] == report.total_frames
+        assert counters["exhausted_degraded"] == 0
+        assert counters["exhausted_lost"] == 0
+        assert_message_identity(counters)
+        assert_ledger_closes(config, report)
+
+
+class TestDeterminism:
+    def test_double_run_is_byte_identical(self):
+        net = NetConfig(
+            enabled=True, seed=11,
+            link=LinkProfile(
+                drop_rate=0.15, dup_rate=0.15, delay_s=5e-4, jitter_s=1e-3
+            ),
+            partitions=(
+                PartitionWindow(start_s=0.2, stop_s=0.3, shard_ids=(1,)),
+            ),
+            gray=(GraySlow(shard_id=0, start_s=0.1, stop_s=0.15),),
+        )
+        config = net_fleet(net)
+        assert fleet_report_bytes(run_fleet(config)) == fleet_report_bytes(
+            run_fleet(config)
+        )
+
+    def test_seed_changes_the_fault_pattern(self):
+        def counters(seed):
+            net = NetConfig(
+                enabled=True, seed=seed,
+                link=LinkProfile(drop_rate=0.2, dup_rate=0.2, delay_s=5e-4),
+            )
+            return run_fleet(net_fleet(net)).net.counters
+
+        a, b = counters(0), counters(1)
+        assert (a["data_dropped"], a["dup_injected"]) != (
+            b["data_dropped"], b["dup_injected"]
+        )
+
+
+class TestExhaustion:
+    def blackhole(self, on_exhaust: str) -> FleetConfig:
+        # 100% drop: no frame ever reaches a shard, every retransmit
+        # chain exhausts.  The huge phi threshold keeps the (equally
+        # starved) failure detector quiet so the test isolates the
+        # exhaustion policy.
+        net = NetConfig(
+            enabled=True,
+            link=LinkProfile(drop_rate=1.0, delay_s=5e-4),
+            ack_timeout_s=1e-3, max_retransmits=2,
+            phi_threshold=1e9,
+            on_exhaust=on_exhaust,
+        )
+        return net_fleet(net, duration_s=0.2, n_sessions=6)
+
+    def test_degrade_policy_serves_every_frame_from_fallback(self):
+        config = self.blackhole("degrade")
+        report = run_fleet(config)
+        counters = report.net.counters
+        assert counters["frames_applied"] == 0
+        assert counters["exhausted_degraded"] == report.total_frames
+        assert sum(s.degraded for s in report.sessions) == report.total_frames
+        assert sum(s.lost_net for s in report.sessions) == 0
+        assert_ledger_closes(config, report)
+
+    def test_drop_policy_accounts_every_frame_lost(self):
+        config = self.blackhole("drop")
+        report = run_fleet(config)
+        counters = report.net.counters
+        assert counters["exhausted_lost"] == report.total_frames
+        assert sum(s.lost_net for s in report.sessions) == report.total_frames
+        assert sum(s.completed for s in report.sessions) == 0
+        assert_ledger_closes(config, report)
+
+    def test_exhaustion_leaves_no_pending_envelopes(self):
+        # finish() hard-fails on unresolved envelopes; a completing run
+        # is itself the assertion, but make the invariant explicit.
+        runtime = FleetRuntime(self.blackhole("degrade"))
+        runtime.start()
+        while runtime.step():
+            pass
+        assert runtime.transport.pending == {}
+        runtime.finish()
+
+
+class TestTransportStateRoundtrip:
+    def test_state_survives_serialization_mid_flight(self):
+        # Capture the transport mid-run (pending envelopes, dedupe
+        # registry, detector estimates all live) and round-trip it.
+        config = net_fleet(
+            NetConfig(
+                enabled=True, seed=5,
+                link=LinkProfile(drop_rate=0.3, dup_rate=0.2, delay_s=5e-4),
+                partitions=(
+                    PartitionWindow(start_s=0.1, stop_s=0.3, shard_ids=(1,)),
+                ),
+            )
+        )
+        runtime = FleetRuntime(config)
+        runtime.start()
+        for _ in range(900):
+            if not runtime.step():
+                break
+        state = runtime.transport.state_dict()
+        clone = FleetTransport(config.net)
+        clone.load_state(state)
+        assert clone.state_dict() == state
+        assert clone.pending == runtime.transport.pending
+        assert clone.applied == runtime.transport.applied
+        assert clone.suspected == runtime.transport.suspected
+        assert clone.counters == runtime.transport.counters
+
+    def test_loading_old_state_tolerates_missing_counters(self):
+        transport = FleetTransport(NetConfig(enabled=True))
+        state = transport.state_dict()
+        state["counters"].pop("late_discards")
+        clone = FleetTransport(NetConfig(enabled=True))
+        clone.load_state(state)
+        assert clone.counters["late_discards"] == 0
+
+
+class TestConfigGuards:
+    def test_net_rejects_live_migration(self):
+        with pytest.raises(ValueError, match="does not compose with live"):
+            net_fleet(NetConfig(enabled=True)).__class__(
+                serve=net_serve(), n_shards=3,
+                net=NetConfig(enabled=True), migration_rate_hz=4.0,
+            )
+
+    def test_partition_must_name_real_shards(self):
+        net = NetConfig(
+            enabled=True,
+            partitions=(
+                PartitionWindow(start_s=0.1, stop_s=0.2, shard_ids=(9,)),
+            ),
+        )
+        with pytest.raises(ValueError, match="partition window names shard 9"):
+            net_fleet(net, n_shards=3)
+
+    def test_on_exhaust_is_validated(self):
+        with pytest.raises(ValueError, match="on_exhaust"):
+            NetConfig(enabled=True, on_exhaust="explode")
